@@ -1,0 +1,178 @@
+//! DualQ Coupled AQM (RFC 9332): the wired L4S reference.
+//!
+//! Two queues: the L-queue (ECT(1)/CE traffic) gets a shallow step
+//! marking threshold plus the coupled probability `p_CL = k·p'`; the
+//! C-queue (classic) runs a PI controller whose output `p'` is squared
+//! for classic drop/mark (`p_C = p'²`), preserving window fairness
+//! between scalable and classic flows.
+//!
+//! §6.3.1 of the paper re-implements exactly this at the CU to show a
+//! fixed sojourn-time rule cannot track a fading wireless link — our
+//! harness does the same by driving [`DualPi2::decide`] with RLC-queue
+//! sojourn estimates.
+
+use l4span_net::Ecn;
+use l4span_sim::{Duration, Instant, SimRng};
+
+use crate::Verdict;
+
+/// DualPi2 state (per bottleneck).
+#[derive(Debug, Clone)]
+pub struct DualPi2 {
+    /// PI target delay for the classic queue (RFC 9332 default 15 ms).
+    pub target: Duration,
+    /// L-queue step-marking threshold (RFC 9332 default 1 ms).
+    pub l_threshold: Duration,
+    /// Coupling factor k (default 2).
+    pub k: f64,
+    /// PI integral gain α (per update, per second of error).
+    pub alpha: f64,
+    /// PI proportional gain β.
+    pub beta: f64,
+    /// Controller update period (default 16 ms).
+    pub t_update: Duration,
+    /// Base probability p′.
+    p: f64,
+    prev_qdelay: Duration,
+    next_update: Instant,
+}
+
+impl Default for DualPi2 {
+    fn default() -> Self {
+        DualPi2::new(Duration::from_millis(15), Duration::from_millis(1))
+    }
+}
+
+impl DualPi2 {
+    /// Create with the given classic target and L-queue step threshold.
+    pub fn new(target: Duration, l_threshold: Duration) -> DualPi2 {
+        DualPi2 {
+            target,
+            l_threshold,
+            k: 2.0,
+            alpha: 0.16,
+            beta: 3.2,
+            t_update: Duration::from_millis(16),
+            p: 0.0,
+            prev_qdelay: Duration::ZERO,
+            next_update: Instant::ZERO,
+        }
+    }
+
+    /// Current base probability p′ (diagnostics).
+    pub fn base_probability(&self) -> f64 {
+        self.p
+    }
+
+    /// Advance the PI controller if an update is due. `qdelay_c` is the
+    /// classic queue's current sojourn time.
+    pub fn update(&mut self, qdelay_c: Duration, now: Instant) {
+        if now < self.next_update {
+            return;
+        }
+        self.next_update = now + self.t_update;
+        let err = qdelay_c.as_secs_f64() - self.target.as_secs_f64();
+        let delta = qdelay_c.as_secs_f64() - self.prev_qdelay.as_secs_f64();
+        self.p += self.alpha * err + self.beta * delta;
+        self.p = self.p.clamp(0.0, 1.0);
+        self.prev_qdelay = qdelay_c;
+    }
+
+    /// Probability the coupled L-queue marking applies (k·p′, capped).
+    pub fn p_l4s(&self) -> f64 {
+        (self.k * self.p).min(1.0)
+    }
+
+    /// Probability for the classic queue (p′², the square law).
+    pub fn p_classic(&self) -> f64 {
+        (self.p * self.p).min(1.0)
+    }
+
+    /// Decide the fate of a packet at dequeue. `sojourn` is the packet's
+    /// own queueing delay; `ecn` its codepoint.
+    pub fn decide(&mut self, ecn: Ecn, sojourn: Duration, rng: &mut SimRng) -> Verdict {
+        let l4s = matches!(ecn, Ecn::Ect1 | Ecn::Ce);
+        if l4s {
+            // Step threshold OR coupled probability.
+            if sojourn > self.l_threshold || rng.chance(self.p_l4s()) {
+                Verdict::Mark
+            } else {
+                Verdict::Pass
+            }
+        } else if rng.chance(self.p_classic()) {
+            if ecn == Ecn::Ect0 {
+                Verdict::Mark
+            } else {
+                Verdict::Drop
+            }
+        } else {
+            Verdict::Pass
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pi_rises_with_standing_queue_and_falls_when_empty() {
+        let mut d = DualPi2::default();
+        let mut t = Instant::ZERO;
+        for _ in 0..100 {
+            d.update(Duration::from_millis(50), t); // 35 ms over target
+            t = t + Duration::from_millis(16);
+        }
+        assert!(d.base_probability() > 0.05, "p {}", d.base_probability());
+        for _ in 0..400 {
+            d.update(Duration::ZERO, t);
+            t = t + Duration::from_millis(16);
+        }
+        assert!(d.base_probability() < 0.01, "p {}", d.base_probability());
+    }
+
+    #[test]
+    fn square_law_coupling() {
+        let mut d = DualPi2::default();
+        d.p = 0.1;
+        assert!((d.p_l4s() - 0.2).abs() < 1e-12);
+        assert!((d.p_classic() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l_queue_step_marks_over_threshold() {
+        let mut d = DualPi2::default();
+        let mut rng = SimRng::new(1);
+        let v = d.decide(Ecn::Ect1, Duration::from_millis(2), &mut rng);
+        assert_eq!(v, Verdict::Mark);
+        let v = d.decide(Ecn::Ect1, Duration::from_micros(100), &mut rng);
+        assert_eq!(v, Verdict::Pass, "below step and p'=0");
+    }
+
+    #[test]
+    fn classic_marks_ect0_drops_notect() {
+        let mut d = DualPi2::default();
+        d.p = 1.0; // force
+        let mut rng = SimRng::new(2);
+        assert_eq!(
+            d.decide(Ecn::Ect0, Duration::from_millis(20), &mut rng),
+            Verdict::Mark
+        );
+        assert_eq!(
+            d.decide(Ecn::NotEct, Duration::from_millis(20), &mut rng),
+            Verdict::Drop
+        );
+    }
+
+    #[test]
+    fn update_respects_period() {
+        let mut d = DualPi2::default();
+        d.update(Duration::from_millis(100), Instant::ZERO);
+        let p1 = d.base_probability();
+        // 1 ms later: no update yet.
+        d.update(Duration::from_millis(100), Instant::from_millis(1));
+        assert_eq!(d.base_probability(), p1);
+        d.update(Duration::from_millis(100), Instant::from_millis(17));
+        assert!(d.base_probability() > p1);
+    }
+}

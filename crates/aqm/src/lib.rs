@@ -1,0 +1,36 @@
+//! Active queue management baselines.
+//!
+//! Three AQMs appear in the paper's evaluation:
+//!
+//! * [`dualpi2`] — the DualQ Coupled AQM of RFC 9332, the wired-L4S
+//!   reference that Fig. 2(a) runs and §6.3.1 shows failing in the RAN;
+//! * [`codel`] — CoDel / ECN-CoDel (RFC 8289), the queueing discipline
+//!   TC-RAN installs inside the RAN (§6.2.2's baseline);
+//! * [`router`] — a rate-served bottleneck router combining a queue, an
+//!   AQM, and a transmission clock: the "L4S+ router" and wired
+//!   middleboxes of Fig. 1/Fig. 2.
+//!
+//! All deciders share the [`Verdict`] vocabulary so the harness can bolt
+//! them onto the CU for the DualPi2-in-RAN and TC-RAN ablations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codel;
+pub mod dualpi2;
+pub mod router;
+
+pub use codel::CoDel;
+pub use dualpi2::DualPi2;
+pub use router::{Router, RouterAqm};
+
+/// What an AQM wants done with one packet at dequeue time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Forward unchanged.
+    Pass,
+    /// Forward with the CE codepoint set.
+    Mark,
+    /// Discard.
+    Drop,
+}

@@ -1,0 +1,99 @@
+//! AQM invariants under randomised traffic: router packet conservation,
+//! DualPi2 probability bounds, CoDel state sanity.
+
+use proptest::prelude::*;
+
+use l4span_aqm::{CoDel, DualPi2, Router, RouterAqm, Verdict};
+use l4span_net::{Ecn, PacketBuf, TcpHeader};
+use l4span_sim::{Duration, Instant, SimRng};
+
+fn pkt(ecn: Ecn, payload: usize) -> PacketBuf {
+    PacketBuf::tcp(1, 2, ecn, 0, &TcpHeader::default(), payload)
+}
+
+proptest! {
+    /// Router conservation: in = out + dropped + queued + on-the-wire.
+    #[test]
+    fn router_conserves_packets(
+        seed in any::<u64>(),
+        arrivals in proptest::collection::vec((0u64..100_000, 0usize..3), 1..200),
+        aqm_pick in 0usize..3,
+        rate in 1e6f64..1e8,
+        limit in 3000usize..1_000_000,
+    ) {
+        let aqm = match aqm_pick {
+            0 => RouterAqm::Droptail,
+            1 => RouterAqm::DualPi2(DualPi2::default()),
+            _ => RouterAqm::CoDel(CoDel::new(true)),
+        };
+        let mut r = Router::new(rate, limit, aqm, SimRng::new(seed));
+        let mut sent = 0u64;
+        let mut received = 0u64;
+        let mut t_sorted: Vec<(u64, usize)> = arrivals;
+        t_sorted.sort();
+        let mut last = Instant::ZERO;
+        for (t_us, kind) in t_sorted {
+            let now = Instant::from_micros(t_us);
+            last = now;
+            let ecn = [Ecn::NotEct, Ecn::Ect0, Ecn::Ect1][kind];
+            r.enqueue(pkt(ecn, 1000), now);
+            sent += 1;
+            received += r.poll(now).len() as u64;
+        }
+        // Drain completely.
+        let mut now = last;
+        while let Some(d) = r.next_departure() {
+            now = now.max(d);
+            received += r.poll(now).len() as u64;
+            if r.next_departure() == Some(d) {
+                break; // safety against stuck service
+            }
+        }
+        // Let any residual queue drain for a generous horizon.
+        for k in 1..=200u64 {
+            received += r.poll(now + Duration::from_millis(10 * k)).len() as u64;
+        }
+        prop_assert_eq!(
+            sent,
+            received + r.drops + (r.queued_bytes() > 0) as u64 * 0 // queue must be empty
+                + r.drops * 0,
+            "sent {} received {} drops {} queued_bytes {}",
+            sent, received, r.drops, r.queued_bytes()
+        );
+        prop_assert_eq!(r.queued_bytes(), 0, "fully drained");
+    }
+
+    /// DualPi2 probabilities remain in range whatever the input history.
+    #[test]
+    fn dualpi2_probabilities_bounded(
+        qdelays_us in proptest::collection::vec(0u64..2_000_000, 1..300)
+    ) {
+        let mut d = DualPi2::default();
+        let mut t = Instant::ZERO;
+        for q in qdelays_us {
+            t = t + Duration::from_millis(16);
+            d.update(Duration::from_micros(q), t);
+            prop_assert!((0.0..=1.0).contains(&d.base_probability()));
+            prop_assert!((0.0..=1.0).contains(&d.p_l4s()));
+            prop_assert!((0.0..=1.0).contains(&d.p_classic()));
+            prop_assert!(d.p_classic() <= d.p_l4s() + 1e-12, "square law ordering");
+        }
+    }
+
+    /// CoDel never drops when asked to mark, and never acts below target.
+    #[test]
+    fn codel_respects_mode_and_target(
+        sojourns_us in proptest::collection::vec(0u64..50_000, 1..500)
+    ) {
+        let mut c = CoDel::new(true);
+        let mut t = Instant::ZERO;
+        for s in sojourns_us {
+            t = t + Duration::from_millis(1);
+            let v = c.decide(Duration::from_micros(s), t);
+            prop_assert_ne!(v, Verdict::Drop, "ECN mode never drops");
+            if s < 5_000 {
+                prop_assert_eq!(v, Verdict::Pass, "below target");
+            }
+        }
+    }
+}

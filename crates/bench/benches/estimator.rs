@@ -1,0 +1,45 @@
+//! Criterion benchmarks of the egress-rate estimator (Eq. 3–5): the
+//! per-feedback update and the rate/sojourn queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use l4span_core::estimator::EgressEstimator;
+use l4span_sim::{Duration, Instant};
+
+fn bench_estimator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("estimator");
+    let window = Duration::from_micros(12_450);
+
+    g.bench_function("on_txed", |b| {
+        let mut e = EgressEstimator::new(window);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 500;
+            e.on_txed(Instant::from_micros(t), 1500);
+        });
+    });
+
+    g.bench_function("rate_and_sojourn", |b| {
+        let mut e = EgressEstimator::new(window);
+        for k in 0..200u64 {
+            e.on_txed(Instant::from_micros(500 * k), 1500);
+        }
+        b.iter(|| {
+            let r = e.attainable_rate();
+            let s = e.predict_sojourn(30_000);
+            std::hint::black_box((r, s));
+        });
+    });
+
+    g.bench_function("rate_std", |b| {
+        let mut e = EgressEstimator::new(window);
+        for k in 0..200u64 {
+            e.on_txed(Instant::from_micros(500 * k), 1500);
+        }
+        b.iter(|| std::hint::black_box(e.rate_std()));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_estimator);
+criterion_main!(benches);

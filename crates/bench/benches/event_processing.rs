@@ -1,0 +1,117 @@
+//! Criterion micro-benchmarks of L4Span's three event handlers — the
+//! rigorous version of Fig. 21's processing-time claim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use l4span_core::{L4SpanConfig, L4SpanLayer};
+use l4span_net::{AccEcnCounters, Ecn, PacketBuf, TcpFlags, TcpHeader};
+use l4span_ran::f1u::DlDataDeliveryStatus;
+use l4span_ran::{DrbId, UeId};
+use l4span_sim::{Instant, SimRng};
+
+fn warmed_layer() -> L4SpanLayer {
+    let mut l = L4SpanLayer::new(L4SpanConfig::default(), SimRng::new(1));
+    for i in 0..2000u64 {
+        let hdr = TcpHeader {
+            src_port: 443,
+            dst_port: 50_000,
+            flags: TcpFlags::new().with(TcpFlags::ACK),
+            ..TcpHeader::default()
+        };
+        let mut p = PacketBuf::tcp(10, 20, Ecn::Ect1, i as u16, &hdr, 1400);
+        l.on_dl_packet(UeId(0), DrbId(0), &mut p, Instant::from_micros(i * 500));
+        l.on_ran_feedback(
+            &DlDataDeliveryStatus {
+                ue: UeId(0),
+                drb: DrbId(0),
+                highest_txed_sn: Some(i),
+                highest_delivered_sn: Some(i.saturating_sub(10)),
+                timestamp: Instant::from_micros(i * 500 + 100),
+                desired_buffer_size: 0,
+            },
+            Instant::from_micros(i * 500 + 100),
+        );
+    }
+    l
+}
+
+fn bench_events(c: &mut Criterion) {
+    let mut g = c.benchmark_group("l4span_events");
+
+    g.bench_function("on_dl_packet", |b| {
+        let mut l = warmed_layer();
+        let hdr = TcpHeader {
+            src_port: 443,
+            dst_port: 50_000,
+            flags: TcpFlags::new().with(TcpFlags::ACK),
+            ..TcpHeader::default()
+        };
+        let mut t = 1_000_000u64;
+        b.iter(|| {
+            let mut p = PacketBuf::tcp(10, 20, Ecn::Ect1, t as u16, &hdr, 1400);
+            t += 500;
+            l.on_dl_packet(UeId(0), DrbId(0), &mut p, Instant::from_micros(t));
+            std::hint::black_box(&p);
+        });
+    });
+
+    g.bench_function("on_ul_packet_accecn", |b| {
+        let mut l = warmed_layer();
+        // Register an AccECN flow via a SYN-ACK.
+        let synack = TcpHeader {
+            src_port: 443,
+            dst_port: 50_000,
+            flags: TcpFlags::new().with(TcpFlags::SYN).with(TcpFlags::ACK),
+            accecn: Some(AccEcnCounters::default()),
+            ..TcpHeader::default()
+        };
+        let mut sp = PacketBuf::tcp(10, 20, Ecn::Ect1, 0, &synack, 0);
+        l.on_dl_packet(UeId(0), DrbId(0), &mut sp, Instant::from_secs(2));
+        let ack_hdr = TcpHeader {
+            src_port: 50_000,
+            dst_port: 443,
+            ack: 1400,
+            flags: TcpFlags::new().with(TcpFlags::ACK),
+            accecn: Some(AccEcnCounters::default()),
+            ..TcpHeader::default()
+        };
+        let ack = PacketBuf::tcp(20, 10, Ecn::NotEct, 0, &ack_hdr, 0);
+        b.iter(|| {
+            let mut a = ack.clone();
+            l.on_ul_packet(&mut a, Instant::from_secs(3));
+            std::hint::black_box(&a);
+        });
+    });
+
+    g.bench_function("on_ran_feedback", |b| {
+        let mut l = warmed_layer();
+        let mut sn = 2000u64;
+        b.iter(|| {
+            // Keep the profile table fed so feedback has work to do.
+            let hdr = TcpHeader {
+                src_port: 443,
+                dst_port: 50_000,
+                flags: TcpFlags::new().with(TcpFlags::ACK),
+                ..TcpHeader::default()
+            };
+            let mut p = PacketBuf::tcp(10, 20, Ecn::Ect1, sn as u16, &hdr, 1400);
+            l.on_dl_packet(UeId(0), DrbId(0), &mut p, Instant::from_micros(sn * 500));
+            l.on_ran_feedback(
+                &DlDataDeliveryStatus {
+                    ue: UeId(0),
+                    drb: DrbId(0),
+                    highest_txed_sn: Some(sn),
+                    highest_delivered_sn: None,
+                    timestamp: Instant::from_micros(sn * 500 + 100),
+                    desired_buffer_size: 0,
+                },
+                Instant::from_micros(sn * 500 + 100),
+            );
+            sn += 1;
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_events);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion benchmarks of the marking math: Eq. 1's Gaussian tail,
+//! Eq. 2's Padhye inversion, the coupled rule, and the checksum-fixing
+//! header edits they trigger.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use l4span_core::marking;
+use l4span_net::{Ecn, PacketBuf, TcpFlags, TcpHeader};
+use l4span_sim::Duration;
+
+fn bench_marking(c: &mut Criterion) {
+    let mut g = c.benchmark_group("marking");
+    let tau = Duration::from_millis(10);
+
+    g.bench_function("p_l4s_eq1", |b| {
+        let mut n = 0usize;
+        b.iter(|| {
+            n = (n + 1440) % 1_000_000;
+            std::hint::black_box(marking::p_l4s(n, tau, 2.5e6, 0.3e6));
+        });
+    });
+
+    g.bench_function("p_classic_eq2", |b| {
+        b.iter(|| {
+            std::hint::black_box(marking::p_classic(
+                1400,
+                1.2247,
+                Duration::from_millis(50),
+                2.5e6,
+            ));
+        });
+    });
+
+    g.bench_function("p_coupled", |b| {
+        b.iter(|| std::hint::black_box(marking::p_l4s_coupled(0.04, 1.2247)));
+    });
+
+    g.bench_function("ip_ecn_rewrite_with_checksum", |b| {
+        let hdr = TcpHeader {
+            src_port: 443,
+            dst_port: 50_000,
+            flags: TcpFlags::new().with(TcpFlags::ACK),
+            ..TcpHeader::default()
+        };
+        let pkt = PacketBuf::tcp(10, 20, Ecn::Ect1, 7, &hdr, 1400);
+        b.iter(|| {
+            let mut p = pkt.clone();
+            p.set_ecn(Ecn::Ce);
+            std::hint::black_box(&p);
+        });
+    });
+
+    g.bench_function("tcp_ack_rewrite_with_checksum", |b| {
+        let hdr = TcpHeader {
+            src_port: 50_000,
+            dst_port: 443,
+            ack: 123_456,
+            flags: TcpFlags::new().with(TcpFlags::ACK),
+            accecn: Some(Default::default()),
+            ..TcpHeader::default()
+        };
+        let pkt = PacketBuf::tcp(20, 10, Ecn::NotEct, 7, &hdr, 0);
+        b.iter(|| {
+            let mut p = pkt.clone();
+            p.update_tcp(|h| {
+                h.flags.set(TcpFlags::ECE);
+            });
+            std::hint::black_box(&p);
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_marking);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benchmark for Table 1: end-to-end simulation cost of one
+//! busy cell second with and without L4Span — the wall-clock delta *is*
+//! the CPU overhead the paper reports from `top`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use l4span_cc::WanLink;
+use l4span_harness::scenario::{congested_cell, l4span_default, ChannelMix};
+use l4span_harness::{run, MarkerKind};
+use l4span_sim::Duration;
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cell_second");
+    g.sample_size(10);
+
+    for (name, marker) in [
+        ("bare_ran", MarkerKind::None),
+        ("with_l4span", l4span_default()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let cfg = congested_cell(
+                    4,
+                    "prague",
+                    ChannelMix::Static,
+                    16_384,
+                    WanLink::east(),
+                    marker.clone(),
+                    1,
+                    Duration::from_secs(1),
+                );
+                std::hint::black_box(run(cfg));
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

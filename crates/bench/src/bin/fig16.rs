@@ -1,0 +1,67 @@
+//! Fig. 16 — a DRB shared by one L4S (Prague) and one classic (CUBIC)
+//! flow on the same UE, under the four marking methods: Original,
+//! all-L4S, all-classic, and the paper's coupled rule. Reports the L4S
+//! share of throughput and RTT.
+//!
+//! `cargo run --release -p l4span-bench --bin fig16`
+
+use l4span_bench::{banner, Args};
+use l4span_cc::WanLink;
+use l4span_core::{L4SpanConfig, SharedDrbStrategy};
+use l4span_harness::scenario::{FlowSpec, ScenarioConfig, TrafficKind, UeSpec};
+use l4span_harness::{run, MarkerKind};
+use l4span_ran::ChannelProfile;
+use l4span_sim::{Duration, Instant};
+
+fn shared_drb(strategy: SharedDrbStrategy, seed: u64, secs: u64) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::new(seed, Duration::from_secs(secs));
+    let mut l4 = L4SpanConfig::default();
+    l4.shared_strategy = strategy;
+    cfg.marker = MarkerKind::L4Span(l4);
+    cfg.ues.push(UeSpec::simple(ChannelProfile::Static, 24.0));
+    for cc in ["prague", "cubic"] {
+        cfg.flows.push(FlowSpec {
+            ue: 0,
+            drb: 0, // same DRB: the lower-end-UE case of §4.2.3
+            traffic: TrafficKind::Tcp {
+                cc: cc.to_string(),
+                app_limit: None,
+            },
+            wan: WanLink::east(),
+            start: Instant::from_millis(if cc == "prague" { 0 } else { 50 }),
+            stop: None,
+        });
+    }
+    cfg
+}
+
+fn main() {
+    let args = Args::parse();
+    let secs = args.secs_or(20);
+    banner("Fig. 16", "L4S + classic sharing one DRB", &args);
+
+    println!(
+        "\n{:<10} {:>14} {:>14} {:>12} {:>12}",
+        "strategy", "thr L4S Mb/s", "thr CUBIC", "L4S thr %", "L4S RTT %"
+    );
+    for (name, strat) in [
+        ("original", SharedDrbStrategy::Original),
+        ("l4s", SharedDrbStrategy::AllL4s),
+        ("classic", SharedDrbStrategy::AllClassic),
+        ("l4span", SharedDrbStrategy::Coupled),
+    ] {
+        let r = run(shared_drb(strat, args.seed, secs));
+        let t0 = r.goodput_total_mbps(0);
+        let t1 = r.goodput_total_mbps(1);
+        let thr_ratio = 100.0 * t0 / (t0 + t1).max(1e-9);
+        let r0 = r.rtt_stats(0).median;
+        let r1 = r.rtt_stats(1).median;
+        let rtt_ratio = 100.0 * r0 / (r0 + r1).max(1e-9);
+        println!(
+            "{name:<10} {t0:>14.2} {t1:>14.2} {thr_ratio:>11.1}% {rtt_ratio:>11.1}%"
+        );
+    }
+    println!("\nPaper shape: 'original' starves the L4S flow, 'l4s' starves the");
+    println!("classic flow (~25% share), 'classic' has high variance, and the");
+    println!("coupled rule lands both ratios near 50%.");
+}

@@ -1,0 +1,33 @@
+//! Fig. 18 — channel stable-period CDF from (synthetic) DCI/MCS traces
+//! of a 600 MHz FDD cell and a 2.5 GHz TDD cell, validating the
+//! τ_c/2 = 12.45 ms estimation-window choice.
+//!
+//! `cargo run --release -p l4span-bench --bin fig18`
+
+use l4span_bench::{banner, print_cdf, Args};
+use l4span_harness::dci::{mcs_trace, stable_periods_ms, CellTraceSpec};
+use l4span_sim::stats::Cdf;
+use l4span_sim::Duration;
+
+fn main() {
+    let args = Args::parse();
+    let secs = args.secs_or(60);
+    banner("Fig. 18", "channel stable periods vs the estimation window", &args);
+
+    for (name, spec) in [
+        ("FDD 600 MHz", CellTraceSpec::fdd_600mhz()),
+        ("TDD 2.5 GHz", CellTraceSpec::tdd_2_5ghz()),
+    ] {
+        let trace = mcs_trace(spec, Duration::from_secs(secs), args.seed);
+        let periods = stable_periods_ms(&trace, spec.slot, 5, 1000.0);
+        let cdf = Cdf::from_samples(&periods);
+        println!(
+            "\n{name}: {} periods; fraction shorter than the 12.45 ms window: {:.1}%",
+            periods.len(),
+            cdf.fraction_at(12.45) * 100.0
+        );
+        print_cdf(&format!("{name} stable period (ms)"), &periods, 11);
+    }
+    println!("\nPaper shape: >90% of stable periods exceed the estimation");
+    println!("window on both cells; the FDD cell is markedly more stable.");
+}

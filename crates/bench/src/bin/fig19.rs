@@ -1,0 +1,95 @@
+//! Fig. 19 — impact of the sojourn-time threshold τ_s on Prague RTT and
+//! cell rate-sum, swept over {1,2,5,10,20,50,100} ms for several cell
+//! loads; plus the §6.3.1 DualPi2-at-CU ablation (1 ms and 10 ms step
+//! thresholds), which under-utilises the fading channel.
+//!
+//! `cargo run --release -p l4span-bench --bin fig19`
+
+use l4span_bench::{banner, Args};
+use l4span_cc::WanLink;
+use l4span_core::L4SpanConfig;
+use l4span_harness::scenario::{congested_cell, ChannelMix};
+use l4span_harness::{run, MarkerKind};
+use l4span_sim::Duration;
+
+fn main() {
+    let args = Args::parse();
+    let secs = args.secs_or(12);
+    banner("Fig. 19", "τ_s sweep and the DualPi2-in-RAN ablation", &args);
+
+    let ue_counts: Vec<usize> = if args.full {
+        vec![1, 4, 8, 16, 32, 64]
+    } else {
+        vec![1, 4, 16]
+    };
+    println!(
+        "\n{:<10} {:<6} {:>12} {:>14}",
+        "tau_s(ms)", "UEs", "RTT mean(ms)", "rate sum Mb/s"
+    );
+    for &n in &ue_counts {
+        for tau_ms in [1u64, 2, 5, 10, 20, 50, 100] {
+            let mut l4 = L4SpanConfig::default();
+            l4.tau_s = Duration::from_millis(tau_ms);
+            let cfg = congested_cell(
+                n,
+                "prague",
+                ChannelMix::Mobile,
+                16_384,
+                WanLink::east(),
+                MarkerKind::L4Span(l4),
+                args.seed,
+                Duration::from_secs(secs),
+            );
+            let r = run(cfg);
+            let flows: Vec<usize> = (0..n).collect();
+            let mut rtts = Vec::new();
+            for &f in &flows {
+                rtts.extend_from_slice(&r.rtt_ms[f]);
+            }
+            let rtt_mean = l4span_sim::stats::mean(&rtts);
+            let sum: f64 = flows.iter().map(|&f| r.goodput_total_mbps(f)).sum();
+            println!("{tau_ms:<10} {n:<6} {rtt_mean:>12.1} {sum:>14.2}");
+        }
+    }
+
+    println!("\n--- §6.3.1 ablation: DualPi2 transplanted to the CU (1 UE, mobile) ---");
+    println!(
+        "{:<22} {:>12} {:>14}",
+        "marker", "RTT mean(ms)", "rate Mb/s"
+    );
+    for (name, marker) in [
+        (
+            "dualpi2@cu 1ms",
+            MarkerKind::DualPi2Cu {
+                threshold: Duration::from_millis(1),
+            },
+        ),
+        (
+            "dualpi2@cu 10ms",
+            MarkerKind::DualPi2Cu {
+                threshold: Duration::from_millis(10),
+            },
+        ),
+        ("l4span 10ms", MarkerKind::L4Span(L4SpanConfig::default())),
+    ] {
+        let cfg = congested_cell(
+            1,
+            "prague",
+            ChannelMix::Mobile,
+            16_384,
+            WanLink::east(),
+            marker,
+            args.seed,
+            Duration::from_secs(secs),
+        );
+        let r = run(cfg);
+        let rtt_mean = l4span_sim::stats::mean(&r.rtt_ms[0]);
+        println!(
+            "{name:<22} {rtt_mean:>12.1} {:>14.2}",
+            r.goodput_total_mbps(0)
+        );
+    }
+    println!("\nPaper shape: throughput reaches its plateau at τ_s = 10 ms with");
+    println!("still-low RTT (the knee); DualPi2's fixed step loses 73%/28% of");
+    println!("throughput at 1/10 ms because it can't track the fading egress.");
+}

@@ -1,0 +1,193 @@
+//! BBRv2: BBR with loss/ECN-bounded inflight (Cardwell et al., IETF 2019).
+//!
+//! The addition over v1 that matters to L4Span is the DCTCP/L4S-style CE
+//! response (paper §6.1: "BBRv2 includes the DCTCP (or L4S)-like
+//! congestion window adjustments upon receiving the AccECN signal"): an
+//! `ecn_alpha` EWMA of the per-round CE fraction shrinks `inflight_hi`
+//! multiplicatively, bounding the cwnd BBR's model would otherwise use.
+
+use l4span_sim::Instant;
+
+use crate::bbr::Bbr;
+use crate::cc::{AckSample, CongestionControl, EcnMode};
+
+/// EWMA gain for the CE fraction.
+const ECN_ALPHA_GAIN: f64 = 1.0 / 16.0;
+/// Multiplier applied to `inflight_hi` per marked round: hi ← hi·(1−αβ).
+const BETA_ECN: f64 = 0.3;
+/// Loss response multiplier for `inflight_hi`.
+const BETA_LOSS: f64 = 0.7;
+/// CE fraction below which a round is considered unmarked.
+const ECN_THRESH: f64 = 0.01;
+
+/// BBRv2 congestion control: v1 core plus inflight bounds.
+#[derive(Debug)]
+pub struct Bbr2 {
+    core: Bbr,
+    mss: usize,
+    ecn_alpha: f64,
+    inflight_hi: f64,
+    /// Per-round CE accounting.
+    round_acked: usize,
+    round_ce: usize,
+    round_end: Instant,
+}
+
+impl Bbr2 {
+    /// New BBRv2 controller with `mss`-byte segments.
+    pub fn new(mss: usize) -> Bbr2 {
+        Bbr2 {
+            core: Bbr::new(mss),
+            mss,
+            ecn_alpha: 0.0,
+            inflight_hi: f64::INFINITY,
+            round_acked: 0,
+            round_ce: 0,
+            round_end: Instant::ZERO,
+        }
+    }
+
+    /// The EWMA CE fraction (diagnostics).
+    pub fn ecn_alpha(&self) -> f64 {
+        self.ecn_alpha
+    }
+
+    /// Current upper inflight bound in bytes (∞ until first congestion).
+    pub fn inflight_hi(&self) -> f64 {
+        self.inflight_hi
+    }
+}
+
+impl CongestionControl for Bbr2 {
+    fn on_ack(&mut self, ack: &AckSample) {
+        self.core.on_ack(ack);
+        self.round_acked += ack.newly_acked;
+        self.round_ce += ack.ce_bytes;
+        if ack.now >= self.round_end {
+            let frac = if self.round_acked > 0 {
+                self.round_ce as f64 / self.round_acked as f64
+            } else {
+                0.0
+            };
+            self.ecn_alpha += ECN_ALPHA_GAIN * (frac - self.ecn_alpha);
+            if frac > ECN_THRESH {
+                let hi = if self.inflight_hi.is_finite() {
+                    self.inflight_hi
+                } else {
+                    self.core.cwnd() as f64
+                };
+                self.inflight_hi =
+                    (hi * (1.0 - BETA_ECN * self.ecn_alpha)).max((4 * self.mss) as f64);
+            } else if self.inflight_hi.is_finite() {
+                // Probe upward slowly when unmarked.
+                self.inflight_hi += self.mss as f64;
+            }
+            self.round_acked = 0;
+            self.round_ce = 0;
+            self.round_end = ack.now + ack.srtt;
+        }
+    }
+
+    fn on_loss(&mut self, now: Instant) {
+        self.core.on_loss(now);
+        let hi = if self.inflight_hi.is_finite() {
+            self.inflight_hi
+        } else {
+            self.core.cwnd() as f64
+        };
+        self.inflight_hi = (hi * BETA_LOSS).max((4 * self.mss) as f64);
+    }
+
+    fn on_rto(&mut self, now: Instant) {
+        self.core.on_rto(now);
+    }
+
+    fn cwnd(&self) -> usize {
+        let base = self.core.cwnd() as f64;
+        base.min(self.inflight_hi) as usize
+    }
+
+    fn pacing_rate(&self) -> Option<f64> {
+        self.core.pacing_rate()
+    }
+
+    fn ecn_mode(&self) -> EcnMode {
+        EcnMode::L4s
+    }
+
+    fn name(&self) -> &'static str {
+        "bbr2"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use l4span_sim::Duration;
+
+    fn ack(now_ms: u64, bytes: usize, ce: usize) -> AckSample {
+        AckSample {
+            now: Instant::from_millis(now_ms),
+            newly_acked: bytes,
+            ce_bytes: ce,
+            ece: false,
+            rtt: Some(Duration::from_millis(40)),
+            srtt: Duration::from_millis(40),
+            inflight: 10_000,
+            delivery_rate: Some(5e6),
+            app_limited: false,
+        }
+    }
+
+    #[test]
+    fn ce_marks_shrink_inflight_hi() {
+        let mut b = Bbr2::new(1000);
+        let mut t = 0;
+        for _ in 0..10 {
+            b.on_ack(&ack(t, 10_000, 0));
+            t += 50;
+        }
+        assert!(b.inflight_hi().is_infinite());
+        for _ in 0..20 {
+            b.on_ack(&ack(t, 10_000, 5_000)); // 50% marked rounds
+            t += 50;
+        }
+        assert!(b.inflight_hi().is_finite());
+        assert!(b.ecn_alpha() > 0.2, "alpha {}", b.ecn_alpha());
+        assert!(b.cwnd() as f64 <= b.inflight_hi());
+    }
+
+    #[test]
+    fn unmarked_rounds_probe_hi_back_up() {
+        let mut b = Bbr2::new(1000);
+        let mut t = 0;
+        for _ in 0..20 {
+            b.on_ack(&ack(t, 10_000, 5_000));
+            t += 50;
+        }
+        let hi = b.inflight_hi();
+        for _ in 0..5 {
+            b.on_ack(&ack(t, 10_000, 0));
+            t += 50;
+        }
+        assert!(b.inflight_hi() > hi, "hi must creep up when unmarked");
+    }
+
+    #[test]
+    fn loss_shrinks_hi_by_beta() {
+        let mut b = Bbr2::new(1000);
+        let mut t = 0;
+        for _ in 0..10 {
+            b.on_ack(&ack(t, 10_000, 0));
+            t += 50;
+        }
+        let w = b.core.cwnd() as f64;
+        b.on_loss(Instant::from_millis(t));
+        assert!((b.inflight_hi() - w * BETA_LOSS).abs() < 1.0);
+    }
+
+    #[test]
+    fn is_l4s() {
+        assert_eq!(Bbr2::new(1000).ecn_mode(), EcnMode::L4s);
+    }
+}

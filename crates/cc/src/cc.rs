@@ -1,0 +1,83 @@
+//! The congestion-control trait shared by all senders.
+
+use l4span_net::Ecn;
+use l4span_sim::{Duration, Instant};
+
+/// How a sender marks and reads ECN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EcnMode {
+    /// Not ECN-capable: packets go out Not-ECT, feedback is loss only.
+    None,
+    /// Classic ECN (RFC 3168): ECT(0) packets, ECE/CWR echo, a CE mark is
+    /// treated like one loss event per RTT.
+    Classic,
+    /// L4S/AccECN: ECT(1) packets, per-byte CE accounting, scalable
+    /// (DCTCP-style) response.
+    L4s,
+}
+
+impl EcnMode {
+    /// The codepoint data packets carry.
+    pub fn codepoint(self) -> Ecn {
+        match self {
+            EcnMode::None => Ecn::NotEct,
+            EcnMode::Classic => Ecn::Ect0,
+            EcnMode::L4s => Ecn::Ect1,
+        }
+    }
+}
+
+/// Everything one cumulative ACK tells the congestion controller.
+#[derive(Debug, Clone, Copy)]
+pub struct AckSample {
+    /// Arrival time of the ACK.
+    pub now: Instant,
+    /// Bytes newly acknowledged by this ACK.
+    pub newly_acked: usize,
+    /// Of those, bytes reported CE-marked (AccECN; 0 under classic ECN).
+    pub ce_bytes: usize,
+    /// Classic ECN-Echo flag state (false under AccECN).
+    pub ece: bool,
+    /// RTT sample from the newest acked segment, if clean (not a retx).
+    pub rtt: Option<Duration>,
+    /// Smoothed RTT maintained by the sender.
+    pub srtt: Duration,
+    /// Bytes in flight *after* this ACK was processed.
+    pub inflight: usize,
+    /// Delivery-rate sample in bytes/sec (BBR-style), if computable.
+    pub delivery_rate: Option<f64>,
+    /// True if the sender was application-limited over this sample.
+    pub app_limited: bool,
+}
+
+/// A pluggable congestion controller. All window values are in bytes.
+pub trait CongestionControl {
+    /// Process one cumulative ACK.
+    fn on_ack(&mut self, ack: &AckSample);
+    /// A loss was detected (fast retransmit). At most once per RTT.
+    fn on_loss(&mut self, now: Instant);
+    /// Retransmission timeout fired: collapse to one segment.
+    fn on_rto(&mut self, now: Instant);
+    /// Current congestion window in bytes.
+    fn cwnd(&self) -> usize;
+    /// Pacing rate in bytes/sec, or `None` to send purely ack-clocked.
+    fn pacing_rate(&self) -> Option<f64> {
+        None
+    }
+    /// ECN mode (decides the codepoint and the feedback format).
+    fn ecn_mode(&self) -> EcnMode;
+    /// Human-readable name for logs and figures.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecn_mode_codepoints() {
+        assert_eq!(EcnMode::None.codepoint(), Ecn::NotEct);
+        assert_eq!(EcnMode::Classic.codepoint(), Ecn::Ect0);
+        assert_eq!(EcnMode::L4s.codepoint(), Ecn::Ect1);
+    }
+}

@@ -1,0 +1,223 @@
+//! TCP Prague: the L4S reference sender (paper §2, §6.1).
+//!
+//! DCTCP-style scalable response: the sender keeps an EWMA `α` of the
+//! fraction of acknowledged bytes that were CE-marked over the previous
+//! RTT and, once per RTT in which any CE arrived, applies
+//! `cwnd ← cwnd · (1 − α/2)` — the "lightly-pressed brake" — then resumes
+//! additive increase immediately. Packets carry ECT(1) and feedback rides
+//! AccECN byte counters.
+
+use l4span_sim::{Duration, Instant};
+
+use crate::cc::{AckSample, CongestionControl, EcnMode};
+use crate::reno::INITIAL_WINDOW_SEGS;
+
+/// EWMA gain for α (DCTCP's g = 1/16).
+const ALPHA_GAIN: f64 = 1.0 / 16.0;
+
+/// TCP Prague congestion control.
+#[derive(Debug)]
+pub struct Prague {
+    mss: usize,
+    cwnd: f64,
+    ssthresh: f64,
+    /// EWMA of the CE-marked byte fraction.
+    alpha: f64,
+    /// Bytes acked / CE-marked in the current observation round.
+    round_acked: usize,
+    round_ce: usize,
+    /// End of the current RTT round.
+    round_end: Instant,
+    /// Whether a multiplicative decrease already ran this round.
+    reduced_this_round: bool,
+    acked_credit: f64,
+}
+
+impl Prague {
+    /// New Prague controller with `mss`-byte segments.
+    pub fn new(mss: usize) -> Prague {
+        Prague {
+            mss,
+            cwnd: (INITIAL_WINDOW_SEGS * mss) as f64,
+            ssthresh: f64::INFINITY,
+            alpha: 0.0,
+            round_acked: 0,
+            round_ce: 0,
+            round_end: Instant::ZERO,
+            reduced_this_round: false,
+            acked_credit: 0.0,
+        }
+    }
+
+    /// Current α (exposed for tests and the Fig. 4 walkthrough example).
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    fn end_round(&mut self, now: Instant, srtt: Duration) {
+        if self.round_acked > 0 {
+            // CE bytes can exceed acked bytes when an in-network
+            // bookkeeper accounts marks ahead of delivery; α is a
+            // fraction, so clamp.
+            let frac = (self.round_ce as f64 / self.round_acked as f64).min(1.0);
+            self.alpha += ALPHA_GAIN * (frac - self.alpha);
+        }
+        self.round_acked = 0;
+        self.round_ce = 0;
+        self.reduced_this_round = false;
+        self.round_end = now + srtt;
+    }
+}
+
+impl CongestionControl for Prague {
+    fn on_ack(&mut self, ack: &AckSample) {
+        if ack.now >= self.round_end {
+            self.end_round(ack.now, ack.srtt);
+        }
+        self.round_acked += ack.newly_acked;
+        self.round_ce += ack.ce_bytes;
+
+        if ack.ce_bytes > 0 {
+            // Any CE ends slow start.
+            self.ssthresh = self.ssthresh.min(self.cwnd);
+            if !self.reduced_this_round {
+                self.reduced_this_round = true;
+                // React to the freshest congestion information: fold the
+                // current round's fraction in before reducing (DCTCP
+                // implementations update α on the CE edge).
+                let frac =
+                    (self.round_ce as f64 / self.round_acked.max(1) as f64).min(1.0);
+                self.alpha += ALPHA_GAIN * (frac - self.alpha);
+                self.cwnd = (self.cwnd * (1.0 - self.alpha / 2.0)).max(2.0 * self.mss as f64);
+                return; // no growth on the reducing ACK
+            }
+        }
+        if self.cwnd < self.ssthresh {
+            self.cwnd += ack.newly_acked as f64;
+        } else {
+            // Additive increase: 1 MSS per RTT, resumed immediately after
+            // an MD (paper Fig. 4: "Immediately returns to AI after MD").
+            self.acked_credit += ack.newly_acked as f64;
+            if self.acked_credit >= self.cwnd {
+                self.acked_credit -= self.cwnd;
+                self.cwnd += self.mss as f64;
+            }
+        }
+    }
+
+    fn on_loss(&mut self, _now: Instant) {
+        // Loss is still a classic halving (safety in non-L4S bottlenecks).
+        self.cwnd = (self.cwnd / 2.0).max(2.0 * self.mss as f64);
+        self.ssthresh = self.cwnd;
+    }
+
+    fn on_rto(&mut self, _now: Instant) {
+        self.ssthresh = (self.cwnd / 2.0).max(2.0 * self.mss as f64);
+        self.cwnd = self.mss as f64;
+    }
+
+    fn cwnd(&self) -> usize {
+        self.cwnd as usize
+    }
+
+    fn ecn_mode(&self) -> EcnMode {
+        EcnMode::L4s
+    }
+
+    fn name(&self) -> &'static str {
+        "prague"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ack(now_ms: u64, bytes: usize, ce: usize) -> AckSample {
+        AckSample {
+            now: Instant::from_millis(now_ms),
+            newly_acked: bytes,
+            ce_bytes: ce,
+            ece: false,
+            rtt: Some(Duration::from_millis(40)),
+            srtt: Duration::from_millis(40),
+            inflight: 0,
+            delivery_rate: None,
+            app_limited: false,
+        }
+    }
+
+    #[test]
+    fn fully_marked_round_converges_alpha_to_one() {
+        let mut p = Prague::new(1000);
+        let mut t = 0;
+        for _ in 0..200 {
+            p.on_ack(&ack(t, 10_000, 10_000));
+            t += 45; // > srtt, so each ack starts a new round
+        }
+        assert!(p.alpha() > 0.9, "alpha {}", p.alpha());
+    }
+
+    #[test]
+    fn small_alpha_means_gentle_decrease() {
+        let mut p = Prague::new(1000);
+        // Grow a bit, keep marks rare so alpha stays small.
+        let mut t = 0;
+        for _ in 0..50 {
+            p.on_ack(&ack(t, 20_000, 0));
+            t += 45;
+        }
+        let w = p.cwnd() as f64;
+        p.on_ack(&ack(t, 10_000, 1_000)); // 10% of this round marked
+        let cut = 1.0 - p.cwnd() as f64 / w;
+        assert!(cut < 0.05, "cut {cut} should be ≪ classic 0.5");
+    }
+
+    #[test]
+    fn one_reduction_per_rtt() {
+        let mut p = Prague::new(1000);
+        let mut t = 0;
+        for _ in 0..30 {
+            p.on_ack(&ack(t, 20_000, 0));
+            t += 45;
+        }
+        let w0 = p.cwnd();
+        // Two CE acks within the same round: only the first reduces.
+        p.on_ack(&ack(t, 1_000, 1_000));
+        let w1 = p.cwnd();
+        p.on_ack(&ack(t + 1, 1_000, 1_000));
+        let w2 = p.cwnd();
+        assert!(w1 < w0);
+        assert!(w2 >= w1, "second CE in the round must not reduce again");
+    }
+
+    #[test]
+    fn ai_resumes_immediately_after_md() {
+        let mut p = Prague::new(1000);
+        let mut t = 0;
+        for _ in 0..30 {
+            p.on_ack(&ack(t, 20_000, 0));
+            t += 45;
+        }
+        p.on_ack(&ack(t, 1_000, 1_000)); // MD
+        let after_md = p.cwnd();
+        // Unmarked acks in the same round grow the window again.
+        let w = p.cwnd();
+        p.on_ack(&ack(t + 1, w, 0));
+        assert!(p.cwnd() > after_md, "AI must resume straight away");
+    }
+
+    #[test]
+    fn loss_still_halves() {
+        let mut p = Prague::new(1000);
+        p.on_ack(&ack(0, 40_000, 0));
+        let w = p.cwnd();
+        p.on_loss(Instant::from_millis(1));
+        assert_eq!(p.cwnd(), w / 2);
+    }
+
+    #[test]
+    fn uses_l4s_identifier() {
+        assert_eq!(Prague::new(1000).ecn_mode(), EcnMode::L4s);
+    }
+}

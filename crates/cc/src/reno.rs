@@ -1,0 +1,144 @@
+//! TCP Reno (RFC 5681): slow start, additive increase, halve on loss.
+//! Classic ECN: a CE-echo is treated exactly like a loss event (RFC 3168).
+
+use l4span_sim::Instant;
+
+use crate::cc::{AckSample, CongestionControl, EcnMode};
+
+/// Initial window in segments (RFC 6928).
+pub const INITIAL_WINDOW_SEGS: usize = 10;
+
+/// Reno congestion control.
+#[derive(Debug)]
+pub struct Reno {
+    mss: usize,
+    cwnd: usize,
+    ssthresh: usize,
+    /// Accumulated acked bytes for sub-MSS congestion-avoidance growth.
+    acked_credit: usize,
+}
+
+impl Reno {
+    /// New Reno controller with `mss`-byte segments.
+    pub fn new(mss: usize) -> Reno {
+        Reno {
+            mss,
+            cwnd: INITIAL_WINDOW_SEGS * mss,
+            ssthresh: usize::MAX,
+            acked_credit: 0,
+        }
+    }
+
+    fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+}
+
+impl CongestionControl for Reno {
+    fn on_ack(&mut self, ack: &AckSample) {
+        // Classic ECN: the sender machinery calls `on_loss` for the
+        // once-per-RTT ECE reaction, so here we only grow.
+        if self.in_slow_start() {
+            self.cwnd += ack.newly_acked;
+        } else {
+            self.acked_credit += ack.newly_acked;
+            // cwnd += MSS per cwnd-worth of acked bytes.
+            while self.acked_credit >= self.cwnd {
+                self.acked_credit -= self.cwnd;
+                self.cwnd += self.mss;
+            }
+        }
+    }
+
+    fn on_loss(&mut self, _now: Instant) {
+        self.ssthresh = (self.cwnd / 2).max(2 * self.mss);
+        self.cwnd = self.ssthresh;
+        self.acked_credit = 0;
+    }
+
+    fn on_rto(&mut self, _now: Instant) {
+        self.ssthresh = (self.cwnd / 2).max(2 * self.mss);
+        self.cwnd = self.mss;
+        self.acked_credit = 0;
+    }
+
+    fn cwnd(&self) -> usize {
+        self.cwnd
+    }
+
+    fn ecn_mode(&self) -> EcnMode {
+        EcnMode::Classic
+    }
+
+    fn name(&self) -> &'static str {
+        "reno"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use l4span_sim::Duration;
+
+    fn ack(bytes: usize) -> AckSample {
+        AckSample {
+            now: Instant::ZERO,
+            newly_acked: bytes,
+            ce_bytes: 0,
+            ece: false,
+            rtt: Some(Duration::from_millis(40)),
+            srtt: Duration::from_millis(40),
+            inflight: 0,
+            delivery_rate: None,
+            app_limited: false,
+        }
+    }
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let mut r = Reno::new(1000);
+        let start = r.cwnd();
+        // Ack a full window: cwnd should double.
+        r.on_ack(&ack(start));
+        assert_eq!(r.cwnd(), 2 * start);
+    }
+
+    #[test]
+    fn congestion_avoidance_adds_one_mss_per_window() {
+        let mut r = Reno::new(1000);
+        r.on_loss(Instant::ZERO); // leave slow start
+        let w = r.cwnd();
+        r.on_ack(&ack(w));
+        assert_eq!(r.cwnd(), w + 1000);
+    }
+
+    #[test]
+    fn loss_halves() {
+        let mut r = Reno::new(1000);
+        r.on_ack(&ack(30_000));
+        let w = r.cwnd();
+        r.on_loss(Instant::ZERO);
+        assert_eq!(r.cwnd(), w / 2);
+    }
+
+    #[test]
+    fn rto_collapses_to_one_segment() {
+        let mut r = Reno::new(1000);
+        r.on_rto(Instant::ZERO);
+        assert_eq!(r.cwnd(), 1000);
+    }
+
+    #[test]
+    fn floor_is_two_mss() {
+        let mut r = Reno::new(1000);
+        for _ in 0..10 {
+            r.on_loss(Instant::ZERO);
+        }
+        assert_eq!(r.cwnd(), 2000);
+    }
+
+    #[test]
+    fn is_classic_ecn() {
+        assert_eq!(Reno::new(1000).ecn_mode(), EcnMode::Classic);
+    }
+}

@@ -1,0 +1,312 @@
+//! UDP Prague: the L4S team's rate-based Prague variant for interactive
+//! applications (paper §6.1, Fig. 13). The receiver feeds back cumulative
+//! packet/CE counts in the UDP payload; the sender runs the DCTCP-style
+//! `α` update on a paced rate instead of a window.
+
+use l4span_net::{Ecn, PacketBuf};
+use l4span_sim::{Duration, Instant};
+
+/// EWMA gain for α.
+const ALPHA_GAIN: f64 = 1.0 / 16.0;
+/// Feedback cadence at the receiver.
+const FEEDBACK_INTERVAL: Duration = Duration::from_millis(25);
+/// Payload bytes per datagram.
+const MTU_PAYLOAD: usize = 1200;
+
+/// Cumulative feedback counters (carried in the UDP payload uplink).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PragueFeedback {
+    /// Datagrams received.
+    pub packets: u64,
+    /// Datagrams received CE-marked.
+    pub ce_packets: u64,
+}
+
+/// UDP Prague sender: rate-paced ECT(1) datagrams.
+#[derive(Debug)]
+pub struct UdpPragueSender {
+    src_ip: u32,
+    dst_ip: u32,
+    src_port: u16,
+    dst_port: u16,
+    /// Paced send rate in bytes/sec.
+    rate: f64,
+    min_rate: f64,
+    max_rate: f64,
+    alpha: f64,
+    last_fb: PragueFeedback,
+    last_reduction: Instant,
+    next_send_at: Instant,
+    ident: u16,
+    /// Estimated feedback round-trip (reduction gate).
+    rtt_gate: Duration,
+    /// Datagrams sent so far.
+    n_sent: u64,
+    /// Sparse (count, sent_at) probes for RTT estimation.
+    probe_log: std::collections::VecDeque<(u64, Instant)>,
+    /// Smoothed RTT from feedback arrival.
+    srtt: Option<Duration>,
+}
+
+impl UdpPragueSender {
+    /// Create a sender with rate bounds in bytes/sec.
+    pub fn new(
+        src_ip: u32,
+        dst_ip: u32,
+        src_port: u16,
+        dst_port: u16,
+        min_rate: f64,
+        start_rate: f64,
+        max_rate: f64,
+    ) -> UdpPragueSender {
+        UdpPragueSender {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            rate: start_rate,
+            min_rate,
+            max_rate,
+            alpha: 0.0,
+            last_fb: PragueFeedback::default(),
+            last_reduction: Instant::ZERO,
+            next_send_at: Instant::ZERO,
+            ident: 0,
+            rtt_gate: Duration::from_millis(40),
+            n_sent: 0,
+            probe_log: std::collections::VecDeque::new(),
+            srtt: None,
+        }
+    }
+
+    /// Smoothed RTT observed via feedback, if any.
+    pub fn srtt(&self) -> Option<Duration> {
+        self.srtt
+    }
+
+    /// Current paced rate in bytes/sec.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The CE-fraction EWMA (diagnostics, mirrors Prague's α).
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Stop sending (flow teardown).
+    pub fn stop(&mut self) {
+        self.next_send_at = Instant::MAX;
+    }
+
+    /// Emit datagrams due under the paced schedule.
+    pub fn poll(&mut self, now: Instant) -> Vec<PacketBuf> {
+        let mut out = Vec::new();
+        while now >= self.next_send_at {
+            self.ident = self.ident.wrapping_add(1);
+            out.push(PacketBuf::udp(
+                self.src_ip,
+                self.dst_ip,
+                Ecn::Ect1,
+                self.ident,
+                self.src_port,
+                self.dst_port,
+                MTU_PAYLOAD,
+            ));
+            let gap = Duration::from_secs_f64(MTU_PAYLOAD as f64 / self.rate.max(1.0));
+            self.next_send_at = self.next_send_at.max(now) + gap;
+            self.n_sent += 1;
+            // Sparse RTT probes: one every 16 datagrams.
+            if self.n_sent % 16 == 1 {
+                self.probe_log.push_back((self.n_sent, now));
+                if self.probe_log.len() > 256 {
+                    self.probe_log.pop_front();
+                }
+            }
+            if out.len() >= 64 {
+                break; // bound burst size after long idle gaps
+            }
+        }
+        out
+    }
+
+    /// When the pacer next releases a datagram.
+    pub fn next_activity(&self) -> Instant {
+        self.next_send_at
+    }
+
+    /// Apply one feedback report.
+    pub fn on_feedback(&mut self, fb: &PragueFeedback, now: Instant) {
+        // RTT from the sparse probe log.
+        while let Some(&(count, sent)) = self.probe_log.front() {
+            if count > fb.packets {
+                break;
+            }
+            self.probe_log.pop_front();
+            let rtt = now.saturating_since(sent);
+            self.srtt = Some(match self.srtt {
+                None => rtt,
+                Some(s) => Duration::from_secs_f64(
+                    0.875 * s.as_secs_f64() + 0.125 * rtt.as_secs_f64(),
+                ),
+            });
+        }
+        let pkts = fb.packets.saturating_sub(self.last_fb.packets);
+        let ce = fb.ce_packets.saturating_sub(self.last_fb.ce_packets);
+        self.last_fb = *fb;
+        if pkts == 0 {
+            return;
+        }
+        let frac = ce as f64 / pkts as f64;
+        self.alpha += ALPHA_GAIN * (frac - self.alpha);
+        if ce > 0 && now.saturating_since(self.last_reduction) > self.rtt_gate {
+            self.rate *= 1.0 - self.alpha / 2.0;
+            self.last_reduction = now;
+        } else if ce == 0 {
+            // Additive increase: one MTU per feedback interval.
+            self.rate += MTU_PAYLOAD as f64 / FEEDBACK_INTERVAL.as_secs_f64() * 0.025;
+        }
+        self.rate = self.rate.clamp(self.min_rate, self.max_rate);
+    }
+}
+
+/// UDP Prague receiver: counts datagrams and CE marks, reports every
+/// [`FEEDBACK_INTERVAL`].
+#[derive(Debug)]
+pub struct UdpPragueReceiver {
+    src_ip: u32,
+    dst_ip: u32,
+    src_port: u16,
+    dst_port: u16,
+    state: PragueFeedback,
+    last_fb_at: Instant,
+    /// Unreported state exists.
+    dirty: bool,
+    ident: u16,
+    /// Total payload bytes received (diagnostics).
+    pub received_bytes: u64,
+}
+
+impl UdpPragueReceiver {
+    /// Create a receiver mirroring the sender's addressing.
+    pub fn new(src_ip: u32, dst_ip: u32, src_port: u16, dst_port: u16) -> UdpPragueReceiver {
+        UdpPragueReceiver {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            state: PragueFeedback::default(),
+            last_fb_at: Instant::ZERO,
+            dirty: false,
+            ident: 0,
+            received_bytes: 0,
+        }
+    }
+
+    fn emit_feedback(&mut self, now: Instant) -> (PacketBuf, PragueFeedback) {
+        self.last_fb_at = now;
+        self.dirty = false;
+        self.ident = self.ident.wrapping_add(1);
+        let fb_pkt = PacketBuf::udp(
+            self.src_ip,
+            self.dst_ip,
+            Ecn::NotEct,
+            self.ident,
+            self.src_port,
+            self.dst_port,
+            32,
+        );
+        (fb_pkt, self.state)
+    }
+
+    /// Timer poll: flush a report suppressed by the prohibit interval
+    /// (prevents the rate-paced sender from stalling when the last
+    /// datagram of a burst arrives inside the interval).
+    pub fn poll(&mut self, now: Instant) -> Option<(PacketBuf, PragueFeedback)> {
+        if self.dirty && now.saturating_since(self.last_fb_at) >= FEEDBACK_INTERVAL {
+            Some(self.emit_feedback(now))
+        } else {
+            None
+        }
+    }
+
+    /// Ingest a datagram; maybe emit (feedback packet, feedback data).
+    pub fn on_packet(
+        &mut self,
+        pkt: &PacketBuf,
+        now: Instant,
+    ) -> Option<(PacketBuf, PragueFeedback)> {
+        self.state.packets += 1;
+        self.received_bytes += pkt.payload_len() as u64;
+        if pkt.ecn() == Ecn::Ce {
+            self.state.ce_packets += 1;
+        }
+        self.dirty = true;
+        if now.saturating_since(self.last_fb_at) < FEEDBACK_INTERVAL {
+            return None;
+        }
+        Some(self.emit_feedback(now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pacing_respects_rate() {
+        let mut s = UdpPragueSender::new(1, 2, 7000, 7001, 1e5, 1.2e6, 1e7);
+        // 1.2 MB/s at 1200 B = 1000 pkt/s; over 100 ms expect ~100.
+        let mut n = 0;
+        for ms in 0..100u64 {
+            n += s.poll(Instant::from_millis(ms)).len();
+        }
+        assert!((90..=110).contains(&n), "sent {n}");
+    }
+
+    #[test]
+    fn marks_reduce_rate_unmarked_grows() {
+        let mut s = UdpPragueSender::new(1, 2, 7000, 7001, 1e4, 1e6, 1e8);
+        let mut fb = PragueFeedback::default();
+        let mut t = Instant::ZERO;
+        // Marked epochs.
+        for _ in 0..50 {
+            fb.packets += 25;
+            fb.ce_packets += 25;
+            s.on_feedback(&fb, t);
+            t = t + Duration::from_millis(50);
+        }
+        let low = s.rate();
+        assert!(low < 1e6, "rate must fall: {low}");
+        assert!(s.alpha() > 0.5);
+        // Unmarked epochs recover.
+        for _ in 0..200 {
+            fb.packets += 25;
+            s.on_feedback(&fb, t);
+            t = t + Duration::from_millis(50);
+        }
+        assert!(s.rate() > low, "rate must grow back");
+    }
+
+    #[test]
+    fn receiver_counts_and_paces() {
+        let mut r = UdpPragueReceiver::new(2, 1, 7001, 7000);
+        let mut ce = PacketBuf::udp(1, 2, Ecn::Ect1, 0, 7000, 7001, 1200);
+        ce.set_ecn(Ecn::Ce);
+        let ok = PacketBuf::udp(1, 2, Ecn::Ect1, 0, 7000, 7001, 1200);
+        assert!(r.on_packet(&ok, Instant::from_millis(30)).is_some());
+        assert!(r.on_packet(&ce, Instant::from_millis(31)).is_none());
+        let (_, fb) = r.on_packet(&ok, Instant::from_millis(60)).unwrap();
+        assert_eq!(fb.packets, 3);
+        assert_eq!(fb.ce_packets, 1);
+        assert_eq!(r.received_bytes, 3 * 1200);
+    }
+
+    #[test]
+    fn burst_after_idle_is_bounded() {
+        let mut s = UdpPragueSender::new(1, 2, 7000, 7001, 1e5, 1e7, 1e8);
+        // A long gap would owe thousands of packets; the burst cap holds.
+        let pkts = s.poll(Instant::from_secs(5));
+        assert!(pkts.len() <= 64);
+    }
+}

@@ -1,0 +1,70 @@
+//! WAN path segments: fixed propagation delay between the content server
+//! and the 5G core.
+//!
+//! The paper's senders are Azure instances with 38 ms ("east") and 106 ms
+//! ("west") uncongested ping times to the RAN (§6.1). A [`WanLink`] is the
+//! one-way half of that; queueing on the wired path (Fig. 2's middlebox)
+//! is modelled by `l4span_aqm::Router` in the aqm crate.
+
+use l4span_sim::{Duration, Instant};
+
+/// A fixed-delay, loss-free, uncongested WAN segment.
+#[derive(Debug, Clone, Copy)]
+pub struct WanLink {
+    /// One-way propagation delay.
+    pub one_way: Duration,
+}
+
+impl WanLink {
+    /// The paper's "east" Azure sender: 38 ms RTT ⇒ 19 ms one-way.
+    pub fn east() -> WanLink {
+        WanLink {
+            one_way: Duration::from_millis(19),
+        }
+    }
+
+    /// The paper's "west" Azure sender: 106 ms RTT ⇒ 53 ms one-way.
+    pub fn west() -> WanLink {
+        WanLink {
+            one_way: Duration::from_millis(53),
+        }
+    }
+
+    /// A local server (Fig. 15's setup rules out WAN delay): 1 ms RTT.
+    pub fn local() -> WanLink {
+        WanLink {
+            one_way: Duration::from_micros(500),
+        }
+    }
+
+    /// When a packet entering at `now` pops out the far end.
+    pub fn arrival(&self, now: Instant) -> Instant {
+        now + self.one_way
+    }
+
+    /// Round-trip contribution of this segment.
+    pub fn rtt(&self) -> Duration {
+        self.one_way * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper() {
+        assert_eq!(WanLink::east().rtt(), Duration::from_millis(38));
+        assert_eq!(WanLink::west().rtt(), Duration::from_millis(106));
+        assert!(WanLink::local().rtt() <= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn arrival_adds_delay() {
+        let l = WanLink::east();
+        assert_eq!(
+            l.arrival(Instant::from_millis(100)),
+            Instant::from_millis(119)
+        );
+    }
+}

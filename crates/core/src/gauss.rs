@@ -1,0 +1,58 @@
+//! The standard normal CDF Φ, used by the Eq. 1 marking rule.
+//!
+//! Computed from the Abramowitz & Stegun 7.1.26 rational approximation of
+//! erf (|error| < 1.5·10⁻⁷), which is far below the granularity that a
+//! Bernoulli marking draw can resolve.
+
+/// Error function approximation (A&S 7.1.26).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal CDF: Φ(x) = (1 + erf(x/√2)) / 2.
+pub fn phi(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / core::f64::consts::SQRT_2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        assert!((erf(0.0)).abs() < 1e-8);
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+        assert!((erf(3.0) - 0.9999779095).abs() < 1e-6);
+    }
+
+    #[test]
+    fn phi_known_values() {
+        assert!((phi(0.0) - 0.5).abs() < 1e-9);
+        assert!((phi(1.0) - 0.8413447461).abs() < 1e-6);
+        assert!((phi(-1.0) - 0.1586552539).abs() < 1e-6);
+        assert!((phi(1.96) - 0.975).abs() < 1e-3);
+        assert!(phi(8.0) > 0.999_999);
+        assert!(phi(-8.0) < 1e-6);
+    }
+
+    #[test]
+    fn phi_is_monotone() {
+        let mut last = 0.0;
+        for i in -400..=400 {
+            let v = phi(i as f64 / 100.0);
+            assert!(v >= last);
+            last = v;
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! The L4Span layer: the paper's primary contribution.
+//!
+//! L4Span lives in the CU-UP, above SDAP/PDCP, and ties the 5G RAN's
+//! hidden RLC queues into end-to-end L4S congestion signaling (paper §4).
+//! The layer reacts to three events, mirroring the Appendix A pseudocode:
+//!
+//! 1. **Downlink datagram** ([`L4SpanLayer::on_dl_packet`]) — classify
+//!    the flow by ECN codepoint, map its five-tuple to (UE, DRB), record
+//!    it in the packet profile table, and (for UDP, or when
+//!    short-circuiting is off) mark its IP header per the current DRB
+//!    marking state;
+//! 2. **RAN feedback** ([`L4SpanLayer::on_ran_feedback`]) — fold the
+//!    F1-U *downlink data delivery status* into the profile table, update
+//!    the egress-rate estimate (Eq. 3–4), predict the standing queue's
+//!    sojourn time (Eq. 5), and refresh the marking probabilities
+//!    (Eq. 1 for L4S, Eq. 2 for classic, the coupled rule for shared
+//!    DRBs);
+//! 3. **Uplink ACK** ([`L4SpanLayer::on_ul_packet`]) — reverse-map the
+//!    ACK to its DRB and, when short-circuiting is enabled, rewrite the
+//!    classic-ECN echo or the AccECN counters in place (then fix the TCP
+//!    checksum), so congestion news skips the RAN's downlink jitter
+//!    (§4.4).
+//!
+//! Submodules: [`profile`] (packet profile table), [`estimator`]
+//! (egress-rate and error estimation), [`marking`] (the three
+//! strategies), [`flow`] (five-tuple ↔ DRB mapping and per-flow feedback
+//! state), [`config`], and [`gauss`] (the Φ used by Eq. 1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod estimator;
+pub mod flow;
+pub mod gauss;
+pub mod layer;
+pub mod marking;
+pub mod profile;
+
+pub use config::{L4SpanConfig, SharedDrbStrategy};
+pub use layer::{DlVerdict, L4SpanLayer};

@@ -1,0 +1,37 @@
+//! Experiment harness: scenario construction, the discrete-event world,
+//! metrics collection, and canned scenario builders for every figure in
+//! the paper's evaluation (§6).
+//!
+//! * [`scenario`] — declarative scenario configs (UEs, flows, marker,
+//!   channel profiles, wired bottlenecks);
+//! * [`world`] — the event loop wiring content servers, WAN links, an
+//!   optional wired router, the CU marker (L4Span or a baseline), the
+//!   gNB, and the UE stacks;
+//! * [`marker`] — the CU-side marking adapters: L4Span, DualPi2-at-CU
+//!   (§6.3.1 ablation), TC-RAN CoDel/ECN-CoDel (§6.2.2 baseline), or
+//!   nothing;
+//! * [`metrics`] — one-way delay, RTT, throughput time series, RLC queue
+//!   CDFs, delay breakdowns, estimation-error samples;
+//! * [`wired`] — the wired-only topology of Fig. 2(a);
+//! * [`dci`] — synthetic DCI/MCS traces and the channel stable-period
+//!   CDF of Fig. 18.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dci;
+pub mod marker;
+pub mod metrics;
+pub mod scenario;
+pub mod wired;
+pub mod world;
+
+pub use marker::MarkerKind;
+pub use metrics::Report;
+pub use scenario::{ChannelMix, FlowSpec, ScenarioConfig, TrafficKind, UeSpec};
+pub use world::World;
+
+/// Run a scenario to completion and return its report.
+pub fn run(cfg: ScenarioConfig) -> Report {
+    World::new(cfg).run()
+}

@@ -1,0 +1,242 @@
+//! Measurement plumbing and the final [`Report`].
+
+use std::collections::HashMap;
+
+use l4span_sim::{stats::BoxStats, Duration, Instant};
+
+/// Per-packet delay breakdown (Fig. 10's stacked bars), in milliseconds.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Breakdown {
+    /// WAN + core propagation.
+    pub propagation: f64,
+    /// RLC queueing: enqueue → head of queue.
+    pub queuing: f64,
+    /// Scheduling: head of queue → first byte scheduled.
+    pub scheduling: f64,
+    /// Everything else: transmission, HARQ, reassembly, UE internal.
+    pub other: f64,
+}
+
+/// Running mean of breakdowns.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BreakdownAvg {
+    sums: Breakdown,
+    n: u64,
+}
+
+impl BreakdownAvg {
+    /// Fold one packet's breakdown in.
+    pub fn push(&mut self, b: Breakdown) {
+        self.sums.propagation += b.propagation;
+        self.sums.queuing += b.queuing;
+        self.sums.scheduling += b.scheduling;
+        self.sums.other += b.other;
+        self.n += 1;
+    }
+
+    /// Mean components (zeros when empty).
+    pub fn mean(&self) -> Breakdown {
+        if self.n == 0 {
+            return Breakdown::default();
+        }
+        let n = self.n as f64;
+        Breakdown {
+            propagation: self.sums.propagation / n,
+            queuing: self.sums.queuing / n,
+            scheduling: self.sums.scheduling / n,
+            other: self.sums.other / n,
+        }
+    }
+
+    /// Sample count.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+/// Everything measured in one run. Flows are indexed by their position
+/// in the scenario's flow list.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Scenario duration.
+    pub duration: Duration,
+    /// Throughput bin width.
+    pub bin: Duration,
+    /// Per-flow one-way delays (server app → UE app), milliseconds.
+    pub owd_ms: Vec<Vec<f64>>,
+    /// Per-flow smoothed-RTT samples at ACK arrival, milliseconds.
+    pub rtt_ms: Vec<Vec<f64>>,
+    /// Timestamps (seconds) of the `rtt_ms` samples, for time series.
+    pub rtt_at_s: Vec<Vec<f64>>,
+    /// Per-flow received payload bytes per bin (UE side).
+    pub thr_bins: Vec<Vec<u64>>,
+    /// RLC queue-length samples (SDUs) per (ue, drb).
+    pub queue_series: HashMap<(u16, u8), Vec<usize>>,
+    /// Per-flow delay breakdown means.
+    pub breakdown: Vec<BreakdownAvg>,
+    /// Egress-rate estimation errors in percent (Fig. 20), if L4Span ran.
+    pub rate_err_pct: Vec<f64>,
+    /// Per-flow finish time (app-limited flows), milliseconds from start.
+    pub finish_ms: Vec<Option<f64>>,
+    /// Per-flow start times.
+    pub flow_start: Vec<Instant>,
+    /// CE marks on downlink headers + tentative marks (L4Span).
+    pub total_marks: u64,
+    /// SDUs dropped at full RLC queues.
+    pub rlc_drops: u64,
+    /// Transport blocks lost after HARQ exhaustion.
+    pub tbs_lost: u64,
+    /// HARQ retransmission attempts.
+    pub harq_retx: u64,
+    /// L4Span resident table memory at end of run, bytes (if it ran).
+    pub marker_memory: usize,
+    /// Wall-clock nanoseconds spent inside marker event handlers,
+    /// (dl, ul, feedback) — Fig. 21 / Table 1 material.
+    pub marker_time_ns: (Vec<u64>, Vec<u64>, Vec<u64>),
+}
+
+impl Report {
+    /// Mean goodput of a flow over the stated window, in Mbit/s.
+    pub fn goodput_mbps(&self, flow: usize, from: Instant, to: Instant) -> f64 {
+        let bin_s = self.bin.as_secs_f64();
+        let lo = (from.as_nanos() / self.bin.as_nanos().max(1)) as usize;
+        let hi = ((to.as_nanos() / self.bin.as_nanos().max(1)) as usize)
+            .min(self.thr_bins[flow].len());
+        if hi <= lo {
+            return 0.0;
+        }
+        let bytes: u64 = self.thr_bins[flow][lo..hi].iter().sum();
+        bytes as f64 * 8.0 / ((hi - lo) as f64 * bin_s) / 1e6
+    }
+
+    /// Mean goodput over the whole run.
+    pub fn goodput_total_mbps(&self, flow: usize) -> f64 {
+        self.goodput_mbps(flow, Instant::ZERO, Instant::ZERO + self.duration)
+    }
+
+    /// Throughput time series in Mbit/s, aggregated to `agg` bins.
+    pub fn throughput_series_mbps(&self, flow: usize, agg: usize) -> Vec<(f64, f64)> {
+        let agg = agg.max(1);
+        let bin_s = self.bin.as_secs_f64();
+        self.thr_bins[flow]
+            .chunks(agg)
+            .enumerate()
+            .map(|(i, c)| {
+                let t = (i * agg) as f64 * bin_s;
+                let mbps = c.iter().sum::<u64>() as f64 * 8.0 / (c.len() as f64 * bin_s) / 1e6;
+                (t, mbps)
+            })
+            .collect()
+    }
+
+    /// Box statistics of a flow's one-way delay.
+    pub fn owd_stats(&self, flow: usize) -> BoxStats {
+        BoxStats::from_samples(&self.owd_ms[flow])
+    }
+
+    /// Box statistics of a flow's RTT samples.
+    pub fn rtt_stats(&self, flow: usize) -> BoxStats {
+        BoxStats::from_samples(&self.rtt_ms[flow])
+    }
+
+    /// RTT time series `(t_seconds, rtt_ms)` averaged into `bin_s`-second
+    /// bins (Fig. 2's RTT traces).
+    pub fn rtt_series(&self, flow: usize, bin_s: f64) -> Vec<(f64, f64)> {
+        let mut sums: Vec<(f64, u32)> = Vec::new();
+        for (&t, &v) in self.rtt_at_s[flow].iter().zip(&self.rtt_ms[flow]) {
+            let idx = (t / bin_s) as usize;
+            if sums.len() <= idx {
+                sums.resize(idx + 1, (0.0, 0));
+            }
+            sums[idx].0 += v;
+            sums[idx].1 += 1;
+        }
+        sums.iter()
+            .enumerate()
+            .filter(|(_, &(_, n))| n > 0)
+            .map(|(i, &(s, n))| (i as f64 * bin_s, s / n as f64))
+            .collect()
+    }
+
+    /// Pooled one-way-delay statistics across a set of flows.
+    pub fn owd_stats_pooled(&self, flows: &[usize]) -> BoxStats {
+        let mut all = Vec::new();
+        for &f in flows {
+            all.extend_from_slice(&self.owd_ms[f]);
+        }
+        BoxStats::from_samples(&all)
+    }
+
+    /// Pooled throughput box stats (per-bin Mbit/s across flows).
+    pub fn throughput_stats_pooled(&self, flows: &[usize]) -> BoxStats {
+        let bin_s = self.bin.as_secs_f64();
+        let mut all = Vec::new();
+        for &f in flows {
+            // Skip bins before flow start and leading zeros (handshake).
+            let start_bin =
+                (self.flow_start[f].as_nanos() / self.bin.as_nanos().max(1)) as usize + 1;
+            for &b in self.thr_bins[f].iter().skip(start_bin) {
+                all.push(b as f64 * 8.0 / bin_s / 1e6);
+            }
+        }
+        BoxStats::from_samples(&all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_mean() {
+        let mut avg = BreakdownAvg::default();
+        avg.push(Breakdown {
+            propagation: 10.0,
+            queuing: 20.0,
+            scheduling: 2.0,
+            other: 4.0,
+        });
+        avg.push(Breakdown {
+            propagation: 10.0,
+            queuing: 40.0,
+            scheduling: 4.0,
+            other: 8.0,
+        });
+        let m = avg.mean();
+        assert_eq!(m.propagation, 10.0);
+        assert_eq!(m.queuing, 30.0);
+        assert_eq!(m.scheduling, 3.0);
+        assert_eq!(m.other, 6.0);
+        assert_eq!(avg.count(), 2);
+    }
+
+    #[test]
+    fn rtt_series_bins_and_averages() {
+        let r = Report {
+            rtt_ms: vec![vec![10.0, 20.0, 40.0]],
+            rtt_at_s: vec![vec![0.1, 0.4, 1.2]],
+            ..Report::default()
+        };
+        let s = r.rtt_series(0, 1.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0], (0.0, 15.0)); // two samples in the first second
+        assert_eq!(s[1], (1.0, 40.0));
+    }
+
+    #[test]
+    fn goodput_from_bins() {
+        let mut r = Report {
+            bin: Duration::from_millis(100),
+            duration: Duration::from_secs(1),
+            thr_bins: vec![vec![125_000u64; 10]], // 10 Mbit/s
+            flow_start: vec![Instant::ZERO],
+            ..Report::default()
+        };
+        r.owd_ms = vec![vec![]];
+        let g = r.goodput_total_mbps(0);
+        assert!((g - 10.0).abs() < 1e-9, "{g}");
+        let series = r.throughput_series_mbps(0, 5);
+        assert_eq!(series.len(), 2);
+        assert!((series[0].1 - 10.0).abs() < 1e-9);
+    }
+}

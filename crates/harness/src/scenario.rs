@@ -1,0 +1,248 @@
+//! Declarative scenario descriptions plus canned builders for the
+//! paper's experiments.
+
+use l4span_cc::WanLink;
+use l4span_core::L4SpanConfig;
+use l4span_ran::config::{CellConfig, RlcMode, SchedulerKind};
+use l4span_ran::ChannelProfile;
+use l4span_sim::{Duration, Instant};
+
+use crate::marker::MarkerKind;
+
+/// How UEs' channel profiles are assigned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelMix {
+    /// Everyone static.
+    Static,
+    /// Everyone pedestrian.
+    Pedestrian,
+    /// Everyone vehicular.
+    Vehicular,
+    /// The paper's "mobile": half pedestrian, half vehicular.
+    Mobile,
+}
+
+impl ChannelMix {
+    /// Profile of the `i`-th UE under this mix.
+    pub fn profile(self, i: usize) -> ChannelProfile {
+        match self {
+            ChannelMix::Static => ChannelProfile::Static,
+            ChannelMix::Pedestrian => ChannelProfile::Pedestrian,
+            ChannelMix::Vehicular => ChannelProfile::Vehicular,
+            ChannelMix::Mobile => {
+                if i % 2 == 0 {
+                    ChannelProfile::Pedestrian
+                } else {
+                    ChannelProfile::Vehicular
+                }
+            }
+        }
+    }
+}
+
+/// One UE in the cell.
+#[derive(Debug, Clone)]
+pub struct UeSpec {
+    /// Channel profile.
+    pub profile: ChannelProfile,
+    /// Mean SNR in dB (cell-edge vs cell-centre diversity).
+    pub mean_snr_db: f64,
+    /// DRBs to configure (id, RLC mode). The first is the default.
+    pub drbs: Vec<(u8, RlcMode)>,
+}
+
+impl UeSpec {
+    /// A single-AM-DRB UE, the common case.
+    pub fn simple(profile: ChannelProfile, mean_snr_db: f64) -> UeSpec {
+        UeSpec {
+            profile,
+            mean_snr_db,
+            drbs: vec![(0, RlcMode::Am)],
+        }
+    }
+}
+
+/// What a flow sends.
+#[derive(Debug, Clone)]
+pub enum TrafficKind {
+    /// A greedy (or size-limited) TCP download using the named congestion
+    /// control ("prague", "cubic", "bbr2", "bbr", "reno").
+    Tcp {
+        /// Congestion control name.
+        cc: String,
+        /// Payload limit in bytes; `None` = long-lived greedy flow.
+        app_limit: Option<u64>,
+    },
+    /// SCReAM interactive video (bit/s bounds and frame rate).
+    Scream {
+        /// Minimum media bitrate.
+        min_bps: f64,
+        /// Starting media bitrate.
+        start_bps: f64,
+        /// Maximum media bitrate.
+        max_bps: f64,
+        /// Frames per second.
+        fps: f64,
+    },
+    /// UDP Prague (byte/s rate bounds).
+    UdpPrague {
+        /// Minimum rate in bytes/s.
+        min_rate: f64,
+        /// Starting rate in bytes/s.
+        start_rate: f64,
+        /// Maximum rate in bytes/s.
+        max_rate: f64,
+    },
+}
+
+/// One end-to-end flow.
+#[derive(Debug, Clone)]
+pub struct FlowSpec {
+    /// Index into [`ScenarioConfig::ues`].
+    pub ue: usize,
+    /// DRB id the flow rides (must exist in the UE's spec).
+    pub drb: u8,
+    /// Traffic generator.
+    pub traffic: TrafficKind,
+    /// WAN segment between this flow's server and the 5G core.
+    pub wan: WanLink,
+    /// When the client opens the connection.
+    pub start: Instant,
+    /// Optional stop time (sender quiesces).
+    pub stop: Option<Instant>,
+}
+
+/// A wired bottleneck between the servers and the core (Fig. 2's
+/// middlebox). `schedule` entries change the rate mid-run.
+#[derive(Debug, Clone)]
+pub struct BottleneckSpec {
+    /// Initial service rate in bit/s.
+    pub rate_bps: f64,
+    /// (time, new rate) pairs.
+    pub schedule: Vec<(Instant, f64)>,
+    /// Run DualPi2 on it (an "L4S+" middlebox) instead of droptail.
+    pub l4s_aqm: bool,
+}
+
+/// A complete experiment description.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// RNG seed (every stochastic element derives from it).
+    pub seed: u64,
+    /// Simulated duration.
+    pub duration: Duration,
+    /// Cell configuration.
+    pub cell: CellConfig,
+    /// MAC scheduler.
+    pub scheduler: SchedulerKind,
+    /// The UEs.
+    pub ues: Vec<UeSpec>,
+    /// The flows.
+    pub flows: Vec<FlowSpec>,
+    /// CU marker.
+    pub marker: MarkerKind,
+    /// Optional wired bottleneck.
+    pub bottleneck: Option<BottleneckSpec>,
+    /// Throughput bin width for the report.
+    pub thr_bin: Duration,
+    /// Record wall-clock processing time of each marker event (the
+    /// Fig. 21 / Table 1 instrumentation; off by default as it perturbs
+    /// nothing but costs two clock reads per packet).
+    pub measure_marker_time: bool,
+    /// Mid-run channel replacements: (time, ue index, new profile, new
+    /// mean SNR dB). Models handover / abrupt channel change (paper §7
+    /// and the Fig. 4 running example's "channel sharply turns bad").
+    pub channel_events: Vec<(Instant, usize, ChannelProfile, f64)>,
+}
+
+impl ScenarioConfig {
+    /// A skeleton with sane defaults and no UEs/flows.
+    pub fn new(seed: u64, duration: Duration) -> ScenarioConfig {
+        ScenarioConfig {
+            seed,
+            duration,
+            cell: CellConfig::default(),
+            scheduler: SchedulerKind::RoundRobin,
+            ues: Vec::new(),
+            flows: Vec::new(),
+            marker: MarkerKind::None,
+            bottleneck: None,
+            thr_bin: Duration::from_millis(100),
+            measure_marker_time: false,
+            channel_events: Vec::new(),
+        }
+    }
+}
+
+/// The Fig. 9 style workload: `n` UEs, one greedy TCP download each.
+///
+/// Mean SNRs spread deterministically between 19 and 27 dB so the cell
+/// has centre and edge users.
+pub fn congested_cell(
+    n_ues: usize,
+    cc: &str,
+    mix: ChannelMix,
+    rlc_queue_sdus: usize,
+    wan: WanLink,
+    marker: MarkerKind,
+    seed: u64,
+    duration: Duration,
+) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::new(seed, duration);
+    cfg.cell.rlc_queue_sdus = rlc_queue_sdus;
+    cfg.marker = marker;
+    for i in 0..n_ues {
+        let snr = 19.0 + 8.0 * (i as f64 * 0.6180339887).fract();
+        cfg.ues.push(UeSpec::simple(mix.profile(i), snr));
+        cfg.flows.push(FlowSpec {
+            ue: i,
+            drb: 0,
+            traffic: TrafficKind::Tcp {
+                cc: cc.to_string(),
+                app_limit: None,
+            },
+            wan,
+            // Stagger starts inside the first 200 ms so handshakes don't
+            // collide on slot boundaries.
+            start: Instant::from_millis(3 * i as u64 % 200),
+            stop: None,
+        });
+    }
+    cfg
+}
+
+/// An L4Span marker with the paper's defaults.
+pub fn l4span_default() -> MarkerKind {
+    MarkerKind::L4Span(L4SpanConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_mix_assignment() {
+        assert_eq!(ChannelMix::Static.profile(3), ChannelProfile::Static);
+        assert_eq!(ChannelMix::Mobile.profile(0), ChannelProfile::Pedestrian);
+        assert_eq!(ChannelMix::Mobile.profile(1), ChannelProfile::Vehicular);
+    }
+
+    #[test]
+    fn congested_cell_builder_shapes() {
+        let cfg = congested_cell(
+            16,
+            "prague",
+            ChannelMix::Mobile,
+            256,
+            WanLink::east(),
+            l4span_default(),
+            1,
+            Duration::from_secs(10),
+        );
+        assert_eq!(cfg.ues.len(), 16);
+        assert_eq!(cfg.flows.len(), 16);
+        assert_eq!(cfg.cell.rlc_queue_sdus, 256);
+        // SNRs differ across UEs.
+        assert_ne!(cfg.ues[0].mean_snr_db, cfg.ues[1].mean_snr_db);
+    }
+}

@@ -1,0 +1,252 @@
+//! The wired-only topology of Fig. 2(a): content server(s) → an L4S
+//! (DualPi2) router at a fixed line rate → fixed-delay link → client.
+//! Demonstrates the status-quo baseline L4Span wants to extend into the
+//! RAN: Prague at line rate with ~1 ms queue, CUBIC at the classic
+//! ~15–20 ms PI target.
+
+use std::collections::HashMap;
+
+use l4span_aqm::{DualPi2, Router, RouterAqm};
+use l4span_cc::tcp::TcpConfig;
+use l4span_cc::{make_cc, TcpReceiver, TcpSender};
+use l4span_net::PacketBuf;
+use l4span_sim::{Duration, EventQueue, Instant, SimRng};
+
+use crate::metrics::Report;
+
+/// Configuration of a wired run.
+#[derive(Debug, Clone)]
+pub struct WiredConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Run length.
+    pub duration: Duration,
+    /// Router line rate in bit/s (40 Mbit/s matches the cell).
+    pub rate_bps: f64,
+    /// One-way propagation delay on each side of the router.
+    pub one_way: Duration,
+    /// Flows: (congestion control name, start time).
+    pub flows: Vec<(String, Instant)>,
+    /// Throughput bin.
+    pub thr_bin: Duration,
+}
+
+enum Event {
+    AtRouter { pkt: PacketBuf },
+    RouterPoll,
+    AtClient { flow: usize, pkt: PacketBuf },
+    AtServer { flow: usize, pkt: PacketBuf },
+    Timer { flow: usize },
+    Start { flow: usize },
+}
+
+struct WFlow {
+    sender: TcpSender,
+    receiver: TcpReceiver,
+    sent_at: HashMap<u16, Instant>,
+    timer_at: Instant,
+}
+
+/// Run the wired scenario.
+pub fn run_wired(cfg: WiredConfig) -> Report {
+    let root = SimRng::new(cfg.seed);
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    let mut router = Router::new(
+        cfg.rate_bps,
+        2 << 20,
+        RouterAqm::DualPi2(DualPi2::default()),
+        root.derive(1),
+    );
+    let mut flows = Vec::new();
+    let mut tuple_to_flow = HashMap::new();
+    for (f, (cc, start)) in cfg.flows.iter().enumerate() {
+        let controller = make_cc(cc, 1400);
+        let mode = controller.ecn_mode();
+        let tcfg = TcpConfig::new(0x0A00_0000 + f as u32, 0xC0A8_0000, 443, 50_000 + f as u16);
+        let tuple = tcfg.downlink_tuple();
+        tuple_to_flow.insert(tuple, f);
+        flows.push(WFlow {
+            sender: TcpSender::new(tcfg, controller),
+            receiver: TcpReceiver::new(tcfg, mode),
+            sent_at: HashMap::new(),
+            timer_at: Instant::MAX,
+        });
+        queue.schedule(*start, Event::Start { flow: f });
+    }
+
+    let n = flows.len();
+    let mut owd_ms = vec![Vec::new(); n];
+    let mut rtt_ms = vec![Vec::new(); n];
+    let mut rtt_at_s = vec![Vec::new(); n];
+    let mut thr_bins = vec![Vec::new(); n];
+    let mut router_poll_at = Instant::MAX;
+    let end = Instant::ZERO + cfg.duration;
+
+    // Helper closures are awkward with borrows; use a small macro-like fn.
+    fn route_dl(
+        queue: &mut EventQueue<Event>,
+        flows: &mut [WFlow],
+        flow: usize,
+        pkts: Vec<PacketBuf>,
+        one_way: Duration,
+        now: Instant,
+    ) {
+        for pkt in pkts {
+            flows[flow].sent_at.insert(pkt.ip().identification, now);
+            queue.schedule(now + one_way, Event::AtRouter { pkt });
+        }
+    }
+
+    while let Some(at) = queue.next_at() {
+        if at > end {
+            break;
+        }
+        let (now, ev) = queue.pop().expect("peeked");
+        match ev {
+            Event::Start { flow } => {
+                let syn = flows[flow].receiver.start(now);
+                // Client→server path doesn't cross the bottleneck.
+                queue.schedule(now + cfg.one_way * 2, Event::AtServer { flow, pkt: syn });
+            }
+            Event::AtRouter { pkt } => {
+                router.enqueue(pkt, now);
+                let departed = router.poll(now);
+                for pkt in departed {
+                    if let Some(&flow) =
+                        pkt.five_tuple().and_then(|t| tuple_to_flow.get(&t))
+                    {
+                        queue.schedule(now + cfg.one_way, Event::AtClient { flow, pkt });
+                    }
+                }
+                if let Some(d) = router.next_departure() {
+                    if d < router_poll_at {
+                        router_poll_at = d;
+                        queue.schedule(d, Event::RouterPoll);
+                    }
+                }
+            }
+            Event::RouterPoll => {
+                router_poll_at = Instant::MAX;
+                let departed = router.poll(now);
+                for pkt in departed {
+                    if let Some(&flow) =
+                        pkt.five_tuple().and_then(|t| tuple_to_flow.get(&t))
+                    {
+                        queue.schedule(now + cfg.one_way, Event::AtClient { flow, pkt });
+                    }
+                }
+                if let Some(d) = router.next_departure() {
+                    if d < router_poll_at {
+                        router_poll_at = d;
+                        queue.schedule(d, Event::RouterPoll);
+                    }
+                }
+            }
+            Event::AtClient { flow, pkt } => {
+                let ident = pkt.ip().identification;
+                if let Some(sent) = flows[flow].sent_at.remove(&ident) {
+                    let owd = now.saturating_since(sent).as_millis_f64();
+                    if pkt.payload_len() > 0 {
+                        owd_ms[flow].push(owd);
+                        let bin =
+                            (now.as_nanos() / cfg.thr_bin.as_nanos().max(1)) as usize;
+                        if thr_bins[flow].len() <= bin {
+                            thr_bins[flow].resize(bin + 1, 0);
+                        }
+                        thr_bins[flow][bin] += pkt.payload_len() as u64;
+                    }
+                }
+                if let Some(ack) = flows[flow].receiver.on_packet(&pkt, now) {
+                    queue.schedule(now + cfg.one_way * 2, Event::AtServer { flow, pkt: ack });
+                }
+            }
+            Event::AtServer { flow, pkt } => {
+                let outs = flows[flow].sender.on_packet(&pkt, now);
+                if let Some(srtt) = flows[flow].sender.srtt() {
+                    rtt_ms[flow].push(srtt.as_millis_f64());
+                    rtt_at_s[flow].push(now.as_secs_f64());
+                }
+                route_dl(&mut queue, &mut flows, flow, outs, cfg.one_way, now);
+                let na = flows[flow].sender.next_activity();
+                if let Some(at) = na {
+                    if at < flows[flow].timer_at {
+                        flows[flow].timer_at = at;
+                        queue.schedule(at.max(now), Event::Timer { flow });
+                    }
+                }
+            }
+            Event::Timer { flow } => {
+                flows[flow].timer_at = Instant::MAX;
+                let outs = flows[flow].sender.poll(now);
+                route_dl(&mut queue, &mut flows, flow, outs, cfg.one_way, now);
+                if let Some(at) = flows[flow].sender.next_activity() {
+                    if at < flows[flow].timer_at {
+                        flows[flow].timer_at = at;
+                        queue.schedule(at.max(now), Event::Timer { flow });
+                    }
+                }
+            }
+        }
+    }
+
+    Report {
+        duration: cfg.duration,
+        bin: cfg.thr_bin,
+        flow_start: cfg.flows.iter().map(|&(_, s)| s).collect(),
+        owd_ms,
+        rtt_ms,
+        rtt_at_s,
+        thr_bins,
+        finish_ms: vec![None; n],
+        ..Report::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wired_l4s_matches_fig2a() {
+        // One Prague and one CUBIC flow through a 40 Mbit/s DualPi2
+        // router with 10 ms base RTT, as in Fig. 2(a).
+        let cfg = WiredConfig {
+            seed: 3,
+            duration: Duration::from_secs(8),
+            rate_bps: 40e6,
+            one_way: Duration::from_millis(2),
+            flows: vec![
+                ("prague".into(), Instant::from_millis(0)),
+                ("cubic".into(), Instant::from_millis(100)),
+            ],
+            thr_bin: Duration::from_millis(100),
+        };
+        let r = run_wired(cfg);
+        // Prague: RTT stays near the base (~8 ms) + L-queue ~1 ms.
+        let prague_rtt = l4span_sim::stats::BoxStats::from_samples(&r.rtt_ms[0]);
+        assert!(
+            prague_rtt.median < 25.0,
+            "prague wired RTT {} ms",
+            prague_rtt.median
+        );
+        // CUBIC: the PI controller holds around its 15 ms target, far
+        // below bufferbloat but above Prague.
+        let cubic_rtt = l4span_sim::stats::BoxStats::from_samples(&r.rtt_ms[1]);
+        assert!(
+            cubic_rtt.median > prague_rtt.median,
+            "cubic {} vs prague {}",
+            cubic_rtt.median,
+            prague_rtt.median
+        );
+        assert!(
+            cubic_rtt.median < 120.0,
+            "cubic held near target: {} ms",
+            cubic_rtt.median
+        );
+        // Together they fill the 40 Mbit/s line.
+        let total: f64 = (0..2)
+            .map(|f| r.goodput_mbps(f, Instant::from_secs(2), Instant::from_secs(8)))
+            .sum();
+        assert!(total > 28.0, "line utilisation {total} Mbit/s");
+    }
+}

@@ -1,0 +1,99 @@
+//! RFC 1071 Internet checksum, plus the incremental update rule of
+//! RFC 1624 that L4Span uses when it flips ECN bits in place.
+
+/// One's-complement sum of 16-bit words over `data` folded into a `u32`
+/// accumulator. An odd trailing byte is padded with zero on the right, as
+/// RFC 1071 specifies.
+pub fn sum_words(mut acc: u32, data: &[u8]) -> u32 {
+    let mut chunks = data.chunks_exact(2);
+    for w in &mut chunks {
+        acc += u32::from(u16::from_be_bytes([w[0], w[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        acc += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    acc
+}
+
+/// Fold a 32-bit accumulator to the final 16-bit one's-complement checksum.
+pub fn fold(mut acc: u32) -> u16 {
+    while acc > 0xFFFF {
+        acc = (acc & 0xFFFF) + (acc >> 16);
+    }
+    !(acc as u16)
+}
+
+/// Checksum of a byte slice (the slice's checksum field must be zeroed by
+/// the caller first, per standard practice).
+pub fn checksum(data: &[u8]) -> u16 {
+    fold(sum_words(0, data))
+}
+
+/// Verify: summing a buffer that *includes* a correct checksum field must
+/// fold to zero.
+pub fn verify(data: &[u8]) -> bool {
+    fold(sum_words(0, data)) == 0
+}
+
+/// RFC 1624 incremental checksum update: given the old checksum and a
+/// 16-bit word that changed from `old` to `new`, return the new checksum.
+///
+/// HC' = ~(~HC + ~m + m')  (equation 3 of RFC 1624, avoiding the -0 bug
+/// of RFC 1141).
+pub fn incremental_update(old_checksum: u16, old_word: u16, new_word: u16) -> u16 {
+    let mut acc = u32::from(!old_checksum);
+    acc += u32::from(!old_word);
+    acc += u32::from(new_word);
+    fold(acc) // fold() already complements
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // Example sequence from RFC 1071 §3: 00 01 f2 03 f4 f5 f6 f7.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        let acc = sum_words(0, &data);
+        assert_eq!(acc, 0x2ddf0);
+        // Folded: 0x2ddf0 -> 0xddf2, checksum = !0xddf2 = 0x220d.
+        assert_eq!(fold(acc), 0x220d);
+    }
+
+    #[test]
+    fn odd_length_pads_right() {
+        assert_eq!(checksum(&[0xab]), !0xab00u16);
+    }
+
+    #[test]
+    fn verify_detects_corruption() {
+        let mut data = vec![0x45, 0x00, 0x00, 0x28, 0x1c, 0x46, 0x40, 0x00];
+        let c = checksum(&data);
+        data.extend_from_slice(&c.to_be_bytes());
+        assert!(verify(&data));
+        data[0] ^= 0x01;
+        assert!(!verify(&data));
+    }
+
+    #[test]
+    fn incremental_matches_full_recompute() {
+        // Flip a word in a buffer and check the incremental update agrees
+        // with recomputing from scratch, for many word values.
+        let mut data: Vec<u8> = (0u8..40).collect();
+        for i in (0..40).step_by(2) {
+            let full_old = checksum(&data);
+            let old_word = u16::from_be_bytes([data[i], data[i + 1]]);
+            let new_word = old_word ^ 0x0303;
+            data[i..i + 2].copy_from_slice(&new_word.to_be_bytes());
+            let full_new = checksum(&data);
+            let inc = incremental_update(full_old, old_word, new_word);
+            assert_eq!(inc, full_new, "word index {i}");
+        }
+    }
+
+    #[test]
+    fn incremental_identity_when_unchanged() {
+        assert_eq!(incremental_update(0x1234, 0xabcd, 0xabcd), 0x1234);
+    }
+}

@@ -1,0 +1,126 @@
+//! RFC 3168 ECN codepoints and the L4S identifier convention.
+//!
+//! The two low-order bits of the IPv4 ToS byte signal ECN capability and
+//! congestion. L4Span classifies flows by this field on the first downlink
+//! packet (paper §4.1): `ECT(1)` (binary 01) identifies L4S/scalable flows
+//! per RFC 9331, `ECT(0)` (binary 10) identifies classic ECN flows, and
+//! `Not-ECT` flows receive drop-based feedback only.
+
+/// The four ECN codepoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Ecn {
+    /// Not ECN-capable transport (00).
+    NotEct = 0b00,
+    /// ECT(1): L4S identifier (01).
+    Ect1 = 0b01,
+    /// ECT(0): classic ECN-capable (10).
+    Ect0 = 0b10,
+    /// Congestion experienced (11).
+    Ce = 0b11,
+}
+
+impl Ecn {
+    /// Decode from the two low bits of a ToS byte.
+    #[inline]
+    pub fn from_bits(bits: u8) -> Ecn {
+        match bits & 0b11 {
+            0b00 => Ecn::NotEct,
+            0b01 => Ecn::Ect1,
+            0b10 => Ecn::Ect0,
+            _ => Ecn::Ce,
+        }
+    }
+
+    /// The two-bit wire value.
+    #[inline]
+    pub fn bits(self) -> u8 {
+        self as u8
+    }
+
+    /// True if the transport declared ECN capability (`ECT(0)`, `ECT(1)`)
+    /// or the packet already carries a CE mark.
+    #[inline]
+    pub fn is_ect(self) -> bool {
+        self != Ecn::NotEct
+    }
+
+    /// True for the L4S identifier codepoint `ECT(1)`.
+    ///
+    /// Per RFC 9331, CE packets are ambiguous (they may have entered as
+    /// either ECT); flow classification therefore keys on the codepoint of
+    /// *unmarked* packets, which is what L4Span records at flow setup.
+    #[inline]
+    pub fn is_l4s(self) -> bool {
+        self == Ecn::Ect1
+    }
+
+    /// True for the classic ECN codepoint `ECT(0)`.
+    #[inline]
+    pub fn is_classic_ect(self) -> bool {
+        self == Ecn::Ect0
+    }
+
+    /// True for congestion-experienced.
+    #[inline]
+    pub fn is_ce(self) -> bool {
+        self == Ecn::Ce
+    }
+}
+
+/// Flow class as L4Span sees it: derived from the ECN field of the first
+/// downlink datagram of the flow (paper §4.1 and Fig. 22 pseudocode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlowClass {
+    /// Scalable / L4S flow (`ECT(1)`): marked with the Eq. 1 strategy.
+    L4s,
+    /// Classic ECN flow (`ECT(0)`): marked with the Eq. 2 strategy.
+    Classic,
+    /// Not ECN capable: can only be signalled by dropping.
+    NonEcn,
+}
+
+impl FlowClass {
+    /// Classify from a packet's ECN codepoint.
+    pub fn from_ecn(ecn: Ecn) -> FlowClass {
+        match ecn {
+            Ecn::Ect1 => FlowClass::L4s,
+            Ecn::Ect0 => FlowClass::Classic,
+            // CE on the very first packet of a flow means an upstream
+            // bottleneck already marked it; the safe classification is
+            // classic (RFC 3168 behaviour).
+            Ecn::Ce => FlowClass::Classic,
+            Ecn::NotEct => FlowClass::NonEcn,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_roundtrip() {
+        for e in [Ecn::NotEct, Ecn::Ect1, Ecn::Ect0, Ecn::Ce] {
+            assert_eq!(Ecn::from_bits(e.bits()), e);
+        }
+        // Upper bits are ignored.
+        assert_eq!(Ecn::from_bits(0b1111_1101), Ecn::Ect1);
+    }
+
+    #[test]
+    fn classification_matches_paper() {
+        assert_eq!(FlowClass::from_ecn(Ecn::Ect1), FlowClass::L4s);
+        assert_eq!(FlowClass::from_ecn(Ecn::Ect0), FlowClass::Classic);
+        assert_eq!(FlowClass::from_ecn(Ecn::NotEct), FlowClass::NonEcn);
+        assert_eq!(FlowClass::from_ecn(Ecn::Ce), FlowClass::Classic);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Ecn::Ect1.is_l4s() && !Ecn::Ect0.is_l4s());
+        assert!(Ecn::Ect0.is_classic_ect());
+        assert!(Ecn::Ce.is_ce() && Ecn::Ce.is_ect());
+        assert!(!Ecn::NotEct.is_ect());
+    }
+}

@@ -1,0 +1,32 @@
+//! Packet substrate: real wire formats for the L4Span reproduction.
+//!
+//! L4Span's data-plane operations are byte-level header edits: it marks the
+//! ECN field of downlink IPv4 headers, rewrites the ECN-Echo/CWR bits and
+//! the AccECN option of uplink TCP ACKs, and recomputes the IP and TCP
+//! checksums afterwards (paper §5). To reproduce those code paths honestly,
+//! this crate implements the actual RFC 791 / RFC 9293 / RFC 768 wire
+//! formats, RFC 1071 checksums (including incremental fix-up per RFC 1624),
+//! the RFC 3168 ECN codepoints, and the AccECN TCP option from
+//! draft-ietf-tcpm-accurate-ecn.
+//!
+//! One simulation-economy: packet *payloads* are all-zero and therefore
+//! not materialised. A [`PacketBuf`] carries the real header bytes plus a
+//! `payload_len`; because zero bytes contribute nothing to a one's
+//! complement sum, the TCP/UDP checksums computed here are exactly the
+//! checksums of the equivalent zero-filled packet on a real wire.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checksum;
+pub mod ecn;
+pub mod ipv4;
+pub mod packet;
+pub mod tcp;
+pub mod udp;
+
+pub use ecn::Ecn;
+pub use ipv4::Ipv4Header;
+pub use packet::{FiveTuple, PacketBuf, Protocol};
+pub use tcp::{AccEcnCounters, TcpFlags, TcpHeader};
+pub use udp::UdpHeader;

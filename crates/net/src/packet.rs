@@ -1,0 +1,348 @@
+//! [`PacketBuf`]: an IPv4 datagram as the simulator carries it.
+//!
+//! The buffer holds the *real* IP + transport header bytes; the payload is
+//! a virtual run of zeros of length `payload_len` (zeros are invisible to
+//! one's-complement checksums, so every checksum here is bit-exact with a
+//! zero-filled packet on a real wire). This is the unit that flows from
+//! the content server through the WAN, the 5G core, L4Span, the RLC
+//! queues, and over the air to the UE.
+
+use crate::ecn::Ecn;
+use crate::ipv4::{self, Ipv4Header, IPV4_HEADER_LEN};
+use crate::tcp::{self, TcpHeader};
+use crate::udp::{UdpHeader, UDP_HEADER_LEN};
+
+/// Transport protocol discriminator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// TCP (IP protocol 6).
+    Tcp,
+    /// UDP (IP protocol 17).
+    Udp,
+}
+
+impl Protocol {
+    /// IP protocol number.
+    pub fn number(self) -> u8 {
+        match self {
+            Protocol::Tcp => 6,
+            Protocol::Udp => 17,
+        }
+    }
+}
+
+/// The classic five-tuple that uniquely identifies a flow; L4Span maps it
+/// to a (UE, DRB) pair (paper §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FiveTuple {
+    /// Source IPv4 address.
+    pub src_ip: u32,
+    /// Destination IPv4 address.
+    pub dst_ip: u32,
+    /// Source transport port.
+    pub src_port: u16,
+    /// Destination transport port.
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub protocol: Protocol,
+}
+
+impl FiveTuple {
+    /// The tuple of packets flowing the opposite way (used to reverse-map
+    /// an uplink ACK to the downlink flow's DRB, Fig. 23 pseudocode).
+    pub fn reversed(self) -> FiveTuple {
+        FiveTuple {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            protocol: self.protocol,
+        }
+    }
+}
+
+/// An IPv4 datagram with real header bytes and a virtual zero payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketBuf {
+    head: Vec<u8>,
+    payload_len: usize,
+}
+
+impl PacketBuf {
+    /// Build a TCP segment. `tcp.window`, flags, options etc. come from
+    /// `tcp`; checksums are computed here.
+    pub fn tcp(
+        src_ip: u32,
+        dst_ip: u32,
+        ecn: Ecn,
+        identification: u16,
+        tcp: &TcpHeader,
+        payload_len: usize,
+    ) -> PacketBuf {
+        let tcp_hlen = tcp.header_len();
+        let total = IPV4_HEADER_LEN + tcp_hlen + payload_len;
+        assert!(total <= u16::MAX as usize, "packet too large");
+        let ip = Ipv4Header {
+            dscp: 0,
+            ecn,
+            total_len: total as u16,
+            identification,
+            dont_fragment: true,
+            ttl: 64,
+            protocol: Protocol::Tcp.number(),
+            header_checksum: 0,
+            src: src_ip,
+            dst: dst_ip,
+        };
+        let mut head = vec![0u8; IPV4_HEADER_LEN + tcp_hlen];
+        ip.emit(&mut head[..IPV4_HEADER_LEN]);
+        tcp.emit(&mut head[IPV4_HEADER_LEN..], src_ip, dst_ip, payload_len);
+        PacketBuf { head, payload_len }
+    }
+
+    /// Build a UDP datagram carrying `payload_len` (virtual) bytes.
+    pub fn udp(
+        src_ip: u32,
+        dst_ip: u32,
+        ecn: Ecn,
+        identification: u16,
+        src_port: u16,
+        dst_port: u16,
+        payload_len: usize,
+    ) -> PacketBuf {
+        let total = IPV4_HEADER_LEN + UDP_HEADER_LEN + payload_len;
+        assert!(total <= u16::MAX as usize, "packet too large");
+        let ip = Ipv4Header {
+            dscp: 0,
+            ecn,
+            total_len: total as u16,
+            identification,
+            dont_fragment: true,
+            ttl: 64,
+            protocol: Protocol::Udp.number(),
+            header_checksum: 0,
+            src: src_ip,
+            dst: dst_ip,
+        };
+        let udp = UdpHeader {
+            src_port,
+            dst_port,
+            length: (UDP_HEADER_LEN + payload_len) as u16,
+            checksum: 0,
+        };
+        let mut head = vec![0u8; IPV4_HEADER_LEN + UDP_HEADER_LEN];
+        ip.emit(&mut head[..IPV4_HEADER_LEN]);
+        udp.emit(&mut head[IPV4_HEADER_LEN..], src_ip, dst_ip);
+        PacketBuf { head, payload_len }
+    }
+
+    /// Total on-the-wire length in bytes (IP header + transport header +
+    /// virtual payload). This is the length every queue and rate estimator
+    /// in the stack accounts in.
+    pub fn wire_len(&self) -> usize {
+        self.head.len() + self.payload_len
+    }
+
+    /// Transport payload length (excludes all headers).
+    pub fn payload_len(&self) -> usize {
+        self.payload_len
+    }
+
+    /// The raw header bytes (IP + transport).
+    pub fn header_bytes(&self) -> &[u8] {
+        &self.head
+    }
+
+    /// Parse the IP header (panics on corruption — the simulator never
+    /// corrupts headers; HARQ losses drop whole packets).
+    pub fn ip(&self) -> Ipv4Header {
+        Ipv4Header::parse(&self.head).expect("corrupt IP header in simulator")
+    }
+
+    /// The ECN codepoint, read without a full parse.
+    pub fn ecn(&self) -> Ecn {
+        ipv4::ecn_of(&self.head)
+    }
+
+    /// Rewrite the ECN codepoint in place with incremental checksum
+    /// fix-up — L4Span's downlink marking operation.
+    pub fn set_ecn(&mut self, ecn: Ecn) {
+        ipv4::set_ecn_in_place(&mut self.head, ecn);
+    }
+
+    /// Transport protocol, if recognised.
+    pub fn protocol(&self) -> Option<Protocol> {
+        match self.head[9] {
+            6 => Some(Protocol::Tcp),
+            17 => Some(Protocol::Udp),
+            _ => None,
+        }
+    }
+
+    /// The flow five-tuple.
+    pub fn five_tuple(&self) -> Option<FiveTuple> {
+        let ip = self.ip();
+        let proto = self.protocol()?;
+        let t = &self.head[IPV4_HEADER_LEN..];
+        let (src_port, dst_port) = match proto {
+            Protocol::Tcp => {
+                let (h, _) = TcpHeader::parse(t).ok()?;
+                (h.src_port, h.dst_port)
+            }
+            Protocol::Udp => {
+                let h = UdpHeader::parse(t).ok()?;
+                (h.src_port, h.dst_port)
+            }
+        };
+        Some(FiveTuple {
+            src_ip: ip.src,
+            dst_ip: ip.dst,
+            src_port,
+            dst_port,
+            protocol: proto,
+        })
+    }
+
+    /// Parse the TCP header if this is a TCP segment.
+    pub fn tcp_header(&self) -> Option<TcpHeader> {
+        if self.protocol()? != Protocol::Tcp {
+            return None;
+        }
+        TcpHeader::parse(&self.head[IPV4_HEADER_LEN..])
+            .ok()
+            .map(|(h, _)| h)
+    }
+
+    /// Parse the UDP header if this is a UDP datagram.
+    pub fn udp_header(&self) -> Option<UdpHeader> {
+        if self.protocol()? != Protocol::Udp {
+            return None;
+        }
+        UdpHeader::parse(&self.head[IPV4_HEADER_LEN..]).ok()
+    }
+
+    /// True if this is a TCP segment with the ACK flag set — the packets
+    /// L4Span's short-circuiting path inspects (Fig. 23 pseudocode).
+    pub fn is_tcp_ack(&self) -> bool {
+        self.tcp_header()
+            .map(|h| h.flags.contains(tcp::TcpFlags::ACK))
+            .unwrap_or(false)
+    }
+
+    /// Rewrite the TCP header in place via `f`, then re-emit it with fresh
+    /// checksums. This is L4Span's uplink short-circuiting edit: flipping
+    /// ECE/CWR bits or updating AccECN counters, then "calculates and
+    /// updates the TCP checksum" (paper §5).
+    ///
+    /// The closure must not change options in a way that alters the header
+    /// length (the RLC already accounted the packet's size); this is
+    /// asserted.
+    pub fn update_tcp<F: FnOnce(&mut TcpHeader)>(&mut self, f: F) {
+        let ip = self.ip();
+        let mut hdr = self
+            .tcp_header()
+            .expect("update_tcp called on a non-TCP packet");
+        let old_len = hdr.header_len();
+        f(&mut hdr);
+        assert_eq!(
+            hdr.header_len(),
+            old_len,
+            "TCP header length must not change in flight"
+        );
+        hdr.emit(
+            &mut self.head[IPV4_HEADER_LEN..],
+            ip.src,
+            ip.dst,
+            self.payload_len,
+        );
+    }
+
+    /// Verify both checksums (test/diagnostic hook).
+    pub fn checksums_valid(&self) -> bool {
+        let ip_ok = Ipv4Header::parse(&self.head).is_ok();
+        if !ip_ok {
+            return false;
+        }
+        match self.protocol() {
+            Some(Protocol::Tcp) => {
+                let ip = self.ip();
+                let t = &self.head[IPV4_HEADER_LEN..];
+                tcp::verify_checksum(t, ip.src, ip.dst, t.len() + self.payload_len)
+            }
+            Some(Protocol::Udp) => true, // verified structurally on parse
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcp::TcpFlags;
+
+    fn tcp_pkt() -> PacketBuf {
+        let hdr = TcpHeader {
+            src_port: 443,
+            dst_port: 50000,
+            seq: 1000,
+            ack: 0,
+            flags: TcpFlags::new().with(TcpFlags::ACK),
+            ..TcpHeader::default()
+        };
+        PacketBuf::tcp(0x0A00_0001, 0x0A00_0002, Ecn::Ect1, 7, &hdr, 1400)
+    }
+
+    #[test]
+    fn tcp_packet_shape() {
+        let p = tcp_pkt();
+        assert_eq!(p.wire_len(), 20 + 20 + 1400);
+        assert_eq!(p.protocol(), Some(Protocol::Tcp));
+        assert_eq!(p.ecn(), Ecn::Ect1);
+        assert!(p.is_tcp_ack());
+        assert!(p.checksums_valid());
+        let ft = p.five_tuple().unwrap();
+        assert_eq!(ft.src_port, 443);
+        assert_eq!(ft.dst_port, 50000);
+        assert_eq!(ft.reversed().src_port, 50000);
+        assert_eq!(ft.reversed().reversed(), ft);
+    }
+
+    #[test]
+    fn udp_packet_shape() {
+        let p = PacketBuf::udp(1, 2, Ecn::Ect0, 9, 5004, 6001, 1200);
+        assert_eq!(p.wire_len(), 20 + 8 + 1200);
+        assert_eq!(p.protocol(), Some(Protocol::Udp));
+        assert!(!p.is_tcp_ack());
+        let u = p.udp_header().unwrap();
+        assert_eq!(u.payload_len(), 1200);
+        assert!(p.checksums_valid());
+    }
+
+    #[test]
+    fn ecn_rewrite_preserves_checksums() {
+        let mut p = tcp_pkt();
+        p.set_ecn(Ecn::Ce);
+        assert_eq!(p.ecn(), Ecn::Ce);
+        assert!(p.checksums_valid());
+    }
+
+    #[test]
+    fn tcp_update_rewrites_flags_and_checksum() {
+        let mut p = tcp_pkt();
+        p.update_tcp(|h| {
+            h.flags.set(TcpFlags::ECE);
+            h.ack = 424242;
+        });
+        let h = p.tcp_header().unwrap();
+        assert!(h.flags.contains(TcpFlags::ECE));
+        assert_eq!(h.ack, 424242);
+        assert!(p.checksums_valid());
+    }
+
+    #[test]
+    #[should_panic(expected = "header length must not change")]
+    fn tcp_update_rejects_length_change() {
+        let mut p = tcp_pkt();
+        p.update_tcp(|h| h.mss = Some(1460));
+    }
+}

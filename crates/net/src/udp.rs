@@ -1,0 +1,120 @@
+//! RFC 768 UDP header. SCReAM and UDP Prague ride on UDP; for those flows
+//! L4Span falls back to marking the downlink IP header (paper §4.4).
+
+use crate::checksum;
+
+/// Length of a UDP header.
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// A parsed UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Datagram length including this header.
+    pub length: u16,
+    /// Checksum as read from the wire (0 while constructing).
+    pub checksum: u16,
+}
+
+/// Errors from parsing a UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UdpError {
+    /// Buffer shorter than 8 bytes.
+    Truncated,
+    /// Length field shorter than the header itself.
+    BadLength,
+}
+
+impl UdpHeader {
+    /// Serialise into 8 bytes with a real checksum over the pseudo-header
+    /// and a virtual zero payload of `length - 8` bytes.
+    pub fn emit(&self, out: &mut [u8], src_ip: u32, dst_ip: u32) {
+        assert!(out.len() >= UDP_HEADER_LEN, "udp emit buffer too small");
+        out[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        out[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        out[4..6].copy_from_slice(&self.length.to_be_bytes());
+        out[6..8].copy_from_slice(&[0, 0]);
+        let mut acc = 0u32;
+        acc = checksum::sum_words(acc, &src_ip.to_be_bytes());
+        acc = checksum::sum_words(acc, &dst_ip.to_be_bytes());
+        acc += 17; // protocol UDP
+        acc += u32::from(self.length);
+        acc = checksum::sum_words(acc, &out[..UDP_HEADER_LEN]);
+        let mut ck = checksum::fold(acc);
+        if ck == 0 {
+            // RFC 768: transmitted-as-zero means "no checksum"; use 0xFFFF.
+            ck = 0xFFFF;
+        }
+        out[6..8].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    /// Parse from the front of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<UdpHeader, UdpError> {
+        if buf.len() < UDP_HEADER_LEN {
+            return Err(UdpError::Truncated);
+        }
+        let h = UdpHeader {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            length: u16::from_be_bytes([buf[4], buf[5]]),
+            checksum: u16::from_be_bytes([buf[6], buf[7]]),
+        };
+        if (h.length as usize) < UDP_HEADER_LEN {
+            return Err(UdpError::BadLength);
+        }
+        Ok(h)
+    }
+
+    /// Payload bytes carried after this header.
+    pub fn payload_len(&self) -> usize {
+        self.length as usize - UDP_HEADER_LEN
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let h = UdpHeader {
+            src_port: 5004,
+            dst_port: 6001,
+            length: 1208,
+            checksum: 0,
+        };
+        let mut buf = [0u8; 8];
+        h.emit(&mut buf, 0x0A000001, 0x0A000002);
+        let p = UdpHeader::parse(&buf).unwrap();
+        assert_eq!(p.src_port, 5004);
+        assert_eq!(p.dst_port, 6001);
+        assert_eq!(p.length, 1208);
+        assert_ne!(p.checksum, 0);
+        assert_eq!(p.payload_len(), 1200);
+    }
+
+    #[test]
+    fn checksum_covers_pseudo_header() {
+        let h = UdpHeader {
+            src_port: 1,
+            dst_port: 2,
+            length: 100,
+            checksum: 0,
+        };
+        let mut a = [0u8; 8];
+        let mut b = [0u8; 8];
+        h.emit(&mut a, 10, 20);
+        h.emit(&mut b, 10, 21); // different dst ip
+        assert_ne!(a[6..8], b[6..8]);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert_eq!(UdpHeader::parse(&[0u8; 4]), Err(UdpError::Truncated));
+        let short = [0, 1, 0, 2, 0, 4, 0, 0]; // length 4 < 8
+        assert_eq!(UdpHeader::parse(&short), Err(UdpError::BadLength));
+    }
+}

@@ -1,0 +1,107 @@
+//! Wire-format robustness: parsers must never panic on arbitrary bytes,
+//! and emit→mutate→parse cycles must preserve checksums exactly.
+
+use proptest::prelude::*;
+
+use l4span_net::{checksum, Ecn, Ipv4Header, PacketBuf, TcpHeader, UdpHeader};
+
+proptest! {
+    /// IPv4 parsing of arbitrary bytes is total (errors, never panics).
+    #[test]
+    fn ipv4_parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = Ipv4Header::parse(&bytes);
+    }
+
+    /// TCP parsing of arbitrary bytes is total.
+    #[test]
+    fn tcp_parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = TcpHeader::parse(&bytes);
+    }
+
+    /// UDP parsing of arbitrary bytes is total.
+    #[test]
+    fn udp_parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..32)) {
+        let _ = UdpHeader::parse(&bytes);
+    }
+
+    /// A single-bit corruption anywhere in an emitted IPv4 header is
+    /// detected by the checksum (unless it hits the checksum field's own
+    /// complement representation — the classic 0x0000/0xFFFF ambiguity —
+    /// which cannot occur for our generated headers).
+    #[test]
+    fn ipv4_checksum_detects_bit_flips(
+        flip_byte in 0usize..20,
+        flip_bit in 0u8..8,
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        len in 20u16..1500,
+    ) {
+        let h = Ipv4Header {
+            dscp: 0,
+            ecn: Ecn::Ect1,
+            total_len: len,
+            identification: 7,
+            dont_fragment: true,
+            ttl: 64,
+            protocol: 6,
+            header_checksum: 0,
+            src,
+            dst,
+        };
+        let mut buf = [0u8; 20];
+        h.emit(&mut buf);
+        prop_assert!(Ipv4Header::parse(&buf).is_ok());
+        buf[flip_byte] ^= 1 << flip_bit;
+        // Either the parse fails (checksum/version/IHL) or — if the flip
+        // hit a field that keeps the one's-complement sum intact — it
+        // must be because the flip restored an equivalent sum, which a
+        // single bit flip cannot do.
+        prop_assert!(Ipv4Header::parse(&buf).is_err(), "bit flip undetected");
+    }
+
+    /// The RFC 1624 incremental update always agrees with recomputation,
+    /// for arbitrary buffers and word positions.
+    #[test]
+    fn incremental_checksum_agrees_with_full(
+        mut data in proptest::collection::vec(any::<u8>(), 2..64),
+        word_idx in 0usize..31,
+        new_word in any::<u16>(),
+    ) {
+        if data.len() % 2 == 1 {
+            data.push(0);
+        }
+        let idx = (word_idx % (data.len() / 2)) * 2;
+        let old = checksum::checksum(&data);
+        let old_word = u16::from_be_bytes([data[idx], data[idx + 1]]);
+        data[idx..idx + 2].copy_from_slice(&new_word.to_be_bytes());
+        let full = checksum::checksum(&data);
+        let inc = checksum::incremental_update(old, old_word, new_word);
+        prop_assert_eq!(full, inc);
+    }
+
+    /// PacketBuf TCP construction always yields valid checksums and a
+    /// parseable five-tuple, for arbitrary field values.
+    #[test]
+    fn packet_construction_is_always_valid(
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        seq in any::<u32>(),
+        payload in 0usize..3000,
+        ecn in prop_oneof![Just(Ecn::NotEct), Just(Ecn::Ect0), Just(Ecn::Ect1), Just(Ecn::Ce)],
+    ) {
+        let hdr = TcpHeader {
+            src_port: sport,
+            dst_port: dport,
+            seq,
+            ..TcpHeader::default()
+        };
+        let p = PacketBuf::tcp(src, dst, ecn, 1, &hdr, payload);
+        prop_assert!(p.checksums_valid());
+        let ft = p.five_tuple().unwrap();
+        prop_assert_eq!(ft.src_ip, src);
+        prop_assert_eq!(ft.dst_port, dport);
+        prop_assert_eq!(p.wire_len(), 40 + payload);
+    }
+}

@@ -1,0 +1,50 @@
+//! F1-U interface messages (3GPP TS 38.425).
+//!
+//! L4Span deliberately consumes only the two *mandatory* fields of the
+//! *DL DATA DELIVERY STATUS* frame — the highest transmitted and highest
+//! delivered PDCP sequence numbers — so it works in both RLC AM and UM
+//! (paper §4.3.1). This module defines that message as the DU emits it
+//! toward the CU-UP.
+
+use l4span_sim::Instant;
+
+use crate::ids::{DrbId, UeId};
+use crate::rlc::Sn;
+
+/// DL DATA DELIVERY STATUS: the DU→CU feedback frame L4Span taps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DlDataDeliveryStatus {
+    /// UE the DRB belongs to.
+    pub ue: UeId,
+    /// The data radio bearer reported on.
+    pub drb: DrbId,
+    /// Highest PDCP SN fully handed to the MAC ("transmitted").
+    pub highest_txed_sn: Option<Sn>,
+    /// Highest PDCP SN confirmed delivered by RLC ARQ (AM only; `None`
+    /// in UM, where no delivery feedback exists).
+    pub highest_delivered_sn: Option<Sn>,
+    /// DU timestamp of the event that triggered this report.
+    pub timestamp: Instant,
+    /// Desired buffer size field (carried for completeness; flow control
+    /// between CU and DU is not exercised by the reproduction).
+    pub desired_buffer_size: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let m = DlDataDeliveryStatus {
+            ue: UeId(1),
+            drb: DrbId(0),
+            highest_txed_sn: Some(41),
+            highest_delivered_sn: None,
+            timestamp: Instant::from_millis(3),
+            desired_buffer_size: 0,
+        };
+        assert_eq!(m.highest_txed_sn, Some(41));
+        assert_eq!(m.highest_delivered_sn, None);
+    }
+}

@@ -1,0 +1,747 @@
+//! The gNB: CU-UP (SDAP + PDCP) and DU (RLC + MAC + PHY) composed into
+//! one cell, driven by a slot clock.
+//!
+//! The harness owns the event loop; this struct is a passive state
+//! machine in the smoltcp idiom:
+//!
+//! * [`Gnb::enqueue_downlink`] — a packet arrives from the core (after
+//!   L4Span has seen it), is mapped by SDAP, sequenced by PDCP, and
+//!   queued in the DU's RLC;
+//! * [`Gnb::on_slot`] — one TDD slot elapses: HARQ retransmissions are
+//!   served first, then the scheduler allocates RBGs, RLC queues are
+//!   drained into transport blocks, and block-error outcomes are drawn;
+//! * [`Gnb::on_rlc_status`] — an RLC AM status report arrives on the
+//!   uplink, acknowledging SDUs (→ F1-U *highest delivered*) and NACKing
+//!   losses (→ ARQ retransmission).
+//!
+//! Outputs are plain data (transport-block deliveries with an arrival
+//! time, F1-U status frames, per-SDU timing records) that the harness
+//! routes to the UE stacks and to L4Span.
+
+use std::collections::BTreeMap;
+
+use l4span_net::PacketBuf;
+use l4span_sim::{stats::Ewma, Instant, SimRng};
+
+use crate::channel::FadingChannel;
+use crate::config::{CellConfig, RlcMode, SchedulerKind, SlotRole};
+use crate::f1u::DlDataDeliveryStatus;
+use crate::ids::{DrbId, Qfi, UeId};
+use crate::mac::{self, Candidate, TransportBlock};
+use crate::pdcp::PdcpTx;
+use crate::phy;
+use crate::rlc::{DeliveryRecord, RlcStatus, RlcTx, Sn, TxRecord};
+use crate::sdap::SdapEntity;
+
+/// Gain of the proportional-fair average-throughput EWMA (per slot);
+/// 1/100 ≈ a 50 ms horizon at 0.5 ms slots.
+const PF_EWMA_GAIN: f64 = 0.01;
+
+/// Chase-combining SNR gain per HARQ retransmission attempt, in dB.
+const HARQ_COMBINING_GAIN_DB: f64 = 3.0;
+
+/// A transport block scheduled for over-the-air delivery.
+#[derive(Debug)]
+pub struct TbDelivery {
+    /// The block, with its RLC segments.
+    pub tb: TransportBlock,
+    /// When the UE decodes it (end of the slot).
+    pub deliver_at: Instant,
+}
+
+/// Everything one downlink slot produced.
+#[derive(Debug, Default)]
+pub struct SlotOutput {
+    /// Whether this was a DL, special, or UL slot.
+    pub role: Option<SlotRole>,
+    /// Successfully-decoded transport blocks to hand to UE stacks.
+    pub deliveries: Vec<TbDelivery>,
+    /// F1-U delivery-status frames triggered this slot (transmit side).
+    pub f1u: Vec<DlDataDeliveryStatus>,
+    /// Per-SDU transmit-timing records (metrics).
+    pub txed_records: Vec<(UeId, DrbId, TxRecord)>,
+    /// Transport blocks abandoned after max HARQ attempts this slot.
+    pub lost_tbs: usize,
+}
+
+/// Counters for Table-1-style accounting.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GnbStats {
+    /// Transport blocks transmitted (first attempts).
+    pub tbs_sent: u64,
+    /// HARQ retransmission attempts.
+    pub harq_retx: u64,
+    /// Transport blocks lost after max attempts.
+    pub tbs_lost: u64,
+    /// Downlink SDUs accepted into RLC queues.
+    pub sdus_enqueued: u64,
+    /// Downlink SDUs tail-dropped at full RLC queues.
+    pub sdus_dropped: u64,
+}
+
+#[derive(Debug)]
+struct DrbCtx {
+    pdcp: PdcpTx,
+    rlc: RlcTx,
+    /// Last highest-transmitted SN reported over F1-U.
+    reported_txed: Option<Sn>,
+}
+
+#[derive(Debug)]
+struct UeCtx {
+    channel: FadingChannel,
+    sdap: SdapEntity,
+    drbs: BTreeMap<DrbId, DrbCtx>,
+    /// PF average throughput in bytes/slot.
+    avg_tput: Ewma,
+    /// Intra-UE DRB round-robin cursor.
+    drb_cursor: usize,
+    /// Carrier-aggregation factor: 1 = primary carrier only; 2 = one
+    /// secondary carrier of equal width, etc. (paper §7: "CA and MIMO
+    /// only change the workflow of MAC and PHY layers, captured by
+    /// L4Span's egress rate prediction").
+    ca_factor: u8,
+}
+
+#[derive(Debug)]
+struct PendingHarq {
+    tb: TransportBlock,
+    retx_at: Instant,
+    rbgs: usize,
+}
+
+/// One simulated cell.
+#[derive(Debug)]
+pub struct Gnb {
+    cfg: CellConfig,
+    scheduler: SchedulerKind,
+    rr_cursor: usize,
+    ues: BTreeMap<UeId, UeCtx>,
+    pending_harq: Vec<PendingHarq>,
+    slot_index: u64,
+    rng: SimRng,
+    stats: GnbStats,
+}
+
+impl Gnb {
+    /// Create a cell with the given configuration and scheduler.
+    pub fn new(cfg: CellConfig, scheduler: SchedulerKind, rng: SimRng) -> Gnb {
+        Gnb {
+            cfg,
+            scheduler,
+            rr_cursor: 0,
+            ues: BTreeMap::new(),
+            pending_harq: Vec::new(),
+            slot_index: 0,
+            rng,
+            stats: GnbStats::default(),
+        }
+    }
+
+    /// Cell configuration.
+    pub fn config(&self) -> &CellConfig {
+        &self.cfg
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> GnbStats {
+        self.stats
+    }
+
+    /// Attach a UE with its channel and DRB set. The first DRB listed
+    /// becomes the SDAP default.
+    pub fn add_ue(&mut self, ue: UeId, channel: FadingChannel, drbs: &[(DrbId, RlcMode)]) {
+        assert!(!drbs.is_empty(), "a UE needs at least one DRB");
+        let mut map = BTreeMap::new();
+        for &(id, mode) in drbs {
+            map.insert(
+                id,
+                DrbCtx {
+                    pdcp: PdcpTx::new(),
+                    rlc: RlcTx::new(mode, self.cfg.rlc_queue_sdus, self.cfg.segment_overhead),
+                    reported_txed: None,
+                },
+            );
+        }
+        let prev = self.ues.insert(
+            ue,
+            UeCtx {
+                channel,
+                sdap: SdapEntity::new(drbs[0].0),
+                drbs: map,
+                avg_tput: Ewma::new(PF_EWMA_GAIN),
+                drb_cursor: 0,
+                ca_factor: 1,
+            },
+        );
+        assert!(prev.is_none(), "duplicate UE id {ue}");
+    }
+
+    /// Attached UE ids, in order.
+    pub fn ue_ids(&self) -> Vec<UeId> {
+        self.ues.keys().copied().collect()
+    }
+
+    /// Replace a UE's channel in place — the intra-gNB handover of the
+    /// paper's §7 discussion: "Upon handover, the buffered bytes are sent
+    /// to a new RAN, and the markings are already done based on the old
+    /// estimates." RLC queues, PDCP SNs, and HARQ state all survive; only
+    /// the radio changes, so L4Span's next estimation window re-learns
+    /// the egress rate.
+    pub fn replace_channel(&mut self, ue: UeId, channel: FadingChannel) {
+        self.ues.get_mut(&ue).expect("unknown UE").channel = channel;
+    }
+
+    /// Configure carrier aggregation for a UE: `carriers` ≥ 1 equal-width
+    /// component carriers. The MAC grants the UE that multiple of the
+    /// per-RBG transport block, which is exactly how CA reaches L4Span —
+    /// as a larger observed egress rate (§7).
+    pub fn set_carrier_aggregation(&mut self, ue: UeId, carriers: u8) {
+        assert!(carriers >= 1, "at least the primary carrier");
+        self.ues.get_mut(&ue).expect("unknown UE").ca_factor = carriers;
+    }
+
+    /// Install a QFI→DRB mapping rule for a UE.
+    pub fn map_qfi(&mut self, ue: UeId, qfi: Qfi, drb: DrbId) {
+        self.ues
+            .get_mut(&ue)
+            .expect("unknown UE")
+            .sdap
+            .map_qfi(qfi, drb);
+    }
+
+    /// Resolve the DRB a QFI maps to (the SDAP lookup L4Span mirrors).
+    pub fn drb_for(&self, ue: UeId, qfi: Qfi) -> DrbId {
+        self.ues.get(&ue).expect("unknown UE").sdap.drb_for(qfi)
+    }
+
+    /// RLC transmission-queue length in SDUs (Fig. 17's metric).
+    pub fn rlc_queue_len(&self, ue: UeId, drb: DrbId) -> usize {
+        self.drb(ue, drb).rlc.queue_len_sdus()
+    }
+
+    /// RLC backlog in bytes awaiting (re)transmission.
+    pub fn rlc_backlog_bytes(&self, ue: UeId, drb: DrbId) -> usize {
+        self.drb(ue, drb).rlc.backlog_bytes()
+    }
+
+    /// SDUs tail-dropped on this DRB so far.
+    pub fn rlc_drops(&self, ue: UeId, drb: DrbId) -> u64 {
+        self.drb(ue, drb).rlc.drop_count()
+    }
+
+    fn drb(&self, ue: UeId, drb: DrbId) -> &DrbCtx {
+        self.ues
+            .get(&ue)
+            .expect("unknown UE")
+            .drbs
+            .get(&drb)
+            .expect("unknown DRB")
+    }
+
+    /// Instantaneous SNR a UE would measure right now (diagnostics and
+    /// the Fig. 18 DCI-trace generator).
+    pub fn snr_db(&self, ue: UeId, now: Instant) -> f64 {
+        self.ues.get(&ue).expect("unknown UE").channel.snr_db(now)
+    }
+
+    /// CQI the scheduler would use for a UE at `now` (stale by
+    /// `cqi_delay`, minus the link-adaptation backoff).
+    pub fn current_cqi(&self, ue: UeId, now: Instant) -> u8 {
+        let ch = &self.ues.get(&ue).expect("unknown UE").channel;
+        let t = Instant::from_nanos(
+            now.as_nanos().saturating_sub(self.cfg.cqi_delay.as_nanos()),
+        );
+        phy::select_mcs(ch.snr_db(t), self.cfg.link_adaptation_backoff_db)
+    }
+
+    /// A downlink packet arrives from the core network (post-L4Span).
+    /// SDAP maps it, PDCP numbers it, RLC queues it. Returns the assigned
+    /// PDCP SN, or `None` if the RLC queue was full and the packet was
+    /// dropped.
+    pub fn enqueue_downlink(
+        &mut self,
+        ue: UeId,
+        qfi: Qfi,
+        pkt: PacketBuf,
+        now: Instant,
+    ) -> Option<(DrbId, Sn)> {
+        let ctx = self.ues.get_mut(&ue).expect("unknown UE");
+        let drb = ctx.sdap.drb_for(qfi);
+        let d = ctx.drbs.get_mut(&drb).expect("SDAP mapped to missing DRB");
+        let sn = d.pdcp.assign_sn();
+        if d.rlc.enqueue(sn, pkt, now) {
+            self.stats.sdus_enqueued += 1;
+            Some((drb, sn))
+        } else {
+            self.stats.sdus_dropped += 1;
+            None
+        }
+    }
+
+    /// Advance one TDD slot. `now` is the slot start time.
+    pub fn on_slot(&mut self, now: Instant) -> SlotOutput {
+        let role = self.cfg.slot_role(self.slot_index);
+        self.slot_index += 1;
+        let mut out = SlotOutput {
+            role: Some(role),
+            ..SlotOutput::default()
+        };
+        let dl_fraction = match role {
+            SlotRole::Downlink => 1.0,
+            SlotRole::Special => self.cfg.special_slot_dl_fraction,
+            SlotRole::Uplink => return out,
+        };
+        let mut rbgs_left = self.cfg.n_rbgs();
+        let deliver_at = now + self.cfg.slot_duration;
+
+        // --- 1. HARQ retransmissions first (they own their resources) ---
+        let mut still_pending = Vec::new();
+        for mut p in std::mem::take(&mut self.pending_harq) {
+            if p.retx_at > now || p.rbgs > rbgs_left {
+                still_pending.push(p);
+                continue;
+            }
+            rbgs_left -= p.rbgs;
+            self.stats.harq_retx += 1;
+            p.tb.attempt += 1;
+            let ue = p.tb.ue;
+            let snr = self.ues.get(&ue).expect("ue").channel.snr_db(now)
+                + HARQ_COMBINING_GAIN_DB * f64::from(p.tb.attempt - 1);
+            let err = phy::bler(p.tb.cqi, snr);
+            if self.rng.chance(err) {
+                if p.tb.attempt >= self.cfg.harq_max_attempts {
+                    self.stats.tbs_lost += 1;
+                    out.lost_tbs += 1;
+                } else {
+                    p.retx_at = now + self.cfg.harq_rtt;
+                    still_pending.push(p);
+                }
+            } else {
+                out.deliveries.push(TbDelivery {
+                    tb: p.tb,
+                    deliver_at,
+                });
+            }
+        }
+        self.pending_harq = still_pending;
+
+        // --- 2. Link adaptation + scheduling for new data ---
+        let stale_at = Instant::from_nanos(
+            now.as_nanos().saturating_sub(self.cfg.cqi_delay.as_nanos()),
+        );
+        let mut cands: Vec<Candidate> = Vec::with_capacity(self.ues.len());
+        let mut cqis: BTreeMap<UeId, u8> = BTreeMap::new();
+        for (&ue, ctx) in &self.ues {
+            let backlog: usize = ctx.drbs.values().map(|d| d.rlc.backlog_bytes()).sum();
+            let cqi = phy::select_mcs(
+                ctx.channel.snr_db(stale_at),
+                self.cfg.link_adaptation_backoff_db,
+            );
+            cqis.insert(ue, cqi);
+            let per_rbg = (phy::tbs_bytes(cqi, self.cfg.rbg_size, self.cfg.re_per_prb) as f64
+                * dl_fraction
+                * f64::from(ctx.ca_factor)) as usize;
+            cands.push(Candidate {
+                ue,
+                backlog,
+                bytes_per_rbg: per_rbg,
+                avg_throughput: ctx.avg_tput.get_or(0.0),
+            });
+        }
+        let grants = match self.scheduler {
+            SchedulerKind::RoundRobin => {
+                mac::allocate_round_robin(&cands, rbgs_left, &mut self.rr_cursor)
+            }
+            SchedulerKind::ProportionalFair => {
+                mac::allocate_proportional_fair(&cands, rbgs_left)
+            }
+        };
+
+        // --- 3. Build transport blocks from RLC queues ---
+        let mut served: BTreeMap<UeId, usize> = BTreeMap::new();
+        for (ue, n_rbgs) in grants {
+            let cqi = cqis[&ue];
+            let prbs = (n_rbgs * self.cfg.rbg_size).min(self.cfg.n_prbs);
+            let budget =
+                (phy::tbs_bytes(cqi, prbs, self.cfg.re_per_prb) as f64 * dl_fraction) as usize;
+            if budget == 0 {
+                continue;
+            }
+            let ctx = self.ues.get_mut(&ue).expect("granted UE exists");
+            let budget = budget * usize::from(ctx.ca_factor);
+            let drb_ids: Vec<DrbId> = ctx.drbs.keys().copied().collect();
+            let n_drbs = drb_ids.len();
+            let mut segments = Vec::new();
+            let mut left = budget;
+            for k in 0..n_drbs {
+                if left <= self.cfg.segment_overhead {
+                    break;
+                }
+                let drb_id = drb_ids[(ctx.drb_cursor + k) % n_drbs];
+                let d = ctx.drbs.get_mut(&drb_id).expect("drb exists");
+                let pulled = d.rlc.pull(left, now);
+                left -= pulled.consumed;
+                for rec in pulled.txed {
+                    out.txed_records.push((ue, drb_id, rec));
+                }
+                segments.extend(pulled.segments.into_iter().map(|s| (drb_id, s)));
+            }
+            ctx.drb_cursor = (ctx.drb_cursor + 1) % n_drbs.max(1);
+            if segments.is_empty() {
+                continue;
+            }
+            let used = budget - left;
+            served.insert(ue, used);
+            let tb = TransportBlock {
+                ue,
+                segments,
+                bytes: used,
+                attempt: 1,
+                cqi,
+                first_tx: now,
+            };
+            self.stats.tbs_sent += 1;
+            // Block-error draw at the *actual* current SNR.
+            let snr = self.ues.get(&ue).expect("ue").channel.snr_db(now);
+            if self.rng.chance(phy::bler(cqi, snr)) {
+                self.pending_harq.push(PendingHarq {
+                    tb,
+                    retx_at: now + self.cfg.harq_rtt,
+                    rbgs: n_rbgs,
+                });
+            } else {
+                out.deliveries.push(TbDelivery { tb, deliver_at });
+            }
+        }
+
+        // --- 4. PF throughput averages (every connected UE, every slot) ---
+        for (&ue, ctx) in self.ues.iter_mut() {
+            let bytes = served.get(&ue).copied().unwrap_or(0) as f64;
+            ctx.avg_tput.push(bytes);
+        }
+
+        // --- 5. F1-U: report DRBs whose highest-transmitted SN advanced ---
+        for (&ue, ctx) in self.ues.iter_mut() {
+            for (&drb, d) in ctx.drbs.iter_mut() {
+                if d.rlc.highest_txed() != d.reported_txed {
+                    d.reported_txed = d.rlc.highest_txed();
+                    out.f1u.push(DlDataDeliveryStatus {
+                        ue,
+                        drb,
+                        highest_txed_sn: d.rlc.highest_txed(),
+                        highest_delivered_sn: d.rlc.highest_delivered(),
+                        timestamp: now,
+                        desired_buffer_size: 0,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// An RLC AM status report arrived from a UE. Returns per-SDU
+    /// delivery records plus the F1-U frame announcing the new
+    /// highest-delivered SN (if it advanced).
+    pub fn on_rlc_status(
+        &mut self,
+        ue: UeId,
+        drb: DrbId,
+        status: &RlcStatus,
+        now: Instant,
+    ) -> (Vec<DeliveryRecord>, Option<DlDataDeliveryStatus>) {
+        let ctx = self.ues.get_mut(&ue).expect("unknown UE");
+        let d = ctx.drbs.get_mut(&drb).expect("unknown DRB");
+        let before = d.rlc.highest_delivered();
+        let records = d.rlc.on_status(status, now);
+        let after = d.rlc.highest_delivered();
+        let f1u = (after != before).then(|| DlDataDeliveryStatus {
+            ue,
+            drb,
+            highest_txed_sn: d.rlc.highest_txed(),
+            highest_delivered_sn: after,
+            timestamp: now,
+            desired_buffer_size: 0,
+        });
+        (records, f1u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelProfile;
+    use l4span_net::{Ecn, TcpHeader};
+
+    fn pkt(len: usize) -> PacketBuf {
+        PacketBuf::tcp(1, 2, Ecn::Ect1, 0, &TcpHeader::default(), len)
+    }
+
+    fn cell(n_ues: u16) -> Gnb {
+        let cfg = CellConfig::default();
+        let mut g = Gnb::new(cfg.clone(), SchedulerKind::RoundRobin, SimRng::new(1));
+        let mut rng = SimRng::new(99);
+        for u in 0..n_ues {
+            let ch = FadingChannel::new(
+                ChannelProfile::Static,
+                25.0,
+                cfg.carrier_hz,
+                &mut rng.derive(u as u64),
+            );
+            g.add_ue(UeId(u), ch, &[(DrbId(0), RlcMode::Am)]);
+        }
+        g
+    }
+
+    /// Drive `g` for `n` slots starting at t=0, collecting outputs.
+    fn run_slots(g: &mut Gnb, n: u64) -> Vec<SlotOutput> {
+        let slot = g.config().slot_duration;
+        (0..n)
+            .map(|i| g.on_slot(Instant::ZERO + slot * i))
+            .collect()
+    }
+
+    #[test]
+    fn single_ue_gets_full_cell_rate() {
+        let mut g = cell(1);
+        // Saturate the queue: 2 seconds of traffic at 40 Mbit/s ≈ 6700 pkts.
+        for i in 0..7000u64 {
+            g.enqueue_downlink(UeId(0), Qfi(1), pkt(1460), Instant::ZERO);
+            let _ = i;
+        }
+        let outs = run_slots(&mut g, 2000); // 1 second
+        let bytes: usize = outs
+            .iter()
+            .flat_map(|o| &o.deliveries)
+            .map(|d| {
+                d.tb.segments
+                    .iter()
+                    .map(|(_, s)| s.len as usize)
+                    .sum::<usize>()
+            })
+            .sum();
+        let mbps = bytes as f64 * 8.0 / 1e6;
+        assert!(
+            (30.0..=45.0).contains(&mbps),
+            "saturated single-UE rate {mbps} Mbit/s should be ≈40"
+        );
+    }
+
+    #[test]
+    fn uplink_slots_produce_no_downlink() {
+        let mut g = cell(1);
+        g.enqueue_downlink(UeId(0), Qfi(1), pkt(1460), Instant::ZERO);
+        let outs = run_slots(&mut g, 5);
+        assert_eq!(outs[4].role, Some(SlotRole::Uplink));
+        assert!(outs[4].deliveries.is_empty());
+        assert!(outs[0].role == Some(SlotRole::Downlink));
+    }
+
+    #[test]
+    fn f1u_reports_txed_progress() {
+        let mut g = cell(1);
+        g.enqueue_downlink(UeId(0), Qfi(1), pkt(500), Instant::ZERO);
+        let outs = run_slots(&mut g, 2);
+        let f1u: Vec<_> = outs.iter().flat_map(|o| &o.f1u).collect();
+        assert!(!f1u.is_empty());
+        assert_eq!(f1u[0].highest_txed_sn, Some(0));
+        assert_eq!(f1u[0].highest_delivered_sn, None);
+    }
+
+    #[test]
+    fn status_ack_produces_delivered_f1u() {
+        let mut g = cell(1);
+        g.enqueue_downlink(UeId(0), Qfi(1), pkt(500), Instant::ZERO);
+        run_slots(&mut g, 2);
+        let (recs, f1u) = g.on_rlc_status(
+            UeId(0),
+            DrbId(0),
+            &RlcStatus {
+                ack_sn: 1,
+                nacks: vec![],
+            },
+            Instant::from_millis(10),
+        );
+        assert_eq!(recs.len(), 1);
+        let f = f1u.expect("highest delivered advanced");
+        assert_eq!(f.highest_delivered_sn, Some(0));
+    }
+
+    #[test]
+    fn two_ues_share_capacity_roughly_equally() {
+        let mut g = cell(2);
+        for _ in 0..4000 {
+            g.enqueue_downlink(UeId(0), Qfi(1), pkt(1460), Instant::ZERO);
+            g.enqueue_downlink(UeId(1), Qfi(1), pkt(1460), Instant::ZERO);
+        }
+        let outs = run_slots(&mut g, 2000);
+        let mut per_ue = [0usize; 2];
+        for o in &outs {
+            for d in &o.deliveries {
+                per_ue[d.tb.ue.0 as usize] += d.tb.bytes;
+            }
+        }
+        let ratio = per_ue[0] as f64 / per_ue[1] as f64;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "RR share ratio {ratio}: {per_ue:?}"
+        );
+    }
+
+    #[test]
+    fn queue_overflow_drops_are_counted() {
+        let mut cfg = CellConfig::default();
+        cfg.rlc_queue_sdus = 4;
+        let mut g = Gnb::new(cfg.clone(), SchedulerKind::RoundRobin, SimRng::new(1));
+        let ch = FadingChannel::new(
+            ChannelProfile::Static,
+            25.0,
+            cfg.carrier_hz,
+            &mut SimRng::new(5),
+        );
+        g.add_ue(UeId(0), ch, &[(DrbId(0), RlcMode::Am)]);
+        for _ in 0..10 {
+            g.enqueue_downlink(UeId(0), Qfi(1), pkt(1000), Instant::ZERO);
+        }
+        assert_eq!(g.stats().sdus_dropped, 6);
+        assert_eq!(g.rlc_queue_len(UeId(0), DrbId(0)), 4);
+        assert_eq!(g.rlc_drops(UeId(0), DrbId(0)), 6);
+    }
+
+    #[test]
+    fn bad_channel_triggers_harq_and_recovers_via_retx() {
+        // Low SNR near the bottom CQI threshold: plenty of block errors.
+        let cfg = CellConfig::default();
+        let mut g = Gnb::new(cfg.clone(), SchedulerKind::RoundRobin, SimRng::new(3));
+        let ch = FadingChannel::new(
+            ChannelProfile::Vehicular,
+            6.0,
+            cfg.carrier_hz,
+            &mut SimRng::new(17),
+        );
+        g.add_ue(UeId(0), ch, &[(DrbId(0), RlcMode::Am)]);
+        for _ in 0..200 {
+            g.enqueue_downlink(UeId(0), Qfi(1), pkt(1460), Instant::ZERO);
+        }
+        let outs = run_slots(&mut g, 4000); // 2 s
+        assert!(g.stats().harq_retx > 0, "expected HARQ retransmissions");
+        let delivered_bytes: usize = outs
+            .iter()
+            .flat_map(|o| &o.deliveries)
+            .map(|d| d.tb.bytes)
+            .sum();
+        assert!(delivered_bytes > 0, "data still flows despite errors");
+    }
+
+    #[test]
+    fn qfi_mapping_routes_to_correct_drb() {
+        let cfg = CellConfig::default();
+        let mut g = Gnb::new(cfg.clone(), SchedulerKind::RoundRobin, SimRng::new(1));
+        let ch = FadingChannel::new(
+            ChannelProfile::Static,
+            25.0,
+            cfg.carrier_hz,
+            &mut SimRng::new(5),
+        );
+        g.add_ue(
+            UeId(0),
+            ch,
+            &[(DrbId(0), RlcMode::Am), (DrbId(1), RlcMode::Am)],
+        );
+        g.map_qfi(UeId(0), Qfi(7), DrbId(1));
+        assert_eq!(g.drb_for(UeId(0), Qfi(7)), DrbId(1));
+        assert_eq!(g.drb_for(UeId(0), Qfi(1)), DrbId(0), "default DRB");
+        let (drb, sn) = g
+            .enqueue_downlink(UeId(0), Qfi(7), pkt(100), Instant::ZERO)
+            .unwrap();
+        assert_eq!(drb, DrbId(1));
+        assert_eq!(sn, 0);
+        assert_eq!(g.rlc_queue_len(UeId(0), DrbId(1)), 1);
+        assert_eq!(g.rlc_queue_len(UeId(0), DrbId(0)), 0);
+    }
+
+    #[test]
+    fn handover_keeps_buffered_bytes_and_recovers() {
+        // §7: the buffered bytes survive a channel change; service
+        // continues at the new cell's rate.
+        let cfg = CellConfig::default();
+        let mut g = Gnb::new(cfg.clone(), SchedulerKind::RoundRobin, SimRng::new(2));
+        let good = FadingChannel::new(
+            ChannelProfile::Static,
+            26.0,
+            cfg.carrier_hz,
+            &mut SimRng::new(5),
+        );
+        g.add_ue(UeId(0), good, &[(DrbId(0), RlcMode::Am)]);
+        for _ in 0..400 {
+            g.enqueue_downlink(UeId(0), Qfi(0), pkt(1460), Instant::ZERO);
+        }
+        run_slots(&mut g, 100);
+        let before = g.rlc_backlog_bytes(UeId(0), DrbId(0));
+        assert!(before > 0, "still draining");
+        // Handover to a much worse cell-edge channel.
+        let poor = FadingChannel::new(
+            ChannelProfile::Static,
+            6.0,
+            cfg.carrier_hz,
+            &mut SimRng::new(9),
+        );
+        g.replace_channel(UeId(0), poor);
+        let slot = g.config().slot_duration;
+        let outs: Vec<SlotOutput> = (100..400u64)
+            .map(|i| g.on_slot(Instant::ZERO + slot * i))
+            .collect();
+        let served: usize = outs.iter().flat_map(|o| &o.deliveries).map(|d| d.tb.bytes).sum();
+        assert!(served > 0, "the new cell still serves the old buffer");
+        assert!(
+            g.rlc_backlog_bytes(UeId(0), DrbId(0)) < before,
+            "backlog keeps draining after handover"
+        );
+    }
+
+    #[test]
+    fn carrier_aggregation_scales_single_ue_rate() {
+        // §7 extension: a second component carrier should roughly double
+        // a lone UE's saturated throughput.
+        let mk = |carriers: u8| {
+            let cfg = CellConfig::default();
+            let mut g = Gnb::new(cfg.clone(), SchedulerKind::RoundRobin, SimRng::new(4));
+            let ch = FadingChannel::new(
+                ChannelProfile::Static,
+                25.0,
+                cfg.carrier_hz,
+                &mut SimRng::new(6),
+            );
+            g.add_ue(UeId(0), ch, &[(DrbId(0), RlcMode::Am)]);
+            g.set_carrier_aggregation(UeId(0), carriers);
+            for _ in 0..14_000 {
+                g.enqueue_downlink(UeId(0), Qfi(0), pkt(1460), Instant::ZERO);
+            }
+            let outs = run_slots(&mut g, 2000); // 1 s
+            outs.iter()
+                .flat_map(|o| &o.deliveries)
+                .map(|d| d.tb.bytes)
+                .sum::<usize>() as f64
+                * 8.0
+                / 1e6
+        };
+        let single = mk(1);
+        let dual = mk(2);
+        assert!(
+            dual > 1.7 * single,
+            "CA x2 should ~double the rate: {single} -> {dual} Mbit/s"
+        );
+    }
+
+    #[test]
+    fn pdcp_sns_are_per_drb_dense() {
+        let mut g = cell(1);
+        let (_, sn0) = g
+            .enqueue_downlink(UeId(0), Qfi(1), pkt(100), Instant::ZERO)
+            .unwrap();
+        let (_, sn1) = g
+            .enqueue_downlink(UeId(0), Qfi(1), pkt(100), Instant::ZERO)
+            .unwrap();
+        assert_eq!((sn0, sn1), (0, 1));
+    }
+}

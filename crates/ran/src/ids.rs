@@ -1,0 +1,58 @@
+//! Identifiers for UEs, data radio bearers, and QoS flows.
+
+use core::fmt;
+
+/// A UE index within one cell (the simulator's stand-in for an RNTI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UeId(pub u16);
+
+/// A data radio bearer index within one UE. Each DRB owns a PDCP entity
+/// and an RLC entity; L4S and classic flows normally ride separate DRBs
+/// (paper §4.2), except in the shared-DRB scenario of §4.2.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DrbId(pub u8);
+
+/// A QoS Flow Identifier as carried in the SDAP header / GTP-U extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Qfi(pub u8);
+
+impl fmt::Display for UeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ue{}", self.0)
+    }
+}
+
+impl fmt::Display for DrbId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "drb{}", self.0)
+    }
+}
+
+impl fmt::Display for Qfi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "qfi{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(UeId(3).to_string(), "ue3");
+        assert_eq!(DrbId(1).to_string(), "drb1");
+        assert_eq!(Qfi(9).to_string(), "qfi9");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(UeId(1));
+        s.insert(UeId(1));
+        assert_eq!(s.len(), 1);
+        assert!(UeId(1) < UeId(2));
+        assert!(DrbId(0) < DrbId(1));
+    }
+}

@@ -1,0 +1,223 @@
+//! MAC downlink scheduling: resource-block-group allocation under
+//! round-robin or proportional-fair policy, and the transport-block type
+//! shared with HARQ.
+//!
+//! The allocation functions are pure so they can be unit-tested in
+//! isolation; the per-slot machinery that calls them lives in [`crate::gnb`].
+
+use l4span_sim::Instant;
+
+use crate::ids::{DrbId, UeId};
+use crate::rlc::Segment;
+
+/// A transport block scheduled for one UE in one slot.
+#[derive(Debug)]
+pub struct TransportBlock {
+    /// Destination UE.
+    pub ue: UeId,
+    /// RLC segments packed into the block, tagged with their DRB.
+    pub segments: Vec<(DrbId, Segment)>,
+    /// Bytes of MAC payload consumed (segments + RLC/MAC overhead).
+    pub bytes: usize,
+    /// HARQ transmission attempt, 1 = first transmission.
+    pub attempt: u8,
+    /// CQI used for the (initial) transmission.
+    pub cqi: u8,
+    /// Time of the first transmission attempt (for metrics).
+    pub first_tx: Instant,
+}
+
+/// One UE competing for resources in a slot.
+#[derive(Debug, Clone, Copy)]
+pub struct Candidate {
+    /// UE identifier.
+    pub ue: UeId,
+    /// RLC backlog in bytes across all of the UE's DRBs.
+    pub backlog: usize,
+    /// Bytes one RBG can carry for this UE at its current CQI.
+    pub bytes_per_rbg: usize,
+    /// EWMA throughput in bytes/slot (proportional-fair denominator).
+    pub avg_throughput: f64,
+}
+
+/// Allocate `n_rbgs` resource-block groups round-robin: one RBG per
+/// backlogged UE per pass, starting after the cursor so the head position
+/// rotates across slots. Returns `(ue, rbg_count)` pairs.
+pub fn allocate_round_robin(
+    cands: &[Candidate],
+    n_rbgs: usize,
+    cursor: &mut usize,
+) -> Vec<(UeId, usize)> {
+    let mut remaining: Vec<(usize, isize)> = cands
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.backlog > 0 && c.bytes_per_rbg > 0)
+        .map(|(i, c)| (i, c.backlog as isize))
+        .collect();
+    if remaining.is_empty() {
+        return Vec::new();
+    }
+    let mut grants = vec![0usize; cands.len()];
+    let start = *cursor % remaining.len();
+    let mut left = n_rbgs;
+    let mut idx = start;
+    // Cycle until RBGs run out or nobody has backlog left.
+    while left > 0 && !remaining.is_empty() {
+        let pos = idx % remaining.len();
+        let ci = remaining[pos].0;
+        grants[ci] += 1;
+        left -= 1;
+        remaining[pos].1 -= cands[ci].bytes_per_rbg as isize;
+        if remaining[pos].1 <= 0 {
+            remaining.remove(pos);
+            // `idx` now points at the element after the removed one.
+            if remaining.is_empty() {
+                break;
+            }
+            idx %= remaining.len();
+        } else {
+            idx += 1;
+        }
+    }
+    *cursor = cursor.wrapping_add(1);
+    cands
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| grants[*i] > 0)
+        .map(|(i, c)| (c.ue, grants[i]))
+        .collect()
+}
+
+/// Allocate RBG-by-RBG to the UE with the highest proportional-fair
+/// metric `instantaneous_rate / avg_throughput` among those with backlog.
+pub fn allocate_proportional_fair(cands: &[Candidate], n_rbgs: usize) -> Vec<(UeId, usize)> {
+    const EPS: f64 = 1e-6;
+    let mut backlog: Vec<isize> = cands.iter().map(|c| c.backlog as isize).collect();
+    let mut grants = vec![0usize; cands.len()];
+    for _ in 0..n_rbgs {
+        let best = cands
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| backlog[*i] > 0 && c.bytes_per_rbg > 0)
+            .max_by(|(i, a), (j, b)| {
+                let ma = a.bytes_per_rbg as f64 / (a.avg_throughput + EPS);
+                let mb = b.bytes_per_rbg as f64 / (b.avg_throughput + EPS);
+                ma.partial_cmp(&mb)
+                    .unwrap()
+                    // Deterministic tie-break on UE id.
+                    .then_with(|| cands[*j].ue.cmp(&cands[*i].ue))
+            })
+            .map(|(i, _)| i);
+        match best {
+            Some(i) => {
+                grants[i] += 1;
+                backlog[i] -= cands[i].bytes_per_rbg as isize;
+            }
+            None => break,
+        }
+    }
+    cands
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| grants[*i] > 0)
+        .map(|(i, c)| (c.ue, grants[i]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(ue: u16, backlog: usize, per_rbg: usize, avg: f64) -> Candidate {
+        Candidate {
+            ue: UeId(ue),
+            backlog,
+            bytes_per_rbg: per_rbg,
+            avg_throughput: avg,
+        }
+    }
+
+    #[test]
+    fn rr_splits_evenly_among_backlogged() {
+        let cands = vec![
+            cand(0, 1_000_000, 100, 0.0),
+            cand(1, 1_000_000, 100, 0.0),
+            cand(2, 0, 100, 0.0), // no backlog
+        ];
+        let mut cursor = 0;
+        let g = allocate_round_robin(&cands, 12, &mut cursor);
+        assert_eq!(g.len(), 2);
+        let total: usize = g.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 12);
+        for (_, n) in &g {
+            assert_eq!(*n, 6);
+        }
+    }
+
+    #[test]
+    fn rr_gives_leftover_capacity_to_others() {
+        // UE 0 needs only one RBG; UE 1 is greedy.
+        let cands = vec![cand(0, 50, 100, 0.0), cand(1, 1_000_000, 100, 0.0)];
+        let mut cursor = 0;
+        let g = allocate_round_robin(&cands, 10, &mut cursor);
+        let m: std::collections::HashMap<_, _> = g.into_iter().collect();
+        assert_eq!(m[&UeId(0)], 1);
+        assert_eq!(m[&UeId(1)], 9);
+    }
+
+    #[test]
+    fn rr_cursor_rotates_start() {
+        // 3 UEs, 1 RBG: the single grant should rotate with the cursor.
+        let cands = vec![
+            cand(0, 1000, 100, 0.0),
+            cand(1, 1000, 100, 0.0),
+            cand(2, 1000, 100, 0.0),
+        ];
+        let mut cursor = 0;
+        let first: Vec<_> = allocate_round_robin(&cands, 1, &mut cursor);
+        let second: Vec<_> = allocate_round_robin(&cands, 1, &mut cursor);
+        assert_ne!(first[0].0, second[0].0, "head UE must rotate");
+    }
+
+    #[test]
+    fn rr_empty_when_no_backlog() {
+        let cands = vec![cand(0, 0, 100, 0.0)];
+        let mut cursor = 0;
+        assert!(allocate_round_robin(&cands, 10, &mut cursor).is_empty());
+    }
+
+    #[test]
+    fn pf_prefers_underserved_ue() {
+        // Same channel quality, UE 1 historically starved.
+        let cands = vec![cand(0, 1_000_000, 100, 1000.0), cand(1, 1_000_000, 100, 10.0)];
+        let g = allocate_proportional_fair(&cands, 10);
+        let m: std::collections::HashMap<_, _> = g.into_iter().collect();
+        assert!(m[&UeId(1)] == 10, "starved UE takes all RBGs: {m:?}");
+    }
+
+    #[test]
+    fn pf_prefers_good_channel_when_history_equal() {
+        let cands = vec![cand(0, 1_000_000, 300, 100.0), cand(1, 1_000_000, 100, 100.0)];
+        let g = allocate_proportional_fair(&cands, 4);
+        let m: std::collections::HashMap<_, _> = g.into_iter().collect();
+        assert_eq!(m.get(&UeId(0)), Some(&4));
+        assert_eq!(m.get(&UeId(1)), None);
+    }
+
+    #[test]
+    fn pf_stops_when_backlog_served() {
+        let cands = vec![cand(0, 150, 100, 1.0)];
+        let g = allocate_proportional_fair(&cands, 10);
+        assert_eq!(g, vec![(UeId(0), 2)]); // 2 RBGs cover 150 bytes
+    }
+
+    #[test]
+    fn pf_zero_rate_ue_is_skipped() {
+        // CQI 0 => bytes_per_rbg 0: cannot be scheduled.
+        let cands = vec![cand(0, 1000, 0, 1.0), cand(1, 1000, 100, 1.0)];
+        let g = allocate_proportional_fair(&cands, 4);
+        let m: std::collections::HashMap<_, _> = g.into_iter().collect();
+        assert_eq!(m.get(&UeId(0)), None);
+        assert_eq!(m.get(&UeId(1)), Some(&4));
+    }
+}

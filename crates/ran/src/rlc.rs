@@ -1,0 +1,977 @@
+//! RLC Acknowledged and Unacknowledged modes with byte-level segmentation.
+//!
+//! The downlink RLC entity ([`RlcTx`]) owns the deep SDU queue whose
+//! sojourn time L4Span minimises (paper §2: "the RLC buffer is designed to
+//! be deep for reliable delivery, while … it worsens the sojourn time").
+//! The receive side ([`RlcRx`]) reassembles segments, delivers SDUs in
+//! order, and — in AM — generates the status reports that drive both ARQ
+//! and the *highest delivered* half of the F1-U feedback.
+//!
+//! Simplifications relative to TS 38.322, documented here and in
+//! DESIGN.md: sequence numbers are non-wrapping `u64`s (the 18-bit wrap is
+//! bookkeeping that does not affect queueing behaviour); the PDCP
+//! t-Reordering timer is folded into the receiver's in-order delivery
+//! logic; t-StatusProhibit and t-Reassembly are merged into one periodic
+//! status cadence.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use l4span_net::PacketBuf;
+use l4span_sim::{Duration, Instant};
+
+use crate::config::RlcMode;
+
+/// RLC/PDCP sequence number (logical, non-wrapping in the simulator).
+pub type Sn = u64;
+
+/// A byte range `[from, to)` within one SDU.
+pub type ByteRange = (u32, u32);
+
+/// One RLC segment inside a MAC transport block.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Sequence number of the SDU this segment belongs to.
+    pub sn: Sn,
+    /// First byte offset carried.
+    pub offset: u32,
+    /// Number of payload bytes carried.
+    pub len: u32,
+    /// Total size of the SDU (so the receiver knows when it is whole).
+    pub sdu_size: u32,
+    /// The reassembled packet rides with the segment that carries the
+    /// SDU's final byte (a simulator shortcut; on a real link the bytes
+    /// themselves are the payload).
+    pub payload: Option<PacketBuf>,
+    /// CU ingress timestamp of the SDU, for end-to-end metrics.
+    pub t_ingress: Instant,
+}
+
+impl Segment {
+    /// True if this segment carries the final byte of its SDU.
+    pub fn is_last(&self) -> bool {
+        self.offset + self.len == self.sdu_size
+    }
+}
+
+/// A NACK entry in an AM status report: SN plus missing byte range.
+/// `(0, u32::MAX)` means "the whole SDU" (nothing of it arrived).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Nack {
+    /// Sequence number being NACKed.
+    pub sn: Sn,
+    /// Missing range start.
+    pub from: u32,
+    /// Missing range end (exclusive).
+    pub to: u32,
+}
+
+/// An RLC AM STATUS PDU from the receiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RlcStatus {
+    /// All SNs below this are fully received.
+    pub ack_sn: Sn,
+    /// Missing ranges at or above `ack_sn`.
+    pub nacks: Vec<Nack>,
+}
+
+/// Per-SDU timing record emitted when the SDU has been fully handed to
+/// the MAC ("transmitted" in F1-U terms).
+#[derive(Debug, Clone, Copy)]
+pub struct TxRecord {
+    /// Sequence number.
+    pub sn: Sn,
+    /// Wire size of the SDU in bytes.
+    pub size: usize,
+    /// CU ingress time.
+    pub t_ingress: Instant,
+    /// When the SDU reached the head of the queue.
+    pub t_head: Instant,
+    /// When its first byte was scheduled.
+    pub t_first_tx: Instant,
+    /// When its last byte was handed to the MAC.
+    pub t_txed: Instant,
+}
+
+/// Per-SDU record emitted when delivery is confirmed by a status report
+/// (AM only).
+#[derive(Debug, Clone, Copy)]
+pub struct DeliveryRecord {
+    /// Sequence number.
+    pub sn: Sn,
+    /// Wire size in bytes.
+    pub size: usize,
+    /// CU ingress time.
+    pub t_ingress: Instant,
+    /// Delivery-confirmation time (status arrival at the DU).
+    pub t_delivered: Instant,
+}
+
+/// Result of one MAC pull.
+#[derive(Debug, Default)]
+pub struct PullResult {
+    /// Segments to place into the transport block.
+    pub segments: Vec<Segment>,
+    /// Budget bytes actually consumed (payload + per-segment overhead).
+    pub consumed: usize,
+    /// SDUs that became fully-transmitted during this pull.
+    pub txed: Vec<TxRecord>,
+}
+
+/// An SDU waiting in (or partially pulled from) the downlink queue.
+#[derive(Debug)]
+struct SduTx {
+    sn: Sn,
+    pkt: PacketBuf,
+    size: u32,
+    t_ingress: Instant,
+    t_head: Option<Instant>,
+    t_first_tx: Option<Instant>,
+    txed: u32,
+}
+
+/// An AM SDU kept after full transmission until the UE acknowledges it.
+#[derive(Debug)]
+struct UnackedSdu {
+    pkt: PacketBuf,
+    size: u32,
+    t_ingress: Instant,
+}
+
+/// A pending retransmission range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RetxSeg {
+    sn: Sn,
+    from: u32,
+    to: u32,
+}
+
+/// t-PollRetransmit analogue: with unacknowledged SDUs outstanding and
+/// no status heard for this long, proactively retransmit the oldest one
+/// (covers tail loss, where the receiver cannot know an SN existed).
+const T_POLL_RETRANSMIT: Duration = Duration::from_millis(45);
+
+/// Downlink RLC entity (one per DRB) living in the DU.
+#[derive(Debug)]
+pub struct RlcTx {
+    mode: RlcMode,
+    capacity_sdus: usize,
+    segment_overhead: usize,
+    queue: VecDeque<SduTx>,
+    retx: VecDeque<RetxSeg>,
+    unacked: BTreeMap<Sn, UnackedSdu>,
+    /// Bytes not yet handed to the MAC (queued SDUs minus pulled bytes).
+    queued_bytes: usize,
+    highest_txed: Option<Sn>,
+    highest_delivered: Option<Sn>,
+    /// SDUs dropped at enqueue because the queue was full.
+    drops: u64,
+    /// Last time a status report arrived (poll-retransmit reference).
+    last_status_at: Instant,
+    /// Last time the poll-retransmit fallback fired.
+    last_poll_retx_at: Instant,
+}
+
+impl RlcTx {
+    /// Create a downlink RLC entity.
+    pub fn new(mode: RlcMode, capacity_sdus: usize, segment_overhead: usize) -> RlcTx {
+        RlcTx {
+            mode,
+            capacity_sdus,
+            segment_overhead,
+            queue: VecDeque::new(),
+            retx: VecDeque::new(),
+            unacked: BTreeMap::new(),
+            queued_bytes: 0,
+            highest_txed: None,
+            highest_delivered: None,
+            drops: 0,
+            last_status_at: Instant::ZERO,
+            last_poll_retx_at: Instant::ZERO,
+        }
+    }
+
+    /// RLC mode of this entity.
+    pub fn mode(&self) -> RlcMode {
+        self.mode
+    }
+
+    /// Enqueue an SDU from PDCP. Returns `false` (and counts a drop) when
+    /// the queue is at capacity — srsRAN's tail-drop behaviour that the
+    /// 256-SDU configuration of Fig. 9 leans on.
+    pub fn enqueue(&mut self, sn: Sn, pkt: PacketBuf, now: Instant) -> bool {
+        if self.queue.len() >= self.capacity_sdus {
+            self.drops += 1;
+            return false;
+        }
+        let size = pkt.wire_len() as u32;
+        let head = self.queue.is_empty() && self.retx.is_empty();
+        self.queued_bytes += size as usize;
+        self.queue.push_back(SduTx {
+            sn,
+            pkt,
+            size,
+            t_ingress: now,
+            t_head: if head { Some(now) } else { None },
+            t_first_tx: None,
+            txed: 0,
+        });
+        true
+    }
+
+    /// Bytes awaiting (re)transmission: the MAC backlog for this DRB.
+    pub fn backlog_bytes(&self) -> usize {
+        let retx: usize = self.retx.iter().map(|r| (r.to - r.from) as usize).sum();
+        self.queued_bytes + retx
+    }
+
+    /// SDUs currently sitting in the transmission queue (the "RLC queue
+    /// length" metric of Fig. 17).
+    pub fn queue_len_sdus(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Count of SDUs tail-dropped at enqueue.
+    pub fn drop_count(&self) -> u64 {
+        self.drops
+    }
+
+    /// Highest SN fully handed to the MAC, if any.
+    pub fn highest_txed(&self) -> Option<Sn> {
+        self.highest_txed
+    }
+
+    /// Highest SN confirmed delivered (AM), if any.
+    pub fn highest_delivered(&self) -> Option<Sn> {
+        self.highest_delivered
+    }
+
+    /// Pull up to `budget` bytes (including per-segment overhead) for a
+    /// transport block. Retransmissions are served before new data, as
+    /// TS 38.322 requires.
+    pub fn pull(&mut self, mut budget: usize, now: Instant) -> PullResult {
+        let mut out = PullResult::default();
+        let oh = self.segment_overhead;
+        // Poll-retransmit: unacked data, nothing queued for repair, and
+        // silence from the receiver — resend the oldest unacked SDU so
+        // the receiver's reassembly state goes dirty and a status comes
+        // back (tail-loss recovery).
+        if self.mode == RlcMode::Am && !self.unacked.is_empty() && self.retx.is_empty() {
+            let reference = self.last_status_at.max(self.last_poll_retx_at);
+            if now.saturating_since(reference) > T_POLL_RETRANSMIT {
+                let (&sn, sdu) = self.unacked.iter().next().expect("non-empty");
+                self.retx.push_back(RetxSeg {
+                    sn,
+                    from: 0,
+                    to: sdu.size,
+                });
+                self.last_poll_retx_at = now;
+            }
+        }
+        loop {
+            if budget <= oh {
+                break;
+            }
+            let avail = budget - oh;
+            // 1. Retransmissions first.
+            if let Some(r) = self.retx.front_mut() {
+                let want = (r.to - r.from) as usize;
+                let take = want.min(avail) as u32;
+                let sdu = self
+                    .unacked
+                    .get(&r.sn)
+                    .expect("retx range for SDU not in unacked store");
+                let seg = Segment {
+                    sn: r.sn,
+                    offset: r.from,
+                    len: take,
+                    sdu_size: sdu.size,
+                    payload: if r.from + take == sdu.size {
+                        Some(sdu.pkt.clone())
+                    } else {
+                        None
+                    },
+                    t_ingress: sdu.t_ingress,
+                };
+                budget -= take as usize + oh;
+                out.consumed += take as usize + oh;
+                r.from += take;
+                if r.from >= r.to {
+                    self.retx.pop_front();
+                }
+                out.segments.push(seg);
+                continue;
+            }
+            // 2. New data.
+            let Some(s) = self.queue.front_mut() else {
+                break;
+            };
+            if s.t_head.is_none() {
+                s.t_head = Some(now);
+            }
+            if s.t_first_tx.is_none() {
+                s.t_first_tx = Some(now);
+            }
+            let remaining = (s.size - s.txed) as usize;
+            let take = remaining.min(avail) as u32;
+            let last = s.txed + take == s.size;
+            let seg = Segment {
+                sn: s.sn,
+                offset: s.txed,
+                len: take,
+                sdu_size: s.size,
+                payload: if last { Some(s.pkt.clone()) } else { None },
+                t_ingress: s.t_ingress,
+            };
+            s.txed += take;
+            budget -= take as usize + oh;
+            out.consumed += take as usize + oh;
+            self.queued_bytes -= take as usize;
+            out.segments.push(seg);
+            if last {
+                let done = self.queue.pop_front().expect("front exists");
+                out.txed.push(TxRecord {
+                    sn: done.sn,
+                    size: done.size as usize,
+                    t_ingress: done.t_ingress,
+                    t_head: done.t_head.unwrap_or(now),
+                    t_first_tx: done.t_first_tx.unwrap_or(now),
+                    t_txed: now,
+                });
+                self.highest_txed = Some(self.highest_txed.map_or(done.sn, |h| h.max(done.sn)));
+                if self.mode == RlcMode::Am {
+                    self.unacked.insert(
+                        done.sn,
+                        UnackedSdu {
+                            pkt: done.pkt,
+                            size: done.size,
+                            t_ingress: done.t_ingress,
+                        },
+                    );
+                }
+                // Mark the new head's arrival at the queue front.
+                if let Some(next) = self.queue.front_mut() {
+                    if next.t_head.is_none() {
+                        next.t_head = Some(now);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Process an AM status report from the UE. Returns delivery records
+    /// for newly-acknowledged SDUs; NACKed ranges join the retransmission
+    /// queue.
+    pub fn on_status(&mut self, status: &RlcStatus, now: Instant) -> Vec<DeliveryRecord> {
+        assert_eq!(self.mode, RlcMode::Am, "status report in UM");
+        self.last_status_at = now;
+        let mut delivered = Vec::new();
+        // Cumulative ACK: everything below ack_sn.
+        let acked: Vec<Sn> = self
+            .unacked
+            .range(..status.ack_sn)
+            .map(|(&sn, _)| sn)
+            .collect();
+        for sn in acked {
+            let sdu = self.unacked.remove(&sn).expect("just enumerated");
+            delivered.push(DeliveryRecord {
+                sn,
+                size: sdu.size as usize,
+                t_ingress: sdu.t_ingress,
+                t_delivered: now,
+            });
+            self.highest_delivered =
+                Some(self.highest_delivered.map_or(sn, |h| h.max(sn)));
+        }
+        // NACKs: queue retransmission ranges (deduplicated).
+        for n in &status.nacks {
+            let Some(sdu) = self.unacked.get(&n.sn) else {
+                continue; // already acknowledged or never transmitted
+            };
+            let from = n.from.min(sdu.size);
+            let to = n.to.min(sdu.size);
+            if from >= to {
+                continue;
+            }
+            let seg = RetxSeg { sn: n.sn, from, to };
+            if !self.retx.contains(&seg) {
+                self.retx.push_back(seg);
+            }
+        }
+        // Retx ranges for SNs that just got acked are stale; drop them.
+        self.retx.retain(|r| self.unacked.contains_key(&r.sn));
+        let _ = now;
+        delivered
+    }
+}
+
+/// State of one partially-received SDU at the UE.
+#[derive(Debug)]
+struct RxEntry {
+    /// Received byte ranges, kept merged and sorted.
+    ranges: Vec<ByteRange>,
+    size: u32,
+    payload: Option<PacketBuf>,
+    t_first: Instant,
+    t_ingress: Instant,
+}
+
+impl RxEntry {
+    fn add_range(&mut self, from: u32, to: u32) {
+        self.ranges.push((from, to));
+        self.ranges.sort_unstable();
+        let mut merged: Vec<ByteRange> = Vec::with_capacity(self.ranges.len());
+        for &(f, t) in &self.ranges {
+            match merged.last_mut() {
+                Some(last) if f <= last.1 => last.1 = last.1.max(t),
+                _ => merged.push((f, t)),
+            }
+        }
+        self.ranges = merged;
+    }
+
+    fn complete(&self) -> bool {
+        self.ranges.len() == 1 && self.ranges[0] == (0, self.size) && self.payload.is_some()
+    }
+
+    fn missing(&self) -> Vec<ByteRange> {
+        let mut gaps = Vec::new();
+        let mut cursor = 0u32;
+        for &(f, t) in &self.ranges {
+            if f > cursor {
+                gaps.push((cursor, f));
+            }
+            cursor = cursor.max(t);
+        }
+        if cursor < self.size {
+            gaps.push((cursor, self.size));
+        }
+        // Fully covered byte-wise but the payload-carrying (final)
+        // segment was lost: re-request the tail so it travels again.
+        if gaps.is_empty() && self.payload.is_none() {
+            gaps.push((self.size.saturating_sub(1), self.size));
+        }
+        gaps
+    }
+}
+
+/// An SDU delivered up from the UE's RLC with its original CU ingress
+/// time (for one-way-delay accounting).
+#[derive(Debug)]
+pub struct RxDelivery {
+    /// The reassembled IP packet.
+    pub pkt: PacketBuf,
+    /// Sequence number it carried.
+    pub sn: Sn,
+    /// CU ingress timestamp (metric plumbing).
+    pub t_ingress: Instant,
+}
+
+/// Receive-side RLC entity (one per DRB) living in the UE.
+#[derive(Debug)]
+pub struct RlcRx {
+    mode: RlcMode,
+    entries: BTreeMap<Sn, RxEntry>,
+    /// Lowest SN not yet delivered up.
+    next_expected: Sn,
+    /// Highest SN seen at all (for gap NACKs).
+    highest_seen: Option<Sn>,
+    /// In-order skip timeout for UM (folded PDCP t-Reordering).
+    reassembly_timeout: Duration,
+    status_period: Duration,
+    last_status: Instant,
+    /// Something changed since the last status (forces a report).
+    dirty: bool,
+    /// SDUs dropped by the UM skip timer.
+    skipped: u64,
+}
+
+impl RlcRx {
+    /// Create a receive-side entity.
+    pub fn new(mode: RlcMode, status_period: Duration) -> RlcRx {
+        RlcRx {
+            mode,
+            entries: BTreeMap::new(),
+            next_expected: 0,
+            highest_seen: None,
+            reassembly_timeout: Duration::from_millis(50),
+            status_period,
+            last_status: Instant::ZERO,
+            dirty: false,
+            skipped: 0,
+        }
+    }
+
+    /// Count of SDUs abandoned by the UM reassembly timeout.
+    pub fn skipped_count(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Ingest one segment; returns any SDUs that became deliverable
+    /// in order.
+    pub fn on_segment(&mut self, seg: Segment, now: Instant) -> Vec<RxDelivery> {
+        if seg.sn < self.next_expected {
+            return Vec::new(); // duplicate of already-delivered data
+        }
+        self.highest_seen = Some(self.highest_seen.map_or(seg.sn, |h| h.max(seg.sn)));
+        self.dirty = true;
+        let entry = self.entries.entry(seg.sn).or_insert_with(|| RxEntry {
+            ranges: Vec::new(),
+            size: seg.sdu_size,
+            payload: None,
+            t_first: now,
+            t_ingress: seg.t_ingress,
+        });
+        entry.add_range(seg.offset, seg.offset + seg.len);
+        if let Some(p) = seg.payload {
+            entry.payload = Some(p);
+        }
+        self.deliver_in_order(now)
+    }
+
+    /// Deliver the run of complete SDUs starting at `next_expected`.
+    fn deliver_in_order(&mut self, _now: Instant) -> Vec<RxDelivery> {
+        let mut out = Vec::new();
+        while let Some(e) = self.entries.get(&self.next_expected) {
+            if !e.complete() {
+                break;
+            }
+            let sn = self.next_expected;
+            let mut e = self.entries.remove(&sn).expect("present");
+            out.push(RxDelivery {
+                pkt: e.payload.take().expect("complete implies payload"),
+                sn,
+                t_ingress: e.t_ingress,
+            });
+            self.next_expected += 1;
+        }
+        out
+    }
+
+    /// Timer poll: in UM, skip SDUs stuck longer than the reassembly
+    /// timeout so later traffic keeps flowing (the skipped SDU is lost).
+    pub fn poll(&mut self, now: Instant) -> Vec<RxDelivery> {
+        if self.mode == RlcMode::Am {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        loop {
+            // Is the head-of-line SDU stuck?
+            let stuck = match self.entries.get(&self.next_expected) {
+                Some(e) if !e.complete() => {
+                    now.saturating_since(e.t_first) > self.reassembly_timeout
+                }
+                Some(_) => false,
+                None => {
+                    // Nothing at next_expected: a whole SDU may be missing
+                    // while later ones wait. Skip if any later entry aged out.
+                    match self.entries.range(self.next_expected..).next() {
+                        Some((_, e)) => {
+                            now.saturating_since(e.t_first) > self.reassembly_timeout
+                        }
+                        None => false,
+                    }
+                }
+            };
+            if !stuck {
+                break;
+            }
+            if self.entries.remove(&self.next_expected).is_some() {
+                self.skipped += 1;
+            }
+            self.next_expected += 1;
+            out.extend(self.deliver_in_order(now));
+        }
+        out
+    }
+
+    /// Produce a status report if the cadence allows and there is news —
+    /// or while any gap is still outstanding, so a lost *retransmission*
+    /// is re-NACKed on the next cycle instead of stalling ARQ forever
+    /// (the t-Reassembly re-trigger of TS 38.322). AM only.
+    pub fn make_status(&mut self, now: Instant) -> Option<RlcStatus> {
+        let outstanding = self
+            .highest_seen
+            .is_some_and(|h| h >= self.next_expected);
+        if self.mode != RlcMode::Am || !(self.dirty || outstanding) {
+            return None;
+        }
+        if now.saturating_since(self.last_status) < self.status_period {
+            return None;
+        }
+        self.last_status = now;
+        self.dirty = false;
+        let mut nacks = Vec::new();
+        if let Some(high) = self.highest_seen {
+            for sn in self.next_expected..=high {
+                match self.entries.get(&sn) {
+                    Some(e) => {
+                        for (f, t) in e.missing() {
+                            nacks.push(Nack { sn, from: f, to: t });
+                        }
+                    }
+                    None => nacks.push(Nack {
+                        sn,
+                        from: 0,
+                        to: u32::MAX,
+                    }),
+                }
+            }
+        }
+        Some(RlcStatus {
+            ack_sn: self.next_expected,
+            nacks,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use l4span_net::{Ecn, TcpHeader};
+
+    fn pkt(len: usize) -> PacketBuf {
+        let hdr = TcpHeader {
+            src_port: 443,
+            dst_port: 1000,
+            ..TcpHeader::default()
+        };
+        PacketBuf::tcp(1, 2, Ecn::Ect1, 0, &hdr, len)
+    }
+
+    const OH: usize = 8;
+
+    fn tx(mode: RlcMode) -> RlcTx {
+        RlcTx::new(mode, 16, OH)
+    }
+
+    #[test]
+    fn enqueue_pull_whole_sdu() {
+        let mut t = tx(RlcMode::Um);
+        let p = pkt(960); // wire 1000
+        assert!(t.enqueue(0, p, Instant::ZERO));
+        assert_eq!(t.backlog_bytes(), 1000);
+        let r = t.pull(2000, Instant::from_millis(1));
+        assert_eq!(r.segments.len(), 1);
+        assert!(r.segments[0].is_last());
+        assert!(r.segments[0].payload.is_some());
+        assert_eq!(r.consumed, 1000 + OH);
+        assert_eq!(r.txed.len(), 1);
+        assert_eq!(t.backlog_bytes(), 0);
+        assert_eq!(t.highest_txed(), Some(0));
+    }
+
+    #[test]
+    fn segmentation_respects_budget() {
+        let mut t = tx(RlcMode::Um);
+        t.enqueue(0, pkt(1460), Instant::ZERO); // wire 1500
+        let r1 = t.pull(600, Instant::from_millis(1));
+        assert_eq!(r1.segments.len(), 1);
+        assert_eq!(r1.segments[0].len as usize, 600 - OH);
+        assert!(!r1.segments[0].is_last());
+        assert!(r1.segments[0].payload.is_none());
+        assert!(r1.txed.is_empty());
+        let r2 = t.pull(10_000, Instant::from_millis(2));
+        assert_eq!(r2.segments.len(), 1);
+        assert!(r2.segments[0].is_last());
+        assert_eq!(
+            r1.segments[0].len + r2.segments[0].len,
+            1500,
+            "all bytes transmitted exactly once"
+        );
+        assert_eq!(r2.txed.len(), 1);
+    }
+
+    #[test]
+    fn pull_with_tiny_budget_does_nothing() {
+        let mut t = tx(RlcMode::Um);
+        t.enqueue(0, pkt(100), Instant::ZERO);
+        let r = t.pull(OH, Instant::ZERO); // budget <= overhead
+        assert!(r.segments.is_empty());
+        assert_eq!(r.consumed, 0);
+    }
+
+    #[test]
+    fn queue_overflow_drops() {
+        let mut t = RlcTx::new(RlcMode::Um, 2, OH);
+        assert!(t.enqueue(0, pkt(100), Instant::ZERO));
+        assert!(t.enqueue(1, pkt(100), Instant::ZERO));
+        assert!(!t.enqueue(2, pkt(100), Instant::ZERO));
+        assert_eq!(t.drop_count(), 1);
+        assert_eq!(t.queue_len_sdus(), 2);
+    }
+
+    #[test]
+    fn am_keeps_unacked_and_acks_release() {
+        let mut t = tx(RlcMode::Am);
+        t.enqueue(0, pkt(500), Instant::ZERO);
+        t.enqueue(1, pkt(500), Instant::ZERO);
+        t.pull(10_000, Instant::from_millis(1));
+        assert_eq!(t.highest_txed(), Some(1));
+        assert_eq!(t.highest_delivered(), None);
+        let d = t.on_status(
+            &RlcStatus {
+                ack_sn: 2,
+                nacks: vec![],
+            },
+            Instant::from_millis(20),
+        );
+        assert_eq!(d.len(), 2);
+        assert_eq!(t.highest_delivered(), Some(1));
+        assert_eq!(d[0].t_delivered, Instant::from_millis(20));
+    }
+
+    #[test]
+    fn nack_triggers_retx_before_new_data() {
+        let mut t = tx(RlcMode::Am);
+        t.enqueue(0, pkt(500), Instant::ZERO);
+        t.pull(10_000, Instant::from_millis(1));
+        t.enqueue(1, pkt(500), Instant::from_millis(2));
+        t.on_status(
+            &RlcStatus {
+                ack_sn: 0,
+                nacks: vec![Nack {
+                    sn: 0,
+                    from: 0,
+                    to: u32::MAX,
+                }],
+            },
+            Instant::from_millis(10),
+        );
+        let r = t.pull(10_000, Instant::from_millis(11));
+        // Retx of SN 0 must precede new SN 1.
+        assert_eq!(r.segments[0].sn, 0);
+        assert_eq!(r.segments[0].offset, 0);
+        assert!(r.segments[0].is_last());
+        assert!(r.segments[0].payload.is_some());
+        assert_eq!(r.segments[1].sn, 1);
+    }
+
+    #[test]
+    fn poll_retransmit_recovers_tail_loss() {
+        // The final SDU's only transmission is lost: the receiver never
+        // learns the SN exists, so only the transmitter-side timer can
+        // recover it.
+        let mut t = tx(RlcMode::Am);
+        t.enqueue(0, pkt(500), Instant::ZERO);
+        let first = t.pull(10_000, Instant::from_millis(1));
+        assert_eq!(first.segments.len(), 1); // ...and we pretend it's lost
+        // Well within the poll timer: nothing happens.
+        let quiet = t.pull(10_000, Instant::from_millis(20));
+        assert!(quiet.segments.is_empty());
+        // After T_POLL_RETRANSMIT of silence: the SDU is retransmitted.
+        let retx = t.pull(10_000, Instant::from_millis(60));
+        assert_eq!(retx.segments.len(), 1);
+        assert_eq!(retx.segments[0].sn, 0);
+        assert!(retx.segments[0].payload.is_some());
+        // And it does not machine-gun: the next pull is quiet again.
+        let quiet2 = t.pull(10_000, Instant::from_millis(61));
+        assert!(quiet2.segments.is_empty());
+    }
+
+    #[test]
+    fn duplicate_nacks_are_not_requeued() {
+        let mut t = tx(RlcMode::Am);
+        t.enqueue(0, pkt(500), Instant::ZERO);
+        t.pull(10_000, Instant::from_millis(1));
+        let nack = RlcStatus {
+            ack_sn: 0,
+            nacks: vec![Nack {
+                sn: 0,
+                from: 0,
+                to: u32::MAX,
+            }],
+        };
+        t.on_status(&nack, Instant::from_millis(10));
+        t.on_status(&nack, Instant::from_millis(11));
+        let r = t.pull(100_000, Instant::from_millis(12));
+        let count_sn0 = r.segments.iter().filter(|s| s.sn == 0).count();
+        assert_eq!(count_sn0, 1, "retransmit once, not twice");
+    }
+
+    #[test]
+    fn rx_reassembles_out_of_order_segments() {
+        let mut rx = RlcRx::new(RlcMode::Am, Duration::from_millis(10));
+        let p = pkt(960);
+        let mk = |off: u32, len: u32, with_payload: bool| Segment {
+            sn: 0,
+            offset: off,
+            len,
+            sdu_size: 1000,
+            payload: if with_payload { Some(p.clone()) } else { None },
+            t_ingress: Instant::ZERO,
+        };
+        // Tail first, then head.
+        assert!(rx.on_segment(mk(500, 500, true), Instant::from_millis(1)).is_empty());
+        let d = rx.on_segment(mk(0, 500, false), Instant::from_millis(2));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].sn, 0);
+    }
+
+    #[test]
+    fn rx_delivers_in_order_only() {
+        let mut rx = RlcRx::new(RlcMode::Am, Duration::from_millis(10));
+        let seg = |sn: Sn| Segment {
+            sn,
+            offset: 0,
+            len: 1000,
+            sdu_size: 1000,
+            payload: Some(pkt(960)),
+            t_ingress: Instant::ZERO,
+        };
+        // SN 1 arrives before SN 0: held back.
+        assert!(rx.on_segment(seg(1), Instant::from_millis(1)).is_empty());
+        let d = rx.on_segment(seg(0), Instant::from_millis(2));
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].sn, 0);
+        assert_eq!(d[1].sn, 1);
+    }
+
+    #[test]
+    fn status_report_carries_gaps() {
+        let mut rx = RlcRx::new(RlcMode::Am, Duration::from_millis(10));
+        // SN 0 partially received, SN 2 complete, SN 1 never seen.
+        rx.on_segment(
+            Segment {
+                sn: 0,
+                offset: 0,
+                len: 400,
+                sdu_size: 1000,
+                payload: None,
+                t_ingress: Instant::ZERO,
+            },
+            Instant::from_millis(1),
+        );
+        rx.on_segment(
+            Segment {
+                sn: 2,
+                offset: 0,
+                len: 1000,
+                sdu_size: 1000,
+                payload: Some(pkt(960)),
+                t_ingress: Instant::ZERO,
+            },
+            Instant::from_millis(2),
+        );
+        let st = rx.make_status(Instant::from_millis(20)).unwrap();
+        assert_eq!(st.ack_sn, 0);
+        assert!(st.nacks.contains(&Nack {
+            sn: 0,
+            from: 400,
+            to: 1000
+        }));
+        assert!(st.nacks.contains(&Nack {
+            sn: 1,
+            from: 0,
+            to: u32::MAX
+        }));
+        // SN 2 complete: no nack for it.
+        assert!(!st.nacks.iter().any(|n| n.sn == 2));
+    }
+
+    #[test]
+    fn status_respects_cadence_and_dirty_flag() {
+        let mut rx = RlcRx::new(RlcMode::Am, Duration::from_millis(10));
+        assert!(rx.make_status(Instant::from_millis(100)).is_none(), "nothing to report");
+        rx.on_segment(
+            Segment {
+                sn: 0,
+                offset: 0,
+                len: 1000,
+                sdu_size: 1000,
+                payload: Some(pkt(960)),
+                t_ingress: Instant::ZERO,
+            },
+            Instant::from_millis(100),
+        );
+        let st = rx.make_status(Instant::from_millis(105)).unwrap();
+        assert_eq!(st.ack_sn, 1);
+        assert!(st.nacks.is_empty());
+        // New data arrives straight away: the prohibit timer gates the
+        // next report until a full period after the last one.
+        rx.on_segment(
+            Segment {
+                sn: 1,
+                offset: 0,
+                len: 1000,
+                sdu_size: 1000,
+                payload: Some(pkt(960)),
+                t_ingress: Instant::ZERO,
+            },
+            Instant::from_millis(106),
+        );
+        assert!(rx.make_status(Instant::from_millis(110)).is_none(), "prohibit timer");
+        let st2 = rx.make_status(Instant::from_millis(116)).unwrap();
+        assert_eq!(st2.ack_sn, 2);
+        assert!(rx.make_status(Instant::from_millis(130)).is_none(), "no news");
+    }
+
+    #[test]
+    fn um_skips_stuck_sdu_after_timeout() {
+        let mut rx = RlcRx::new(RlcMode::Um, Duration::from_millis(10));
+        // SN 0 partial (stuck), SN 1 complete behind it.
+        rx.on_segment(
+            Segment {
+                sn: 0,
+                offset: 0,
+                len: 100,
+                sdu_size: 1000,
+                payload: None,
+                t_ingress: Instant::ZERO,
+            },
+            Instant::from_millis(0),
+        );
+        let held = rx.on_segment(
+            Segment {
+                sn: 1,
+                offset: 0,
+                len: 1000,
+                sdu_size: 1000,
+                payload: Some(pkt(960)),
+                t_ingress: Instant::ZERO,
+            },
+            Instant::from_millis(1),
+        );
+        assert!(held.is_empty());
+        assert!(rx.poll(Instant::from_millis(20)).is_empty(), "not timed out yet");
+        let d = rx.poll(Instant::from_millis(60));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].sn, 1);
+        assert_eq!(rx.skipped_count(), 1);
+    }
+
+    #[test]
+    fn um_skips_wholly_missing_sdu() {
+        let mut rx = RlcRx::new(RlcMode::Um, Duration::from_millis(10));
+        // SN 1 complete, SN 0 never arrives at all.
+        rx.on_segment(
+            Segment {
+                sn: 1,
+                offset: 0,
+                len: 1000,
+                sdu_size: 1000,
+                payload: Some(pkt(960)),
+                t_ingress: Instant::ZERO,
+            },
+            Instant::from_millis(0),
+        );
+        let d = rx.poll(Instant::from_millis(60));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].sn, 1);
+    }
+
+    #[test]
+    fn lost_payload_segment_is_renacked() {
+        // Byte coverage complete but the final (payload-carrying) segment
+        // never arrived: entry.missing() must request the tail again.
+        let e = RxEntry {
+            ranges: vec![(0, 1000)],
+            size: 1000,
+            payload: None,
+            t_first: Instant::ZERO,
+            t_ingress: Instant::ZERO,
+        };
+        assert_eq!(e.missing(), vec![(999, 1000)]);
+        assert!(!e.complete());
+    }
+}

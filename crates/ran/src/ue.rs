@@ -1,0 +1,266 @@
+//! The UE-side stack: per-DRB RLC receivers, in-order delivery to the
+//! "kernel", RLC status generation, and the TDD uplink path whose jitter
+//! L4Span's feedback short-circuiting bypasses (paper §4.4, Fig. 7).
+
+use std::collections::{BTreeMap, VecDeque};
+
+use l4span_net::PacketBuf;
+use l4span_sim::{Duration, Instant, SimRng};
+
+use crate::config::RlcMode;
+use crate::ids::{DrbId, UeId};
+use crate::mac::TransportBlock;
+use crate::rlc::{RlcRx, RlcStatus};
+
+/// A downlink IP packet delivered up to the UE application, with the
+/// timing metadata the harness needs for one-way-delay accounting.
+#[derive(Debug)]
+pub struct AppDelivery {
+    /// The reassembled IP packet.
+    pub pkt: PacketBuf,
+    /// When the application sees it (after the modem/kernel delay).
+    pub deliver_at: Instant,
+    /// CU ingress timestamp (carried through the RAN for metrics).
+    pub t_cu_ingress: Instant,
+    /// DRB it arrived on.
+    pub drb: DrbId,
+}
+
+/// One queued uplink item (client ACK or any uplink IP packet).
+#[derive(Debug)]
+struct UlItem {
+    pkt: PacketBuf,
+    /// Earliest uplink slot time this item may ride (SR/grant delay).
+    ready_at: Instant,
+}
+
+/// The UE model: RLC receivers plus an uplink queue drained at TDD
+/// uplink opportunities.
+#[derive(Debug)]
+pub struct UeStack {
+    id: UeId,
+    rlc: BTreeMap<DrbId, RlcRx>,
+    ul_queue: VecDeque<UlItem>,
+    internal_delay: Duration,
+    sr_delay_max: Duration,
+    rng: SimRng,
+}
+
+impl UeStack {
+    /// Create a UE with the given DRBs.
+    pub fn new(
+        id: UeId,
+        drbs: &[(DrbId, RlcMode)],
+        status_period: Duration,
+        internal_delay: Duration,
+        sr_delay_max: Duration,
+        rng: SimRng,
+    ) -> UeStack {
+        let rlc = drbs
+            .iter()
+            .map(|&(d, m)| (d, RlcRx::new(m, status_period)))
+            .collect();
+        UeStack {
+            id,
+            rlc,
+            ul_queue: VecDeque::new(),
+            internal_delay,
+            sr_delay_max,
+            rng,
+        }
+    }
+
+    /// This UE's identifier.
+    pub fn id(&self) -> UeId {
+        self.id
+    }
+
+    /// Ingest a successfully-decoded transport block; returns packets
+    /// deliverable to the application (already stamped with the
+    /// modem→kernel delay).
+    pub fn on_transport_block(&mut self, tb: &TransportBlock, now: Instant) -> Vec<AppDelivery> {
+        let mut out = Vec::new();
+        for (drb, seg) in &tb.segments {
+            let Some(rx) = self.rlc.get_mut(drb) else {
+                continue; // segment for an unconfigured DRB: dropped
+            };
+            for d in rx.on_segment(seg.clone(), now) {
+                out.push(AppDelivery {
+                    pkt: d.pkt,
+                    deliver_at: now + self.internal_delay,
+                    t_cu_ingress: d.t_ingress,
+                    drb: *drb,
+                });
+            }
+        }
+        out
+    }
+
+    /// Timer poll: UM reassembly-timeout skips (lost SDUs are abandoned
+    /// so later ones flow).
+    pub fn poll(&mut self, now: Instant) -> Vec<AppDelivery> {
+        let mut out = Vec::new();
+        for (drb, rx) in self.rlc.iter_mut() {
+            for d in rx.poll(now) {
+                out.push(AppDelivery {
+                    pkt: d.pkt,
+                    deliver_at: now + self.internal_delay,
+                    t_cu_ingress: d.t_ingress,
+                    drb: *drb,
+                });
+            }
+        }
+        out
+    }
+
+    /// Enqueue an uplink IP packet (e.g. a TCP ACK from the client
+    /// kernel). If the queue was empty the packet waits an extra
+    /// scheduling-request delay before it may ride an uplink slot — the
+    /// "RAN jitter" of Fig. 7.
+    pub fn enqueue_uplink(&mut self, pkt: PacketBuf, now: Instant) {
+        let sr = if self.ul_queue.is_empty() && !self.sr_delay_max.is_zero() {
+            Duration::from_nanos(self.rng.range_u64(0, self.sr_delay_max.as_nanos().max(1)))
+        } else {
+            Duration::ZERO
+        };
+        self.ul_queue.push_back(UlItem {
+            pkt,
+            ready_at: now + sr,
+        });
+    }
+
+    /// Number of uplink packets waiting.
+    pub fn uplink_backlog(&self) -> usize {
+        self.ul_queue.len()
+    }
+
+    /// Drain the uplink at a TDD uplink slot: returns the IP packets that
+    /// ride this opportunity plus any RLC status reports due. Uplink
+    /// capacity is ample for ACK-sized traffic, so everything ready goes.
+    pub fn on_uplink_slot(
+        &mut self,
+        now: Instant,
+    ) -> (Vec<PacketBuf>, Vec<(DrbId, RlcStatus)>) {
+        let mut pkts = Vec::new();
+        while let Some(item) = self.ul_queue.front() {
+            if item.ready_at > now {
+                break;
+            }
+            pkts.push(self.ul_queue.pop_front().expect("front exists").pkt);
+        }
+        let mut statuses = Vec::new();
+        for (drb, rx) in self.rlc.iter_mut() {
+            if let Some(st) = rx.make_status(now) {
+                statuses.push((*drb, st));
+            }
+        }
+        (pkts, statuses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rlc::Segment;
+    use l4span_net::{Ecn, TcpHeader};
+
+    fn pkt(len: usize) -> PacketBuf {
+        PacketBuf::tcp(1, 2, Ecn::Ect1, 0, &TcpHeader::default(), len)
+    }
+
+    fn ue() -> UeStack {
+        UeStack::new(
+            UeId(0),
+            &[(DrbId(0), RlcMode::Am)],
+            Duration::from_millis(10),
+            Duration::from_millis(2),
+            Duration::from_millis(5),
+            SimRng::new(7),
+        )
+    }
+
+    fn tb_with(segments: Vec<(DrbId, Segment)>) -> TransportBlock {
+        TransportBlock {
+            ue: UeId(0),
+            segments,
+            bytes: 0,
+            attempt: 1,
+            cqi: 10,
+            first_tx: Instant::ZERO,
+        }
+    }
+
+    #[test]
+    fn tb_delivery_applies_internal_delay() {
+        let mut u = ue();
+        let p = pkt(960);
+        let seg = Segment {
+            sn: 0,
+            offset: 0,
+            len: 1000,
+            sdu_size: 1000,
+            payload: Some(p),
+            t_ingress: Instant::from_millis(1),
+        };
+        let now = Instant::from_millis(10);
+        let d = u.on_transport_block(&tb_with(vec![(DrbId(0), seg)]), now);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].deliver_at, now + Duration::from_millis(2));
+        assert_eq!(d[0].t_cu_ingress, Instant::from_millis(1));
+    }
+
+    #[test]
+    fn segment_for_unknown_drb_is_dropped() {
+        let mut u = ue();
+        let seg = Segment {
+            sn: 0,
+            offset: 0,
+            len: 1000,
+            sdu_size: 1000,
+            payload: Some(pkt(960)),
+            t_ingress: Instant::ZERO,
+        };
+        let d = u.on_transport_block(&tb_with(vec![(DrbId(9), seg)]), Instant::ZERO);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn uplink_waits_for_sr_delay() {
+        let mut u = ue();
+        let now = Instant::from_millis(100);
+        u.enqueue_uplink(pkt(0), now);
+        // At `now` the SR delay (0..5 ms) has almost surely not elapsed
+        // for a fresh queue; at +6 ms it must have.
+        let (sent, _) = u.on_uplink_slot(now + Duration::from_millis(6));
+        assert_eq!(sent.len(), 1);
+        assert_eq!(u.uplink_backlog(), 0);
+    }
+
+    #[test]
+    fn uplink_batches_queued_packets() {
+        let mut u = ue();
+        let now = Instant::from_millis(100);
+        u.enqueue_uplink(pkt(0), now);
+        u.enqueue_uplink(pkt(0), now); // second one has no extra SR delay
+        u.enqueue_uplink(pkt(0), now);
+        let (sent, _) = u.on_uplink_slot(now + Duration::from_millis(6));
+        assert_eq!(sent.len(), 3);
+    }
+
+    #[test]
+    fn status_reports_flow_with_uplink() {
+        let mut u = ue();
+        let seg = Segment {
+            sn: 0,
+            offset: 0,
+            len: 1000,
+            sdu_size: 1000,
+            payload: Some(pkt(960)),
+            t_ingress: Instant::ZERO,
+        };
+        u.on_transport_block(&tb_with(vec![(DrbId(0), seg)]), Instant::from_millis(50));
+        let (_, statuses) = u.on_uplink_slot(Instant::from_millis(65));
+        assert_eq!(statuses.len(), 1);
+        assert_eq!(statuses[0].1.ack_sn, 1);
+    }
+}

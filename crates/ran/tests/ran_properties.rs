@@ -1,0 +1,133 @@
+//! RAN-layer invariants under randomised inputs: scheduler conservation,
+//! PHY monotonicity, channel purity, and whole-cell byte conservation.
+
+use proptest::prelude::*;
+
+use l4span_net::{Ecn, PacketBuf, TcpHeader};
+use l4span_ran::channel::{ChannelProfile, FadingChannel};
+use l4span_ran::config::{CellConfig, RlcMode, SchedulerKind};
+use l4span_ran::ids::{Qfi, UeId};
+use l4span_ran::mac::{allocate_proportional_fair, allocate_round_robin, Candidate};
+use l4span_ran::phy;
+use l4span_ran::{DrbId, Gnb};
+use l4span_sim::{Instant, SimRng};
+
+fn arb_candidates() -> impl Strategy<Value = Vec<Candidate>> {
+    proptest::collection::vec(
+        (0usize..1_000_000, 0usize..4000, 0.0f64..1e6),
+        1..24,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .enumerate()
+            .map(|(i, (backlog, per_rbg, avg))| Candidate {
+                ue: UeId(i as u16),
+                backlog,
+                bytes_per_rbg: per_rbg,
+                avg_throughput: avg,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Neither scheduler ever over-allocates RBGs, grants them to UEs
+    /// without backlog, or grants zero-size allocations.
+    #[test]
+    fn schedulers_conserve_rbgs(cands in arb_candidates(), n_rbgs in 1usize..20) {
+        let mut cursor = 0;
+        for grants in [
+            allocate_round_robin(&cands, n_rbgs, &mut cursor),
+            allocate_proportional_fair(&cands, n_rbgs),
+        ] {
+            let total: usize = grants.iter().map(|&(_, n)| n).sum();
+            prop_assert!(total <= n_rbgs, "over-allocated: {total}/{n_rbgs}");
+            for (ue, n) in grants {
+                prop_assert!(n > 0);
+                let c = cands.iter().find(|c| c.ue == ue).unwrap();
+                prop_assert!(c.backlog > 0 && c.bytes_per_rbg > 0);
+            }
+        }
+    }
+
+    /// TBS grows monotonically with both CQI and PRB count.
+    #[test]
+    fn tbs_is_monotone(prbs in 1usize..52, cqi in 1u8..15) {
+        prop_assert!(phy::tbs_bytes(cqi, prbs, 126) <= phy::tbs_bytes(cqi + 1, prbs, 126));
+        prop_assert!(phy::tbs_bytes(cqi, prbs, 126) <= phy::tbs_bytes(cqi, prbs + 1, 126));
+    }
+
+    /// BLER is monotone decreasing in SNR for every CQI.
+    #[test]
+    fn bler_monotone_in_snr(cqi in 1u8..=15, snr10 in -100i32..300) {
+        let s = snr10 as f64 / 10.0;
+        prop_assert!(phy::bler(cqi, s) >= phy::bler(cqi, s + 0.5) - 1e-12);
+        prop_assert!((0.0..=1.0).contains(&phy::bler(cqi, s)));
+    }
+
+    /// The fading channel is a pure function of time: re-querying any
+    /// instant gives the identical SNR, independent of query order.
+    #[test]
+    fn channel_is_pure(
+        seed in any::<u64>(),
+        times in proptest::collection::vec(0u64..10_000_000, 2..20),
+        profile in prop_oneof![
+            Just(ChannelProfile::Static),
+            Just(ChannelProfile::Pedestrian),
+            Just(ChannelProfile::Vehicular)
+        ],
+    ) {
+        let mut rng = SimRng::new(seed);
+        let ch = FadingChannel::new(profile, 20.0, 3.75e9, &mut rng);
+        let forward: Vec<f64> = times.iter().map(|&t| ch.snr_db(Instant::from_micros(t))).collect();
+        let backward: Vec<f64> =
+            times.iter().rev().map(|&t| ch.snr_db(Instant::from_micros(t))).collect();
+        for (a, b) in forward.iter().zip(backward.iter().rev()) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Whole-cell conservation: every enqueued SDU is eventually either
+    /// delivered (counted via segments), still queued, in flight, or was
+    /// tail-dropped — bytes never appear from nowhere.
+    #[test]
+    fn gnb_never_creates_bytes(
+        seed in any::<u64>(),
+        n_pkts in 1usize..80,
+        slots in 20u64..200,
+    ) {
+        let cfg = CellConfig::default();
+        let mut g = Gnb::new(cfg.clone(), SchedulerKind::RoundRobin, SimRng::new(seed));
+        let mut rng = SimRng::new(seed ^ 0xABCD);
+        let ch = FadingChannel::new(ChannelProfile::Vehicular, 15.0, cfg.carrier_hz, &mut rng);
+        g.add_ue(UeId(0), ch, &[(DrbId(0), RlcMode::Am)]);
+        let hdr = TcpHeader::default();
+        let mut enqueued_bytes = 0usize;
+        for i in 0..n_pkts {
+            let p = PacketBuf::tcp(1, 2, Ecn::Ect1, i as u16, &hdr, 1000);
+            let w = p.wire_len();
+            if g.enqueue_downlink(UeId(0), Qfi(0), p, Instant::ZERO).is_some() {
+                enqueued_bytes += w;
+            }
+        }
+        let mut segment_bytes = 0usize;
+        for k in 0..slots {
+            let out = g.on_slot(Instant::from_micros(500 * k));
+            for d in out.deliveries {
+                for (_, seg) in &d.tb.segments {
+                    // Count only first transmissions of each byte range:
+                    // retransmissions may repeat ranges, so only bound-check.
+                    segment_bytes += seg.len as usize;
+                }
+            }
+        }
+        let still_queued = g.rlc_backlog_bytes(UeId(0), DrbId(0));
+        // Delivered (incl. retransmitted duplicates) can exceed enqueued
+        // only by retransmission, which HARQ caps at max_attempts×.
+        prop_assert!(
+            segment_bytes <= enqueued_bytes * cfg.harq_max_attempts as usize + 1,
+            "delivered {segment_bytes} vs enqueued {enqueued_bytes}"
+        );
+        prop_assert!(still_queued <= enqueued_bytes);
+    }
+}

@@ -1,0 +1,35 @@
+//! Discrete-event simulation substrate for the L4Span reproduction.
+//!
+//! This crate provides the building blocks every other crate in the
+//! workspace rests on:
+//!
+//! * [`time`] — virtual [`Instant`]/[`Duration`] types with nanosecond
+//!   resolution. All timestamps in the simulated 5G network (PDCP ingress
+//!   times, RLC transmission times, F1-U feedback timestamps, TCP
+//!   timestamps) are expressed in these units.
+//! * [`queue`] — a deterministic, stable [`EventQueue`]: events scheduled
+//!   for the same instant fire in insertion order, which keeps whole-system
+//!   runs bit-for-bit reproducible.
+//! * [`rng`] — a seedable deterministic random source ([`SimRng`]) with the
+//!   distributions the channel models and AQMs need (uniform, Bernoulli,
+//!   Gaussian, exponential).
+//! * [`stats`] — statistics used throughout the evaluation harness:
+//!   percentiles, box-plot summaries, CDFs, Welford running moments, and
+//!   exponentially-weighted moving averages.
+//!
+//! The design follows the smoltcp idiom: passive state machines driven by
+//! explicit `poll`-style calls with an explicit notion of *now*. Nothing in
+//! this crate (or its dependents) reads wall-clock time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use stats::{BoxStats, Cdf, Ewma, RunningStats};
+pub use time::{Duration, Instant};

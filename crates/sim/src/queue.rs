@@ -1,0 +1,183 @@
+//! Deterministic event queue.
+//!
+//! A binary heap keyed on `(Instant, sequence)` so that events scheduled
+//! for the same instant dequeue in the order they were scheduled. This
+//! stability is what makes whole-network runs reproducible: the gNB slot
+//! tick, a WAN packet arrival, and a TCP retransmission timer may all fire
+//! at the same nanosecond, and their relative order must not depend on
+//! heap internals.
+
+use core::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Instant;
+
+/// One scheduled entry. Ordered for a *min*-heap via reversed comparison.
+struct Entry<E> {
+    at: Instant,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A stable, deterministic priority queue of future events.
+///
+/// `E` is whatever event representation the driver chooses — the harness
+/// crate uses a single world-level `enum`.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    /// Monotonically non-decreasing time of the last popped event.
+    now: Instant,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue positioned at t = 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: Instant::ZERO,
+        }
+    }
+
+    /// Schedule `event` to fire at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error in a discrete-event
+    /// simulation; it is clamped to `now` (fires immediately) so the
+    /// simulation stays monotonic rather than panicking deep inside a run.
+    pub fn schedule(&mut self, at: Instant, event: E) {
+        let at = at.max(self.now);
+        self.heap.push(Entry {
+            at,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn next_at(&self) -> Option<Instant> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pop the earliest event, advancing the queue clock to its time.
+    pub fn pop(&mut self) -> Option<(Instant, E)> {
+        self.heap.pop().map(|e| {
+            debug_assert!(e.at >= self.now, "event queue went backwards");
+            self.now = e.at;
+            (e.at, e.event)
+        })
+    }
+
+    /// Time of the most recently popped event (the simulation's "now").
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drop all pending events without advancing time.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Instant::from_millis(30), "c");
+        q.schedule(Instant::from_millis(10), "a");
+        q.schedule(Instant::from_millis(20), "b");
+        assert_eq!(q.next_at(), Some(Instant::from_millis(10)));
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = Instant::from_millis(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(Instant::from_millis(7), ());
+        assert_eq!(q.now(), Instant::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Instant::from_millis(7));
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(Instant::from_millis(10), "late");
+        q.pop();
+        // Attempt to schedule before `now`; it must fire "now", not panic
+        // and not travel back in time.
+        q.schedule(Instant::from_millis(1), "clamped");
+        let (at, ev) = q.pop().unwrap();
+        assert_eq!(ev, "clamped");
+        assert_eq!(at, Instant::from_millis(10));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(Instant::from_millis(1), 1u32);
+        q.schedule(Instant::from_millis(3), 3u32);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.schedule(q.now() + Duration::from_millis(1), 2u32);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,224 @@
+//! Deterministic random number generation.
+//!
+//! Every stochastic element of the reproduction — Rayleigh fading phases,
+//! HARQ transport-block errors, AQM marking coin flips, workload start
+//! jitter — draws from a [`SimRng`] seeded from the scenario seed, so each
+//! experiment is exactly repeatable and `--seed` sweeps give independent
+//! trials.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seedable deterministic RNG with the distributions the simulator needs.
+///
+/// Wraps `rand::SmallRng` (xoshiro256++), seeded via SplitMix64 expansion
+/// of a single `u64`, so scenario files only carry one number.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+    /// The seed this stream was built from (feeds `derive`).
+    seed: u64,
+    /// Cached second Box-Muller variate.
+    gauss_spare: Option<f64>,
+}
+
+/// SplitMix64 step; used to derive independent streams from one seed.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Create from a scenario seed.
+    pub fn new(seed: u64) -> Self {
+        let mut s = seed;
+        let mut key = [0u8; 32];
+        for chunk in key.chunks_mut(8) {
+            chunk.copy_from_slice(&splitmix64(&mut s).to_le_bytes());
+        }
+        SimRng {
+            inner: SmallRng::from_seed(key),
+            seed,
+            gauss_spare: None,
+        }
+    }
+
+    /// Derive an independent child stream (e.g. one per UE) so adding a UE
+    /// does not perturb the draws of existing UEs. The child depends on
+    /// both the parent's seed and the stream id.
+    pub fn derive(&self, stream: u64) -> SimRng {
+        // Mix parent seed and stream id through SplitMix64 for dispersion.
+        let mut s = self.seed ^ stream.wrapping_mul(0xA076_1D64_78BD_642F);
+        let a = splitmix64(&mut s);
+        let b = splitmix64(&mut s);
+        SimRng::new(a ^ b.rotate_left(17))
+    }
+
+    /// Uniform in `[0, 1)`.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if `lo >= hi`.
+    #[inline]
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform usize in `[0, n)`. Panics if `n == 0`.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    #[inline]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Bernoulli trial: true with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.f64() < p
+        }
+    }
+
+    /// Standard normal via Box–Muller (with spare caching).
+    pub fn gaussian(&mut self) -> f64 {
+        if let Some(z) = self.gauss_spare.take() {
+            return z;
+        }
+        // Avoid ln(0).
+        let mut u1 = self.f64();
+        while u1 <= f64::MIN_POSITIVE {
+            u1 = self.f64();
+        }
+        let u2 = self.f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = core::f64::consts::TAU * u2;
+        self.gauss_spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal with the given mean and standard deviation.
+    #[inline]
+    pub fn normal(&mut self, mean: f64, std: f64) -> f64 {
+        mean + std * self.gaussian()
+    }
+
+    /// Exponential with the given mean. Returns 0 for non-positive mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        let mut u = self.f64();
+        while u <= f64::MIN_POSITIVE {
+            u = self.f64();
+        }
+        -mean * u.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.f64().to_bits(), b.f64().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..100).filter(|_| a.f64() == b.f64()).count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn derived_streams_are_independent_of_sibling_draws() {
+        let root = SimRng::new(7);
+        let mut c1 = root.derive(1);
+        let first = c1.f64();
+        // Drawing from another child must not change child 1's stream.
+        let mut c2 = root.derive(2);
+        let _ = c2.f64();
+        let mut c1_again = root.derive(1);
+        assert_eq!(first.to_bits(), c1_again.f64().to_bits());
+    }
+
+    #[test]
+    fn derived_streams_depend_on_parent_seed() {
+        // Regression: derive() once ignored the parent seed entirely,
+        // making every scenario's child streams identical.
+        let mut a = SimRng::new(1).derive(5);
+        let mut b = SimRng::new(2).derive(5);
+        let same = (0..50).filter(|_| a.f64() == b.f64()).count();
+        assert!(same < 5, "children of different parents must differ");
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = SimRng::new(9);
+        let n = 200_000;
+        let (mut sum, mut sum2) = (0.0, 0.0);
+        for _ in 0..n {
+            let z = rng.gaussian();
+            sum += z;
+            sum2 += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::new(3);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-0.5));
+        assert!(rng.chance(1.5));
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = SimRng::new(5);
+        let n = 100_000;
+        let mean = 3.0;
+        let sum: f64 = (0..n).map(|_| rng.exponential(mean)).sum();
+        let m = sum / n as f64;
+        assert!((m - mean).abs() < 0.05 * mean, "mean {m}");
+        assert_eq!(rng.exponential(0.0), 0.0);
+    }
+
+    #[test]
+    fn uniform_range_bounds() {
+        let mut rng = SimRng::new(11);
+        for _ in 0..1000 {
+            let v = rng.range_u64(10, 20);
+            assert!((10..20).contains(&v));
+            let f = rng.range_f64(-1.0, 1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let i = rng.index(7);
+            assert!(i < 7);
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! Virtual time for the discrete-event simulator.
+//!
+//! [`Instant`] is a nanosecond count since the start of the simulation;
+//! [`Duration`] is a nanosecond span. Both are plain `u64` wrappers with
+//! the arithmetic the rest of the stack needs. Nanosecond resolution is
+//! deliberate: L4Span's event handlers run in under a microsecond (paper
+//! Fig. 21), so the profiler in the bench crate needs sub-microsecond
+//! ticks, and the PHY slot clock (0.5 ms) divides evenly.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in simulated time, measured in nanoseconds from simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Instant(u64);
+
+/// A span of simulated time in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(u64);
+
+impl Instant {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: Instant = Instant(0);
+
+    /// Largest representable instant; used as an "infinitely far" sentinel.
+    pub const MAX: Instant = Instant(u64::MAX);
+
+    /// Construct from raw nanoseconds since the epoch.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Instant(ns)
+    }
+
+    /// Construct from microseconds since the epoch.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Instant(us * 1_000)
+    }
+
+    /// Construct from milliseconds since the epoch.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Instant(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds since the epoch.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Instant(s * 1_000_000_000)
+    }
+
+    /// Raw nanoseconds since the epoch.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since the epoch (truncating).
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Milliseconds since the epoch (truncating).
+    #[inline]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Seconds since the epoch as a float.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Time elapsed since `earlier`, saturating to zero if `earlier` is
+    /// in the future (clock skew cannot happen in the simulator, but the
+    /// estimator code subtracts freely and must not panic).
+    #[inline]
+    pub fn saturating_since(self, earlier: Instant) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked duration since `earlier`; `None` if `earlier > self`.
+    #[inline]
+    pub fn checked_since(self, earlier: Instant) -> Option<Duration> {
+        self.0.checked_sub(earlier.0).map(Duration)
+    }
+
+    /// Saturating add that never wraps past [`Instant::MAX`].
+    #[inline]
+    pub fn saturating_add(self, d: Duration) -> Instant {
+        Instant(self.0.saturating_add(d.0))
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, other: Instant) -> Instant {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: Instant) -> Instant {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Duration {
+    /// Zero-length span.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Largest representable span; used as an "infinite timeout" sentinel.
+    pub const MAX: Duration = Duration(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Duration(ns)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Duration(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Duration(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Duration(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional seconds. Negative input clamps to zero.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s <= 0.0 {
+            Duration(0)
+        } else {
+            Duration((s * 1e9).round() as u64)
+        }
+    }
+
+    /// Raw nanoseconds.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds (truncating).
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Milliseconds (truncating).
+    #[inline]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Fractional milliseconds.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, other: Duration) -> Duration {
+        Duration(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiply by a non-negative float (e.g. scaling an RTT estimate).
+    /// Negative factors clamp to zero.
+    #[inline]
+    pub fn mul_f64(self, k: f64) -> Duration {
+        if k <= 0.0 {
+            Duration(0)
+        } else {
+            Duration((self.0 as f64 * k).round() as u64)
+        }
+    }
+
+    /// The smaller of two spans.
+    #[inline]
+    pub fn min(self, other: Duration) -> Duration {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two spans.
+    #[inline]
+    pub fn max(self, other: Duration) -> Duration {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// True if this is the zero span.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+    #[inline]
+    fn add(self, d: Duration) -> Instant {
+        Instant(self.0 + d.0)
+    }
+}
+
+impl AddAssign<Duration> for Instant {
+    #[inline]
+    fn add_assign(&mut self, d: Duration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<Duration> for Instant {
+    type Output = Instant;
+    #[inline]
+    fn sub(self, d: Duration) -> Instant {
+        Instant(self.0 - d.0)
+    }
+}
+
+impl Sub<Instant> for Instant {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, earlier: Instant) -> Duration {
+        Duration(self.0 - earlier.0)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, other: Duration) -> Duration {
+        Duration(self.0 + other.0)
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, other: Duration) {
+        self.0 += other.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, other: Duration) -> Duration {
+        Duration(self.0 - other.0)
+    }
+}
+
+impl SubAssign for Duration {
+    #[inline]
+    fn sub_assign(&mut self, other: Duration) {
+        self.0 -= other.0;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn mul(self, k: u64) -> Duration {
+        Duration(self.0 * k)
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn div(self, k: u64) -> Duration {
+        Duration(self.0 / k)
+    }
+}
+
+impl fmt::Display for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_roundtrips() {
+        assert_eq!(Instant::from_millis(5).as_nanos(), 5_000_000);
+        assert_eq!(Instant::from_micros(5).as_nanos(), 5_000);
+        assert_eq!(Instant::from_secs(2).as_millis(), 2_000);
+        assert_eq!(Duration::from_millis(10).as_micros(), 10_000);
+        assert_eq!(Duration::from_secs(1).as_nanos(), 1_000_000_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Instant::from_millis(100);
+        let d = Duration::from_millis(25);
+        assert_eq!((t + d).as_millis(), 125);
+        assert_eq!((t - d).as_millis(), 75);
+        assert_eq!(((t + d) - t).as_millis(), 25);
+        assert_eq!((d * 4).as_millis(), 100);
+        assert_eq!((d / 5).as_millis(), 5);
+    }
+
+    #[test]
+    fn saturating_since_does_not_panic() {
+        let early = Instant::from_millis(10);
+        let late = Instant::from_millis(20);
+        assert_eq!(early.saturating_since(late), Duration::ZERO);
+        assert_eq!(late.saturating_since(early), Duration::from_millis(10));
+        assert_eq!(early.checked_since(late), None);
+    }
+
+    #[test]
+    fn float_conversions() {
+        assert!((Duration::from_millis(1500).as_secs_f64() - 1.5).abs() < 1e-12);
+        assert!((Duration::from_micros(1500).as_millis_f64() - 1.5).abs() < 1e-12);
+        assert_eq!(Duration::from_secs_f64(0.001), Duration::from_millis(1));
+        assert_eq!(Duration::from_secs_f64(-1.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn mul_f64_scales_and_clamps() {
+        let d = Duration::from_millis(10);
+        assert_eq!(d.mul_f64(2.5), Duration::from_micros(25_000));
+        assert_eq!(d.mul_f64(-1.0), Duration::ZERO);
+        assert_eq!(d.mul_f64(0.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Duration::from_millis(1);
+        let b = Duration::from_millis(2);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        let t1 = Instant::from_millis(1);
+        let t2 = Instant::from_millis(2);
+        assert_eq!(t1.min(t2), t1);
+        assert_eq!(t1.max(t2), t2);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", Duration::from_nanos(12)), "12ns");
+        assert_eq!(format!("{}", Duration::from_micros(12)), "12.000us");
+        assert_eq!(format!("{}", Duration::from_millis(12)), "12.000ms");
+        assert_eq!(format!("{}", Duration::from_secs(12)), "12.000s");
+    }
+}

@@ -1,0 +1,251 @@
+//! Cross-crate integration tests: whole-stack scenarios through the
+//! facade crate, checking the end-to-end behaviours the paper claims.
+
+use l4span::cc::WanLink;
+use l4span::core::L4SpanConfig;
+use l4span::harness::scenario::{
+    congested_cell, l4span_default, ChannelMix, FlowSpec, ScenarioConfig, TrafficKind, UeSpec,
+};
+use l4span::harness::{self, MarkerKind};
+use l4span::ran::config::RlcMode;
+use l4span::ran::ChannelProfile;
+use l4span::sim::{Duration, Instant};
+
+fn quick(n: usize, cc: &str, marker: MarkerKind, seed: u64) -> harness::Report {
+    harness::run(congested_cell(
+        n,
+        cc,
+        ChannelMix::Static,
+        16_384,
+        WanLink::east(),
+        marker,
+        seed,
+        Duration::from_secs(4),
+    ))
+}
+
+#[test]
+fn identical_seeds_give_identical_runs() {
+    let a = quick(2, "prague", l4span_default(), 99);
+    let b = quick(2, "prague", l4span_default(), 99);
+    assert_eq!(a.owd_ms, b.owd_ms, "simulation must be deterministic");
+    assert_eq!(a.thr_bins, b.thr_bins);
+    assert_eq!(a.total_marks, b.total_marks);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = quick(2, "prague", l4span_default(), 1);
+    let b = quick(2, "prague", l4span_default(), 2);
+    assert_ne!(a.owd_ms, b.owd_ms);
+}
+
+#[test]
+fn prague_l4span_beats_vanilla_on_delay_at_parity_throughput() {
+    let off = quick(4, "prague", MarkerKind::None, 5);
+    let on = quick(4, "prague", l4span_default(), 5);
+    let flows: Vec<usize> = (0..4).collect();
+    let owd_off = off.owd_stats_pooled(&flows).median;
+    let owd_on = on.owd_stats_pooled(&flows).median;
+    assert!(
+        owd_on < owd_off / 2.0,
+        "L4Span OWD {owd_on} vs vanilla {owd_off}"
+    );
+    let thr_off: f64 = flows.iter().map(|&f| off.goodput_total_mbps(f)).sum();
+    let thr_on: f64 = flows.iter().map(|&f| on.goodput_total_mbps(f)).sum();
+    assert!(thr_on > 0.75 * thr_off, "throughput {thr_on} vs {thr_off}");
+}
+
+#[test]
+fn short_rlc_queue_drops_but_flows_survive() {
+    let r = harness::run(congested_cell(
+        2,
+        "cubic",
+        ChannelMix::Static,
+        256,
+        WanLink::east(),
+        MarkerKind::None,
+        3,
+        Duration::from_secs(5),
+    ));
+    assert!(r.rlc_drops > 0, "256-SDU queue must tail-drop under CUBIC");
+    for f in 0..2 {
+        assert!(
+            r.goodput_total_mbps(f) > 1.0,
+            "flow {f} survived the losses: {}",
+            r.goodput_total_mbps(f)
+        );
+    }
+}
+
+#[test]
+fn rlc_um_mode_still_delivers_tcp() {
+    let mut cfg = ScenarioConfig::new(17, Duration::from_secs(4));
+    cfg.marker = l4span_default();
+    // A UM DRB on a fading channel: HARQ exhaustion now loses SDUs for
+    // good; TCP must recover via retransmission.
+    cfg.ues.push(UeSpec {
+        profile: ChannelProfile::Vehicular,
+        mean_snr_db: 12.0,
+        drbs: vec![(0, RlcMode::Um)],
+    });
+    cfg.flows.push(FlowSpec {
+        ue: 0,
+        drb: 0,
+        traffic: TrafficKind::Tcp {
+            cc: "cubic".into(),
+            app_limit: None,
+        },
+        wan: WanLink::east(),
+        start: Instant::ZERO,
+        stop: None,
+    });
+    let r = harness::run(cfg);
+    assert!(
+        r.goodput_total_mbps(0) > 0.5,
+        "UM flow still makes progress: {}",
+        r.goodput_total_mbps(0)
+    );
+}
+
+#[test]
+fn tcran_marker_controls_delay() {
+    let off = quick(1, "cubic", MarkerKind::None, 9);
+    let tcran = quick(1, "cubic", MarkerKind::TcRan { ecn: true }, 9);
+    assert!(
+        tcran.owd_stats(0).median < off.owd_stats(0).median / 2.0,
+        "ECN-CoDel at the CU bounds the queue: {} vs {}",
+        tcran.owd_stats(0).median,
+        off.owd_stats(0).median
+    );
+}
+
+#[test]
+fn dualpi2_cu_ablation_underutilises_vs_l4span_on_fading() {
+    // §6.3.1: the fixed 1 ms step cannot track a fading egress rate.
+    let mk = |marker| {
+        harness::run(congested_cell(
+            1,
+            "prague",
+            ChannelMix::Vehicular,
+            16_384,
+            WanLink::east(),
+            marker,
+            21,
+            Duration::from_secs(5),
+        ))
+    };
+    let dp = mk(MarkerKind::DualPi2Cu {
+        threshold: Duration::from_millis(1),
+    });
+    let l4 = mk(l4span_default());
+    let thr_dp = dp.goodput_total_mbps(0);
+    let thr_l4 = l4.goodput_total_mbps(0);
+    assert!(
+        thr_l4 > thr_dp,
+        "L4Span must out-utilise the 1 ms step: {thr_l4} vs {thr_dp}"
+    );
+}
+
+#[test]
+fn short_circuit_rewrites_flow_feedback() {
+    let mut sc_off = L4SpanConfig::default();
+    sc_off.short_circuit = false;
+    let on = quick(1, "prague", l4span_default(), 31);
+    let off = quick(1, "prague", MarkerKind::L4Span(sc_off), 31);
+    // Both configurations keep the queue shallow…
+    assert!(on.owd_stats(0).median < 150.0);
+    assert!(off.owd_stats(0).median < 150.0);
+    // …and both actually mark.
+    assert!(on.total_marks > 0 && off.total_marks > 0);
+}
+
+#[test]
+fn scream_call_adapts_to_the_cell() {
+    let mut cfg = ScenarioConfig::new(13, Duration::from_secs(6));
+    cfg.marker = l4span_default();
+    for i in 0..4 {
+        cfg.ues.push(UeSpec::simple(ChannelProfile::Static, 23.0));
+        cfg.flows.push(FlowSpec {
+            ue: i,
+            drb: 0,
+            traffic: TrafficKind::Scream {
+                min_bps: 0.5e6,
+                start_bps: 2.0e6,
+                max_bps: 50.0e6,
+            fps: 25.0,
+            },
+            wan: WanLink::east(),
+            start: Instant::from_millis(10 * i as u64),
+            stop: None,
+        });
+    }
+    let r = harness::run(cfg);
+    let total: f64 = (0..4).map(|f| r.goodput_total_mbps(f)).sum();
+    // Four calls must share the ~40 Mbit/s cell without collapse.
+    assert!(total > 10.0, "aggregate video rate {total} Mbit/s");
+    assert!(total < 45.0, "cannot exceed the cell: {total}");
+    for f in 0..4 {
+        let rtt = l4span::sim::stats::BoxStats::from_samples(&r.rtt_ms[f]);
+        assert!(rtt.median < 300.0, "flow {f} rtt median {}", rtt.median);
+    }
+}
+
+#[test]
+fn flow_stop_quiesces_traffic() {
+    let mut cfg = ScenarioConfig::new(23, Duration::from_secs(6));
+    cfg.marker = l4span_default();
+    cfg.ues.push(UeSpec::simple(ChannelProfile::Static, 24.0));
+    cfg.flows.push(FlowSpec {
+        ue: 0,
+        drb: 0,
+        traffic: TrafficKind::Tcp {
+            cc: "prague".into(),
+            app_limit: None,
+        },
+        wan: WanLink::east(),
+        start: Instant::ZERO,
+        stop: Some(Instant::from_secs(2)),
+    });
+    let r = harness::run(cfg);
+    let early = r.goodput_mbps(0, Instant::from_millis(500), Instant::from_secs(2));
+    let late = r.goodput_mbps(0, Instant::from_secs(4), Instant::from_secs(6));
+    assert!(early > 5.0, "flow ran before stop: {early}");
+    assert!(late < 0.5, "flow quiesced after stop: {late}");
+}
+
+#[test]
+fn l4s_and_classic_coexist_on_separate_drbs_of_one_ue() {
+    let mut cfg = ScenarioConfig::new(37, Duration::from_secs(6));
+    cfg.marker = l4span_default();
+    cfg.ues.push(UeSpec {
+        profile: ChannelProfile::Static,
+        mean_snr_db: 24.0,
+        drbs: vec![(0, RlcMode::Am), (1, RlcMode::Am)],
+    });
+    for (i, cc) in ["prague", "cubic"].iter().enumerate() {
+        cfg.flows.push(FlowSpec {
+            ue: 0,
+            drb: i as u8,
+            traffic: TrafficKind::Tcp {
+                cc: cc.to_string(),
+                app_limit: None,
+            },
+            wan: WanLink::east(),
+            start: Instant::from_millis(i as u64 * 20),
+            stop: None,
+        });
+    }
+    let r = harness::run(cfg);
+    let prague = r.goodput_total_mbps(0);
+    let cubic = r.goodput_total_mbps(1);
+    assert!(prague > 3.0, "prague share {prague}");
+    assert!(cubic > 3.0, "cubic share {cubic}");
+    // The Prague DRB keeps a lower delay than the classic one.
+    assert!(
+        r.owd_stats(0).median <= r.owd_stats(1).median + 1.0,
+        "prague {} vs cubic {}",
+        r.owd_stats(0).median,
+        r.owd_stats(1).median
+    );
+}

@@ -1,0 +1,322 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning the net, sim, ran, and core crates.
+
+use proptest::prelude::*;
+
+use l4span::core::estimator::EgressEstimator;
+use l4span::core::marking;
+use l4span::core::profile::ProfileTable;
+use l4span::net::{AccEcnCounters, Ecn, PacketBuf, TcpFlags, TcpHeader};
+use l4span::ran::config::RlcMode;
+use l4span::ran::rlc::{RlcRx, RlcTx, Segment};
+use l4span::sim::stats::{percentile_sorted, Cdf};
+use l4span::sim::{Duration, EventQueue, Instant, SimRng};
+
+fn arb_ecn() -> impl Strategy<Value = Ecn> {
+    prop_oneof![
+        Just(Ecn::NotEct),
+        Just(Ecn::Ect0),
+        Just(Ecn::Ect1),
+        Just(Ecn::Ce)
+    ]
+}
+
+fn arb_flags() -> impl Strategy<Value = TcpFlags> {
+    (0u16..512).prop_map(TcpFlags)
+}
+
+proptest! {
+    /// TCP header emit→parse is the identity for every field we model.
+    #[test]
+    fn tcp_header_roundtrip(
+        src_port in any::<u16>(),
+        dst_port in any::<u16>(),
+        seq in any::<u32>(),
+        ack in any::<u32>(),
+        flags in arb_flags(),
+        window in any::<u16>(),
+        mss in proptest::option::of(any::<u16>()),
+        acc in proptest::option::of((0u32..1 << 24, 0u32..1 << 24, 0u32..1 << 24)),
+        payload in 0usize..2000,
+    ) {
+        let hdr = TcpHeader {
+            src_port, dst_port, seq, ack, flags, window,
+            mss,
+            accecn: acc.map(|(a, b, c)| AccEcnCounters {
+                ect0_bytes: a, ce_bytes: b, ect1_bytes: c,
+            }),
+        };
+        let mut buf = [0u8; 60];
+        let n = hdr.emit(&mut buf, 1, 2, payload);
+        let (parsed, len) = TcpHeader::parse(&buf[..n]).unwrap();
+        prop_assert_eq!(len, n);
+        prop_assert_eq!(parsed, hdr);
+        prop_assert!(l4span::net::tcp::verify_checksum(&buf[..n], 1, 2, n + payload));
+    }
+
+    /// Any sequence of ECN rewrites keeps both checksums valid.
+    #[test]
+    fn ecn_rewrites_preserve_checksums(
+        initial in arb_ecn(),
+        rewrites in proptest::collection::vec(arb_ecn(), 0..8),
+        payload in 0usize..1500,
+    ) {
+        let hdr = TcpHeader {
+            src_port: 443,
+            dst_port: 50_000,
+            flags: TcpFlags::new().with(TcpFlags::ACK),
+            ..TcpHeader::default()
+        };
+        let mut pkt = PacketBuf::tcp(0xDEAD, 0xBEEF, initial, 7, &hdr, payload);
+        for e in rewrites {
+            pkt.set_ecn(e);
+            prop_assert_eq!(pkt.ecn(), e);
+            prop_assert!(pkt.checksums_valid());
+        }
+    }
+
+    /// The event queue pops in non-decreasing time order, FIFO at ties.
+    #[test]
+    fn event_queue_ordering(times in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(Instant::from_micros(t), i);
+        }
+        let mut last = (Instant::ZERO, 0usize);
+        let mut seen = 0;
+        while let Some((at, idx)) = q.pop() {
+            prop_assert!(at >= last.0);
+            if at == last.0 && seen > 0 {
+                prop_assert!(idx > last.1, "ties must be FIFO");
+            }
+            last = (at, idx);
+            seen += 1;
+        }
+        prop_assert_eq!(seen, times.len());
+    }
+
+    /// Percentiles are monotone in p and bounded by the extremes.
+    #[test]
+    fn percentiles_monotone(mut v in proptest::collection::vec(-1e7f64..1e7, 1..300)) {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut last = f64::NEG_INFINITY;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0] {
+            let x = percentile_sorted(&v, p);
+            prop_assert!(x >= last);
+            prop_assert!(x >= v[0] && x <= v[v.len() - 1]);
+            last = x;
+        }
+    }
+
+    /// The CDF is a valid distribution function.
+    #[test]
+    fn cdf_is_monotone_to_one(v in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let cdf = Cdf::from_samples(&v);
+        let mut last = 0.0;
+        for i in -10..=10 {
+            let f = cdf.fraction_at(i as f64 * 1e5);
+            prop_assert!(f >= last && (0.0..=1.0).contains(&f));
+            last = f;
+        }
+        let max = v.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert_eq!(cdf.fraction_at(max), 1.0);
+    }
+
+    /// Eq. 1 is monotone in the queue size and bounded in [0, 1].
+    #[test]
+    fn p_l4s_monotone_in_queue(
+        rate in 1e4f64..1e8,
+        std in 0.0f64..1e7,
+        n1 in 0usize..10_000_000,
+        n2 in 0usize..10_000_000,
+    ) {
+        let tau = Duration::from_millis(10);
+        let (lo, hi) = if n1 <= n2 { (n1, n2) } else { (n2, n1) };
+        let p_lo = marking::p_l4s(lo, tau, rate, std);
+        let p_hi = marking::p_l4s(hi, tau, rate, std);
+        prop_assert!((0.0..=1.0).contains(&p_lo));
+        prop_assert!((0.0..=1.0).contains(&p_hi));
+        prop_assert!(p_hi >= p_lo - 1e-12);
+    }
+
+    /// Eq. 2 is monotone decreasing in rate and RTT, bounded in [0, 1].
+    #[test]
+    fn p_classic_monotone(
+        mss in 100usize..9000,
+        rtt_ms in 1u64..1000,
+        r1 in 1e3f64..1e9,
+        r2 in 1e3f64..1e9,
+    ) {
+        let k = 1.2247;
+        let rtt = Duration::from_millis(rtt_ms);
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        let p_slow = marking::p_classic(mss, k, rtt, lo);
+        let p_fast = marking::p_classic(mss, k, rtt, hi);
+        prop_assert!((0.0..=1.0).contains(&p_slow));
+        prop_assert!(p_fast <= p_slow + 1e-12);
+    }
+
+    /// Profile table conservation: queued bytes always equal ingress
+    /// minus transmitted, regardless of the feedback pattern.
+    #[test]
+    fn profile_table_conserves_bytes(
+        ops in proptest::collection::vec((1usize..2000, any::<bool>()), 1..300)
+    ) {
+        let mut t = ProfileTable::new();
+        let mut total_in = 0usize;
+        let mut total_out = 0usize;
+        let mut now = Instant::ZERO;
+        let mut highest: Option<u64> = None;
+        for (size, feedback) in ops {
+            now = now + Duration::from_micros(100);
+            let sn = t.on_ingress(size, now);
+            total_in += size;
+            if feedback {
+                let txed = t.on_feedback(Some(sn), None, now);
+                total_out += txed.iter().map(|p| p.size).sum::<usize>();
+                highest = Some(sn);
+            }
+            prop_assert_eq!(t.queued_bytes(), total_in - total_out);
+            prop_assert_eq!(t.highest_txed(), highest);
+        }
+    }
+
+    /// The egress estimator's smoothed rate never exceeds the fastest
+    /// instantaneous rate nor falls below the slowest.
+    #[test]
+    fn estimator_rate_is_within_sample_range(
+        gaps_us in proptest::collection::vec(100u64..20_000, 30..120),
+        size in 200usize..2000,
+    ) {
+        let window = Duration::from_micros(12_450);
+        let mut e = EgressEstimator::new(window);
+        let mut now = Instant::ZERO;
+        for g in &gaps_us {
+            now = now + Duration::from_micros(*g);
+            e.on_txed(now, size);
+        }
+        if let Some(r) = e.rate() {
+            prop_assert!(r > 0.0);
+            // Loose bound: cannot exceed everything having arrived in
+            // one window.
+            let upper = (gaps_us.len() * size) as f64 / window.as_secs_f64();
+            prop_assert!(r <= upper + 1.0);
+            let att = e.attainable_rate().unwrap();
+            prop_assert!(att >= r);
+        }
+    }
+
+    /// RLC AM segmentation/reassembly delivers every SDU exactly once and
+    /// in order, for arbitrary pull budgets, with losses repaired by
+    /// status-driven retransmission.
+    #[test]
+    fn rlc_am_delivers_everything_in_order(
+        sdu_sizes in proptest::collection::vec(40usize..3000, 1..40),
+        budgets in proptest::collection::vec(60usize..4000, 1..400),
+        loss_seed in any::<u64>(),
+    ) {
+        let mut tx = RlcTx::new(RlcMode::Am, 1 << 16, 8);
+        let mut rx = RlcRx::new(RlcMode::Am, Duration::from_millis(5));
+        let mut rng = SimRng::new(loss_seed);
+        let hdr = TcpHeader::default();
+        let n = sdu_sizes.len() as u64;
+        for (i, &sz) in sdu_sizes.iter().enumerate() {
+            let pkt = PacketBuf::tcp(1, 2, Ecn::Ect1, i as u16, &hdr, sz);
+            prop_assert!(tx.enqueue(i as u64, pkt, Instant::ZERO));
+        }
+        let mut delivered: Vec<u64> = Vec::new();
+        let mut now = Instant::ZERO;
+        let mut budget_idx = 0usize;
+        // Drive tx/rx with random budgets and 20% segment loss until all
+        // SDUs arrive (bounded iterations to catch livelock).
+        for round in 0..10_000 {
+            now = now + Duration::from_micros(500);
+            let budget = budgets[budget_idx % budgets.len()];
+            budget_idx += 1;
+            let pulled = tx.pull(budget, now);
+            for seg in pulled.segments {
+                if rng.chance(0.2) {
+                    continue; // lost transport block
+                }
+                for d in rx.on_segment(seg, now) {
+                    delivered.push(d.sn);
+                }
+            }
+            if let Some(status) = rx.make_status(now) {
+                tx.on_status(&status, now);
+            }
+            if delivered.len() as u64 == n {
+                break;
+            }
+            prop_assert!(round < 9_999, "livelock: {}/{} delivered", delivered.len(), n);
+        }
+        prop_assert_eq!(delivered.len() as u64, n);
+        for (i, &sn) in delivered.iter().enumerate() {
+            prop_assert_eq!(sn, i as u64, "strict in-order delivery");
+        }
+    }
+
+    /// RLC UM with losses never delivers out of order and never
+    /// duplicates, even though it may drop.
+    #[test]
+    fn rlc_um_never_reorders(
+        n_sdus in 1usize..30,
+        loss_seed in any::<u64>(),
+    ) {
+        let mut tx = RlcTx::new(RlcMode::Um, 1 << 16, 8);
+        let mut rx = RlcRx::new(RlcMode::Um, Duration::from_millis(5));
+        let mut rng = SimRng::new(loss_seed);
+        let hdr = TcpHeader::default();
+        for i in 0..n_sdus {
+            let pkt = PacketBuf::tcp(1, 2, Ecn::Ect1, i as u16, &hdr, 1000);
+            tx.enqueue(i as u64, pkt, Instant::ZERO);
+        }
+        let mut got = Vec::new();
+        let mut now = Instant::ZERO;
+        for _ in 0..2000 {
+            now = now + Duration::from_micros(500);
+            let pulled = tx.pull(1200, now);
+            for seg in pulled.segments {
+                if rng.chance(0.3) {
+                    continue;
+                }
+                got.extend(rx.on_segment(seg, now).into_iter().map(|d| d.sn));
+            }
+            got.extend(rx.poll(now).into_iter().map(|d| d.sn));
+        }
+        // Strictly increasing ⇒ in order and no duplicates.
+        for w in got.windows(2) {
+            prop_assert!(w[1] > w[0], "order violated: {:?}", got);
+        }
+    }
+}
+
+/// One plain segment-level check kept out of proptest: the AM path with
+/// zero loss delivers with minimal rounds.
+#[test]
+fn rlc_am_lossless_fast_path() {
+    let mut tx = RlcTx::new(RlcMode::Am, 64, 8);
+    let mut rx = RlcRx::new(RlcMode::Am, Duration::from_millis(5));
+    let hdr = TcpHeader::default();
+    for i in 0..10u64 {
+        tx.enqueue(
+            i,
+            PacketBuf::tcp(1, 2, Ecn::Ect1, i as u16, &hdr, 1000),
+            Instant::ZERO,
+        );
+    }
+    let mut delivered = 0;
+    let mut now = Instant::ZERO;
+    while delivered < 10 {
+        now = now + Duration::from_micros(500);
+        let pulled = tx.pull(3000, now);
+        for seg in pulled.segments {
+            delivered += rx.on_segment(seg, now).len();
+        }
+    }
+    let st = rx.make_status(now + Duration::from_millis(10)).unwrap();
+    assert_eq!(st.ack_sn, 10);
+    assert!(st.nacks.is_empty());
+    let recs = tx.on_status(&st, now + Duration::from_millis(11));
+    assert_eq!(recs.len(), 10);
+}
