@@ -121,20 +121,22 @@ mod tests {
         let mut t = Instant::ZERO;
         for _ in 0..100 {
             d.update(Duration::from_millis(50), t); // 35 ms over target
-            t = t + Duration::from_millis(16);
+            t += Duration::from_millis(16);
         }
         assert!(d.base_probability() > 0.05, "p {}", d.base_probability());
         for _ in 0..400 {
             d.update(Duration::ZERO, t);
-            t = t + Duration::from_millis(16);
+            t += Duration::from_millis(16);
         }
         assert!(d.base_probability() < 0.01, "p {}", d.base_probability());
     }
 
     #[test]
     fn square_law_coupling() {
-        let mut d = DualPi2::default();
-        d.p = 0.1;
+        let d = DualPi2 {
+            p: 0.1,
+            ..DualPi2::default()
+        };
         assert!((d.p_l4s() - 0.2).abs() < 1e-12);
         assert!((d.p_classic() - 0.01).abs() < 1e-12);
     }
@@ -151,8 +153,10 @@ mod tests {
 
     #[test]
     fn classic_marks_ect0_drops_notect() {
-        let mut d = DualPi2::default();
-        d.p = 1.0; // force
+        let mut d = DualPi2 {
+            p: 1.0, // force
+            ..DualPi2::default()
+        };
         let mut rng = SimRng::new(2);
         assert_eq!(
             d.decide(Ecn::Ect0, Duration::from_millis(20), &mut rng),

@@ -317,10 +317,9 @@ mod tests {
             SimRng::new(1),
         );
         // Feed a standing queue for 400 ms.
-        let mut now = Instant::ZERO;
         let mut out = Vec::new();
         for step in 0..400u64 {
-            now = Instant::from_millis(step);
+            let now = Instant::from_millis(step);
             r.enqueue(pkt(Ecn::Ect0, 1460), now);
             out.extend(r.poll(now));
         }

@@ -55,10 +55,12 @@ proptest! {
         }
         prop_assert_eq!(
             sent,
-            received + r.drops + (r.queued_bytes() > 0) as u64 * 0 // queue must be empty
-                + r.drops * 0,
+            received + r.drops,
             "sent {} received {} drops {} queued_bytes {}",
-            sent, received, r.drops, r.queued_bytes()
+            sent,
+            received,
+            r.drops,
+            r.queued_bytes()
         );
         prop_assert_eq!(r.queued_bytes(), 0, "fully drained");
     }
@@ -71,7 +73,7 @@ proptest! {
         let mut d = DualPi2::default();
         let mut t = Instant::ZERO;
         for q in qdelays_us {
-            t = t + Duration::from_millis(16);
+            t += Duration::from_millis(16);
             d.update(Duration::from_micros(q), t);
             prop_assert!((0.0..=1.0).contains(&d.base_probability()));
             prop_assert!((0.0..=1.0).contains(&d.p_l4s()));
@@ -88,7 +90,7 @@ proptest! {
         let mut c = CoDel::new(true);
         let mut t = Instant::ZERO;
         for s in sojourns_us {
-            t = t + Duration::from_millis(1);
+            t += Duration::from_millis(1);
             let v = c.decide(Duration::from_micros(s), t);
             prop_assert_ne!(v, Verdict::Drop, "ECN mode never drops");
             if s < 5_000 {

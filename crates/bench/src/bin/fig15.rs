@@ -19,8 +19,10 @@ fn main() {
 
     for cc in ["prague", "cubic"] {
         for (label, sc) in [("with SC", true), ("w/o SC", false)] {
-            let mut l4cfg = L4SpanConfig::default();
-            l4cfg.short_circuit = sc;
+            let l4cfg = L4SpanConfig {
+                short_circuit: sc,
+                ..L4SpanConfig::default()
+            };
             let cfg = congested_cell(
                 1,
                 cc,

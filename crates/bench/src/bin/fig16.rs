@@ -15,8 +15,10 @@ use l4span_sim::{Duration, Instant};
 
 fn shared_drb(strategy: SharedDrbStrategy, seed: u64, secs: u64) -> ScenarioConfig {
     let mut cfg = ScenarioConfig::new(seed, Duration::from_secs(secs));
-    let mut l4 = L4SpanConfig::default();
-    l4.shared_strategy = strategy;
+    let l4 = L4SpanConfig {
+        shared_strategy: strategy,
+        ..L4SpanConfig::default()
+    };
     cfg.marker = MarkerKind::L4Span(l4);
     cfg.ues.push(UeSpec::simple(ChannelProfile::Static, 24.0));
     for cc in ["prague", "cubic"] {

@@ -28,8 +28,10 @@ fn main() {
     );
     for &n in &ue_counts {
         for tau_ms in [1u64, 2, 5, 10, 20, 50, 100] {
-            let mut l4 = L4SpanConfig::default();
-            l4.tau_s = Duration::from_millis(tau_ms);
+            let l4 = L4SpanConfig {
+                tau_s: Duration::from_millis(tau_ms),
+                ..L4SpanConfig::default()
+            };
             let cfg = congested_cell(
                 n,
                 "prague",

@@ -80,6 +80,7 @@ pub struct ScreamSender {
 impl ScreamSender {
     /// Create a sender with the given bitrate bounds (bit/s) and frame
     /// rate. `l4s` enables the scalable CE response (ECT(1) marking).
+    #[allow(clippy::too_many_arguments)] // mirrors the SCReAM config tuple
     pub fn new(
         src_ip: u32,
         dst_ip: u32,
@@ -162,7 +163,7 @@ impl ScreamSender {
                 self.next_seq += 1;
                 left -= take;
             }
-            self.next_frame_at = self.next_frame_at + self.frame_interval;
+            self.next_frame_at += self.frame_interval;
             // RTP queue discipline: if the queue exceeds ~400 ms of media,
             // drop the oldest frame's worth (the encoder would skip).
             let cap = (self.target_bps * 0.4 / 8.0) as usize;
@@ -385,7 +386,7 @@ mod tests {
             fb.received_bytes += pkts.iter().map(|p| p.payload_len() as u64).sum::<u64>();
             fb.highest_seq = s.next_seq.saturating_sub(1);
             s.on_feedback(&fb, t + Duration::from_millis(30));
-            t = t + Duration::from_millis(40);
+            t += Duration::from_millis(40);
         }
         let before = s.target_bps();
         // Now heavy marking for a while.
@@ -396,7 +397,7 @@ mod tests {
             fb.ce_bytes += bytes; // all marked
             fb.highest_seq = s.next_seq.saturating_sub(1);
             s.on_feedback(&fb, t + Duration::from_millis(30));
-            t = t + Duration::from_millis(40);
+            t += Duration::from_millis(40);
         }
         assert!(
             s.target_bps() < before * 0.8,
@@ -419,7 +420,7 @@ mod tests {
             fb.ce_bytes += bytes;
             fb.highest_seq = s.next_seq.saturating_sub(1);
             s.on_feedback(&fb, t + Duration::from_millis(30));
-            t = t + Duration::from_millis(40);
+            t += Duration::from_millis(40);
         }
         assert!(s.target_bps() >= 0.5e6, "min clamp: {}", s.target_bps());
     }

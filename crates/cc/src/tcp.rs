@@ -524,7 +524,7 @@ impl TcpSender {
         if self.state == SenderState::Established
             && self.pacing_rate().is_some()
             && self.inflight_bytes() + self.cfg.mss <= self.cc.cwnd().min(self.cfg.snd_buf)
-            && self.cfg.app_limit.map_or(true, |l| self.snd_nxt < l)
+            && self.cfg.app_limit.is_none_or(|l| self.snd_nxt < l)
         {
             next = Some(match next {
                 Some(n) => n.min(self.next_send_at),
@@ -825,11 +825,11 @@ mod tests {
             if let Some(ack) = r.on_packet(&p, t) {
                 new_pkts.extend(s.on_packet(&ack, t));
             }
-            t = t + Duration::from_millis(2);
+            t += Duration::from_millis(2);
             new_pkts.extend(s.poll(t));
         }
         for _ in 0..50 {
-            t = t + Duration::from_millis(2);
+            t += Duration::from_millis(2);
             new_pkts.extend(s.poll(t));
         }
         total_sent += new_pkts.len();
@@ -848,7 +848,7 @@ mod tests {
             if let Some(ack) = r.on_packet(p, t) {
                 pkts.extend(s.on_packet(&ack, t));
             }
-            t = t + Duration::from_millis(1);
+            t += Duration::from_millis(1);
             pkts.extend(s.poll(t));
         }
         assert!(!pkts.is_empty(), "new data flowed after the acks");
@@ -875,11 +875,11 @@ mod tests {
             if let Some(a) = r.on_packet(p, t3) {
                 sent_after.extend(s.on_packet(&a, t3));
             }
-            t3 = t3 + Duration::from_millis(2);
+            t3 += Duration::from_millis(2);
             sent_after.extend(s.poll(t3));
         }
         for _ in 0..100 {
-            t3 = t3 + Duration::from_millis(2);
+            t3 += Duration::from_millis(2);
             sent_after.extend(s.poll(t3));
         }
         let cwr_seg = sent_after

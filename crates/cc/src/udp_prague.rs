@@ -274,7 +274,7 @@ mod tests {
             fb.packets += 25;
             fb.ce_packets += 25;
             s.on_feedback(&fb, t);
-            t = t + Duration::from_millis(50);
+            t += Duration::from_millis(50);
         }
         let low = s.rate();
         assert!(low < 1e6, "rate must fall: {low}");
@@ -283,7 +283,7 @@ mod tests {
         for _ in 0..200 {
             fb.packets += 25;
             s.on_feedback(&fb, t);
-            t = t + Duration::from_millis(50);
+            t += Duration::from_millis(50);
         }
         assert!(s.rate() > low, "rate must grow back");
     }

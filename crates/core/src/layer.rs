@@ -373,10 +373,10 @@ impl L4SpanLayer {
                     self.stats.ul_rewritten += 1;
                 }
             }
-            FlowClass::Classic => {
+            FlowClass::Classic
                 // Set ECE while our episode is live; never clear the
                 // receiver's own echo (it may reflect upstream marks).
-                if flow.ece_on {
+                if flow.ece_on => {
                     let mut changed = false;
                     pkt.update_tcp(|h| {
                         if !h.flags.contains(TcpFlags::ECE) {
@@ -388,7 +388,6 @@ impl L4SpanLayer {
                         self.stats.ul_rewritten += 1;
                     }
                 }
-            }
             _ => {}
         }
     }
@@ -608,8 +607,10 @@ mod tests {
         }
         // Now with drop_non_ecn: a small packet on a slow DRB makes
         // Eq. 2 deterministic (see `classic_short_circuit_echoes_ece…`).
-        let mut cfg = L4SpanConfig::default();
-        cfg.drop_non_ecn = true;
+        let cfg = L4SpanConfig {
+            drop_non_ecn: true,
+            ..L4SpanConfig::default()
+        };
         let mut l2 = L4SpanLayer::new(cfg, SimRng::new(7));
         let t2 = slow_warm_up(&mut l2);
         let mut drops = 0;

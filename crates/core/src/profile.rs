@@ -105,7 +105,7 @@ impl ProfileTable {
                 t_txed: t,
             });
         }
-        if !out.is_empty() || self.highest_txed.map_or(false, |h| high > h) {
+        if !out.is_empty() || self.highest_txed.is_some_and(|h| high > h) {
             self.highest_txed = Some(self.highest_txed.map_or(high, |h| h.max(high)));
         }
         out

@@ -57,7 +57,7 @@ pub fn mcs_trace(spec: CellTraceSpec, duration: Duration, seed: u64) -> Vec<u8> 
         spec.carrier_hz,
         &mut rng,
     );
-    let slots = (duration.as_nanos() / spec.slot.as_nanos().max(1)) as u64;
+    let slots = duration.as_nanos() / spec.slot.as_nanos().max(1);
     (0..slots)
         .map(|k| {
             let t = Instant::ZERO + spec.slot * k;

@@ -167,6 +167,47 @@ impl Report {
         BoxStats::from_samples(&all)
     }
 
+    /// A byte-exact textual digest of every *simulation-derived* field,
+    /// for determinism tests: two runs of the same seeded scenario must
+    /// produce identical fingerprints.
+    ///
+    /// `marker_time_ns` is excluded (it measures wall-clock time inside
+    /// the marker, which legitimately varies between runs), and
+    /// `queue_series` is emitted in sorted key order so the digest does
+    /// not depend on hash-map iteration order. Floats are formatted with
+    /// `{:?}` (shortest round-trip), so equal fingerprints imply
+    /// bit-identical values.
+    pub fn fingerprint(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "duration={:?};bin={:?};owd={:?};rtt={:?};rtt_at={:?};thr={:?};",
+            self.duration, self.bin, self.owd_ms, self.rtt_ms, self.rtt_at_s, self.thr_bins
+        );
+        let mut keys: Vec<&(u16, u8)> = self.queue_series.keys().collect();
+        keys.sort();
+        for k in keys {
+            let _ = write!(s, "q{:?}={:?};", k, self.queue_series[k]);
+        }
+        for b in &self.breakdown {
+            let _ = write!(s, "bd={:?}/{};", b.mean(), b.count());
+        }
+        let _ = write!(
+            s,
+            "err={:?};fin={:?};start={:?};marks={};rlc_drops={};tbs_lost={};harq={};mem={}",
+            self.rate_err_pct,
+            self.finish_ms,
+            self.flow_start,
+            self.total_marks,
+            self.rlc_drops,
+            self.tbs_lost,
+            self.harq_retx,
+            self.marker_memory
+        );
+        s
+    }
+
     /// Pooled throughput box stats (per-bin Mbit/s across flows).
     pub fn throughput_stats_pooled(&self, flows: &[usize]) -> BoxStats {
         let bin_s = self.bin.as_secs_f64();

@@ -30,7 +30,7 @@ impl ChannelMix {
             ChannelMix::Pedestrian => ChannelProfile::Pedestrian,
             ChannelMix::Vehicular => ChannelProfile::Vehicular,
             ChannelMix::Mobile => {
-                if i % 2 == 0 {
+                if i.is_multiple_of(2) {
                     ChannelProfile::Pedestrian
                 } else {
                     ChannelProfile::Vehicular
@@ -178,6 +178,7 @@ impl ScenarioConfig {
 ///
 /// Mean SNRs spread deterministically between 19 and 27 dB so the cell
 /// has centre and edge users.
+#[allow(clippy::too_many_arguments)] // positional form is part of the documented quickstart
 pub fn congested_cell(
     n_ues: usize,
     cc: &str,

@@ -2,7 +2,7 @@
 //! bottleneck) ↔ CU marker ↔ gNB ↔ air ↔ UE stacks ↔ uplink, exactly the
 //! end-to-end path of paper Fig. 3.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use l4span_aqm::{DualPi2, Router, RouterAqm};
 use l4span_cc::scream::{ScreamFeedback, ScreamReceiver, ScreamSender};
@@ -115,7 +115,7 @@ pub struct World {
     /// (flow, ident) → (queuing ms, scheduling ms) awaiting delivery.
     breakdown_pending: HashMap<(usize, u16), (f64, f64)>,
     /// Ground-truth egress byte log per DRB (Fig. 20 reference).
-    gt_egress: HashMap<(u16, u8), VecDeque<(Instant, usize)>>,
+    gt_egress: BTreeMap<(u16, u8), VecDeque<(Instant, usize)>>,
     marker_time: (Vec<u64>, Vec<u64>, Vec<u64>),
 }
 
@@ -268,7 +268,7 @@ impl World {
             rate_err_pct: Vec::new(),
             sn_map: HashMap::new(),
             breakdown_pending: HashMap::new(),
-            gt_egress: HashMap::new(),
+            gt_egress: BTreeMap::new(),
             marker_time: (Vec::new(), Vec::new(), Vec::new()),
         };
         w.queue.schedule(Instant::ZERO, Event::Slot);

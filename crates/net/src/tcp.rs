@@ -173,7 +173,7 @@ impl TcpHeader {
         if self.accecn.is_some() {
             opt += 11;
         }
-        20 + (opt + 3) / 4 * 4
+        20 + opt.div_ceil(4) * 4
     }
 
     /// Serialise into `out` and compute the real TCP checksum given the
@@ -329,7 +329,6 @@ mod tests {
                 ce_bytes: 3000,
                 ect1_bytes: 2_000_000,
             }),
-            ..TcpHeader::default()
         }
     }
 
@@ -344,8 +343,8 @@ mod tests {
         assert_eq!(hlen, n);
         assert_eq!(parsed.src_port, 443);
         assert_eq!(parsed.seq, 0xDEAD_BEEF);
-        assert_eq!(parsed.flags.contains(TcpFlags::ECE), true);
-        assert_eq!(parsed.flags.contains(TcpFlags::SYN), false);
+        assert!(parsed.flags.contains(TcpFlags::ECE));
+        assert!(!parsed.flags.contains(TcpFlags::SYN));
         assert_eq!(parsed.mss, Some(1460));
         assert_eq!(parsed.accecn, Some(h.accecn.unwrap()));
     }

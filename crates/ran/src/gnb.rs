@@ -480,7 +480,7 @@ mod tests {
     fn cell(n_ues: u16) -> Gnb {
         let cfg = CellConfig::default();
         let mut g = Gnb::new(cfg.clone(), SchedulerKind::RoundRobin, SimRng::new(1));
-        let mut rng = SimRng::new(99);
+        let rng = SimRng::new(99);
         for u in 0..n_ues {
             let ch = FadingChannel::new(
                 ChannelProfile::Static,
@@ -590,8 +590,10 @@ mod tests {
 
     #[test]
     fn queue_overflow_drops_are_counted() {
-        let mut cfg = CellConfig::default();
-        cfg.rlc_queue_sdus = 4;
+        let cfg = CellConfig {
+            rlc_queue_sdus: 4,
+            ..CellConfig::default()
+        };
         let mut g = Gnb::new(cfg.clone(), SchedulerKind::RoundRobin, SimRng::new(1));
         let ch = FadingChannel::new(
             ChannelProfile::Static,

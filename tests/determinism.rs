@@ -1,0 +1,60 @@
+//! Cross-CC determinism matrix: for every congestion controller the
+//! paper evaluates, the same seeded scenario must reproduce byte-for-byte,
+//! and different seeds must actually change the run.
+//!
+//! This is the property every later scaling/perf PR leans on: if a
+//! refactor perturbs event ordering or RNG stream assignment anywhere in
+//! the stack, one of these fingerprints moves and the matrix fails.
+
+use l4span::cc::WanLink;
+use l4span::harness::{self, scenario, scenario::ChannelMix};
+use l4span::sim::Duration;
+
+/// One short congested-cell run; the fingerprint digests every
+/// simulation-derived field of the report.
+fn fingerprint(cc: &str, seed: u64) -> String {
+    let cfg = scenario::congested_cell(
+        2,
+        cc,
+        ChannelMix::Mobile,
+        16_384,
+        WanLink::east(),
+        scenario::l4span_default(),
+        seed,
+        Duration::from_secs(1),
+    );
+    harness::run(cfg).fingerprint()
+}
+
+fn assert_deterministic(cc: &str) {
+    let a = fingerprint(cc, 7);
+    let b = fingerprint(cc, 7);
+    assert_eq!(a, b, "{cc}: same seed must give a byte-identical report");
+    let c = fingerprint(cc, 8);
+    assert_ne!(a, c, "{cc}: a different seed must change the run");
+}
+
+#[test]
+fn reno_is_deterministic() {
+    assert_deterministic("reno");
+}
+
+#[test]
+fn cubic_is_deterministic() {
+    assert_deterministic("cubic");
+}
+
+#[test]
+fn prague_is_deterministic() {
+    assert_deterministic("prague");
+}
+
+#[test]
+fn bbr_is_deterministic() {
+    assert_deterministic("bbr");
+}
+
+#[test]
+fn bbr2_is_deterministic() {
+    assert_deterministic("bbr2");
+}

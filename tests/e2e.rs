@@ -149,8 +149,10 @@ fn dualpi2_cu_ablation_underutilises_vs_l4span_on_fading() {
 
 #[test]
 fn short_circuit_rewrites_flow_feedback() {
-    let mut sc_off = L4SpanConfig::default();
-    sc_off.short_circuit = false;
+    let sc_off = L4SpanConfig {
+        short_circuit: false,
+        ..L4SpanConfig::default()
+    };
     let on = quick(1, "prague", l4span_default(), 31);
     let off = quick(1, "prague", MarkerKind::L4Span(sc_off), 31);
     // Both configurations keep the queue shallow…

@@ -8,7 +8,7 @@ use l4span::core::marking;
 use l4span::core::profile::ProfileTable;
 use l4span::net::{AccEcnCounters, Ecn, PacketBuf, TcpFlags, TcpHeader};
 use l4span::ran::config::RlcMode;
-use l4span::ran::rlc::{RlcRx, RlcTx, Segment};
+use l4span::ran::rlc::{RlcRx, RlcTx};
 use l4span::sim::stats::{percentile_sorted, Cdf};
 use l4span::sim::{Duration, EventQueue, Instant, SimRng};
 
@@ -168,7 +168,7 @@ proptest! {
         let mut now = Instant::ZERO;
         let mut highest: Option<u64> = None;
         for (size, feedback) in ops {
-            now = now + Duration::from_micros(100);
+            now += Duration::from_micros(100);
             let sn = t.on_ingress(size, now);
             total_in += size;
             if feedback {
@@ -192,7 +192,7 @@ proptest! {
         let mut e = EgressEstimator::new(window);
         let mut now = Instant::ZERO;
         for g in &gaps_us {
-            now = now + Duration::from_micros(*g);
+            now += Duration::from_micros(*g);
             e.on_txed(now, size);
         }
         if let Some(r) = e.rate() {
@@ -226,13 +226,11 @@ proptest! {
         }
         let mut delivered: Vec<u64> = Vec::new();
         let mut now = Instant::ZERO;
-        let mut budget_idx = 0usize;
         // Drive tx/rx with random budgets and 20% segment loss until all
         // SDUs arrive (bounded iterations to catch livelock).
-        for round in 0..10_000 {
-            now = now + Duration::from_micros(500);
-            let budget = budgets[budget_idx % budgets.len()];
-            budget_idx += 1;
+        for round in 0..10_000usize {
+            now += Duration::from_micros(500);
+            let budget = budgets[round % budgets.len()];
             let pulled = tx.pull(budget, now);
             for seg in pulled.segments {
                 if rng.chance(0.2) {
@@ -274,7 +272,7 @@ proptest! {
         let mut got = Vec::new();
         let mut now = Instant::ZERO;
         for _ in 0..2000 {
-            now = now + Duration::from_micros(500);
+            now += Duration::from_micros(500);
             let pulled = tx.pull(1200, now);
             for seg in pulled.segments {
                 if rng.chance(0.3) {
@@ -308,7 +306,7 @@ fn rlc_am_lossless_fast_path() {
     let mut delivered = 0;
     let mut now = Instant::ZERO;
     while delivered < 10 {
-        now = now + Duration::from_micros(500);
+        now += Duration::from_micros(500);
         let pulled = tx.pull(3000, now);
         for seg in pulled.segments {
             delivered += rx.on_segment(seg, now).len();

@@ -1,0 +1,129 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses:
+//! `Criterion::benchmark_group`, `BenchmarkGroup::{bench_function,
+//! sample_size, finish}`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Timing is a simple mean over a capped number of iterations — good
+//! enough for quick relative readings and for keeping `cargo test -q`
+//! fast; upstream criterion's statistics are intentionally not
+//! reproduced. Set `CRITERION_QUICK_ITERS` to change the iteration cap.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Re-export of `std::hint::black_box`, criterion-style.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Mirror upstream's builder entry point (arguments are ignored).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("# group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            iters: std::env::var("CRITERION_QUICK_ITERS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1000),
+        }
+    }
+}
+
+/// A named group of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    iters: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream API-compat: bound the per-benchmark iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = self.iters.min(n.max(10) as u64);
+        self
+    }
+
+    /// Measure one benchmark routine and print its mean time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: self.iters,
+            elapsed_ns: 0.0,
+            measured: 0,
+        };
+        f(&mut b);
+        if b.measured > 0 {
+            println!(
+                "{id:<40} {:>12.1} ns/iter ({} iters)",
+                b.elapsed_ns / b.measured as f64,
+                b.measured
+            );
+        } else {
+            println!("{id:<40} (no measurement)");
+        }
+        self
+    }
+
+    /// Close the group (upstream API-compat; nothing to flush here).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; runs the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: f64,
+    measured: u64,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up.
+        for _ in 0..self.iters.min(10) {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos() as f64;
+        self.measured += self.iters;
+    }
+}
+
+/// Bundle benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        /// Run every benchmark in this group.
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
