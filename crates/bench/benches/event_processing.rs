@@ -76,7 +76,7 @@ fn bench_events(c: &mut Criterion) {
         };
         let ack = PacketBuf::tcp(20, 10, Ecn::NotEct, 0, &ack_hdr, 0);
         b.iter(|| {
-            let mut a = ack.clone();
+            let mut a = ack;
             l.on_ul_packet(&mut a, Instant::from_secs(3));
             std::hint::black_box(&a);
         });

@@ -43,7 +43,7 @@ fn bench_marking(c: &mut Criterion) {
         };
         let pkt = PacketBuf::tcp(10, 20, Ecn::Ect1, 7, &hdr, 1400);
         b.iter(|| {
-            let mut p = pkt.clone();
+            let mut p = pkt;
             p.set_ecn(Ecn::Ce);
             std::hint::black_box(&p);
         });
@@ -60,7 +60,7 @@ fn bench_marking(c: &mut Criterion) {
         };
         let pkt = PacketBuf::tcp(20, 10, Ecn::NotEct, 7, &hdr, 0);
         b.iter(|| {
-            let mut p = pkt.clone();
+            let mut p = pkt;
             p.update_tcp(|h| {
                 h.flags.set(TcpFlags::ECE);
             });

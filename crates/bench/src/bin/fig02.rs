@@ -5,13 +5,13 @@
 //!
 //! `cargo run --release -p l4span-bench --bin fig02`
 
-use l4span_bench::{banner, Args};
+use l4span_bench::{banner, run_grid, Args};
 use l4span_cc::WanLink;
 use l4span_harness::scenario::{
     l4span_default, BottleneckSpec, FlowSpec, ScenarioConfig, TrafficKind, UeSpec,
 };
 use l4span_harness::wired::{run_wired, WiredConfig};
-use l4span_harness::{MarkerKind, Report, World};
+use l4span_harness::{MarkerKind, Report};
 use l4span_ran::ChannelProfile;
 use l4span_sim::{Duration, Instant};
 
@@ -110,13 +110,21 @@ fn main() {
         );
     }
 
-    println!("\n--- (b) 5G network, no L4S signaling; bottleneck shifts at 10/20 s ---");
-    let r = World::new(ran_scenario(args.seed, secs, MarkerKind::None)).run();
-    print_series(&r, &["prague", "cubic"], &[(0, 0), (1, 0)]);
-
-    println!("\n--- (c) 5G + L4Span; bottleneck shifts at 10/20 s ---");
-    let r = World::new(ran_scenario(args.seed, secs, l4span_default())).run();
-    print_series(&r, &["prague", "cubic"], &[(0, 0), (1, 0)]);
+    // Run panels (b) and (c) concurrently on the scenario runner.
+    let panels = run_grid(vec![
+        (
+            "(b) 5G network, no L4S signaling; bottleneck shifts at 10/20 s",
+            ran_scenario(args.seed, secs, MarkerKind::None),
+        ),
+        (
+            "(c) 5G + L4Span; bottleneck shifts at 10/20 s",
+            ran_scenario(args.seed, secs, l4span_default()),
+        ),
+    ]);
+    for (title, r) in &panels {
+        println!("\n--- {title} ---");
+        print_series(r, &["prague", "cubic"], &[(0, 0), (1, 0)]);
+    }
 
     println!("\nPaper shape: (a) Prague ≈ base RTT, CUBIC ≈ +15-20 ms; (b) both");
     println!("suffer RLC bufferbloat (100s-1000s ms); (c) both low again, line rate.");

@@ -6,14 +6,14 @@
 //!
 //! `cargo run --release -p l4span-bench --bin fig04`
 
-use l4span_bench::{banner, Args};
+use l4span_bench::{banner, run_grid, Args};
 use l4span_cc::WanLink;
 use l4span_harness::scenario::{l4span_default, FlowSpec, ScenarioConfig, TrafficKind, UeSpec};
-use l4span_harness::World;
+use l4span_harness::Report;
 use l4span_ran::ChannelProfile;
 use l4span_sim::{Duration, Instant};
 
-fn walkthrough(cc: &str, seed: u64, secs: u64) {
+fn walkthrough_cfg(cc: &str, seed: u64, secs: u64) -> ScenarioConfig {
     let mut cfg = ScenarioConfig::new(seed, Duration::from_secs(secs));
     cfg.marker = l4span_default();
     cfg.ues.push(UeSpec::simple(ChannelProfile::Static, 25.0));
@@ -44,7 +44,10 @@ fn walkthrough(cc: &str, seed: u64, secs: u64) {
             25.0,
         ),
     ];
-    let r = World::new(cfg).run();
+    cfg
+}
+
+fn print_walkthrough(cc: &str, r: &Report, secs: u64) {
     println!("\n--- {cc}: stable → bad channel at {}s → recovery at {}s ---", secs * 2 / 5, secs * 7 / 10);
     println!(
         "{:<7} {:>11} {:>10} {:>11}",
@@ -80,8 +83,13 @@ fn main() {
         "running example: marking behaviour through a channel dip",
         &args,
     );
-    walkthrough("prague", args.seed, secs);
-    walkthrough("cubic", args.seed, secs);
+    let results = run_grid(vec![
+        ("prague", walkthrough_cfg("prague", args.seed, secs)),
+        ("cubic", walkthrough_cfg("cubic", args.seed, secs)),
+    ]);
+    for (cc, r) in &results {
+        print_walkthrough(cc, r, secs);
+    }
     println!("\nPaper shape: the L4S flow rides a small sawtooth near the");
     println!("threshold, dips briefly when the channel collapses, and refills");
     println!("via AI on recovery; the classic flow keeps a standing buffer");

@@ -4,12 +4,12 @@
 //!
 //! `cargo run --release -p l4span-bench --bin fig11`
 
-use l4span_bench::{banner, fmt_box, Args};
+use l4span_bench::{banner, fmt_box, run_grid, Args};
 use l4span_cc::WanLink;
 use l4span_harness::scenario::{
     l4span_default, FlowSpec, ScenarioConfig, TrafficKind, UeSpec,
 };
-use l4span_harness::{run, MarkerKind};
+use l4span_harness::MarkerKind;
 use l4span_ran::ChannelProfile;
 use l4span_sim::stats::BoxStats;
 use l4span_sim::{Duration, Instant};
@@ -65,23 +65,23 @@ fn main() {
         "\n{:<8} {:<3} {:>14} {:>54}",
         "cc", "+", "LLF Mbit/s", "SLF finish time ms: med [p25,p75] (p10,p90)"
     );
+    let mut cells = Vec::new();
     for cc in ["prague", "bbr2", "cubic"] {
         for (mark, marker) in [(" ", MarkerKind::None), ("+", l4span_default())] {
             let (cfg, slf) = scenario(cc, marker, args.seed, secs);
-            let r = run(cfg);
-            let llf = r.goodput_total_mbps(0);
-            let finishes: Vec<f64> = slf
-                .iter()
-                .filter_map(|&f| r.finish_ms[f])
-                .collect();
-            let fin = BoxStats::from_samples(&finishes);
-            println!(
-                "{cc:<8} {mark:<3} {llf:>14.2} {}   ({}/{} SLFs finished)",
-                fmt_box(&fin),
-                finishes.len(),
-                slf.len()
-            );
+            cells.push(((cc, mark, slf), cfg));
         }
+    }
+    for ((cc, mark, slf), r) in run_grid(cells) {
+        let llf = r.goodput_total_mbps(0);
+        let finishes: Vec<f64> = slf.iter().filter_map(|&f| r.finish_ms[f]).collect();
+        let fin = BoxStats::from_samples(&finishes);
+        println!(
+            "{cc:<8} {mark:<3} {llf:>14.2} {}   ({}/{} SLFs finished)",
+            fmt_box(&fin),
+            finishes.len(),
+            slf.len()
+        );
     }
     println!("\nPaper shape: L4Span cuts the SLF finish time several-fold");
     println!("(94.6% for Prague) while the LLF keeps most of its rate.");

@@ -4,10 +4,10 @@
 //!
 //! `cargo run --release -p l4span-bench --bin fig12`
 
-use l4span_bench::{banner, Args};
+use l4span_bench::{banner, run_grid, Args};
 use l4span_cc::WanLink;
 use l4span_harness::scenario::{congested_cell, l4span_default, ChannelMix};
-use l4span_harness::{run, MarkerKind};
+use l4span_harness::MarkerKind;
 use l4span_sim::{Duration, Instant};
 
 fn main() {
@@ -24,6 +24,7 @@ fn main() {
     } else {
         vec![("east", WanLink::east())]
     };
+    let mut cells = Vec::new();
     for cc in ["prague", "cubic"] {
         // TC-RAN runs ECN-CoDel for the L4S flow and CoDel for classic,
         // as the paper's §6.2.2 configuration does.
@@ -31,31 +32,31 @@ fn main() {
         for (mname, marker) in [("l4span", l4span_default()), ("tc-ran", tcran)] {
             for (chan, mix) in [("S", ChannelMix::Static), ("M", ChannelMix::Mobile)] {
                 for (sname, wan) in &servers {
-                    let cfg = congested_cell(
-                        1,
-                        cc,
-                        mix,
-                        16_384,
-                        *wan,
-                        marker.clone(),
-                        args.seed,
-                        Duration::from_secs(secs),
-                    );
-                    let r = run(cfg);
-                    let owd = r.owd_stats(0);
-                    // Steady state: skip the convergence transient.
-                    let thr = r.goodput_mbps(
-                        0,
-                        Instant::from_secs(5),
-                        Instant::from_secs(secs),
-                    );
-                    println!(
-                        "{cc:<8} {mname:<8} {chan:<4} {sname:<6} {:>14.1} {:>14.2}",
-                        owd.median, thr
-                    );
+                    cells.push((
+                        (cc, mname, chan, *sname),
+                        congested_cell(
+                            1,
+                            cc,
+                            mix,
+                            16_384,
+                            *wan,
+                            marker.clone(),
+                            args.seed,
+                            Duration::from_secs(secs),
+                        ),
+                    ));
                 }
             }
         }
+    }
+    for ((cc, mname, chan, sname), r) in run_grid(cells) {
+        let owd = r.owd_stats(0);
+        // Steady state: skip the convergence transient.
+        let thr = r.goodput_mbps(0, Instant::from_secs(5), Instant::from_secs(secs));
+        println!(
+            "{cc:<8} {mname:<8} {chan:<4} {sname:<6} {:>14.1} {:>14.2}",
+            owd.median, thr
+        );
     }
     println!("\nPaper shape: similar delay for Prague under both, but L4Span");
     println!("utilises the fading channel much better (+148% static Prague");

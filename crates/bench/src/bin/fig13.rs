@@ -4,12 +4,12 @@
 //!
 //! `cargo run --release -p l4span-bench --bin fig13`
 
-use l4span_bench::{banner, fmt_box, Args};
+use l4span_bench::{banner, fmt_box, run_grid, Args};
 use l4span_cc::WanLink;
 use l4span_harness::scenario::{
     l4span_default, ChannelMix, FlowSpec, ScenarioConfig, TrafficKind, UeSpec,
 };
-use l4span_harness::{run, MarkerKind};
+use l4span_harness::MarkerKind;
 use l4span_sim::stats::BoxStats;
 use l4span_sim::{Duration, Instant};
 
@@ -59,6 +59,7 @@ fn main() {
         "\n{:<12} {:<12} {:<3} {:>52} {:>12}",
         "app", "channel", "+", "RTT ms: med [p25,p75] (p10,p90)", "Mbit/s/UE"
     );
+    let mut cells = Vec::new();
     for (app, traffic) in [("scream", &scream), ("udp-prague", &udp_prague)] {
         for (chan, mix) in [
             ("static", ChannelMix::Static),
@@ -66,20 +67,24 @@ fn main() {
             ("vehicular", ChannelMix::Vehicular),
         ] {
             for (mark, marker) in [(" ", MarkerKind::None), ("+", l4span_default())] {
-                let r = run(video_cell(n, traffic, mix, marker, args.seed, secs));
-                let mut rtts = Vec::new();
-                for f in 0..n {
-                    rtts.extend_from_slice(&r.rtt_ms[f]);
-                }
-                let rtt = BoxStats::from_samples(&rtts);
-                let per_ue: f64 =
-                    (0..n).map(|f| r.goodput_total_mbps(f)).sum::<f64>() / n as f64;
-                println!(
-                    "{app:<12} {chan:<12} {mark:<3} {} {per_ue:>12.2}",
-                    fmt_box(&rtt)
-                );
+                cells.push((
+                    (app, chan, mark),
+                    video_cell(n, traffic, mix, marker, args.seed, secs),
+                ));
             }
         }
+    }
+    for ((app, chan, mark), r) in run_grid(cells) {
+        let mut rtts = Vec::new();
+        for f in 0..n {
+            rtts.extend_from_slice(&r.rtt_ms[f]);
+        }
+        let rtt = BoxStats::from_samples(&rtts);
+        let per_ue: f64 = (0..n).map(|f| r.goodput_total_mbps(f)).sum::<f64>() / n as f64;
+        println!(
+            "{app:<12} {chan:<12} {mark:<3} {} {per_ue:>12.2}",
+            fmt_box(&rtt)
+        );
     }
     println!("\nPaper shape: L4Span reduces RTT for both apps in all channels");
     println!("(76/38/45% for UDP Prague; 13/11/38% for SCReAM) with a small");

@@ -5,10 +5,10 @@
 //!
 //! `cargo run --release -p l4span-bench --bin fig14`
 
-use l4span_bench::{banner, Args};
+use l4span_bench::{banner, run_grid, Args};
 use l4span_cc::WanLink;
 use l4span_harness::scenario::{l4span_default, FlowSpec, ScenarioConfig, TrafficKind, UeSpec};
-use l4span_harness::run;
+use l4span_harness::Report;
 use l4span_ran::ChannelProfile;
 use l4span_sim::{Duration, Instant};
 
@@ -32,9 +32,8 @@ fn staggered(ccs: &[&str], wans: &[WanLink], seed: u64, secs: u64) -> ScenarioCo
     cfg
 }
 
-fn show(title: &str, ccs: &[&str], wans: &[WanLink], seed: u64, secs: u64) {
+fn show(title: &str, ccs: &[&str], r: &Report, secs: u64) {
     println!("\n--- {title} ---");
-    let r = run(staggered(ccs, wans, seed, secs));
     println!(
         "{:<6} {:>10} {:>10} {:>10}",
         "t(s)", ccs[0], ccs[1], ccs[2]
@@ -63,41 +62,38 @@ fn main() {
     let args = Args::parse();
     let secs = args.secs_or(60);
     banner("Fig. 14", "fairness among staggered flows under L4Span", &args);
-    let east = [WanLink::east()];
-    show(
-        "(a) three Prague, equal RTT",
-        &["prague", "prague", "prague"],
-        &east,
-        args.seed,
-        secs,
-    );
-    show(
-        "(b) three Prague, distinct RTTs (38/106/12 ms)",
-        &["prague", "prague", "prague"],
-        &[
-            WanLink::east(),
-            WanLink::west(),
-            WanLink {
-                one_way: Duration::from_millis(6),
-            },
-        ],
-        args.seed,
-        secs,
-    );
-    show(
-        "(c) two Prague + CUBIC",
-        &["prague", "cubic", "prague"],
-        &east,
-        args.seed,
-        secs,
-    );
-    show(
-        "(d) two Prague + BBRv2",
-        &["prague", "bbr2", "prague"],
-        &east,
-        args.seed,
-        secs,
-    );
+    let east = vec![WanLink::east()];
+    let distinct = vec![
+        WanLink::east(),
+        WanLink::west(),
+        WanLink {
+            one_way: Duration::from_millis(6),
+        },
+    ];
+    let panels: Vec<(&str, Vec<&str>, &Vec<WanLink>)> = vec![
+        (
+            "(a) three Prague, equal RTT",
+            vec!["prague", "prague", "prague"],
+            &east,
+        ),
+        (
+            "(b) three Prague, distinct RTTs (38/106/12 ms)",
+            vec!["prague", "prague", "prague"],
+            &distinct,
+        ),
+        ("(c) two Prague + CUBIC", vec!["prague", "cubic", "prague"], &east),
+        ("(d) two Prague + BBRv2", vec!["prague", "bbr2", "prague"], &east),
+    ];
+    let cells = panels
+        .into_iter()
+        .map(|(title, ccs, wans)| {
+            let cfg = staggered(&ccs, wans, args.seed, secs);
+            ((title, ccs), cfg)
+        })
+        .collect();
+    for ((title, ccs), r) in run_grid(cells) {
+        show(title, &ccs, &r, secs);
+    }
     println!("\nPaper shape: flows converge to the fair share during overlap;");
     println!("higher-RTT Prague converges slower; CUBIC/BBRv2 coexist without");
     println!("starving the Prague flows (per-UE isolation + MAC scheduler).");

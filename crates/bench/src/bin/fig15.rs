@@ -4,12 +4,12 @@
 //!
 //! `cargo run --release -p l4span-bench --bin fig15`
 
-use l4span_bench::{banner, print_cdf, Args};
+use l4span_bench::{banner, print_cdf, run_grid, Args};
 use l4span_cc::WanLink;
 use l4span_core::L4SpanConfig;
 use l4span_harness::scenario::congested_cell;
 use l4span_harness::scenario::ChannelMix;
-use l4span_harness::{run, MarkerKind};
+use l4span_harness::MarkerKind;
 use l4span_sim::Duration;
 
 fn main() {
@@ -17,23 +17,30 @@ fn main() {
     let secs = args.secs_or(20);
     banner("Fig. 15", "feedback short-circuiting on/off", &args);
 
+    let mut cells = Vec::new();
     for cc in ["prague", "cubic"] {
         for (label, sc) in [("with SC", true), ("w/o SC", false)] {
             let l4cfg = L4SpanConfig {
                 short_circuit: sc,
                 ..L4SpanConfig::default()
             };
-            let cfg = congested_cell(
-                1,
-                cc,
-                ChannelMix::Mobile,
-                16_384,
-                WanLink::local(),
-                MarkerKind::L4Span(l4cfg),
-                args.seed,
-                Duration::from_secs(secs),
-            );
-            let r = run(cfg);
+            cells.push((
+                (cc, label),
+                congested_cell(
+                    1,
+                    cc,
+                    ChannelMix::Mobile,
+                    16_384,
+                    WanLink::local(),
+                    MarkerKind::L4Span(l4cfg),
+                    args.seed,
+                    Duration::from_secs(secs),
+                ),
+            ));
+        }
+    }
+    {
+        for ((cc, label), r) in run_grid(cells) {
             println!(
                 "\n{cc} {label}: mean thr {:.2} Mbit/s, rtt p50/p99.9 = {:.1}/{:.1} ms",
                 r.goodput_total_mbps(0),

@@ -5,11 +5,11 @@
 //!
 //! `cargo run --release -p l4span-bench --bin fig16`
 
-use l4span_bench::{banner, Args};
+use l4span_bench::{banner, run_grid, Args};
 use l4span_cc::WanLink;
 use l4span_core::{L4SpanConfig, SharedDrbStrategy};
 use l4span_harness::scenario::{FlowSpec, ScenarioConfig, TrafficKind, UeSpec};
-use l4span_harness::{run, MarkerKind};
+use l4span_harness::MarkerKind;
 use l4span_ran::ChannelProfile;
 use l4span_sim::{Duration, Instant};
 
@@ -46,13 +46,16 @@ fn main() {
         "\n{:<10} {:>14} {:>14} {:>12} {:>12}",
         "strategy", "thr L4S Mb/s", "thr CUBIC", "L4S thr %", "L4S RTT %"
     );
-    for (name, strat) in [
+    let cells = [
         ("original", SharedDrbStrategy::Original),
         ("l4s", SharedDrbStrategy::AllL4s),
         ("classic", SharedDrbStrategy::AllClassic),
         ("l4span", SharedDrbStrategy::Coupled),
-    ] {
-        let r = run(shared_drb(strat, args.seed, secs));
+    ]
+    .into_iter()
+    .map(|(name, strat)| (name, shared_drb(strat, args.seed, secs)))
+    .collect();
+    for (name, r) in run_grid(cells) {
         let t0 = r.goodput_total_mbps(0);
         let t1 = r.goodput_total_mbps(1);
         let thr_ratio = 100.0 * t0 / (t0 + t1).max(1e-9);

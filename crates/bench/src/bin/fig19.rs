@@ -5,11 +5,11 @@
 //!
 //! `cargo run --release -p l4span-bench --bin fig19`
 
-use l4span_bench::{banner, Args};
+use l4span_bench::{banner, run_grid, Args};
 use l4span_cc::WanLink;
 use l4span_core::L4SpanConfig;
 use l4span_harness::scenario::{congested_cell, ChannelMix};
-use l4span_harness::{run, MarkerKind};
+use l4span_harness::MarkerKind;
 use l4span_sim::Duration;
 
 fn main() {
@@ -26,32 +26,37 @@ fn main() {
         "\n{:<10} {:<6} {:>12} {:>14}",
         "tau_s(ms)", "UEs", "RTT mean(ms)", "rate sum Mb/s"
     );
+    let mut cells = Vec::new();
     for &n in &ue_counts {
         for tau_ms in [1u64, 2, 5, 10, 20, 50, 100] {
             let l4 = L4SpanConfig {
                 tau_s: Duration::from_millis(tau_ms),
                 ..L4SpanConfig::default()
             };
-            let cfg = congested_cell(
-                n,
-                "prague",
-                ChannelMix::Mobile,
-                16_384,
-                WanLink::east(),
-                MarkerKind::L4Span(l4),
-                args.seed,
-                Duration::from_secs(secs),
-            );
-            let r = run(cfg);
-            let flows: Vec<usize> = (0..n).collect();
-            let mut rtts = Vec::new();
-            for &f in &flows {
-                rtts.extend_from_slice(&r.rtt_ms[f]);
-            }
-            let rtt_mean = l4span_sim::stats::mean(&rtts);
-            let sum: f64 = flows.iter().map(|&f| r.goodput_total_mbps(f)).sum();
-            println!("{tau_ms:<10} {n:<6} {rtt_mean:>12.1} {sum:>14.2}");
+            cells.push((
+                (tau_ms, n),
+                congested_cell(
+                    n,
+                    "prague",
+                    ChannelMix::Mobile,
+                    16_384,
+                    WanLink::east(),
+                    MarkerKind::L4Span(l4),
+                    args.seed,
+                    Duration::from_secs(secs),
+                ),
+            ));
         }
+    }
+    for ((tau_ms, n), r) in run_grid(cells) {
+        let flows: Vec<usize> = (0..n).collect();
+        let mut rtts = Vec::new();
+        for &f in &flows {
+            rtts.extend_from_slice(&r.rtt_ms[f]);
+        }
+        let rtt_mean = l4span_sim::stats::mean(&rtts);
+        let sum: f64 = flows.iter().map(|&f| r.goodput_total_mbps(f)).sum();
+        println!("{tau_ms:<10} {n:<6} {rtt_mean:>12.1} {sum:>14.2}");
     }
 
     println!("\n--- §6.3.1 ablation: DualPi2 transplanted to the CU (1 UE, mobile) ---");
@@ -59,7 +64,7 @@ fn main() {
         "{:<22} {:>12} {:>14}",
         "marker", "RTT mean(ms)", "rate Mb/s"
     );
-    for (name, marker) in [
+    let ablation = [
         (
             "dualpi2@cu 1ms",
             MarkerKind::DualPi2Cu {
@@ -73,18 +78,25 @@ fn main() {
             },
         ),
         ("l4span 10ms", MarkerKind::L4Span(L4SpanConfig::default())),
-    ] {
-        let cfg = congested_cell(
-            1,
-            "prague",
-            ChannelMix::Mobile,
-            16_384,
-            WanLink::east(),
-            marker,
-            args.seed,
-            Duration::from_secs(secs),
-        );
-        let r = run(cfg);
+    ]
+    .into_iter()
+    .map(|(name, marker)| {
+        (
+            name,
+            congested_cell(
+                1,
+                "prague",
+                ChannelMix::Mobile,
+                16_384,
+                WanLink::east(),
+                marker,
+                args.seed,
+                Duration::from_secs(secs),
+            ),
+        )
+    })
+    .collect();
+    for (name, r) in run_grid(ablation) {
         let rtt_mean = l4span_sim::stats::mean(&r.rtt_ms[0]);
         println!(
             "{name:<22} {rtt_mean:>12.1} {:>14.2}",

@@ -3,10 +3,9 @@
 //!
 //! `cargo run --release -p l4span-bench --bin fig20`
 
-use l4span_bench::{banner, print_cdf, Args};
+use l4span_bench::{banner, print_cdf, run_grid, Args};
 use l4span_cc::WanLink;
 use l4span_harness::scenario::{congested_cell, l4span_default, ChannelMix};
-use l4span_harness::run;
 use l4span_sim::Duration;
 
 fn main() {
@@ -14,22 +13,29 @@ fn main() {
     let secs = args.secs_or(15);
     banner("Fig. 20", "egress-rate estimation error", &args);
 
-    for (name, mix) in [
+    let cells = [
         ("static", ChannelMix::Static),
         ("pedestrian", ChannelMix::Pedestrian),
         ("vehicular", ChannelMix::Vehicular),
-    ] {
-        let cfg = congested_cell(
-            16,
-            "prague",
-            mix,
-            16_384,
-            WanLink::east(),
-            l4span_default(),
-            args.seed,
-            Duration::from_secs(secs),
-        );
-        let r = run(cfg);
+    ]
+    .into_iter()
+    .map(|(name, mix)| {
+        (
+            name,
+            congested_cell(
+                16,
+                "prague",
+                mix,
+                16_384,
+                WanLink::east(),
+                l4span_default(),
+                args.seed,
+                Duration::from_secs(secs),
+            ),
+        )
+    })
+    .collect();
+    for (name, r) in run_grid(cells) {
         let med = l4span_sim::stats::percentile(&r.rate_err_pct, 50.0);
         let mean = l4span_sim::stats::mean(&r.rate_err_pct);
         println!(

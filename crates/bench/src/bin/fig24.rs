@@ -4,10 +4,10 @@
 //!
 //! `cargo run --release -p l4span-bench --bin fig24 [--full]`
 
-use l4span_bench::{banner, fmt_box, Args};
+use l4span_bench::{banner, fmt_box, run_grid, Args};
 use l4span_cc::WanLink;
 use l4span_harness::scenario::{congested_cell, l4span_default, ChannelMix};
-use l4span_harness::{run, MarkerKind};
+use l4span_harness::MarkerKind;
 use l4span_sim::Duration;
 
 fn main() {
@@ -30,40 +30,47 @@ fn main() {
         vec![(16, 16_384, WanLink::east(), "(a) 16 UE, default queue, 38 ms")]
     };
 
-    for (n, queue, wan, title) in panels {
-        println!("\n--- {title} ---");
-        println!(
-            "{:<8} {:<4} {:<3} {:>52} {:>52}",
-            "cc", "chan", "+", "one-way delay ms: med [p25,p75] (p10,p90)",
-            "per-UE throughput Mbit/s"
-        );
+    let mut cells = Vec::new();
+    for &(n, queue, wan, title) in &panels {
         for cc in ["bbr", "reno"] {
             for (chan, mix) in [("S", ChannelMix::Static), ("M", ChannelMix::Mobile)] {
-                for (mark, marker) in
-                    [(" ", MarkerKind::None), ("+", l4span_default())]
-                {
-                    let cfg = congested_cell(
-                        n,
-                        cc,
-                        mix,
-                        queue,
-                        wan,
-                        marker,
-                        args.seed,
-                        Duration::from_secs(secs),
-                    );
-                    let r = run(cfg);
-                    let flows: Vec<usize> = (0..n).collect();
-                    let owd = r.owd_stats_pooled(&flows);
-                    let thr = r.throughput_stats_pooled(&flows);
-                    println!(
-                        "{cc:<8} {chan:<4} {mark:<3} {} {}",
-                        fmt_box(&owd),
-                        fmt_box(&thr)
-                    );
+                for (mark, marker) in [(" ", MarkerKind::None), ("+", l4span_default())] {
+                    cells.push((
+                        (title, n, cc, chan, mark),
+                        congested_cell(
+                            n,
+                            cc,
+                            mix,
+                            queue,
+                            wan,
+                            marker,
+                            args.seed,
+                            Duration::from_secs(secs),
+                        ),
+                    ));
                 }
             }
         }
+    }
+    let mut last_title = "";
+    for ((title, n, cc, chan, mark), r) in run_grid(cells) {
+        if title != last_title {
+            println!("\n--- {title} ---");
+            println!(
+                "{:<8} {:<4} {:<3} {:>52} {:>52}",
+                "cc", "chan", "+", "one-way delay ms: med [p25,p75] (p10,p90)",
+                "per-UE throughput Mbit/s"
+            );
+            last_title = title;
+        }
+        let flows: Vec<usize> = (0..n).collect();
+        let owd = r.owd_stats_pooled(&flows);
+        let thr = r.throughput_stats_pooled(&flows);
+        println!(
+            "{cc:<8} {chan:<4} {mark:<3} {} {}",
+            fmt_box(&owd),
+            fmt_box(&thr)
+        );
     }
     println!("\nPaper shape: Reno's OWD falls >97% under L4Span; BBR's medians");
     println!("barely move (it ignores marks) but variance grows.");

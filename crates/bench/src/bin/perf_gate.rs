@@ -1,0 +1,216 @@
+//! Simulator performance gate: runs the canonical scenarios, reports
+//! events/sec and wall-ms per simulated second, writes `BENCH_PR2.json`
+//! at the repo root, and (with `--check`) fails when events/sec on any
+//! scenario regresses more than 30 % below the committed baseline.
+//!
+//! `cargo run --release -p l4span-bench --bin perf_gate [--check]`
+//!
+//! The committed `BASELINES` constants are the numbers this gate produced
+//! on the reference machine at the end of each PR; `PRE_PR2_BASELINE` is
+//! the same measurement taken immediately *before* PR 2's allocation-free
+//! packet path landed, kept so the speedup trajectory stays on record.
+
+use std::time::Instant as WallInstant;
+
+use l4span_cc::WanLink;
+use l4span_harness::scenario::{congested_cell, l4span_default, ChannelMix};
+use l4span_harness::{run, ScenarioConfig};
+use l4span_sim::Duration;
+
+/// Simulated seconds per scenario (long enough to reach steady state,
+/// short enough for CI).
+const SECS: u64 = 8;
+
+/// Allowed events/sec regression vs the committed baseline before
+/// `--check` fails (fraction).
+const MAX_REGRESSION: f64 = 0.30;
+
+/// Committed post-PR-2 baselines: (scenario name, events/sec) measured
+/// on the reference machine (single-core container; a clean run — the
+/// box is shared, so these sit slightly below the best observed so the
+/// 30 % `--check` band absorbs scheduler noise rather than real
+/// regressions). `--check` compares against these.
+const BASELINES: &[(&str, f64)] = &[
+    ("congested_cubic_16ue", 1_850_000.0),
+    ("prague_l4span_16ue", 1_900_000.0),
+    ("bbr2_mobile_8ue", 1_050_000.0),
+];
+
+/// The same three scenarios measured on the same machine immediately
+/// before PR 2's hot-path work landed (Vec-backed `PacketBuf`, ~112-byte
+/// inline heap entries, per-slot Jakes evaluation, SipHash maps): the
+/// "pre" numbers of the 2× acceptance bar.
+const PRE_PR2_BASELINE: &[(&str, f64)] = &[
+    ("congested_cubic_16ue", 955_942.0),
+    ("prague_l4span_16ue", 999_551.0),
+    ("bbr2_mobile_8ue", 952_620.0),
+];
+
+fn scenarios() -> Vec<(&'static str, ScenarioConfig)> {
+    vec![
+        (
+            "congested_cubic_16ue",
+            congested_cell(
+                16,
+                "cubic",
+                ChannelMix::Mobile,
+                16_384,
+                WanLink::east(),
+                l4span_default(),
+                7,
+                Duration::from_secs(SECS),
+            ),
+        ),
+        (
+            "prague_l4span_16ue",
+            congested_cell(
+                16,
+                "prague",
+                ChannelMix::Mobile,
+                16_384,
+                WanLink::east(),
+                l4span_default(),
+                7,
+                Duration::from_secs(SECS),
+            ),
+        ),
+        (
+            "bbr2_mobile_8ue",
+            congested_cell(
+                8,
+                "bbr2",
+                ChannelMix::Mobile,
+                16_384,
+                WanLink::east(),
+                l4span_default(),
+                7,
+                Duration::from_secs(SECS),
+            ),
+        ),
+    ]
+}
+
+struct Row {
+    name: &'static str,
+    events: u64,
+    wall_s: f64,
+    events_per_sec: f64,
+    wall_ms_per_sim_s: f64,
+}
+
+fn measure(name: &'static str, cfg: ScenarioConfig) -> Row {
+    let sim_secs = cfg.duration.as_secs_f64();
+    let t0 = WallInstant::now();
+    let report = run(cfg);
+    let wall_s = t0.elapsed().as_secs_f64();
+    Row {
+        name,
+        events: report.events,
+        wall_s,
+        events_per_sec: report.events as f64 / wall_s,
+        wall_ms_per_sim_s: wall_s * 1e3 / sim_secs,
+    }
+}
+
+fn baseline_for(table: &[(&str, f64)], name: &str) -> Option<f64> {
+    table.iter().find(|(n, _)| *n == name).map(|&(_, v)| v)
+}
+
+fn write_json(rows: &[Row], path: &std::path::Path) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    s.push_str("{\n  \"pr\": 2,\n  \"sim_secs_per_scenario\": ");
+    let _ = write!(s, "{SECS}");
+    s.push_str(",\n  \"scenarios\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let pre = baseline_for(PRE_PR2_BASELINE, r.name).unwrap_or(0.0);
+        let _ = write!(
+            s,
+            "    {{\"name\": \"{}\", \"events\": {}, \"wall_s\": {:.3}, \
+             \"events_per_sec\": {:.0}, \"wall_ms_per_sim_s\": {:.1}, \
+             \"pre_pr2_events_per_sec\": {:.0}, \"speedup_vs_pre_pr2\": {:.2}}}",
+            r.name,
+            r.events,
+            r.wall_s,
+            r.events_per_sec,
+            r.wall_ms_per_sim_s,
+            pre,
+            if pre > 0.0 { r.events_per_sec / pre } else { 0.0 },
+        );
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s)
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    println!("perf_gate: {SECS} simulated seconds per scenario\n");
+    println!(
+        "{:<24} {:>12} {:>9} {:>14} {:>14} {:>10}",
+        "scenario", "events", "wall s", "events/sec", "ms/sim-s", "vs pre-PR2"
+    );
+
+    // In `--check` mode a scenario that lands under the bar is re-run
+    // (best of 3) before being declared a regression: shared CI runners
+    // see noisy-neighbor slowdowns that a real code regression survives
+    // but a scheduling hiccup does not.
+    let mut rows: Vec<Row> = Vec::new();
+    for (name, cfg) in scenarios() {
+        let mut best = measure(name, cfg.clone());
+        if check {
+            if let Some(base) = baseline_for(BASELINES, name) {
+                let bar = base * (1.0 - MAX_REGRESSION);
+                for _ in 0..2 {
+                    if best.events_per_sec >= bar {
+                        break;
+                    }
+                    let retry = measure(name, cfg.clone());
+                    if retry.events_per_sec > best.events_per_sec {
+                        best = retry;
+                    }
+                }
+            }
+        }
+        rows.push(best);
+    }
+
+    let mut failed = Vec::new();
+    for r in &rows {
+        let pre = baseline_for(PRE_PR2_BASELINE, r.name).unwrap_or(0.0);
+        let speedup = if pre > 0.0 { r.events_per_sec / pre } else { 0.0 };
+        println!(
+            "{:<24} {:>12} {:>9.2} {:>14.0} {:>14.1} {:>9.2}x",
+            r.name, r.events, r.wall_s, r.events_per_sec, r.wall_ms_per_sim_s, speedup
+        );
+        if check {
+            if let Some(base) = baseline_for(BASELINES, r.name) {
+                if r.events_per_sec < base * (1.0 - MAX_REGRESSION) {
+                    failed.push(format!(
+                        "{}: {:.0} events/sec is more than {:.0}% below baseline {:.0} (best of 3)",
+                        r.name,
+                        r.events_per_sec,
+                        MAX_REGRESSION * 100.0,
+                        base
+                    ));
+                }
+            }
+        }
+    }
+
+    // BENCH_PR2.json lives at the repo root regardless of the cwd the
+    // gate was launched from.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let path = root.join("BENCH_PR2.json");
+    write_json(&rows, &path).expect("write BENCH_PR2.json");
+    println!("\nwrote {}", path.display());
+
+    if !failed.is_empty() {
+        for f in &failed {
+            eprintln!("PERF REGRESSION: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -101,3 +101,16 @@ pub fn banner(id: &str, what: &str, args: &Args) {
     );
     println!("==================================================================");
 }
+
+/// Run a labelled grid of scenarios on the parallel runner
+/// ([`l4span_harness::runner`]), preserving input order: returns each
+/// label paired with its report. Fig-bin grids are independent seeded
+/// simulations, so they parallelise perfectly; determinism is unaffected
+/// (per-scenario seeds, ordered collection).
+pub fn run_grid<L>(
+    cells: Vec<(L, l4span_harness::ScenarioConfig)>,
+) -> Vec<(L, l4span_harness::Report)> {
+    let (labels, cfgs): (Vec<L>, Vec<l4span_harness::ScenarioConfig>) =
+        cells.into_iter().unzip();
+    labels.into_iter().zip(l4span_harness::run_batch(cfgs)).collect()
+}

@@ -854,7 +854,7 @@ mod tests {
         assert!(!pkts.is_empty(), "new data flowed after the acks");
         let w = s.cc().cwnd();
         // Mark one downlink packet CE.
-        let mut marked = pkts[0].clone();
+        let mut marked = pkts[0];
         marked.set_ecn(Ecn::Ce);
         let t2 = Instant::from_millis(80);
         let ack = r.on_packet(&marked, t2).expect("ack");
@@ -898,13 +898,13 @@ mod tests {
         let (mut s, mut r) = pair(Box::new(Cubic::new(1400)));
         let burst = handshake(&mut s, &mut r, Instant::ZERO);
         let t = Instant::from_millis(40);
-        let mut marked1 = burst[0].clone();
+        let mut marked1 = burst[0];
         marked1.set_ecn(Ecn::Ce);
         let ack1 = r.on_packet(&marked1, t).unwrap();
         s.on_packet(&ack1, t);
         let w = s.cc().cwnd();
         // A second ECE ack a moment later must not halve again.
-        let mut marked2 = burst[1].clone();
+        let mut marked2 = burst[1];
         marked2.set_ecn(Ecn::Ce);
         let ack2 = r.on_packet(&marked2, t + Duration::from_millis(1)).unwrap();
         s.on_packet(&ack2, t + Duration::from_millis(1));
@@ -920,7 +920,7 @@ mod tests {
         let (mut s, mut r) = pair(Box::new(Prague::new(1400)));
         let burst = handshake(&mut s, &mut r, Instant::ZERO);
         let t = Instant::from_millis(40);
-        let mut marked = burst[0].clone();
+        let mut marked = burst[0];
         marked.set_ecn(Ecn::Ce);
         let w = s.cc().cwnd();
         let ack = r.on_packet(&marked, t).unwrap();

@@ -1,12 +1,10 @@
 //! Flow bookkeeping: five-tuple → (UE, DRB) mapping, per-flow feedback
 //! state for short-circuiting, and handshake-based RTT* estimation.
 
-use std::collections::HashMap;
-
 use l4span_net::ecn::FlowClass;
 use l4span_net::{AccEcnCounters, FiveTuple};
 use l4span_ran::{DrbId, UeId};
-use l4span_sim::{Duration, Instant};
+use l4span_sim::{Duration, FxHashMap, Instant};
 
 /// Per-flow state L4Span keeps (paper §4.1, §4.2.2, §4.4).
 #[derive(Debug)]
@@ -75,15 +73,48 @@ impl FlowState {
 
 /// The five-tuple table: downlink tuples map to flow state; uplink ACKs
 /// are resolved through the reversed tuple (Fig. 23 pseudocode).
+///
+/// Per-DRB class counts are maintained incrementally on insert and
+/// reclassification, so the per-packet shared-DRB decision (§4.2) is an
+/// O(1) lookup instead of a scan over every tracked flow.
 #[derive(Debug, Default)]
 pub struct FlowTable {
-    flows: HashMap<FiveTuple, FlowState>,
+    flows: FxHashMap<FiveTuple, FlowState>,
+    /// (ue, drb) → [l4s, classic, non_ecn] flow counts.
+    counts: FxHashMap<(UeId, DrbId), [u32; 3]>,
+}
+
+fn class_idx(class: FlowClass) -> usize {
+    match class {
+        FlowClass::L4s => 0,
+        FlowClass::Classic => 1,
+        FlowClass::NonEcn => 2,
+    }
 }
 
 impl FlowTable {
     /// Empty table.
     pub fn new() -> FlowTable {
         FlowTable::default()
+    }
+
+    /// The one insert path (shared by [`FlowTable::get_or_insert`] and
+    /// [`FlowTable::observe`]): lookup-or-create with count bookkeeping.
+    /// Free function over the two fields so callers can keep borrowing
+    /// `counts` after the returned flow borrow (field-disjoint).
+    fn entry<'a>(
+        flows: &'a mut FxHashMap<FiveTuple, FlowState>,
+        counts: &mut FxHashMap<(UeId, DrbId), [u32; 3]>,
+        tuple: FiveTuple,
+        ue: UeId,
+        drb: DrbId,
+        class: FlowClass,
+        default_mss: usize,
+    ) -> &'a mut FlowState {
+        flows.entry(tuple).or_insert_with(|| {
+            counts.entry((ue, drb)).or_default()[class_idx(class)] += 1;
+            FlowState::new(ue, drb, class, default_mss)
+        })
     }
 
     /// Lookup or create the flow for a downlink tuple.
@@ -95,9 +126,47 @@ impl FlowTable {
         class: FlowClass,
         default_mss: usize,
     ) -> &mut FlowState {
-        self.flows
-            .entry(tuple)
-            .or_insert_with(|| FlowState::new(ue, drb, class, default_mss))
+        Self::entry(
+            &mut self.flows,
+            &mut self.counts,
+            tuple,
+            ue,
+            drb,
+            class,
+            default_mss,
+        )
+    }
+
+    /// Per-packet entry point: lookup-or-create the flow, and upgrade a
+    /// NonECN-classified flow to the observed ECT `class` (handshake
+    /// packets are Not-ECT, so the real class shows on the first ECT
+    /// data packet). One table probe on the hot path; class counts stay
+    /// in sync through the upgrade.
+    pub fn observe(
+        &mut self,
+        tuple: FiveTuple,
+        ue: UeId,
+        drb: DrbId,
+        class: FlowClass,
+        default_mss: usize,
+    ) -> &mut FlowState {
+        let flow = Self::entry(
+            &mut self.flows,
+            &mut self.counts,
+            tuple,
+            ue,
+            drb,
+            class,
+            default_mss,
+        );
+        if flow.class == FlowClass::NonEcn && class != FlowClass::NonEcn {
+            let c = self.counts.entry((flow.ue, flow.drb)).or_default();
+            c[class_idx(FlowClass::NonEcn)] =
+                c[class_idx(FlowClass::NonEcn)].saturating_sub(1);
+            c[class_idx(class)] += 1;
+            flow.class = class;
+        }
+        flow
     }
 
     /// Downlink-tuple lookup.
@@ -131,20 +200,10 @@ impl FlowTable {
     }
 
     /// Count flows of each class on a DRB: (l4s, classic, non_ecn).
+    /// O(1): read from the incrementally-maintained counters.
     pub fn class_counts(&self, ue: UeId, drb: DrbId) -> (usize, usize, usize) {
-        let mut l4s = 0;
-        let mut classic = 0;
-        let mut non = 0;
-        for f in self.flows.values() {
-            if f.ue == ue && f.drb == drb {
-                match f.class {
-                    FlowClass::L4s => l4s += 1,
-                    FlowClass::Classic => classic += 1,
-                    FlowClass::NonEcn => non += 1,
-                }
-            }
-        }
-        (l4s, classic, non)
+        let c = self.counts.get(&(ue, drb)).copied().unwrap_or_default();
+        (c[0] as usize, c[1] as usize, c[2] as usize)
     }
 }
 
@@ -205,5 +264,23 @@ mod tests {
         assert_eq!(t.class_counts(UeId(0), DrbId(0)), (1, 1, 0));
         assert_eq!(t.class_counts(UeId(0), DrbId(1)), (0, 1, 0));
         assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn observe_upgrades_non_ecn_once_and_keeps_counts() {
+        let mut t = FlowTable::new();
+        // Handshake packet: Not-ECT.
+        let f = t.observe(tuple(), UeId(0), DrbId(0), FlowClass::NonEcn, 1400);
+        assert_eq!(f.class, FlowClass::NonEcn);
+        assert_eq!(t.class_counts(UeId(0), DrbId(0)), (0, 0, 1));
+        // First ECT data packet: the flow's real class shows.
+        let f = t.observe(tuple(), UeId(0), DrbId(0), FlowClass::L4s, 1400);
+        assert_eq!(f.class, FlowClass::L4s);
+        assert_eq!(t.class_counts(UeId(0), DrbId(0)), (1, 0, 0));
+        // Later Not-ECT packets (pure ACKs) must not downgrade it back.
+        let f = t.observe(tuple(), UeId(0), DrbId(0), FlowClass::NonEcn, 1400);
+        assert_eq!(f.class, FlowClass::L4s);
+        assert_eq!(t.class_counts(UeId(0), DrbId(0)), (1, 0, 0));
+        assert_eq!(t.len(), 1);
     }
 }

@@ -1,12 +1,10 @@
 //! The L4Span layer itself: the three event handlers of Appendix A.
 
-use std::collections::HashMap;
-
 use l4span_net::ecn::FlowClass;
 use l4span_net::{Ecn, PacketBuf, Protocol, TcpFlags};
 use l4span_ran::f1u::DlDataDeliveryStatus;
 use l4span_ran::{DrbId, UeId};
-use l4span_sim::{Duration, Instant, SimRng};
+use l4span_sim::{Duration, FxHashMap, Instant, SimRng};
 
 use crate::config::{L4SpanConfig, SharedDrbStrategy};
 use crate::estimator::EgressEstimator;
@@ -63,7 +61,7 @@ impl DrbState {
 pub struct L4SpanLayer {
     cfg: L4SpanConfig,
     rng: SimRng,
-    drbs: HashMap<(UeId, DrbId), DrbState>,
+    drbs: FxHashMap<(UeId, DrbId), DrbState>,
     flows: FlowTable,
     stats: LayerStats,
 }
@@ -74,7 +72,7 @@ impl L4SpanLayer {
         L4SpanLayer {
             cfg,
             rng,
-            drbs: HashMap::new(),
+            drbs: FxHashMap::default(),
             flows: FlowTable::new(),
             stats: LayerStats::default(),
         }
@@ -167,14 +165,9 @@ impl L4SpanLayer {
         let is_tcp = tuple.protocol == Protocol::Tcp;
         let tcp_hdr = if is_tcp { pkt.tcp_header() } else { None };
         {
-            let flow = self
-                .flows
-                .get_or_insert(tuple, ue, drb, class, default_mss);
-            // Handshake packets are Not-ECT (RFC 3168); the flow's real
-            // class shows on its first ECT data packet — upgrade once.
-            if flow.class == FlowClass::NonEcn && class != FlowClass::NonEcn {
-                flow.class = class;
-            }
+            // One table probe: lookup-or-create plus the one-time
+            // NonECN→ECT class upgrade (with count bookkeeping).
+            let flow = self.flows.observe(tuple, ue, drb, class, default_mss);
             if let Some(h) = &tcp_hdr {
                 flow.observe_forward(now);
                 if h.accecn.is_some() {

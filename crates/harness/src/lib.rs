@@ -14,7 +14,10 @@
 //!   CDFs, delay breakdowns, estimation-error samples;
 //! * [`wired`] — the wired-only topology of Fig. 2(a);
 //! * [`dci`] — synthetic DCI/MCS traces and the channel stable-period
-//!   CDF of Fig. 18.
+//!   CDF of Fig. 18;
+//! * [`runner`] — parallel execution of independent scenario batches
+//!   with a strict determinism contract (per-scenario seeds, results in
+//!   input order, fingerprints independent of worker-thread count).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,12 +25,14 @@
 pub mod dci;
 pub mod marker;
 pub mod metrics;
+pub mod runner;
 pub mod scenario;
 pub mod wired;
 pub mod world;
 
 pub use marker::MarkerKind;
 pub use metrics::Report;
+pub use runner::{run_batch, run_batch_on};
 pub use scenario::{ChannelMix, FlowSpec, ScenarioConfig, TrafficKind, UeSpec};
 pub use world::World;
 

@@ -7,15 +7,13 @@
 //! the best a fixed-threshold qdisc at the CU can do, and precisely why
 //! §6.3.1 finds DualPi2 under-utilises a fading link.
 
-use std::collections::HashMap;
-
 use l4span_aqm::{CoDel, DualPi2, Verdict};
 use l4span_core::profile::ProfileTable;
 use l4span_core::{DlVerdict, L4SpanConfig, L4SpanLayer};
 use l4span_net::{Ecn, PacketBuf};
 use l4span_ran::f1u::DlDataDeliveryStatus;
 use l4span_ran::{DrbId, UeId};
-use l4span_sim::{Duration, Instant, SimRng};
+use l4span_sim::{Duration, FxHashMap, Instant, SimRng};
 
 /// Which marker the scenario installs at the CU.
 #[derive(Debug, Clone)]
@@ -55,7 +53,7 @@ pub enum Marker {
     /// DualPi2 at the CU.
     DualPi2Cu {
         /// Per-DRB queue/PI state.
-        drbs: HashMap<(UeId, DrbId), BaselineDrb>,
+        drbs: FxHashMap<(UeId, DrbId), BaselineDrb>,
         /// L-queue step threshold new DRBs get.
         threshold: Duration,
         /// Marking-coin RNG.
@@ -64,7 +62,7 @@ pub enum Marker {
     /// CoDel / ECN-CoDel at the CU.
     TcRan {
         /// Per-DRB queue/CoDel state.
-        drbs: HashMap<(UeId, DrbId), BaselineDrb>,
+        drbs: FxHashMap<(UeId, DrbId), BaselineDrb>,
         /// Mark instead of drop.
         ecn: bool,
     },
@@ -77,12 +75,12 @@ impl Marker {
             MarkerKind::None => Marker::None,
             MarkerKind::L4Span(cfg) => Marker::L4Span(L4SpanLayer::new(cfg.clone(), rng)),
             MarkerKind::DualPi2Cu { threshold } => Marker::DualPi2Cu {
-                drbs: HashMap::new(),
+                drbs: FxHashMap::default(),
                 threshold: *threshold,
                 rng,
             },
             MarkerKind::TcRan { ecn } => Marker::TcRan {
-                drbs: HashMap::new(),
+                drbs: FxHashMap::default(),
                 ecn: *ecn,
             },
         }
@@ -189,7 +187,7 @@ impl Marker {
 }
 
 fn baseline_drb(
-    drbs: &mut HashMap<(UeId, DrbId), BaselineDrb>,
+    drbs: &mut FxHashMap<(UeId, DrbId), BaselineDrb>,
     ue: UeId,
     drb: DrbId,
     threshold: Duration,

@@ -1,6 +1,6 @@
 //! Measurement plumbing and the final [`Report`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use l4span_sim::{stats::BoxStats, Duration, Instant};
 
@@ -70,8 +70,10 @@ pub struct Report {
     pub rtt_at_s: Vec<Vec<f64>>,
     /// Per-flow received payload bytes per bin (UE side).
     pub thr_bins: Vec<Vec<u64>>,
-    /// RLC queue-length samples (SDUs) per (ue, drb).
-    pub queue_series: HashMap<(u16, u8), Vec<usize>>,
+    /// RLC queue-length samples (SDUs) per (ue, drb). A `BTreeMap` so
+    /// both serialisation and the fingerprint iterate in key order
+    /// regardless of hash state.
+    pub queue_series: BTreeMap<(u16, u8), Vec<usize>>,
     /// Per-flow delay breakdown means.
     pub breakdown: Vec<BreakdownAvg>,
     /// Egress-rate estimation errors in percent (Fig. 20), if L4Span ran.
@@ -93,6 +95,9 @@ pub struct Report {
     /// Wall-clock nanoseconds spent inside marker event handlers,
     /// (dl, ul, feedback) — Fig. 21 / Table 1 material.
     pub marker_time_ns: (Vec<u64>, Vec<u64>, Vec<u64>),
+    /// Discrete events processed by the world's run loop (deterministic;
+    /// the numerator of the perf gate's events/sec metric).
+    pub events: u64,
 }
 
 impl Report {
@@ -185,17 +190,15 @@ impl Report {
             "duration={:?};bin={:?};owd={:?};rtt={:?};rtt_at={:?};thr={:?};",
             self.duration, self.bin, self.owd_ms, self.rtt_ms, self.rtt_at_s, self.thr_bins
         );
-        let mut keys: Vec<&(u16, u8)> = self.queue_series.keys().collect();
-        keys.sort();
-        for k in keys {
-            let _ = write!(s, "q{:?}={:?};", k, self.queue_series[k]);
+        for (k, v) in &self.queue_series {
+            let _ = write!(s, "q{:?}={:?};", k, v);
         }
         for b in &self.breakdown {
             let _ = write!(s, "bd={:?}/{};", b.mean(), b.count());
         }
         let _ = write!(
             s,
-            "err={:?};fin={:?};start={:?};marks={};rlc_drops={};tbs_lost={};harq={};mem={}",
+            "err={:?};fin={:?};start={:?};marks={};rlc_drops={};tbs_lost={};harq={};mem={};ev={}",
             self.rate_err_pct,
             self.finish_ms,
             self.flow_start,
@@ -203,7 +206,8 @@ impl Report {
             self.rlc_drops,
             self.tbs_lost,
             self.harq_retx,
-            self.marker_memory
+            self.marker_memory,
+            self.events
         );
         s
     }

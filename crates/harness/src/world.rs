@@ -2,7 +2,7 @@
 //! bottleneck) ↔ CU marker ↔ gNB ↔ air ↔ UE stacks ↔ uplink, exactly the
 //! end-to-end path of paper Fig. 3.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use l4span_aqm::{DualPi2, Router, RouterAqm};
 use l4span_cc::scream::{ScreamFeedback, ScreamReceiver, ScreamSender};
@@ -12,12 +12,12 @@ use l4span_cc::tcp::TcpConfig;
 use l4span_core::DlVerdict;
 use l4span_net::{FiveTuple, PacketBuf, Protocol};
 use l4span_ran::channel::{ChannelProfile, FadingChannel};
-use l4span_ran::config::SlotRole;
+use l4span_ran::config::{RlcMode, SlotRole};
 use l4span_ran::ids::Qfi;
 use l4span_ran::mac::TransportBlock;
 use l4span_ran::rlc::RlcStatus;
-use l4span_ran::{DrbId, Gnb, UeId, UeStack};
-use l4span_sim::{Duration, EventQueue, Instant, SimRng};
+use l4span_ran::{DrbId, Gnb, SlotOutput, UeId, UeStack};
+use l4span_sim::{Duration, EventQueue, FxHashMap, Instant, SimRng};
 
 use crate::marker::Marker;
 use crate::metrics::{Breakdown, BreakdownAvg, Report};
@@ -66,14 +66,22 @@ struct Flow {
     started: bool,
     finished_at: Option<Instant>,
     /// ident → send time of downlink packets (for OWD).
-    sent_at: HashMap<u16, Instant>,
+    sent_at: FxHashMap<u16, Instant>,
     /// ident of uplink feedback packet → its payload.
-    fb_pending: HashMap<u16, FbData>,
+    fb_pending: FxHashMap<u16, FbData>,
     /// Earliest scheduled FlowTimer (dedupe).
     timer_at: Instant,
 }
 
+/// One scheduled occurrence. The queue stores events *boxed* so heap
+/// entries stay pointer-sized: several variants inline a ~100-byte
+/// `PacketBuf` (or whole segment vectors), and sifting those through a
+/// `BinaryHeap` would memmove packet bytes on every reorder. The boxes
+/// themselves are pooled by the world (`World::pool`), so scheduling is
+/// allocation-free in steady state.
 enum Event {
+    /// Placeholder left in a recycled box; never scheduled.
+    Nop,
     Slot,
     DlAtRouter { pkt: PacketBuf },
     RouterPoll,
@@ -94,29 +102,45 @@ enum Event {
 /// The assembled world. Build with [`World::new`], run with [`World::run`].
 pub struct World {
     cfg: ScenarioConfig,
-    queue: EventQueue<Event>,
+    queue: EventQueue<Box<Event>>,
+    /// Recycled event boxes: popped events return their allocation here
+    /// and `sched` reuses it, so the steady-state schedule/pop cycle
+    /// never touches the allocator. The boxing is the point (pooled
+    /// allocations handed back to the queue), so the lint is wrong here.
+    #[allow(clippy::vec_box)]
+    pool: Vec<Box<Event>>,
     gnb: Gnb,
     ues: Vec<UeStack>,
     marker: Marker,
     flows: Vec<Flow>,
-    tuple_to_flow: HashMap<FiveTuple, usize>,
+    tuple_to_flow: FxHashMap<FiveTuple, usize>,
     router: Option<Router>,
     router_poll_at: Instant,
+    /// UEs with at least one UM DRB (the only ones whose RLC receivers
+    /// need the reassembly-timeout poll).
+    um_ues: Vec<usize>,
+    /// Flows with UDP endpoints (the only ones whose receivers need the
+    /// prohibit-interval feedback flush).
+    udp_flows: Vec<usize>,
+    /// Reused per-slot gNB output buffers.
+    slot_out: SlotOutput,
     // --- metrics accumulators ---
     owd_ms: Vec<Vec<f64>>,
     rtt_ms: Vec<Vec<f64>>,
     rtt_at_s: Vec<Vec<f64>>,
     thr_bins: Vec<Vec<u64>>,
-    queue_series: HashMap<(u16, u8), Vec<usize>>,
+    queue_series: BTreeMap<(u16, u8), Vec<usize>>,
     breakdown: Vec<BreakdownAvg>,
     rate_err_pct: Vec<f64>,
     /// (ue, drb, sn) → (flow, ident): joins TxRecords to packets.
-    sn_map: HashMap<(UeId, DrbId, u64), (usize, u16)>,
+    sn_map: FxHashMap<(UeId, DrbId, u64), (usize, u16)>,
     /// (flow, ident) → (queuing ms, scheduling ms) awaiting delivery.
-    breakdown_pending: HashMap<(usize, u16), (f64, f64)>,
+    breakdown_pending: FxHashMap<(usize, u16), (f64, f64)>,
     /// Ground-truth egress byte log per DRB (Fig. 20 reference).
     gt_egress: BTreeMap<(u16, u8), VecDeque<(Instant, usize)>>,
     marker_time: (Vec<u64>, Vec<u64>, Vec<u64>),
+    /// Events processed by `run` (perf-gate denominator).
+    events: u64,
 }
 
 impl World {
@@ -152,7 +176,7 @@ impl World {
         }
         let marker = Marker::new(&cfg.marker, marker_rng);
         let mut flows = Vec::new();
-        let mut tuple_to_flow = HashMap::new();
+        let mut tuple_to_flow = FxHashMap::default();
         for (f, spec) in cfg.flows.iter().enumerate() {
             let sip = server_ip(f);
             let uip = ue_ip(spec.ue);
@@ -234,8 +258,8 @@ impl World {
                 endpoint,
                 started: false,
                 finished_at: None,
-                sent_at: HashMap::new(),
-                fb_pending: HashMap::new(),
+                sent_at: FxHashMap::default(),
+                fb_pending: FxHashMap::default(),
                 timer_at: Instant::MAX,
             });
         }
@@ -249,9 +273,27 @@ impl World {
         });
 
         let n = flows.len();
+        // UEs that actually need the periodic poll (UM reassembly skips)
+        // and flows that need the UDP feedback flush; in an all-AM,
+        // all-TCP cell the UePoll tick disappears entirely.
+        let um_ues: Vec<usize> = cfg
+            .ues
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.drbs.iter().any(|&(_, m)| m == RlcMode::Um))
+            .map(|(i, _)| i)
+            .collect();
+        let udp_flows: Vec<usize> = flows
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !matches!(f.endpoint, Endpoint::Tcp { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        let need_ue_poll = !um_ues.is_empty() || !udp_flows.is_empty();
         let mut w = World {
             cfg,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_capacity(1024 + 128 * n),
+            pool: Vec::with_capacity(1024 + 128 * n),
             gnb,
             ues,
             marker,
@@ -259,35 +301,41 @@ impl World {
             tuple_to_flow,
             router,
             router_poll_at: Instant::MAX,
+            um_ues,
+            udp_flows,
+            slot_out: SlotOutput::default(),
             owd_ms: vec![Vec::new(); n],
             rtt_ms: vec![Vec::new(); n],
             rtt_at_s: vec![Vec::new(); n],
             thr_bins: vec![Vec::new(); n],
-            queue_series: HashMap::new(),
+            queue_series: BTreeMap::new(),
             breakdown: vec![BreakdownAvg::default(); n],
             rate_err_pct: Vec::new(),
-            sn_map: HashMap::new(),
-            breakdown_pending: HashMap::new(),
+            sn_map: FxHashMap::default(),
+            breakdown_pending: FxHashMap::default(),
             gt_egress: BTreeMap::new(),
             marker_time: (Vec::new(), Vec::new(), Vec::new()),
+            events: 0,
         };
-        w.queue.schedule(Instant::ZERO, Event::Slot);
-        w.queue.schedule(Instant::from_millis(10), Event::Sample);
-        w.queue.schedule(Instant::from_millis(5), Event::UePoll);
+        w.sched(Instant::ZERO, Event::Slot);
+        w.sched(Instant::from_millis(10), Event::Sample);
+        if need_ue_poll {
+            w.sched(Instant::from_millis(5), Event::UePoll);
+        }
         for f in 0..n {
             let start = w.flows[f].start;
-            w.queue.schedule(start, Event::FlowStart { flow: f });
+            w.sched(start, Event::FlowStart { flow: f });
             if let Some(stop) = w.flows[f].stop {
-                w.queue.schedule(stop, Event::FlowStop { flow: f });
+                w.sched(stop, Event::FlowStop { flow: f });
             }
         }
         if let Some(b) = w.cfg.bottleneck.clone() {
             for (t, bps) in b.schedule {
-                w.queue.schedule(t, Event::RouterRate { bps });
+                w.sched(t, Event::RouterRate { bps });
             }
         }
         for (t, ue, profile, snr_db) in w.cfg.channel_events.clone() {
-            w.queue.schedule(
+            w.sched(
                 t,
                 Event::ChannelChange {
                     ue,
@@ -299,6 +347,18 @@ impl World {
         w
     }
 
+    /// Schedule an event, reusing a pooled box when one is available.
+    #[inline]
+    fn sched(&mut self, at: Instant, ev: Event) {
+        match self.pool.pop() {
+            Some(mut b) => {
+                *b = ev;
+                self.queue.schedule(at, b);
+            }
+            None => self.queue.schedule(at, Box::new(ev)),
+        }
+    }
+
     /// Execute to the configured duration and produce the report.
     pub fn run(mut self) -> Report {
         let end = Instant::ZERO + self.cfg.duration;
@@ -306,7 +366,11 @@ impl World {
             if at > end {
                 break;
             }
-            let (now, ev) = self.queue.pop().expect("peeked");
+            let (now, mut bx) = self.queue.pop().expect("peeked");
+            // Recycle the box: move the event out, keep the allocation.
+            let ev = std::mem::replace(&mut *bx, Event::Nop);
+            self.pool.push(bx);
+            self.events += 1;
             self.handle(ev, now);
         }
         self.into_report()
@@ -318,6 +382,7 @@ impl World {
 
     fn handle(&mut self, ev: Event, now: Instant) {
         match ev {
+            Event::Nop => {}
             Event::Slot => self.on_slot(now),
             Event::DlAtRouter { pkt } => {
                 if let Some(r) = &mut self.router {
@@ -336,9 +401,9 @@ impl World {
             }
             Event::DlAtCu { flow, pkt } => self.on_dl_at_cu(flow, pkt, now),
             Event::TbAtUe { ue, tb } => {
-                let deliveries = self.ues[ue].on_transport_block(&tb, now);
+                let deliveries = self.ues[ue].on_transport_block(tb, now);
                 for d in deliveries {
-                    self.queue.schedule(
+                    self.sched(
                         d.deliver_at,
                         Event::AppDeliver {
                             pkt: d.pkt,
@@ -387,10 +452,12 @@ impl World {
             }
             Event::Sample => self.on_sample(now),
             Event::UePoll => {
-                for i in 0..self.ues.len() {
+                // Only UEs with UM DRBs have reassembly timers to run.
+                for k in 0..self.um_ues.len() {
+                    let i = self.um_ues[k];
                     let deliveries = self.ues[i].poll(now);
                     for d in deliveries {
-                        self.queue.schedule(
+                        self.sched(
                             d.deliver_at,
                             Event::AppDeliver {
                                 pkt: d.pkt,
@@ -402,7 +469,9 @@ impl World {
                 // Flush feedback reports suppressed by the prohibit
                 // interval (UDP receivers have no ack clock of their own;
                 // without this a window-limited sender can deadlock).
-                for flow in 0..self.flows.len() {
+                // Only UDP endpoints ever have anything to flush.
+                for k in 0..self.udp_flows.len() {
+                    let flow = self.udp_flows[k];
                     let f = &mut self.flows[flow];
                     let ue = f.ue_idx;
                     let pending = match &mut f.endpoint {
@@ -415,19 +484,21 @@ impl World {
                         Endpoint::Tcp { .. } => None,
                     };
                     if let Some((fb_pkt, fb)) = pending {
-                        let fid = fb_pkt.ip().identification;
+                        let fid = fb_pkt.identification();
                         f.fb_pending.insert(fid, fb);
                         self.ues[ue].enqueue_uplink(fb_pkt, now);
                     }
                 }
-                self.queue
-                    .schedule(now + Duration::from_millis(5), Event::UePoll);
+                self.sched(now + Duration::from_millis(5), Event::UePoll);
             }
         }
     }
 
     fn on_slot(&mut self, now: Instant) {
-        let out = self.gnb.on_slot(now);
+        // Reuse the slot-output buffers across slots (taken out of self
+        // so the marker/metrics borrows below stay disjoint).
+        let mut out = std::mem::take(&mut self.slot_out);
+        self.gnb.on_slot_into(now, &mut out);
         for msg in &out.f1u {
             let t0 = self.clock_start();
             self.marker.on_feedback(msg, now);
@@ -444,29 +515,27 @@ impl World {
                 self.breakdown_pending.insert((flow, ident), (queuing, sched));
             }
         }
-        for d in out.deliveries {
+        for d in out.deliveries.drain(..) {
             let ue = d.tb.ue.0 as usize;
-            self.queue
-                .schedule(d.deliver_at, Event::TbAtUe { ue, tb: d.tb });
+            self.sched(d.deliver_at, Event::TbAtUe { ue, tb: d.tb });
         }
         if out.role == Some(SlotRole::Uplink) {
             let air = self.cfg.cell.slot_duration;
             for i in 0..self.ues.len() {
                 let (pkts, statuses) = self.ues[i].on_uplink_slot(now);
                 if !pkts.is_empty() || !statuses.is_empty() {
-                    self.queue
-                        .schedule(now + air, Event::UlAtGnb { ue: i, pkts, statuses });
+                    self.sched(now + air, Event::UlAtGnb { ue: i, pkts, statuses });
                 }
             }
         }
-        self.queue
-            .schedule(now + self.cfg.cell.slot_duration, Event::Slot);
+        self.slot_out = out;
+        self.sched(now + self.cfg.cell.slot_duration, Event::Slot);
     }
 
     fn on_dl_at_cu(&mut self, flow: usize, mut pkt: PacketBuf, now: Instant) {
         let (ue_id, qfi) = (self.flows[flow].ue_id, self.flows[flow].qfi);
         let drb = self.flows[flow].drb;
-        let ident = pkt.ip().identification;
+        let ident = pkt.identification();
         let t0 = self.clock_start();
         let verdict = self.marker.on_dl(ue_id, drb, &mut pkt, now);
         self.clock_stop(t0, 0);
@@ -492,7 +561,7 @@ impl World {
         let Some(&flow) = self.tuple_to_flow.get(&tuple) else {
             return;
         };
-        let ident = pkt.ip().identification;
+        let ident = pkt.identification();
         let payload = pkt.payload_len();
         let ue = self.flows[flow].ue_idx;
         if let Some(sent) = self.flows[flow].sent_at.remove(&ident) {
@@ -529,14 +598,14 @@ impl World {
             }
             Endpoint::Scream { receiver, .. } => {
                 if let Some((fb_pkt, fb)) = receiver.on_packet(&pkt, now) {
-                    let fid = fb_pkt.ip().identification;
+                    let fid = fb_pkt.identification();
                     self.flows[flow].fb_pending.insert(fid, FbData::Scream(fb));
                     self.ues[ue].enqueue_uplink(fb_pkt, now);
                 }
             }
             Endpoint::UdpPrague { receiver, .. } => {
                 if let Some((fb_pkt, fb)) = receiver.on_packet(&pkt, now) {
-                    let fid = fb_pkt.ip().identification;
+                    let fid = fb_pkt.identification();
                     self.flows[flow].fb_pending.insert(fid, FbData::Prague(fb));
                     self.ues[ue].enqueue_uplink(fb_pkt, now);
                 }
@@ -569,13 +638,12 @@ impl World {
                 continue;
             };
             let delay = self.cfg.cell.core_to_cu_delay + self.flows[flow].wan_one_way;
-            self.queue
-                .schedule(now + delay, Event::UlAtServer { flow, pkt });
+            self.sched(now + delay, Event::UlAtServer { flow, pkt });
         }
     }
 
     fn on_ul_at_server(&mut self, flow: usize, pkt: PacketBuf, now: Instant) {
-        let ident = pkt.ip().identification;
+        let ident = pkt.identification();
         let f = &mut self.flows[flow];
         let fb = f.fb_pending.remove(&ident);
         let outs = match &mut f.endpoint {
@@ -622,7 +690,7 @@ impl World {
                 self.ues[ue].enqueue_uplink(syn, now);
             }
             Endpoint::Scream { .. } | Endpoint::UdpPrague { .. } => {
-                self.queue.schedule(now, Event::FlowTimer { flow });
+                self.sched(now, Event::FlowTimer { flow });
                 self.flows[flow].timer_at = now;
             }
         }
@@ -632,16 +700,14 @@ impl World {
     /// the wired bottleneck when configured).
     fn route_dl(&mut self, flow: usize, pkts: Vec<PacketBuf>, now: Instant) {
         for pkt in pkts {
-            let ident = pkt.ip().identification;
+            let ident = pkt.identification();
             self.flows[flow].sent_at.insert(ident, now);
             let wan = self.flows[flow].wan_one_way;
             if self.router.is_some() {
-                self.queue
-                    .schedule(now + wan, Event::DlAtRouter { pkt });
+                self.sched(now + wan, Event::DlAtRouter { pkt });
             } else {
                 let delay = wan + self.cfg.cell.core_to_cu_delay;
-                self.queue
-                    .schedule(now + delay, Event::DlAtCu { flow, pkt });
+                self.sched(now + delay, Event::DlAtCu { flow, pkt });
             }
         }
     }
@@ -654,15 +720,14 @@ impl World {
         for pkt in departed {
             if let Some(tuple) = pkt.five_tuple() {
                 if let Some(&flow) = self.tuple_to_flow.get(&tuple) {
-                    self.queue
-                        .schedule(now + core, Event::DlAtCu { flow, pkt });
+                    self.sched(now + core, Event::DlAtCu { flow, pkt });
                 }
             }
         }
         if let Some(d) = next {
             if d < self.router_poll_at {
                 self.router_poll_at = d;
-                self.queue.schedule(d, Event::RouterPoll);
+                self.sched(d, Event::RouterPoll);
             }
         }
     }
@@ -674,10 +739,14 @@ impl World {
             Endpoint::UdpPrague { sender, .. } => Some(sender.next_activity()),
         };
         if let Some(at) = na {
-            if at < self.flows[flow].timer_at && at < Instant::MAX {
-                self.flows[flow].timer_at = at;
-                self.queue
-                    .schedule(at.max(now), Event::FlowTimer { flow });
+            // Record the *clamped* instant: a past-due `next_activity`
+            // fires at `now`, and bookkeeping an earlier time would
+            // suppress legitimate reschedules until that phantom instant
+            // passed (and conversely let duplicate timers pile up).
+            let at_eff = at.max(now);
+            if at_eff < self.flows[flow].timer_at && at < Instant::MAX {
+                self.flows[flow].timer_at = at_eff;
+                self.sched(at_eff, Event::FlowTimer { flow });
             }
         }
     }
@@ -722,8 +791,7 @@ impl World {
                 }
             }
         }
-        self.queue
-            .schedule(now + Duration::from_millis(10), Event::Sample);
+        self.sched(now + Duration::from_millis(10), Event::Sample);
     }
 
     // Wall-clock instrumentation for Fig. 21 / Table 1.
@@ -778,6 +846,7 @@ impl World {
             harq_retx: g.harq_retx,
             marker_memory,
             marker_time_ns: self.marker_time,
+            events: self.events,
         }
     }
 }

@@ -35,18 +35,25 @@ fn congested_cell_runs_under_every_marker() {
         MarkerKind::TcRan { ecn: false },
         MarkerKind::TcRan { ecn: true },
     ];
-    for (i, marker) in markers.into_iter().enumerate() {
-        let cfg = scenario::congested_cell(
-            2,
-            "prague",
-            scenario::ChannelMix::Static,
-            16_384,
-            WanLink::local(),
-            marker,
-            40 + i as u64,
-            Duration::from_secs(1),
-        );
-        let r = one_second(cfg);
+    // The whole marker sweep rides the parallel runner (one worker per
+    // scenario up to the core count), exactly like the fig bins do.
+    let cfgs: Vec<scenario::ScenarioConfig> = markers
+        .into_iter()
+        .enumerate()
+        .map(|(i, marker)| {
+            scenario::congested_cell(
+                2,
+                "prague",
+                scenario::ChannelMix::Static,
+                16_384,
+                WanLink::local(),
+                marker,
+                40 + i as u64,
+                Duration::from_secs(1),
+            )
+        })
+        .collect();
+    for r in l4span_harness::run_batch(cfgs) {
         delivered_something(&r);
     }
 }
@@ -59,18 +66,23 @@ fn congested_cell_runs_under_every_channel_mix() {
         scenario::ChannelMix::Vehicular,
         scenario::ChannelMix::Mobile,
     ];
-    for (i, mix) in mixes.into_iter().enumerate() {
-        let cfg = scenario::congested_cell(
-            2,
-            "cubic",
-            mix,
-            16_384,
-            WanLink::east(),
-            scenario::l4span_default(),
-            50 + i as u64,
-            Duration::from_secs(1),
-        );
-        let r = one_second(cfg);
+    let cfgs: Vec<scenario::ScenarioConfig> = mixes
+        .into_iter()
+        .enumerate()
+        .map(|(i, mix)| {
+            scenario::congested_cell(
+                2,
+                "cubic",
+                mix,
+                16_384,
+                WanLink::east(),
+                scenario::l4span_default(),
+                50 + i as u64,
+                Duration::from_secs(1),
+            )
+        })
+        .collect();
+    for r in l4span_harness::run_batch(cfgs) {
         delivered_something(&r);
     }
 }

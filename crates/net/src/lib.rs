@@ -27,6 +27,6 @@ pub mod udp;
 
 pub use ecn::Ecn;
 pub use ipv4::Ipv4Header;
-pub use packet::{FiveTuple, PacketBuf, Protocol};
+pub use packet::{FiveTuple, PacketBuf, Protocol, HEAD_CAPACITY};
 pub use tcp::{AccEcnCounters, TcpFlags, TcpHeader};
 pub use udp::UdpHeader;

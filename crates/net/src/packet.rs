@@ -61,11 +61,28 @@ impl FiveTuple {
     }
 }
 
+/// Fixed capacity of the inline header store: an option-less IPv4 header
+/// (20 bytes) plus the largest legal TCP header (60 bytes). The simulator
+/// never generates anything longer, so headers live inline and packet
+/// construction, cloning, and dropping never touch the allocator.
+pub const HEAD_CAPACITY: usize = 80;
+
 /// An IPv4 datagram with real header bytes and a virtual zero payload.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The header bytes live in a fixed inline array (no heap pointer), so
+/// `PacketBuf` is `Copy`: every clone on the RLC segmentation/ARQ path is
+/// a flat memcpy and the steady-state packet path is allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PacketBuf {
-    head: Vec<u8>,
-    payload_len: usize,
+    head: [u8; HEAD_CAPACITY],
+    /// Valid prefix of `head` (IP + transport header bytes). Bytes at and
+    /// beyond `head_len` are always zero, which keeps the derived
+    /// `PartialEq` equivalent to comparing the valid prefixes.
+    head_len: u8,
+    payload_len: u16,
+    /// Cached at construction; the ECN rewrite and the in-flight TCP
+    /// header edit never change addresses, ports, or protocol.
+    tuple: FiveTuple,
 }
 
 impl PacketBuf {
@@ -94,10 +111,22 @@ impl PacketBuf {
             src: src_ip,
             dst: dst_ip,
         };
-        let mut head = vec![0u8; IPV4_HEADER_LEN + tcp_hlen];
+        let head_len = IPV4_HEADER_LEN + tcp_hlen;
+        let mut head = [0u8; HEAD_CAPACITY];
         ip.emit(&mut head[..IPV4_HEADER_LEN]);
-        tcp.emit(&mut head[IPV4_HEADER_LEN..], src_ip, dst_ip, payload_len);
-        PacketBuf { head, payload_len }
+        tcp.emit(&mut head[IPV4_HEADER_LEN..head_len], src_ip, dst_ip, payload_len);
+        PacketBuf {
+            head,
+            head_len: head_len as u8,
+            payload_len: payload_len as u16,
+            tuple: FiveTuple {
+                src_ip,
+                dst_ip,
+                src_port: tcp.src_port,
+                dst_port: tcp.dst_port,
+                protocol: Protocol::Tcp,
+            },
+        }
     }
 
     /// Build a UDP datagram carrying `payload_len` (virtual) bytes.
@@ -130,33 +159,52 @@ impl PacketBuf {
             length: (UDP_HEADER_LEN + payload_len) as u16,
             checksum: 0,
         };
-        let mut head = vec![0u8; IPV4_HEADER_LEN + UDP_HEADER_LEN];
+        let head_len = IPV4_HEADER_LEN + UDP_HEADER_LEN;
+        let mut head = [0u8; HEAD_CAPACITY];
         ip.emit(&mut head[..IPV4_HEADER_LEN]);
-        udp.emit(&mut head[IPV4_HEADER_LEN..], src_ip, dst_ip);
-        PacketBuf { head, payload_len }
+        udp.emit(&mut head[IPV4_HEADER_LEN..head_len], src_ip, dst_ip);
+        PacketBuf {
+            head,
+            head_len: head_len as u8,
+            payload_len: payload_len as u16,
+            tuple: FiveTuple {
+                src_ip,
+                dst_ip,
+                src_port,
+                dst_port,
+                protocol: Protocol::Udp,
+            },
+        }
     }
 
     /// Total on-the-wire length in bytes (IP header + transport header +
     /// virtual payload). This is the length every queue and rate estimator
     /// in the stack accounts in.
     pub fn wire_len(&self) -> usize {
-        self.head.len() + self.payload_len
+        self.head_len as usize + self.payload_len as usize
     }
 
     /// Transport payload length (excludes all headers).
     pub fn payload_len(&self) -> usize {
-        self.payload_len
+        self.payload_len as usize
     }
 
     /// The raw header bytes (IP + transport).
     pub fn header_bytes(&self) -> &[u8] {
-        &self.head
+        &self.head[..self.head_len as usize]
     }
 
     /// Parse the IP header (panics on corruption — the simulator never
     /// corrupts headers; HARQ losses drop whole packets).
     pub fn ip(&self) -> Ipv4Header {
-        Ipv4Header::parse(&self.head).expect("corrupt IP header in simulator")
+        Ipv4Header::parse(self.header_bytes()).expect("corrupt IP header in simulator")
+    }
+
+    /// The IP identification field, read without a full (checksum-
+    /// verifying) parse — the per-packet key the harness joins metrics on.
+    #[inline]
+    pub fn identification(&self) -> u16 {
+        u16::from_be_bytes([self.head[4], self.head[5]])
     }
 
     /// The ECN codepoint, read without a full parse.
@@ -179,46 +227,28 @@ impl PacketBuf {
         }
     }
 
-    /// The flow five-tuple.
+    /// The flow five-tuple (cached at construction; no parsing).
+    #[inline]
     pub fn five_tuple(&self) -> Option<FiveTuple> {
-        let ip = self.ip();
-        let proto = self.protocol()?;
-        let t = &self.head[IPV4_HEADER_LEN..];
-        let (src_port, dst_port) = match proto {
-            Protocol::Tcp => {
-                let (h, _) = TcpHeader::parse(t).ok()?;
-                (h.src_port, h.dst_port)
-            }
-            Protocol::Udp => {
-                let h = UdpHeader::parse(t).ok()?;
-                (h.src_port, h.dst_port)
-            }
-        };
-        Some(FiveTuple {
-            src_ip: ip.src,
-            dst_ip: ip.dst,
-            src_port,
-            dst_port,
-            protocol: proto,
-        })
+        Some(self.tuple)
     }
 
     /// Parse the TCP header if this is a TCP segment.
     pub fn tcp_header(&self) -> Option<TcpHeader> {
-        if self.protocol()? != Protocol::Tcp {
+        if self.tuple.protocol != Protocol::Tcp {
             return None;
         }
-        TcpHeader::parse(&self.head[IPV4_HEADER_LEN..])
+        TcpHeader::parse(&self.header_bytes()[IPV4_HEADER_LEN..])
             .ok()
             .map(|(h, _)| h)
     }
 
     /// Parse the UDP header if this is a UDP datagram.
     pub fn udp_header(&self) -> Option<UdpHeader> {
-        if self.protocol()? != Protocol::Udp {
+        if self.tuple.protocol != Protocol::Udp {
             return None;
         }
-        UdpHeader::parse(&self.head[IPV4_HEADER_LEN..]).ok()
+        UdpHeader::parse(&self.header_bytes()[IPV4_HEADER_LEN..]).ok()
     }
 
     /// True if this is a TCP segment with the ACK flag set — the packets
@@ -249,25 +279,26 @@ impl PacketBuf {
             old_len,
             "TCP header length must not change in flight"
         );
+        let head_len = self.head_len as usize;
         hdr.emit(
-            &mut self.head[IPV4_HEADER_LEN..],
+            &mut self.head[IPV4_HEADER_LEN..head_len],
             ip.src,
             ip.dst,
-            self.payload_len,
+            self.payload_len as usize,
         );
     }
 
     /// Verify both checksums (test/diagnostic hook).
     pub fn checksums_valid(&self) -> bool {
-        let ip_ok = Ipv4Header::parse(&self.head).is_ok();
+        let ip_ok = Ipv4Header::parse(self.header_bytes()).is_ok();
         if !ip_ok {
             return false;
         }
         match self.protocol() {
             Some(Protocol::Tcp) => {
                 let ip = self.ip();
-                let t = &self.head[IPV4_HEADER_LEN..];
-                tcp::verify_checksum(t, ip.src, ip.dst, t.len() + self.payload_len)
+                let t = &self.header_bytes()[IPV4_HEADER_LEN..];
+                tcp::verify_checksum(t, ip.src, ip.dst, t.len() + self.payload_len as usize)
             }
             Some(Protocol::Udp) => true, // verified structurally on parse
             None => false,
@@ -344,5 +375,32 @@ mod tests {
     fn tcp_update_rejects_length_change() {
         let mut p = tcp_pkt();
         p.update_tcp(|h| h.mss = Some(1460));
+    }
+
+    #[test]
+    fn packet_buf_is_inline_and_copy() {
+        // `Copy` proves clones can never allocate; the size bound keeps
+        // queue entries and RLC SDU slots cache-friendly.
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<PacketBuf>();
+        assert!(
+            std::mem::size_of::<PacketBuf>() <= 128,
+            "PacketBuf grew past 128 bytes: {}",
+            std::mem::size_of::<PacketBuf>()
+        );
+    }
+
+    #[test]
+    fn largest_legal_headers_fit_inline() {
+        let hdr = TcpHeader {
+            src_port: 1,
+            dst_port: 2,
+            mss: Some(1460),
+            accecn: Some(crate::tcp::AccEcnCounters::default()),
+            ..TcpHeader::default()
+        };
+        let p = PacketBuf::tcp(1, 2, Ecn::Ect1, 0, &hdr, 100);
+        assert!(p.header_bytes().len() <= HEAD_CAPACITY);
+        assert!(p.checksums_valid());
     }
 }

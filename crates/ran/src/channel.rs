@@ -55,6 +55,13 @@ impl ChannelProfile {
 /// Rayleigh envelope.
 const N_PATHS: usize = 16;
 
+/// Fading sample grid: the Jakes sum is evaluated on this grid and held
+/// constant in between. 2 ms is ≈12× oversampled relative to the fastest
+/// (vehicular, τ_c ≈ 25 ms) coherence time, so queueing behaviour is
+/// unaffected, while the per-slot MAC loop stops paying for a 16-path
+/// trigonometric sum at every single 0.5 ms slot.
+const SAMPLE_PERIOD_NANOS: u64 = 2_000_000;
+
 /// Rician K-factor (LOS-to-scatter power ratio) for the mobile profiles.
 /// Pure single-tap Rayleigh (K = 0) nulls 20+ dB deep, far deeper than
 /// the effective post-equalisation fading of the multi-tap 3GPP channel
@@ -62,16 +69,34 @@ const N_PATHS: usize = 16;
 /// without second-long outages.
 const RICIAN_K: f64 = 4.0;
 
+/// Precomputed coefficients of one Jakes path: the Doppler angular rate
+/// `ω = 2π·f_d·cos(α)` and the sine/cosine of the two random phases, so
+/// one `sin_cos` per path replaces two phase-offset cosines on every
+/// channel sample (the per-slot hot path of the MAC scheduler).
+#[derive(Debug, Clone, Copy, Default)]
+struct PathCoef {
+    omega: f64,
+    cos_i: f64,
+    sin_i: f64,
+    cos_q: f64,
+    sin_q: f64,
+}
+
 /// A Rician-fading channel for one UE (Jakes scatter + LOS component).
 #[derive(Debug, Clone)]
 pub struct FadingChannel {
     profile: ChannelProfile,
     mean_snr_db: f64,
     doppler_hz: f64,
-    /// (angle-of-arrival cos, phase_i, phase_q) per path.
-    paths: [(f64, f64, f64); N_PATHS],
+    paths: [PathCoef; N_PATHS],
     /// Static-profile shadowing offset in dB.
     static_offset_db: f64,
+    /// Two-entry memo of recent grid-point power gains, keyed by
+    /// `quantized_nanos + 1` (0 = empty). Consecutive slots usually land
+    /// on the same grid point, so most samples are a cache hit. Purely a
+    /// cache: the stored value is exactly what recomputation would give,
+    /// so `snr_db` stays a pure function of time.
+    gain_cache: core::cell::Cell<[(u64, f64); 2]>,
 }
 
 impl FadingChannel {
@@ -84,21 +109,25 @@ impl FadingChannel {
         carrier_hz: f64,
         rng: &mut SimRng,
     ) -> FadingChannel {
-        let mut paths = [(0.0, 0.0, 0.0); N_PATHS];
+        let doppler_hz = profile.doppler_hz(carrier_hz);
+        let mut paths = [PathCoef::default(); N_PATHS];
         for (n, p) in paths.iter_mut().enumerate() {
             // Jakes: evenly-spaced arrival angles with random offset.
             let alpha =
                 (core::f64::consts::TAU * (n as f64 + rng.f64())) / N_PATHS as f64;
-            p.0 = alpha.cos();
-            p.1 = rng.range_f64(0.0, core::f64::consts::TAU);
-            p.2 = rng.range_f64(0.0, core::f64::consts::TAU);
+            let phi_i = rng.range_f64(0.0, core::f64::consts::TAU);
+            let phi_q = rng.range_f64(0.0, core::f64::consts::TAU);
+            p.omega = core::f64::consts::TAU * doppler_hz * alpha.cos();
+            (p.sin_i, p.cos_i) = phi_i.sin_cos();
+            (p.sin_q, p.cos_q) = phi_q.sin_cos();
         }
         FadingChannel {
             profile,
             mean_snr_db,
-            doppler_hz: profile.doppler_hz(carrier_hz),
+            doppler_hz,
             paths,
             static_offset_db: rng.normal(0.0, 1.0),
+            gain_cache: core::cell::Cell::new([(0, 0.0); 2]),
         }
     }
 
@@ -119,10 +148,12 @@ impl FadingChannel {
         }
         let t = at.as_secs_f64();
         let (mut i, mut q) = (0.0f64, 0.0f64);
-        for &(cos_a, phi_i, phi_q) in &self.paths {
-            let w = core::f64::consts::TAU * self.doppler_hz * cos_a * t;
-            i += (w + phi_i).cos();
-            q += (w + phi_q).cos();
+        for p in &self.paths {
+            // cos(ωt + φ) expanded so the two phase-offset cosines share
+            // one (fast-polynomial) sin_cos evaluation of ωt.
+            let (sw, cw) = l4span_sim::fastmath::sin_cos(p.omega * t);
+            i += cw * p.cos_i - sw * p.sin_i;
+            q += cw * p.cos_q - sw * p.sin_q;
         }
         // Unit-power scattered component…
         let scale = (1.0 / N_PATHS as f64).sqrt();
@@ -136,14 +167,26 @@ impl FadingChannel {
         hi * hi + hq * hq
     }
 
-    /// Instantaneous SNR in dB at time `at`.
+    /// Instantaneous SNR in dB at time `at` (fading held constant within
+    /// each [`SAMPLE_PERIOD_NANOS`] grid interval).
     pub fn snr_db(&self, at: Instant) -> f64 {
         if self.doppler_hz <= 0.0 {
             // Static: mean SNR plus a fixed per-UE shadowing offset.
             return self.mean_snr_db + self.static_offset_db;
         }
-        let g = self.power_gain(at).max(1e-9);
-        self.mean_snr_db + 10.0 * g.log10()
+        let q = at.as_nanos() - at.as_nanos() % SAMPLE_PERIOD_NANOS;
+        let key = q + 1;
+        let cache = self.gain_cache.get();
+        let g = if cache[0].0 == key {
+            cache[0].1
+        } else if cache[1].0 == key {
+            cache[1].1
+        } else {
+            let g = self.power_gain(Instant::from_nanos(q));
+            self.gain_cache.set([(key, g), cache[0]]);
+            g
+        };
+        self.mean_snr_db + 10.0 * g.max(1e-9).log10()
     }
 }
 

@@ -92,6 +92,9 @@ struct UeCtx {
     channel: FadingChannel,
     sdap: SdapEntity,
     drbs: BTreeMap<DrbId, DrbCtx>,
+    /// Cached sorted DRB ids (the DRB set is fixed after `add_ue`), so
+    /// the per-slot TB builder never collects keys into a fresh vector.
+    drb_ids: Vec<DrbId>,
     /// PF average throughput in bytes/slot.
     avg_tput: Ewma,
     /// Intra-UE DRB round-robin cursor.
@@ -121,6 +124,12 @@ pub struct Gnb {
     slot_index: u64,
     rng: SimRng,
     stats: GnbStats,
+    // Reusable per-slot scratch (sorted by UE id, rebuilt each slot) so
+    // the 2 kHz slot tick allocates nothing in steady state.
+    scratch_cands: Vec<Candidate>,
+    scratch_cqis: Vec<(UeId, u8)>,
+    scratch_served: Vec<(UeId, usize)>,
+    scratch_txed: Vec<TxRecord>,
 }
 
 impl Gnb {
@@ -135,6 +144,10 @@ impl Gnb {
             slot_index: 0,
             rng,
             stats: GnbStats::default(),
+            scratch_cands: Vec::new(),
+            scratch_cqis: Vec::new(),
+            scratch_served: Vec::new(),
+            scratch_txed: Vec::new(),
         }
     }
 
@@ -163,12 +176,15 @@ impl Gnb {
                 },
             );
         }
+        let mut drb_ids: Vec<DrbId> = map.keys().copied().collect();
+        drb_ids.sort_unstable();
         let prev = self.ues.insert(
             ue,
             UeCtx {
                 channel,
                 sdap: SdapEntity::new(drbs[0].0),
                 drbs: map,
+                drb_ids,
                 avg_tput: Ewma::new(PF_EWMA_GAIN),
                 drb_cursor: 0,
                 ca_factor: 1,
@@ -281,16 +297,27 @@ impl Gnb {
 
     /// Advance one TDD slot. `now` is the slot start time.
     pub fn on_slot(&mut self, now: Instant) -> SlotOutput {
+        let mut out = SlotOutput::default();
+        self.on_slot_into(now, &mut out);
+        out
+    }
+
+    /// Advance one TDD slot, reusing the caller's `out` buffers (cleared
+    /// first). The harness's event loop calls this 2000 times per
+    /// simulated second; reusing the output vectors keeps the slot tick
+    /// allocation-free.
+    pub fn on_slot_into(&mut self, now: Instant, out: &mut SlotOutput) {
         let role = self.cfg.slot_role(self.slot_index);
         self.slot_index += 1;
-        let mut out = SlotOutput {
-            role: Some(role),
-            ..SlotOutput::default()
-        };
+        out.deliveries.clear();
+        out.f1u.clear();
+        out.txed_records.clear();
+        out.lost_tbs = 0;
+        out.role = Some(role);
         let dl_fraction = match role {
             SlotRole::Downlink => 1.0,
             SlotRole::Special => self.cfg.special_slot_dl_fraction,
-            SlotRole::Uplink => return out,
+            SlotRole::Uplink => return,
         };
         let mut rbgs_left = self.cfg.n_rbgs();
         let deliver_at = now + self.cfg.slot_duration;
@@ -330,19 +357,19 @@ impl Gnb {
         let stale_at = Instant::from_nanos(
             now.as_nanos().saturating_sub(self.cfg.cqi_delay.as_nanos()),
         );
-        let mut cands: Vec<Candidate> = Vec::with_capacity(self.ues.len());
-        let mut cqis: BTreeMap<UeId, u8> = BTreeMap::new();
+        self.scratch_cands.clear();
+        self.scratch_cqis.clear();
         for (&ue, ctx) in &self.ues {
             let backlog: usize = ctx.drbs.values().map(|d| d.rlc.backlog_bytes()).sum();
             let cqi = phy::select_mcs(
                 ctx.channel.snr_db(stale_at),
                 self.cfg.link_adaptation_backoff_db,
             );
-            cqis.insert(ue, cqi);
+            self.scratch_cqis.push((ue, cqi));
             let per_rbg = (phy::tbs_bytes(cqi, self.cfg.rbg_size, self.cfg.re_per_prb) as f64
                 * dl_fraction
                 * f64::from(ctx.ca_factor)) as usize;
-            cands.push(Candidate {
+            self.scratch_cands.push(Candidate {
                 ue,
                 backlog,
                 bytes_per_rbg: per_rbg,
@@ -351,17 +378,23 @@ impl Gnb {
         }
         let grants = match self.scheduler {
             SchedulerKind::RoundRobin => {
-                mac::allocate_round_robin(&cands, rbgs_left, &mut self.rr_cursor)
+                mac::allocate_round_robin(&self.scratch_cands, rbgs_left, &mut self.rr_cursor)
             }
             SchedulerKind::ProportionalFair => {
-                mac::allocate_proportional_fair(&cands, rbgs_left)
+                mac::allocate_proportional_fair(&self.scratch_cands, rbgs_left)
             }
         };
 
         // --- 3. Build transport blocks from RLC queues ---
-        let mut served: BTreeMap<UeId, usize> = BTreeMap::new();
+        // `scratch_cqis` and `grants` are both sorted by UE id (the map
+        // iterates in order and the allocators preserve candidate order).
+        self.scratch_served.clear();
         for (ue, n_rbgs) in grants {
-            let cqi = cqis[&ue];
+            let cqi = self.scratch_cqis[self
+                .scratch_cqis
+                .binary_search_by_key(&ue, |&(u, _)| u)
+                .expect("granted UE was a candidate")]
+            .1;
             let prbs = (n_rbgs * self.cfg.rbg_size).min(self.cfg.n_prbs);
             let budget =
                 (phy::tbs_bytes(cqi, prbs, self.cfg.re_per_prb) as f64 * dl_fraction) as usize;
@@ -370,29 +403,33 @@ impl Gnb {
             }
             let ctx = self.ues.get_mut(&ue).expect("granted UE exists");
             let budget = budget * usize::from(ctx.ca_factor);
-            let drb_ids: Vec<DrbId> = ctx.drbs.keys().copied().collect();
-            let n_drbs = drb_ids.len();
-            let mut segments = Vec::new();
+            let n_drbs = ctx.drb_ids.len();
+            // Small TBs carry 1–2 segments; 4 avoids regrowth in practice.
+            let mut segments = Vec::with_capacity(4);
             let mut left = budget;
             for k in 0..n_drbs {
                 if left <= self.cfg.segment_overhead {
                     break;
                 }
-                let drb_id = drb_ids[(ctx.drb_cursor + k) % n_drbs];
+                let drb_id = ctx.drb_ids[(ctx.drb_cursor + k) % n_drbs];
                 let d = ctx.drbs.get_mut(&drb_id).expect("drb exists");
-                let pulled = d.rlc.pull(left, now);
-                left -= pulled.consumed;
-                for rec in pulled.txed {
+                self.scratch_txed.clear();
+                let consumed =
+                    d.rlc
+                        .pull_with(left, now, &mut self.scratch_txed, |s| {
+                            segments.push((drb_id, s));
+                        });
+                left -= consumed;
+                for rec in self.scratch_txed.drain(..) {
                     out.txed_records.push((ue, drb_id, rec));
                 }
-                segments.extend(pulled.segments.into_iter().map(|s| (drb_id, s)));
             }
             ctx.drb_cursor = (ctx.drb_cursor + 1) % n_drbs.max(1);
             if segments.is_empty() {
                 continue;
             }
             let used = budget - left;
-            served.insert(ue, used);
+            self.scratch_served.push((ue, used));
             let tb = TransportBlock {
                 ue,
                 segments,
@@ -416,8 +453,16 @@ impl Gnb {
         }
 
         // --- 4. PF throughput averages (every connected UE, every slot) ---
+        // Merge-walk: both `ues` and `scratch_served` are UE-id sorted.
+        let mut served_it = self.scratch_served.iter().peekable();
         for (&ue, ctx) in self.ues.iter_mut() {
-            let bytes = served.get(&ue).copied().unwrap_or(0) as f64;
+            let bytes = match served_it.peek() {
+                Some(&&(su, b)) if su == ue => {
+                    served_it.next();
+                    b as f64
+                }
+                _ => 0.0,
+            };
             ctx.avg_tput.push(bytes);
         }
 
@@ -437,7 +482,6 @@ impl Gnb {
                 }
             }
         }
-        out
     }
 
     /// An RLC AM status report arrived from a UE. Returns per-SDU

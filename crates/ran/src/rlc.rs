@@ -248,8 +248,27 @@ impl RlcTx {
     /// Pull up to `budget` bytes (including per-segment overhead) for a
     /// transport block. Retransmissions are served before new data, as
     /// TS 38.322 requires.
-    pub fn pull(&mut self, mut budget: usize, now: Instant) -> PullResult {
+    pub fn pull(&mut self, budget: usize, now: Instant) -> PullResult {
         let mut out = PullResult::default();
+        let mut txed = Vec::new();
+        out.consumed = self.pull_with(budget, now, &mut txed, |s| out.segments.push(s));
+        out.txed = txed;
+        out
+    }
+
+    /// Allocation-free variant of [`RlcTx::pull`] for the MAC's per-slot
+    /// hot path: segments are streamed into `emit` (typically a push into
+    /// the transport block's own buffer) and transmit records are appended
+    /// to the caller's reusable `txed` scratch. Returns the bytes
+    /// consumed (payload plus per-segment overhead).
+    pub fn pull_with<F: FnMut(Segment)>(
+        &mut self,
+        mut budget: usize,
+        now: Instant,
+        txed: &mut Vec<TxRecord>,
+        mut emit: F,
+    ) -> usize {
+        let mut consumed = 0usize;
         let oh = self.segment_overhead;
         // Poll-retransmit: unacked data, nothing queued for repair, and
         // silence from the receiver — resend the oldest unacked SDU so
@@ -286,19 +305,19 @@ impl RlcTx {
                     len: take,
                     sdu_size: sdu.size,
                     payload: if r.from + take == sdu.size {
-                        Some(sdu.pkt.clone())
+                        Some(sdu.pkt)
                     } else {
                         None
                     },
                     t_ingress: sdu.t_ingress,
                 };
                 budget -= take as usize + oh;
-                out.consumed += take as usize + oh;
+                consumed += take as usize + oh;
                 r.from += take;
                 if r.from >= r.to {
                     self.retx.pop_front();
                 }
-                out.segments.push(seg);
+                emit(seg);
                 continue;
             }
             // 2. New data.
@@ -319,17 +338,17 @@ impl RlcTx {
                 offset: s.txed,
                 len: take,
                 sdu_size: s.size,
-                payload: if last { Some(s.pkt.clone()) } else { None },
+                payload: if last { Some(s.pkt) } else { None },
                 t_ingress: s.t_ingress,
             };
             s.txed += take;
             budget -= take as usize + oh;
-            out.consumed += take as usize + oh;
+            consumed += take as usize + oh;
             self.queued_bytes -= take as usize;
-            out.segments.push(seg);
+            emit(seg);
             if last {
                 let done = self.queue.pop_front().expect("front exists");
-                out.txed.push(TxRecord {
+                txed.push(TxRecord {
                     sn: done.sn,
                     size: done.size as usize,
                     t_ingress: done.t_ingress,
@@ -356,7 +375,7 @@ impl RlcTx {
                 }
             }
         }
-        out
+        consumed
     }
 
     /// Process an AM status report from the UE. Returns delivery records
@@ -420,14 +439,19 @@ impl RxEntry {
     fn add_range(&mut self, from: u32, to: u32) {
         self.ranges.push((from, to));
         self.ranges.sort_unstable();
-        let mut merged: Vec<ByteRange> = Vec::with_capacity(self.ranges.len());
-        for &(f, t) in &self.ranges {
-            match merged.last_mut() {
-                Some(last) if f <= last.1 => last.1 = last.1.max(t),
-                _ => merged.push((f, t)),
+        // Merge overlapping ranges in place (write cursor `w`): this runs
+        // once per received segment, so it must not allocate.
+        let mut w = 0;
+        for i in 1..self.ranges.len() {
+            let (f, t) = self.ranges[i];
+            if f <= self.ranges[w].1 {
+                self.ranges[w].1 = self.ranges[w].1.max(t);
+            } else {
+                w += 1;
+                self.ranges[w] = (f, t);
             }
         }
-        self.ranges = merged;
+        self.ranges.truncate(w + 1);
     }
 
     fn complete(&self) -> bool {
@@ -798,7 +822,7 @@ mod tests {
             offset: off,
             len,
             sdu_size: 1000,
-            payload: if with_payload { Some(p.clone()) } else { None },
+            payload: if with_payload { Some(p) } else { None },
             t_ingress: Instant::ZERO,
         };
         // Tail first, then head.

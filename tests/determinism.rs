@@ -5,15 +5,19 @@
 //! This is the property every later scaling/perf PR leans on: if a
 //! refactor perturbs event ordering or RNG stream assignment anywhere in
 //! the stack, one of these fingerprints moves and the matrix fails.
+//!
+//! The matrix runs on the parallel scenario runner, which also pins the
+//! runner's own contract: a batch fingerprints identically whether it
+//! runs on one worker thread or many.
 
 use l4span::cc::WanLink;
 use l4span::harness::{self, scenario, scenario::ChannelMix};
 use l4span::sim::Duration;
 
-/// One short congested-cell run; the fingerprint digests every
+/// One short congested-cell run config; the fingerprint digests every
 /// simulation-derived field of the report.
-fn fingerprint(cc: &str, seed: u64) -> String {
-    let cfg = scenario::congested_cell(
+fn config(cc: &str, seed: u64) -> scenario::ScenarioConfig {
+    scenario::congested_cell(
         2,
         cc,
         ChannelMix::Mobile,
@@ -22,16 +26,32 @@ fn fingerprint(cc: &str, seed: u64) -> String {
         scenario::l4span_default(),
         seed,
         Duration::from_secs(1),
-    );
-    harness::run(cfg).fingerprint()
+    )
 }
 
 fn assert_deterministic(cc: &str) {
-    let a = fingerprint(cc, 7);
-    let b = fingerprint(cc, 7);
-    assert_eq!(a, b, "{cc}: same seed must give a byte-identical report");
-    let c = fingerprint(cc, 8);
-    assert_ne!(a, c, "{cc}: a different seed must change the run");
+    // Same seed twice plus a different seed: once through the default
+    // runner (worker count = available parallelism, or pinned via
+    // L4SPAN_THREADS — which is how CI exercises 1 vs N workers), and
+    // once strictly sequentially.
+    let batch = || vec![config(cc, 7), config(cc, 7), config(cc, 8)];
+    let par: Vec<String> = harness::run_batch(batch())
+        .iter()
+        .map(|r| r.fingerprint())
+        .collect();
+    let seq: Vec<String> = harness::run_batch_on(batch(), 1)
+        .iter()
+        .map(|r| r.fingerprint())
+        .collect();
+    assert_eq!(
+        par[0], par[1],
+        "{cc}: same seed must give a byte-identical report"
+    );
+    assert_ne!(par[0], par[2], "{cc}: a different seed must change the run");
+    assert_eq!(
+        par, seq,
+        "{cc}: fingerprints must not depend on worker-thread count"
+    );
 }
 
 #[test]
