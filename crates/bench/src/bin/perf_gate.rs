@@ -1,7 +1,10 @@
 //! Simulator performance gate: runs the canonical scenarios, reports
-//! events/sec and wall-ms per simulated second, writes `BENCH_PR2.json`
+//! events/sec and wall-ms per simulated second, writes `BENCH_PR3.json`
 //! at the repo root, and (with `--check`) fails when events/sec on any
-//! scenario regresses more than 30 % below the committed baseline.
+//! scenario regresses more than 30 % below the **best prior baseline** —
+//! the maximum of the committed constants and every `BENCH_PR*.json`
+//! tracked at the repo root, so a regression can never hide behind a
+//! single stale artifact.
 //!
 //! `cargo run --release -p l4span-bench --bin perf_gate [--check]`
 //!
@@ -13,33 +16,39 @@
 use std::time::Instant as WallInstant;
 
 use l4span_cc::WanLink;
-use l4span_harness::scenario::{congested_cell, l4span_default, ChannelMix};
+use l4span_core::HandoverPolicy;
+use l4span_harness::scenario::{congested_cell, handover_cell, l4span_default, ChannelMix};
 use l4span_harness::{run, ScenarioConfig};
 use l4span_sim::Duration;
+
+/// The PR this gate's artifact belongs to.
+const PR: u32 = 3;
 
 /// Simulated seconds per scenario (long enough to reach steady state,
 /// short enough for CI).
 const SECS: u64 = 8;
 
-/// Allowed events/sec regression vs the committed baseline before
+/// Allowed events/sec regression vs the best prior baseline before
 /// `--check` fails (fraction).
 const MAX_REGRESSION: f64 = 0.30;
 
-/// Committed post-PR-2 baselines: (scenario name, events/sec) measured
-/// on the reference machine (single-core container; a clean run — the
-/// box is shared, so these sit slightly below the best observed so the
-/// 30 % `--check` band absorbs scheduler noise rather than real
-/// regressions). `--check` compares against these.
+/// Committed baselines: (scenario name, events/sec) measured on the
+/// reference machine (single-core container; a clean run — the box is
+/// shared, so these sit slightly below the best observed so the 30 %
+/// `--check` band absorbs scheduler noise rather than real
+/// regressions). `--check` compares against the max of these and every
+/// `BENCH_PR*.json` at the repo root.
 const BASELINES: &[(&str, f64)] = &[
     ("congested_cubic_16ue", 1_850_000.0),
     ("prague_l4span_16ue", 1_900_000.0),
     ("bbr2_mobile_8ue", 1_050_000.0),
+    ("handover_2cell_cubic_4ue", 2_000_000.0),
 ];
 
-/// The same three scenarios measured on the same machine immediately
-/// before PR 2's hot-path work landed (Vec-backed `PacketBuf`, ~112-byte
-/// inline heap entries, per-slot Jakes evaluation, SipHash maps): the
-/// "pre" numbers of the 2× acceptance bar.
+/// The pre-PR-2 measurement (Vec-backed `PacketBuf`, ~112-byte inline
+/// heap entries, per-slot Jakes evaluation, SipHash maps): the "pre"
+/// numbers of the 2× acceptance bar. The handover scenario did not
+/// exist then.
 const PRE_PR2_BASELINE: &[(&str, f64)] = &[
     ("congested_cubic_16ue", 955_942.0),
     ("prague_l4span_16ue", 999_551.0),
@@ -87,6 +96,18 @@ fn scenarios() -> Vec<(&'static str, ScenarioConfig)> {
                 Duration::from_secs(SECS),
             ),
         ),
+        (
+            "handover_2cell_cubic_4ue",
+            handover_cell(
+                4,
+                "cubic",
+                Duration::from_secs(1),
+                HandoverPolicy::MigrateState,
+                l4span_default(),
+                7,
+                Duration::from_secs(SECS),
+            ),
+        ),
     ]
 }
 
@@ -116,11 +137,82 @@ fn baseline_for(table: &[(&str, f64)], name: &str) -> Option<f64> {
     table.iter().find(|(n, _)| *n == name).map(|&(_, v)| v)
 }
 
+/// Extract `(name, events_per_sec)` pairs from one of our own
+/// `BENCH_PR*.json` artifacts. The files are written by this binary in a
+/// fixed shape, so a line-oriented scan is exact (no JSON dependency in
+/// the offline workspace).
+fn parse_bench_json(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(npos) = line.find("\"name\": \"") else {
+            continue;
+        };
+        let rest = &line[npos + 9..];
+        let Some(nend) = rest.find('"') else { continue };
+        let name = rest[..nend].to_string();
+        let Some(epos) = line.find("\"events_per_sec\": ") else {
+            continue;
+        };
+        let tail = &line[epos + 18..];
+        let num: String = tail
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let Ok(v) = num.parse::<f64>() {
+            out.push((name, v));
+        }
+    }
+    out
+}
+
+/// Committed-artifact values are one clean run's *raw* numbers, whereas
+/// the `BASELINES` constants are deliberately set slightly below the
+/// best observed so the 30 % `--check` band absorbs scheduler noise.
+/// Folding raw artifact numbers in undiscounted would ratchet the bar
+/// tighter every time a lucky fast run lands; this haircut restores the
+/// same headroom convention for JSON-derived baselines.
+const ARTIFACT_HEADROOM: f64 = 0.90;
+
+/// The bar each scenario must clear: the best events/sec ever recorded
+/// for it, across the committed constants and every `BENCH_PR*.json`
+/// tracked at the repo root, with artifact values discounted by
+/// [`ARTIFACT_HEADROOM`]. This PR's own artifact is included too: the
+/// baselines are read *before* this run rewrites it, so what's folded in
+/// is the committed (tracked) measurement — which is exactly the ratchet
+/// that keeps a later regression from hiding behind a conservative
+/// constant.
+fn best_prior_baselines(root: &std::path::Path) -> Vec<(String, f64)> {
+    let mut best: Vec<(String, f64)> = BASELINES
+        .iter()
+        .map(|&(n, v)| (n.to_string(), v))
+        .collect();
+    let mut fold = |name: String, v: f64| {
+        match best.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, b)) => *b = b.max(v),
+            None => best.push((name, v)),
+        }
+    };
+    if let Ok(entries) = std::fs::read_dir(root) {
+        for e in entries.flatten() {
+            let fname = e.file_name();
+            let fname = fname.to_string_lossy();
+            if !(fname.starts_with("BENCH_PR") && fname.ends_with(".json")) {
+                continue;
+            }
+            if let Ok(text) = std::fs::read_to_string(e.path()) {
+                for (n, v) in parse_bench_json(&text) {
+                    fold(n, v * ARTIFACT_HEADROOM);
+                }
+            }
+        }
+    }
+    best
+}
+
 fn write_json(rows: &[Row], path: &std::path::Path) -> std::io::Result<()> {
     use std::fmt::Write as _;
     let mut s = String::new();
-    s.push_str("{\n  \"pr\": 2,\n  \"sim_secs_per_scenario\": ");
-    let _ = write!(s, "{SECS}");
+    let _ = write!(s, "{{\n  \"pr\": {PR},\n  \"sim_secs_per_scenario\": {SECS}");
     s.push_str(",\n  \"scenarios\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let pre = baseline_for(PRE_PR2_BASELINE, r.name).unwrap_or(0.0);
@@ -145,9 +237,21 @@ fn write_json(rows: &[Row], path: &std::path::Path) -> std::io::Result<()> {
 
 fn main() {
     let check = std::env::args().any(|a| a == "--check");
+    // BENCH_PR*.json live at the repo root regardless of the cwd the
+    // gate was launched from.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let prior = best_prior_baselines(&root);
+    let prior_for = |name: &str| {
+        prior
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    };
     println!("perf_gate: {SECS} simulated seconds per scenario\n");
     println!(
-        "{:<24} {:>12} {:>9} {:>14} {:>14} {:>10}",
+        "{:<26} {:>12} {:>9} {:>14} {:>14} {:>10}",
         "scenario", "events", "wall s", "events/sec", "ms/sim-s", "vs pre-PR2"
     );
 
@@ -159,7 +263,7 @@ fn main() {
     for (name, cfg) in scenarios() {
         let mut best = measure(name, cfg.clone());
         if check {
-            if let Some(base) = baseline_for(BASELINES, name) {
+            if let Some(base) = prior_for(name) {
                 let bar = base * (1.0 - MAX_REGRESSION);
                 for _ in 0..2 {
                     if best.events_per_sec >= bar {
@@ -180,14 +284,14 @@ fn main() {
         let pre = baseline_for(PRE_PR2_BASELINE, r.name).unwrap_or(0.0);
         let speedup = if pre > 0.0 { r.events_per_sec / pre } else { 0.0 };
         println!(
-            "{:<24} {:>12} {:>9.2} {:>14.0} {:>14.1} {:>9.2}x",
+            "{:<26} {:>12} {:>9.2} {:>14.0} {:>14.1} {:>9.2}x",
             r.name, r.events, r.wall_s, r.events_per_sec, r.wall_ms_per_sim_s, speedup
         );
         if check {
-            if let Some(base) = baseline_for(BASELINES, r.name) {
+            if let Some(base) = prior_for(r.name) {
                 if r.events_per_sec < base * (1.0 - MAX_REGRESSION) {
                     failed.push(format!(
-                        "{}: {:.0} events/sec is more than {:.0}% below baseline {:.0} (best of 3)",
+                        "{}: {:.0} events/sec is more than {:.0}% below best prior baseline {:.0} (best of 3)",
                         r.name,
                         r.events_per_sec,
                         MAX_REGRESSION * 100.0,
@@ -198,13 +302,8 @@ fn main() {
         }
     }
 
-    // BENCH_PR2.json lives at the repo root regardless of the cwd the
-    // gate was launched from.
-    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("..")
-        .join("..");
-    let path = root.join("BENCH_PR2.json");
-    write_json(&rows, &path).expect("write BENCH_PR2.json");
+    let path = root.join(format!("BENCH_PR{PR}.json"));
+    write_json(&rows, &path).expect("write BENCH_PR json");
     println!("\nwrote {}", path.display());
 
     if !failed.is_empty() {

@@ -20,6 +20,26 @@ pub enum SharedDrbStrategy {
     Coupled,
 }
 
+/// What the CU marker does with a DRB's estimation state when its UE
+/// hands over to a different cell (paper §7: "upon handover, the
+/// buffered bytes are sent to a new RAN, and the markings are already
+/// done based on the old estimates"). Scenarios A/B the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HandoverPolicy {
+    /// Keep the egress-rate estimator (and its attainable-rate peak
+    /// history): the first post-handover marks are driven by the *old*
+    /// cell's estimates until a fresh window of target-cell feedback
+    /// overwrites them — the paper's default stance.
+    #[default]
+    MigrateState,
+    /// Reset the estimator: the marker goes silent on the DRB until a
+    /// full estimation window of target-cell feedback accumulates, then
+    /// resumes with estimates that were never contaminated by the old
+    /// cell. Trades a post-handover marking gap for never marking
+    /// against a stale rate.
+    ColdStart,
+}
+
 /// Static configuration of one L4Span instance.
 #[derive(Debug, Clone)]
 pub struct L4SpanConfig {

@@ -59,6 +59,22 @@ impl EgressEstimator {
         self.window
     }
 
+    /// Forget everything learned: the estimator returns to its
+    /// just-constructed state, so [`EgressEstimator::rate`] is `None`
+    /// until a full window of fresh feedback accumulates. This is the
+    /// `ColdStart` half of the marker handover policy — the target
+    /// cell's egress rate shares nothing with the source cell's, so a
+    /// scenario may prefer re-learning from scratch over marking
+    /// against stale estimates.
+    pub fn reset(&mut self) {
+        self.txed.clear();
+        self.txed_bytes = 0;
+        self.samples.clear();
+        self.first_txed = None;
+        self.last_txed = Instant::ZERO;
+        self.rate_history.clear();
+    }
+
     fn prune(&mut self, now: Instant) {
         while let Some(&(t, b)) = self.txed.front() {
             if now.saturating_since(t) > self.window {
@@ -251,6 +267,24 @@ mod tests {
             volatile.on_txed(Instant::from_micros(500 * k), bytes);
         }
         assert!(volatile.rate_std() > steady.rate_std());
+    }
+
+    #[test]
+    fn reset_returns_to_cold_state_and_relearns() {
+        let mut e = est();
+        for k in 0..100u64 {
+            e.on_txed(Instant::from_micros(500 * k), 1500);
+        }
+        assert!(e.rate().is_some());
+        e.reset();
+        assert_eq!(e.rate(), None, "cold: no estimate");
+        assert_eq!(e.attainable_rate(), None, "peak history gone too");
+        // A fresh window at a different rate re-learns cleanly.
+        for k in 0..30u64 {
+            e.on_txed(Instant::from_millis(100) + Duration::from_micros(1000 * k), 750);
+        }
+        let r = e.rate().unwrap();
+        assert!((r - 0.75e6).abs() < 0.15e6, "re-learned {r}");
     }
 
     #[test]

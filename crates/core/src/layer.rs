@@ -6,7 +6,7 @@ use l4span_ran::f1u::DlDataDeliveryStatus;
 use l4span_ran::{DrbId, UeId};
 use l4span_sim::{Duration, FxHashMap, Instant, SimRng};
 
-use crate::config::{L4SpanConfig, SharedDrbStrategy};
+use crate::config::{HandoverPolicy, L4SpanConfig, SharedDrbStrategy};
 use crate::estimator::EgressEstimator;
 use crate::flow::FlowTable;
 use crate::marking;
@@ -55,6 +55,15 @@ impl DrbState {
         }
     }
 }
+
+/// A DRB's marker state lifted out of one L4Span instance, opaque to the
+/// caller: the packet profile table (SN bookkeeping that must stay in
+/// lockstep with PDCP) plus the egress-rate estimator. Produced by
+/// [`L4SpanLayer::extract_drb_state`], consumed by
+/// [`L4SpanLayer::reseed_drb_state`] — the carrier for marker-state
+/// migration when a CU-UP instance follows a UE across cells.
+#[derive(Debug)]
+pub struct MarkerDrbState(DrbState);
 
 /// The L4Span CU-UP module. One instance serves a whole cell (it holds
 /// per-UE, per-DRB state internally, like the per-UE entities of §5).
@@ -143,6 +152,39 @@ impl L4SpanLayer {
             .map(|d| d.profile.memory_bytes() + d.est.memory_bytes())
             .sum::<usize>()
             + core::mem::size_of::<Self>()
+    }
+
+    /// Lift a DRB's marker state out of this instance (for migration to
+    /// another L4Span instance, or inspection). Returns `None` when the
+    /// DRB was never seen.
+    pub fn extract_drb_state(&mut self, ue: UeId, drb: DrbId) -> Option<MarkerDrbState> {
+        self.drbs.remove(&(ue, drb)).map(MarkerDrbState)
+    }
+
+    /// Install a previously-extracted DRB state (replacing any state this
+    /// instance already holds for the pair). The profile table inside
+    /// carries the PDCP SN mirror, so reseeding is the only correct way
+    /// to move a DRB between instances — building fresh state would
+    /// desynchronise the SN bookkeeping from the in-flight F1-U counters.
+    pub fn reseed_drb_state(&mut self, ue: UeId, drb: DrbId, state: MarkerDrbState) {
+        self.drbs.insert((ue, drb), state.0);
+    }
+
+    /// The UE carrying `drb` handed over to a different cell. Under
+    /// [`HandoverPolicy::MigrateState`] the estimator survives (first
+    /// post-handover marks ride the old cell's estimates, §7); under
+    /// [`HandoverPolicy::ColdStart`] it is reset and must re-learn from
+    /// target-cell feedback. The profile table always survives: its SN
+    /// mirror must stay in lockstep with PDCP, whose numbering is
+    /// continuous across re-establishment — and the forwarded-but-
+    /// unconfirmed SDUs it tracks as queued really are queued again at
+    /// the target.
+    pub fn on_handover(&mut self, ue: UeId, drb: DrbId, policy: HandoverPolicy) {
+        if policy == HandoverPolicy::ColdStart {
+            if let Some(d) = self.drbs.get_mut(&(ue, drb)) {
+                d.est.reset();
+            }
+        }
     }
 
     /// **Event 1** (Fig. 22): a downlink datagram arrived from the core.
@@ -634,6 +676,61 @@ mod tests {
             s1 > Duration::from_millis(15),
             "standing queue must predict sojourn: {s1}"
         );
+    }
+
+    #[test]
+    fn handover_policy_migrate_keeps_estimates_cold_start_forgets() {
+        let mut migrate = layer();
+        let mut cold = layer();
+        warm_up(&mut migrate, 200, 500);
+        warm_up(&mut cold, 200, 500);
+        assert!(migrate.egress_rate(UE, DRB).is_some());
+        migrate.on_handover(UE, DRB, HandoverPolicy::MigrateState);
+        cold.on_handover(UE, DRB, HandoverPolicy::ColdStart);
+        assert!(
+            migrate.egress_rate(UE, DRB).is_some(),
+            "MigrateState: old estimate drives the first post-HO marks"
+        );
+        assert_eq!(
+            cold.egress_rate(UE, DRB),
+            None,
+            "ColdStart: silent until a fresh window fills"
+        );
+        // Both keep the profile table's SN mirror (PDCP continuity).
+        assert!(migrate.queued_bytes(UE, DRB) == cold.queued_bytes(UE, DRB));
+        // A deep queue right after handover: only MigrateState can mark.
+        let t = Instant::from_millis(120);
+        let (mut marks_migrate, mut marks_cold) = (0, 0);
+        for _ in 0..300 {
+            let mut p = udp_pkt(Ecn::Ect1, 1200);
+            migrate.on_dl_packet(UE, DRB, &mut p, t);
+            if p.ecn() == Ecn::Ce {
+                marks_migrate += 1;
+            }
+            let mut p = udp_pkt(Ecn::Ect1, 1200);
+            cold.on_dl_packet(UE, DRB, &mut p, t);
+            if p.ecn() == Ecn::Ce {
+                marks_cold += 1;
+            }
+        }
+        assert!(marks_migrate > 200, "migrated estimate marks: {marks_migrate}");
+        assert_eq!(marks_cold, 0, "cold start cannot judge congestion yet");
+    }
+
+    #[test]
+    fn drb_state_extract_reseed_roundtrip() {
+        let mut a = layer();
+        warm_up(&mut a, 200, 500);
+        let queued_before = a.queued_bytes(UE, DRB);
+        let rate_before = a.egress_rate(UE, DRB);
+        let st = a.extract_drb_state(UE, DRB).expect("state exists");
+        assert_eq!(a.egress_rate(UE, DRB), None, "state left the instance");
+        // A second CU-UP instance inherits the DRB wholesale.
+        let mut b = layer();
+        b.reseed_drb_state(UE, DRB, st);
+        assert_eq!(b.egress_rate(UE, DRB), rate_before);
+        assert_eq!(b.queued_bytes(UE, DRB), queued_before);
+        assert!(a.extract_drb_state(UE, DRB).is_none());
     }
 
     #[test]

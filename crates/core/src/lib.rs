@@ -37,5 +37,5 @@ pub mod layer;
 pub mod marking;
 pub mod profile;
 
-pub use config::{L4SpanConfig, SharedDrbStrategy};
-pub use layer::{DlVerdict, L4SpanLayer};
+pub use config::{HandoverPolicy, L4SpanConfig, SharedDrbStrategy};
+pub use layer::{DlVerdict, L4SpanLayer, MarkerDrbState};

@@ -2,11 +2,12 @@
 //! metrics collection, and canned scenario builders for every figure in
 //! the paper's evaluation (§6).
 //!
-//! * [`scenario`] — declarative scenario configs (UEs, flows, marker,
-//!   channel profiles, wired bottlenecks);
+//! * [`scenario`] — declarative scenario configs (cells, UEs, flows,
+//!   marker, channel profiles, mobility trajectories, wired
+//!   bottlenecks);
 //! * [`world`] — the event loop wiring content servers, WAN links, an
-//!   optional wired router, the CU marker (L4Span or a baseline), the
-//!   gNB, and the UE stacks;
+//!   optional wired router, the CU marker (L4Span or a baseline), an
+//!   N-cell RAN with runtime handover, and the UE stacks;
 //! * [`marker`] — the CU-side marking adapters: L4Span, DualPi2-at-CU
 //!   (§6.3.1 ablation), TC-RAN CoDel/ECN-CoDel (§6.2.2 baseline), or
 //!   nothing;
@@ -31,9 +32,11 @@ pub mod wired;
 pub mod world;
 
 pub use marker::MarkerKind;
-pub use metrics::Report;
+pub use metrics::{HandoverRecord, Report};
 pub use runner::{run_batch, run_batch_on};
-pub use scenario::{ChannelMix, FlowSpec, ScenarioConfig, TrafficKind, UeSpec};
+pub use scenario::{
+    ChannelMix, FlowSpec, MobilitySpec, MobilityStep, ScenarioConfig, TrafficKind, UeSpec,
+};
 pub use world::World;
 
 /// Run a scenario to completion and return its report.

@@ -9,7 +9,7 @@
 
 use l4span_aqm::{CoDel, DualPi2, Verdict};
 use l4span_core::profile::ProfileTable;
-use l4span_core::{DlVerdict, L4SpanConfig, L4SpanLayer};
+use l4span_core::{DlVerdict, HandoverPolicy, L4SpanConfig, L4SpanLayer};
 use l4span_net::{Ecn, PacketBuf};
 use l4span_ran::f1u::DlDataDeliveryStatus;
 use l4span_ran::{DrbId, UeId};
@@ -174,6 +174,33 @@ impl Marker {
     pub fn on_ul(&mut self, pkt: &mut PacketBuf, now: Instant) {
         if let Marker::L4Span(l) = self {
             l.on_ul_packet(pkt, now);
+        }
+    }
+
+    /// The UE carrying `drb` handed over to another cell: apply the
+    /// scenario's marker policy to that DRB's estimation state. For the
+    /// fixed-threshold baselines, `ColdStart` resets the control-law
+    /// state (PI integrator / CoDel dropping episode); the profile
+    /// table's SN mirror always survives, for the same PDCP-continuity
+    /// reason as in L4Span proper.
+    pub fn on_handover(&mut self, ue: UeId, drb: DrbId, policy: HandoverPolicy) {
+        match self {
+            Marker::None => {}
+            Marker::L4Span(l) => l.on_handover(ue, drb, policy),
+            Marker::DualPi2Cu { drbs, threshold, .. } => {
+                if policy == HandoverPolicy::ColdStart {
+                    if let Some(d) = drbs.get_mut(&(ue, drb)) {
+                        d.dualpi2 = DualPi2::new(Duration::from_millis(15), *threshold);
+                    }
+                }
+            }
+            Marker::TcRan { drbs, .. } => {
+                if policy == HandoverPolicy::ColdStart {
+                    if let Some(d) = drbs.get_mut(&(ue, drb)) {
+                        d.codel = CoDel::new(true);
+                    }
+                }
+            }
         }
     }
 

@@ -54,6 +54,38 @@ impl BreakdownAvg {
     }
 }
 
+/// One handover as the world executed it, with the delivery-gap
+/// endpoints that define the interruption time.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct HandoverRecord {
+    /// UE that moved.
+    pub ue: u16,
+    /// When the handover executed.
+    pub at: Instant,
+    /// Source cell.
+    pub from_cell: u8,
+    /// Target cell.
+    pub to_cell: u8,
+    /// Last application delivery to this UE before the switch (`None`
+    /// when nothing had been delivered yet).
+    pub last_delivery_before: Option<Instant>,
+    /// First application delivery after the switch (`None` when the run
+    /// ended, or the next handover hit, before service resumed).
+    pub first_delivery_after: Option<Instant>,
+}
+
+impl HandoverRecord {
+    /// Handover interruption time: the gap in delivered bytes around the
+    /// switch (3GPP's mobility-interruption metric, measured at the
+    /// application). `None` when either endpoint is missing.
+    pub fn interruption(&self) -> Option<Duration> {
+        match (self.last_delivery_before, self.first_delivery_after) {
+            (Some(b), Some(a)) => Some(a.saturating_since(b)),
+            _ => None,
+        }
+    }
+}
+
 /// Everything measured in one run. Flows are indexed by their position
 /// in the scenario's flow list.
 #[derive(Debug, Default)]
@@ -64,16 +96,28 @@ pub struct Report {
     pub bin: Duration,
     /// Per-flow one-way delays (server app → UE app), milliseconds.
     pub owd_ms: Vec<Vec<f64>>,
+    /// Timestamps (seconds) of the `owd_ms` samples, for windowed
+    /// post-handover delay analysis.
+    pub owd_at_s: Vec<Vec<f64>>,
     /// Per-flow smoothed-RTT samples at ACK arrival, milliseconds.
     pub rtt_ms: Vec<Vec<f64>>,
     /// Timestamps (seconds) of the `rtt_ms` samples, for time series.
     pub rtt_at_s: Vec<Vec<f64>>,
     /// Per-flow received payload bytes per bin (UE side).
     pub thr_bins: Vec<Vec<u64>>,
-    /// RLC queue-length samples (SDUs) per (ue, drb). A `BTreeMap` so
-    /// both serialisation and the fingerprint iterate in key order
-    /// regardless of hash state.
+    /// RLC queue-length samples (SDUs) per (ue, drb), read from the UE's
+    /// *serving* cell at each tick. A `BTreeMap` so both serialisation
+    /// and the fingerprint iterate in key order regardless of hash state.
     pub queue_series: BTreeMap<(u16, u8), Vec<usize>>,
+    /// The same queue samples broken out per serving cell: (cell, ue,
+    /// drb) → lengths sampled while that cell served the UE. Series
+    /// lengths differ per key exactly by attachment time.
+    pub cell_queue_series: BTreeMap<(u8, u16, u8), Vec<usize>>,
+    /// Delivered payload bytes per bin, attributed to the cell serving
+    /// the receiving UE at delivery time (per-cell throughput series).
+    pub cell_thr_bins: Vec<Vec<u64>>,
+    /// Every handover executed, in time order.
+    pub handovers: Vec<HandoverRecord>,
     /// Per-flow delay breakdown means.
     pub breakdown: Vec<BreakdownAvg>,
     /// Egress-rate estimation errors in percent (Fig. 20), if L4Span ran.
@@ -82,6 +126,10 @@ pub struct Report {
     pub finish_ms: Vec<Option<f64>>,
     /// Per-flow start times.
     pub flow_start: Vec<Instant>,
+    /// UE index each flow terminates at (joins flows to
+    /// [`HandoverRecord::ue`]; empty in hand-built reports, in which
+    /// case per-UE attribution is skipped).
+    pub flow_ue: Vec<u16>,
     /// CE marks on downlink headers + tentative marks (L4Span).
     pub total_marks: u64,
     /// SDUs dropped at full RLC queues.
@@ -172,6 +220,71 @@ impl Report {
         BoxStats::from_samples(&all)
     }
 
+    /// Pooled one-way-delay statistics restricted to samples delivered in
+    /// `[from, to)` seconds.
+    pub fn owd_stats_windowed(&self, flows: &[usize], from_s: f64, to_s: f64) -> BoxStats {
+        let mut all = Vec::new();
+        for &f in flows {
+            for (&t, &v) in self.owd_at_s[f].iter().zip(&self.owd_ms[f]) {
+                if t >= from_s && t < to_s {
+                    all.push(v);
+                }
+            }
+        }
+        BoxStats::from_samples(&all)
+    }
+
+    /// Pooled one-way delay over the `window` following each handover —
+    /// the metric that separates the `MigrateState` and `ColdStart`
+    /// marker policies (a stale migrated estimate under-marks against
+    /// the new cell until its peak memory ages out). Each flow's samples
+    /// are attributed only to handovers of its *own* UE (when `flow_ue`
+    /// is populated) and counted at most once even when staggered
+    /// handovers open overlapping windows.
+    pub fn post_handover_owd(&self, flows: &[usize], window: Duration) -> BoxStats {
+        let w = window.as_secs_f64();
+        let mut all = Vec::new();
+        for &f in flows {
+            let ue = self.flow_ue.get(f).copied();
+            let times = &self.owd_at_s[f];
+            let mut taken = vec![false; times.len()];
+            for h in &self.handovers {
+                if ue.is_some_and(|u| u != h.ue) {
+                    continue; // another UE moved; this flow is unaffected
+                }
+                let t0 = h.at.as_secs_f64();
+                for (i, &t) in times.iter().enumerate() {
+                    if !taken[i] && t >= t0 && t < t0 + w {
+                        taken[i] = true;
+                        all.push(self.owd_ms[f][i]);
+                    }
+                }
+            }
+        }
+        BoxStats::from_samples(&all)
+    }
+
+    /// Mean handover interruption time in milliseconds over the records
+    /// that resolved (`None` when no handover resolved at all).
+    pub fn mean_interruption_ms(&self) -> Option<f64> {
+        let gaps: Vec<f64> = self
+            .handovers
+            .iter()
+            .filter_map(|h| h.interruption())
+            .map(|d| d.as_millis_f64())
+            .collect();
+        if gaps.is_empty() {
+            return None;
+        }
+        Some(gaps.iter().sum::<f64>() / gaps.len() as f64)
+    }
+
+    /// Mean goodput served by one cell over the whole run, in Mbit/s.
+    pub fn cell_goodput_mbps(&self, cell: usize) -> f64 {
+        let bytes: u64 = self.cell_thr_bins.get(cell).map_or(0, |b| b.iter().sum());
+        bytes as f64 * 8.0 / self.duration.as_secs_f64() / 1e6
+    }
+
     /// A byte-exact textual digest of every *simulation-derived* field,
     /// for determinism tests: two runs of the same seeded scenario must
     /// produce identical fingerprints.
@@ -187,21 +300,35 @@ impl Report {
         let mut s = String::new();
         let _ = write!(
             s,
-            "duration={:?};bin={:?};owd={:?};rtt={:?};rtt_at={:?};thr={:?};",
-            self.duration, self.bin, self.owd_ms, self.rtt_ms, self.rtt_at_s, self.thr_bins
+            "duration={:?};bin={:?};owd={:?};owd_at={:?};rtt={:?};rtt_at={:?};thr={:?};cthr={:?};",
+            self.duration,
+            self.bin,
+            self.owd_ms,
+            self.owd_at_s,
+            self.rtt_ms,
+            self.rtt_at_s,
+            self.thr_bins,
+            self.cell_thr_bins
         );
         for (k, v) in &self.queue_series {
             let _ = write!(s, "q{:?}={:?};", k, v);
+        }
+        for (k, v) in &self.cell_queue_series {
+            let _ = write!(s, "cq{:?}={:?};", k, v);
+        }
+        for h in &self.handovers {
+            let _ = write!(s, "ho={:?};", h);
         }
         for b in &self.breakdown {
             let _ = write!(s, "bd={:?}/{};", b.mean(), b.count());
         }
         let _ = write!(
             s,
-            "err={:?};fin={:?};start={:?};marks={};rlc_drops={};tbs_lost={};harq={};mem={};ev={}",
+            "err={:?};fin={:?};start={:?};fue={:?};marks={};rlc_drops={};tbs_lost={};harq={};mem={};ev={}",
             self.rate_err_pct,
             self.finish_ms,
             self.flow_start,
+            self.flow_ue,
             self.total_marks,
             self.rlc_drops,
             self.tbs_lost,
@@ -266,6 +393,37 @@ mod tests {
         assert_eq!(s.len(), 2);
         assert_eq!(s[0], (0.0, 15.0)); // two samples in the first second
         assert_eq!(s[1], (1.0, 40.0));
+    }
+
+    #[test]
+    fn handover_record_interruption_and_windowed_owd() {
+        let h = HandoverRecord {
+            ue: 0,
+            at: Instant::from_millis(1000),
+            from_cell: 0,
+            to_cell: 1,
+            last_delivery_before: Some(Instant::from_millis(990)),
+            first_delivery_after: Some(Instant::from_millis(1045)),
+        };
+        assert_eq!(h.interruption(), Some(Duration::from_millis(55)));
+        let unresolved = HandoverRecord {
+            first_delivery_after: None,
+            ..h
+        };
+        assert_eq!(unresolved.interruption(), None);
+
+        let r = Report {
+            owd_ms: vec![vec![10.0, 80.0, 20.0]],
+            owd_at_s: vec![vec![0.5, 1.02, 2.0]],
+            handovers: vec![h],
+            ..Report::default()
+        };
+        assert_eq!(r.mean_interruption_ms(), Some(55.0));
+        // Only the 80 ms sample falls in the 100 ms post-HO window.
+        let post = r.post_handover_owd(&[0], Duration::from_millis(100));
+        assert_eq!(post.median, 80.0);
+        let win = r.owd_stats_windowed(&[0], 0.0, 1.0);
+        assert_eq!(win.median, 10.0);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! paper's experiments.
 
 use l4span_cc::WanLink;
-use l4span_core::L4SpanConfig;
+use l4span_core::{HandoverPolicy, L4SpanConfig};
 use l4span_ran::config::{CellConfig, RlcMode, SchedulerKind};
 use l4span_ran::ChannelProfile;
 use l4span_sim::{Duration, Instant};
@@ -40,25 +40,78 @@ impl ChannelMix {
     }
 }
 
-/// One UE in the cell.
+/// One step of a UE's mobility trajectory: at `at`, the UE observes the
+/// given channel `profile`/`snr_db` toward cell `cell`. If `cell` differs
+/// from the UE's serving cell at that moment, the step is a **handover**
+/// (Xn context transfer, PDCP re-establishment, lossless RLC forwarding,
+/// marker-state policy applied); if it names the serving cell, it is a
+/// pure channel change on the existing attachment — which is how the
+/// deprecated single-cell `channel_events` field is subsumed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MobilityStep {
+    /// When the step occurs.
+    pub at: Instant,
+    /// Target cell index (into the scenario's cell list).
+    pub cell: usize,
+    /// Channel profile toward that cell.
+    pub profile: ChannelProfile,
+    /// Mean SNR in dB toward that cell.
+    pub snr_db: f64,
+}
+
+impl MobilityStep {
+    /// Shorthand constructor: `(t, cell, profile, snr)`.
+    pub fn new(at: Instant, cell: usize, profile: ChannelProfile, snr_db: f64) -> MobilityStep {
+        MobilityStep {
+            at,
+            cell,
+            profile,
+            snr_db,
+        }
+    }
+}
+
+/// A UE's whole trajectory: mobility steps in time order. An empty spec
+/// means the UE never moves from its initial cell.
+pub type MobilitySpec = Vec<MobilityStep>;
+
+/// One UE in the topology.
 #[derive(Debug, Clone)]
 pub struct UeSpec {
-    /// Channel profile.
+    /// Channel profile toward the initial serving cell.
     pub profile: ChannelProfile,
     /// Mean SNR in dB (cell-edge vs cell-centre diversity).
     pub mean_snr_db: f64,
     /// DRBs to configure (id, RLC mode). The first is the default.
     pub drbs: Vec<(u8, RlcMode)>,
+    /// Cell the UE starts attached to (index into the cell list).
+    pub initial_cell: usize,
+    /// Mobility trajectory (`ues[i].mobility = [(t, cell, profile, snr)]`).
+    pub mobility: MobilitySpec,
 }
 
 impl UeSpec {
-    /// A single-AM-DRB UE, the common case.
+    /// A single-AM-DRB UE on cell 0, the common case.
     pub fn simple(profile: ChannelProfile, mean_snr_db: f64) -> UeSpec {
         UeSpec {
             profile,
             mean_snr_db,
             drbs: vec![(0, RlcMode::Am)],
+            initial_cell: 0,
+            mobility: Vec::new(),
         }
+    }
+
+    /// Start on a specific cell.
+    pub fn on_cell(mut self, cell: usize) -> UeSpec {
+        self.initial_cell = cell;
+        self
+    }
+
+    /// Attach a mobility trajectory.
+    pub fn with_mobility(mut self, mobility: MobilitySpec) -> UeSpec {
+        self.mobility = mobility;
+        self
     }
 }
 
@@ -131,9 +184,14 @@ pub struct ScenarioConfig {
     pub seed: u64,
     /// Simulated duration.
     pub duration: Duration,
-    /// Cell configuration.
+    /// Configuration of cell 0 (and the template the canned single-cell
+    /// builders populate).
     pub cell: CellConfig,
-    /// MAC scheduler.
+    /// Configurations of cells 1.. — push one per additional cell (or use
+    /// [`ScenarioConfig::add_cell`]). UEs migrate between cells per their
+    /// [`UeSpec::mobility`] trajectories.
+    pub extra_cells: Vec<CellConfig>,
+    /// MAC scheduler (all cells).
     pub scheduler: SchedulerKind,
     /// The UEs.
     pub ues: Vec<UeSpec>,
@@ -141,6 +199,8 @@ pub struct ScenarioConfig {
     pub flows: Vec<FlowSpec>,
     /// CU marker.
     pub marker: MarkerKind,
+    /// What the marker does with a DRB's estimation state at handover.
+    pub marker_ho_policy: HandoverPolicy,
     /// Optional wired bottleneck.
     pub bottleneck: Option<BottleneckSpec>,
     /// Throughput bin width for the report.
@@ -149,28 +209,53 @@ pub struct ScenarioConfig {
     /// Fig. 21 / Table 1 instrumentation; off by default as it perturbs
     /// nothing but costs two clock reads per packet).
     pub measure_marker_time: bool,
-    /// Mid-run channel replacements: (time, ue index, new profile, new
-    /// mean SNR dB). Models handover / abrupt channel change (paper §7
-    /// and the Fig. 4 running example's "channel sharply turns bad").
+    /// **Deprecated** single-cell shim: mid-run channel replacements as
+    /// (time, ue index, new profile, new mean SNR dB), applied to the
+    /// UE's *serving* cell. Equivalent to a [`MobilityStep`] naming the
+    /// serving cell; kept so pre-multi-cell scenarios run with unchanged
+    /// semantics. New code should use [`UeSpec::mobility`], which also
+    /// expresses genuine inter-cell handover.
     pub channel_events: Vec<(Instant, usize, ChannelProfile, f64)>,
 }
 
 impl ScenarioConfig {
-    /// A skeleton with sane defaults and no UEs/flows.
+    /// A skeleton with sane defaults, one cell, and no UEs/flows.
     pub fn new(seed: u64, duration: Duration) -> ScenarioConfig {
         ScenarioConfig {
             seed,
             duration,
             cell: CellConfig::default(),
+            extra_cells: Vec::new(),
             scheduler: SchedulerKind::RoundRobin,
             ues: Vec::new(),
             flows: Vec::new(),
             marker: MarkerKind::None,
+            marker_ho_policy: HandoverPolicy::default(),
             bottleneck: None,
             thr_bin: Duration::from_millis(100),
             measure_marker_time: false,
             channel_events: Vec::new(),
         }
+    }
+
+    /// Number of cells in the topology.
+    pub fn n_cells(&self) -> usize {
+        1 + self.extra_cells.len()
+    }
+
+    /// Configuration of cell `c`.
+    pub fn cell_config(&self, c: usize) -> &CellConfig {
+        if c == 0 {
+            &self.cell
+        } else {
+            &self.extra_cells[c - 1]
+        }
+    }
+
+    /// Append another cell; returns its index.
+    pub fn add_cell(&mut self, cfg: CellConfig) -> usize {
+        self.extra_cells.push(cfg);
+        self.extra_cells.len()
     }
 }
 
@@ -217,6 +302,64 @@ pub fn l4span_default() -> MarkerKind {
     MarkerKind::L4Span(L4SpanConfig::default())
 }
 
+/// The mobility workload: two identical cells, `n_ues` UEs with one
+/// greedy TCP download each, every UE ping-ponging between the cells
+/// with period `ho_period` (staggered across UEs so handovers don't
+/// synchronise). Cell 0 is the "good" side (≈21–29 dB), cell 1 the
+/// "bad" one (≈12–20 dB), so every other handover is the paper's
+/// "channel sharply turns bad" — the regime where the marker's
+/// [`HandoverPolicy`] choice shows up in post-handover delay.
+pub fn handover_cell(
+    n_ues: usize,
+    cc: &str,
+    ho_period: Duration,
+    policy: HandoverPolicy,
+    marker: MarkerKind,
+    seed: u64,
+    duration: Duration,
+) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::new(seed, duration);
+    cfg.marker = marker;
+    cfg.marker_ho_policy = policy;
+    let second = cfg.cell.clone();
+    cfg.add_cell(second);
+    for i in 0..n_ues {
+        let jitter = 8.0 * (i as f64 * 0.6180339887).fract();
+        let snr_toward = |cell: usize| if cell == 0 { 21.0 + jitter } else { 12.0 + jitter };
+        let home = i % 2;
+        let mut steps = Vec::new();
+        let mut cur = home;
+        let mut t = ho_period + Duration::from_millis(50 * i as u64);
+        while t < duration {
+            cur = 1 - cur;
+            steps.push(MobilityStep::new(
+                Instant::ZERO + t,
+                cur,
+                ChannelProfile::Pedestrian,
+                snr_toward(cur),
+            ));
+            t += ho_period;
+        }
+        cfg.ues.push(
+            UeSpec::simple(ChannelProfile::Pedestrian, snr_toward(home))
+                .on_cell(home)
+                .with_mobility(steps),
+        );
+        cfg.flows.push(FlowSpec {
+            ue: i,
+            drb: 0,
+            traffic: TrafficKind::Tcp {
+                cc: cc.to_string(),
+                app_limit: None,
+            },
+            wan: WanLink::east(),
+            start: Instant::from_millis(3 * i as u64 % 200),
+            stop: None,
+        });
+    }
+    cfg
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,6 +369,50 @@ mod tests {
         assert_eq!(ChannelMix::Static.profile(3), ChannelProfile::Static);
         assert_eq!(ChannelMix::Mobile.profile(0), ChannelProfile::Pedestrian);
         assert_eq!(ChannelMix::Mobile.profile(1), ChannelProfile::Vehicular);
+    }
+
+    #[test]
+    fn handover_cell_builder_shapes() {
+        let cfg = handover_cell(
+            4,
+            "cubic",
+            Duration::from_secs(1),
+            HandoverPolicy::ColdStart,
+            l4span_default(),
+            3,
+            Duration::from_secs(4),
+        );
+        assert_eq!(cfg.n_cells(), 2);
+        assert_eq!(cfg.ues.len(), 4);
+        assert_eq!(cfg.marker_ho_policy, HandoverPolicy::ColdStart);
+        for (i, ue) in cfg.ues.iter().enumerate() {
+            assert_eq!(ue.initial_cell, i % 2);
+            assert!(
+                ue.mobility.len() >= 2,
+                "ue{i}: at least one handover per second of slack"
+            );
+            // Every step flips the cell relative to the previous one.
+            let mut cur = ue.initial_cell;
+            for s in &ue.mobility {
+                assert_ne!(s.cell, cur, "ping-pong trajectory");
+                assert!(s.cell < cfg.n_cells());
+                cur = s.cell;
+            }
+        }
+    }
+
+    #[test]
+    fn add_cell_and_cell_config_indexing() {
+        let mut cfg = ScenarioConfig::new(1, Duration::from_secs(1));
+        let small = CellConfig {
+            n_prbs: 24,
+            ..CellConfig::default()
+        };
+        let idx = cfg.add_cell(small);
+        assert_eq!(idx, 1);
+        assert_eq!(cfg.n_cells(), 2);
+        assert_eq!(cfg.cell_config(0).n_prbs, 51);
+        assert_eq!(cfg.cell_config(1).n_prbs, 24);
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! The discrete-event world: content servers ↔ WAN ↔ (optional wired
-//! bottleneck) ↔ CU marker ↔ gNB ↔ air ↔ UE stacks ↔ uplink, exactly the
-//! end-to-end path of paper Fig. 3.
+//! bottleneck) ↔ CU marker ↔ cells ↔ air ↔ UE stacks ↔ uplink, exactly
+//! the end-to-end path of paper Fig. 3 — generalised to an N-cell
+//! topology in which UEs hand over between cells at runtime (Xn context
+//! transfer, PDCP re-establishment, lossless RLC forwarding, and a
+//! marker-state migration policy).
 
 use std::collections::{BTreeMap, VecDeque};
 
@@ -20,7 +23,7 @@ use l4span_ran::{DrbId, Gnb, SlotOutput, UeId, UeStack};
 use l4span_sim::{Duration, EventQueue, FxHashMap, Instant, SimRng};
 
 use crate::marker::Marker;
-use crate::metrics::{Breakdown, BreakdownAvg, Report};
+use crate::metrics::{Breakdown, BreakdownAvg, HandoverRecord, Report};
 use crate::scenario::{BottleneckSpec, ScenarioConfig, TrafficKind};
 
 /// UE IP block.
@@ -82,22 +85,41 @@ struct Flow {
 enum Event {
     /// Placeholder left in a recycled box; never scheduled.
     Nop,
-    Slot,
+    /// One TDD slot of cell `cell` elapses (each cell has its own tick).
+    Slot { cell: usize },
     DlAtRouter { pkt: PacketBuf },
     RouterPoll,
     RouterRate { bps: f64 },
     DlAtCu { flow: usize, pkt: PacketBuf },
-    TbAtUe { ue: usize, tb: TransportBlock },
+    /// A transport block from `cell` decodes at the UE; dropped mid-air
+    /// if the UE handed over while it was in flight.
+    TbAtUe { cell: usize, ue: usize, tb: TransportBlock },
     AppDeliver { pkt: PacketBuf, t_cu_ingress: Instant },
-    UlAtGnb { ue: usize, pkts: Vec<PacketBuf>, statuses: Vec<(DrbId, RlcStatus)> },
+    /// An uplink batch transmitted toward `cell` arrives (pooled
+    /// buffers; returned to `World::ul_pool` after processing).
+    UlAtGnb {
+        cell: usize,
+        ue: usize,
+        pkts: Vec<PacketBuf>,
+        statuses: Vec<(DrbId, RlcStatus)>,
+    },
     UlAtServer { flow: usize, pkt: PacketBuf },
     FlowStart { flow: usize },
     FlowStop { flow: usize },
     FlowTimer { flow: usize },
+    /// Abrupt channel change on the UE's *serving* cell (the deprecated
+    /// `channel_events` shim rides this).
     ChannelChange { ue: usize, profile: ChannelProfile, snr_db: f64 },
+    /// A mobility step: the UE now observes (`profile`, `snr_db`) toward
+    /// `target_cell`. Same cell → channel replacement; different cell →
+    /// full Xn handover.
+    Handover { ue: usize, target_cell: usize, profile: ChannelProfile, snr_db: f64 },
     Sample,
     UePoll,
 }
+
+/// A pooled pair of uplink-batch buffers (packets, status reports).
+type UlBatch = (Vec<PacketBuf>, Vec<(DrbId, RlcStatus)>);
 
 /// The assembled world. Build with [`World::new`], run with [`World::run`].
 pub struct World {
@@ -109,7 +131,10 @@ pub struct World {
     /// allocations handed back to the queue), so the lint is wrong here.
     #[allow(clippy::vec_box)]
     pool: Vec<Box<Event>>,
-    gnb: Gnb,
+    /// The cells. Index = cell id; cell 0 is `ScenarioConfig::cell`.
+    gnbs: Vec<Gnb>,
+    /// UE → serving-cell attachment table.
+    serving: Vec<usize>,
     ues: Vec<UeStack>,
     marker: Marker,
     flows: Vec<Flow>,
@@ -124,12 +149,26 @@ pub struct World {
     udp_flows: Vec<usize>,
     /// Reused per-slot gNB output buffers.
     slot_out: SlotOutput,
+    /// Recycled uplink-batch buffers: `UlAtGnb` payloads come from and
+    /// return to this pool, so the uplink path (like the downlink one)
+    /// stops touching the allocator once the buffers reach steady-state
+    /// size.
+    ul_pool: Vec<UlBatch>,
     // --- metrics accumulators ---
     owd_ms: Vec<Vec<f64>>,
+    owd_at_s: Vec<Vec<f64>>,
     rtt_ms: Vec<Vec<f64>>,
     rtt_at_s: Vec<Vec<f64>>,
     thr_bins: Vec<Vec<u64>>,
+    cell_thr_bins: Vec<Vec<u64>>,
     queue_series: BTreeMap<(u16, u8), Vec<usize>>,
+    cell_queue_series: BTreeMap<(u8, u16, u8), Vec<usize>>,
+    handovers: Vec<HandoverRecord>,
+    /// Per-UE time of the last payload-bearing app delivery.
+    last_delivery: Vec<Option<Instant>>,
+    /// Per-UE index into `handovers` of a record still awaiting its first
+    /// post-switch delivery.
+    pending_ho: Vec<Option<usize>>,
     breakdown: Vec<BreakdownAvg>,
     rate_err_pct: Vec<f64>,
     /// (ue, drb, sn) → (flow, ident): joins TxRecords to packets.
@@ -138,7 +177,18 @@ pub struct World {
     breakdown_pending: FxHashMap<(usize, u16), (f64, f64)>,
     /// Ground-truth egress byte log per DRB (Fig. 20 reference).
     gt_egress: BTreeMap<(u16, u8), VecDeque<(Instant, usize)>>,
+    /// Per-DRB first SN not yet logged in `gt_egress`. A forwarded SDU
+    /// retransmitted by the target cell emits a second TxRecord for the
+    /// same SN; the L4Span estimator's profile table ignores that
+    /// non-advancing feedback, so the ground truth must apply the same
+    /// SN-monotone dedup or `rate_err_pct` reads systematically negative
+    /// after every handover.
+    gt_watermark: FxHashMap<(u16, u8), u64>,
     marker_time: (Vec<u64>, Vec<u64>, Vec<u64>),
+    /// Transport blocks destroyed mid-air because their UE handed over
+    /// before decode; folded into `Report::tbs_lost` (the gNB counts the
+    /// HARQ-queue half of handover losses itself).
+    ho_tbs_lost: u64,
     /// Events processed by `run` (perf-gate denominator).
     events: u64,
 }
@@ -147,32 +197,54 @@ impl World {
     /// Wire up a scenario.
     pub fn new(cfg: ScenarioConfig) -> World {
         let root = SimRng::new(cfg.seed);
-        let gnb_rng = root.derive(1);
+        let n_cells = cfg.n_cells();
+        // Cell 0 keeps the pre-multi-cell RNG stream (single-cell runs
+        // stay byte-identical); extra cells draw from a disjoint range.
+        let mut gnbs: Vec<Gnb> = (0..n_cells)
+            .map(|c| {
+                let rng = if c == 0 {
+                    root.derive(1)
+                } else {
+                    root.derive(10_000 + c as u64)
+                };
+                Gnb::new(cfg.cell_config(c).clone(), cfg.scheduler, rng)
+            })
+            .collect();
         let marker_rng = root.derive(2);
-        let mut gnb = Gnb::new(cfg.cell.clone(), cfg.scheduler, gnb_rng);
         let mut ues = Vec::new();
+        let mut serving = Vec::new();
         for (i, spec) in cfg.ues.iter().enumerate() {
+            let home = spec.initial_cell;
+            assert!(home < n_cells, "ue{i}: initial cell {home} out of range");
+            for step in &spec.mobility {
+                assert!(
+                    step.cell < n_cells,
+                    "ue{i}: mobility step targets cell {} of {n_cells}",
+                    step.cell
+                );
+            }
             let mut ch_rng = root.derive(1000 + i as u64);
             let channel = FadingChannel::new(
                 spec.profile,
                 spec.mean_snr_db,
-                cfg.cell.carrier_hz,
+                cfg.cell_config(home).carrier_hz,
                 &mut ch_rng,
             );
             let drbs: Vec<(DrbId, _)> =
                 spec.drbs.iter().map(|&(d, m)| (DrbId(d), m)).collect();
-            gnb.add_ue(UeId(i as u16), channel, &drbs);
+            gnbs[home].add_ue(UeId(i as u16), channel, &drbs);
             for &(d, _) in &spec.drbs {
-                gnb.map_qfi(UeId(i as u16), Qfi(d), DrbId(d));
+                gnbs[home].map_qfi(UeId(i as u16), Qfi(d), DrbId(d));
             }
             ues.push(UeStack::new(
                 UeId(i as u16),
                 &drbs,
-                cfg.cell.rlc_status_period,
-                cfg.cell.ue_internal_delay,
-                cfg.cell.ul_sr_delay_max,
+                cfg.cell_config(home).rlc_status_period,
+                cfg.cell_config(home).ue_internal_delay,
+                cfg.cell_config(home).ul_sr_delay_max,
                 root.derive(2000 + i as u64),
             ));
+            serving.push(home);
         }
         let marker = Marker::new(&cfg.marker, marker_rng);
         let mut flows = Vec::new();
@@ -290,11 +362,13 @@ impl World {
             .map(|(i, _)| i)
             .collect();
         let need_ue_poll = !um_ues.is_empty() || !udp_flows.is_empty();
+        let n_ues = serving.len();
         let mut w = World {
             cfg,
             queue: EventQueue::with_capacity(1024 + 128 * n),
             pool: Vec::with_capacity(1024 + 128 * n),
-            gnb,
+            gnbs,
+            serving,
             ues,
             marker,
             flows,
@@ -304,20 +378,31 @@ impl World {
             um_ues,
             udp_flows,
             slot_out: SlotOutput::default(),
+            ul_pool: Vec::new(),
             owd_ms: vec![Vec::new(); n],
+            owd_at_s: vec![Vec::new(); n],
             rtt_ms: vec![Vec::new(); n],
             rtt_at_s: vec![Vec::new(); n],
             thr_bins: vec![Vec::new(); n],
+            cell_thr_bins: vec![Vec::new(); n_cells],
             queue_series: BTreeMap::new(),
+            cell_queue_series: BTreeMap::new(),
+            handovers: Vec::new(),
+            last_delivery: vec![None; n_ues],
+            pending_ho: vec![None; n_ues],
             breakdown: vec![BreakdownAvg::default(); n],
             rate_err_pct: Vec::new(),
             sn_map: FxHashMap::default(),
             breakdown_pending: FxHashMap::default(),
             gt_egress: BTreeMap::new(),
+            gt_watermark: FxHashMap::default(),
             marker_time: (Vec::new(), Vec::new(), Vec::new()),
+            ho_tbs_lost: 0,
             events: 0,
         };
-        w.sched(Instant::ZERO, Event::Slot);
+        for cell in 0..n_cells {
+            w.sched(Instant::ZERO, Event::Slot { cell });
+        }
         w.sched(Instant::from_millis(10), Event::Sample);
         if need_ue_poll {
             w.sched(Instant::from_millis(5), Event::UePoll);
@@ -334,6 +419,8 @@ impl World {
                 w.sched(t, Event::RouterRate { bps });
             }
         }
+        // The deprecated single-cell shim: a channel change on whatever
+        // cell serves the UE when the event fires.
         for (t, ue, profile, snr_db) in w.cfg.channel_events.clone() {
             w.sched(
                 t,
@@ -343,6 +430,21 @@ impl World {
                     snr_db,
                 },
             );
+        }
+        // Mobility trajectories (the multi-cell DSL that subsumes it).
+        for i in 0..w.cfg.ues.len() {
+            for k in 0..w.cfg.ues[i].mobility.len() {
+                let step = w.cfg.ues[i].mobility[k];
+                w.sched(
+                    step.at,
+                    Event::Handover {
+                        ue: i,
+                        target_cell: step.cell,
+                        profile: step.profile,
+                        snr_db: step.snr_db,
+                    },
+                );
+            }
         }
         w
     }
@@ -383,7 +485,7 @@ impl World {
     fn handle(&mut self, ev: Event, now: Instant) {
         match ev {
             Event::Nop => {}
-            Event::Slot => self.on_slot(now),
+            Event::Slot { cell } => self.on_slot(cell, now),
             Event::DlAtRouter { pkt } => {
                 if let Some(r) = &mut self.router {
                     r.enqueue(pkt, now);
@@ -400,7 +502,16 @@ impl World {
                 }
             }
             Event::DlAtCu { flow, pkt } => self.on_dl_at_cu(flow, pkt, now),
-            Event::TbAtUe { ue, tb } => {
+            Event::TbAtUe { cell, ue, tb } => {
+                if self.serving[ue] != cell {
+                    // The UE handed over while the block was on the air:
+                    // it decodes nothing from the old cell. In AM the
+                    // SDUs were forwarded over Xn anyway; in UM they are
+                    // genuinely lost, exactly as over the air — and
+                    // counted as lost either way.
+                    self.ho_tbs_lost += 1;
+                    return;
+                }
                 let deliveries = self.ues[ue].on_transport_block(tb, now);
                 for d in deliveries {
                     self.sched(
@@ -415,7 +526,9 @@ impl World {
             Event::AppDeliver { pkt, t_cu_ingress } => {
                 self.on_app_deliver(pkt, t_cu_ingress, now)
             }
-            Event::UlAtGnb { ue, pkts, statuses } => self.on_ul_at_gnb(ue, pkts, statuses, now),
+            Event::UlAtGnb { cell, ue, pkts, statuses } => {
+                self.on_ul_at_gnb(cell, ue, pkts, statuses, now)
+            }
             Event::UlAtServer { flow, pkt } => self.on_ul_at_server(flow, pkt, now),
             Event::FlowStart { flow } => self.on_flow_start(flow, now),
             Event::FlowStop { flow } => {
@@ -439,16 +552,14 @@ impl World {
                 self.reschedule_timer(flow, now);
             }
             Event::ChannelChange { ue, profile, snr_db } => {
-                // Handover / abrupt channel change: the RLC queues and
-                // all in-flight state survive; only the radio changes.
-                let mut rng = SimRng::new(self.cfg.seed ^ (ue as u64) << 32 ^ now.as_nanos());
-                let ch = FadingChannel::new(
-                    profile,
-                    snr_db,
-                    self.cfg.cell.carrier_hz,
-                    &mut rng,
-                );
-                self.gnb.replace_channel(UeId(ue as u16), ch);
+                // Intra-cell channel change: the RLC queues and all
+                // in-flight state survive; only the radio changes.
+                let cell = self.serving[ue];
+                let ch = self.fresh_channel(ue, cell, profile, snr_db, now);
+                self.gnbs[cell].replace_channel(UeId(ue as u16), ch);
+            }
+            Event::Handover { ue, target_cell, profile, snr_db } => {
+                self.on_handover(ue, target_cell, profile, snr_db, now)
             }
             Event::Sample => self.on_sample(now),
             Event::UePoll => {
@@ -494,21 +605,98 @@ impl World {
         }
     }
 
-    fn on_slot(&mut self, now: Instant) {
+    /// A deterministic per-(seed, ue, time) fading channel toward `cell`.
+    fn fresh_channel(
+        &self,
+        ue: usize,
+        cell: usize,
+        profile: ChannelProfile,
+        snr_db: f64,
+        now: Instant,
+    ) -> FadingChannel {
+        let mut rng = SimRng::new(self.cfg.seed ^ (ue as u64) << 32 ^ now.as_nanos());
+        FadingChannel::new(
+            profile,
+            snr_db,
+            self.gnbs[cell].config().carrier_hz,
+            &mut rng,
+        )
+    }
+
+    /// Execute one mobility step: a pure channel change when the target
+    /// is already serving, otherwise a full Xn handover — detach with
+    /// context serialization at the source, PDCP re-establishment and
+    /// lossless SDU forwarding at the target, UE-side re-establishment
+    /// (forced status report), the marker's handover policy per DRB, and
+    /// the attachment-table flip.
+    fn on_handover(
+        &mut self,
+        ue: usize,
+        target_cell: usize,
+        profile: ChannelProfile,
+        snr_db: f64,
+        now: Instant,
+    ) {
+        let src = self.serving[ue];
+        let ch = self.fresh_channel(ue, target_cell, profile, snr_db, now);
+        if target_cell == src {
+            self.gnbs[src].replace_channel(UeId(ue as u16), ch);
+            return;
+        }
+        let ue_id = UeId(ue as u16);
+        let ctx = self.gnbs[src].detach_ue(ue_id);
+        let dropped = self.gnbs[target_cell].attach_ue_handover(ue_id, ch, ctx, now);
+        // Forwarded SDUs tail-dropped at a congested target will never
+        // produce a transmit record: release their per-SDU bookkeeping
+        // (and the flow's OWD registration) instead of leaking it.
+        for (drb, sn) in dropped {
+            if let Some((flow, ident)) = self.sn_map.remove(&(ue_id, drb, sn)) {
+                self.flows[flow].sent_at.remove(&ident);
+            }
+        }
+        let tgt_cfg = self.gnbs[target_cell].config();
+        let (sp, id, sr) = (
+            tgt_cfg.rlc_status_period,
+            tgt_cfg.ue_internal_delay,
+            tgt_cfg.ul_sr_delay_max,
+        );
+        self.ues[ue].on_handover(sp, id, sr);
+        for k in 0..self.cfg.ues[ue].drbs.len() {
+            let d = self.cfg.ues[ue].drbs[k].0;
+            self.marker
+                .on_handover(ue_id, DrbId(d), self.cfg.marker_ho_policy);
+        }
+        self.serving[ue] = target_cell;
+        self.handovers.push(HandoverRecord {
+            ue: ue as u16,
+            at: now,
+            from_cell: src as u8,
+            to_cell: target_cell as u8,
+            last_delivery_before: self.last_delivery[ue],
+            first_delivery_after: None,
+        });
+        self.pending_ho[ue] = Some(self.handovers.len() - 1);
+    }
+
+    fn on_slot(&mut self, cell: usize, now: Instant) {
         // Reuse the slot-output buffers across slots (taken out of self
         // so the marker/metrics borrows below stay disjoint).
         let mut out = std::mem::take(&mut self.slot_out);
-        self.gnb.on_slot_into(now, &mut out);
+        self.gnbs[cell].on_slot_into(now, &mut out);
         for msg in &out.f1u {
             let t0 = self.clock_start();
             self.marker.on_feedback(msg, now);
             self.clock_stop(t0, 2);
         }
         for (ue, drb, rec) in &out.txed_records {
-            self.gt_egress
-                .entry((ue.0, drb.0))
-                .or_default()
-                .push_back((rec.t_txed, rec.size));
+            let watermark = self.gt_watermark.entry((ue.0, drb.0)).or_insert(0);
+            if rec.sn >= *watermark {
+                *watermark = rec.sn + 1;
+                self.gt_egress
+                    .entry((ue.0, drb.0))
+                    .or_default()
+                    .push_back((rec.t_txed, rec.size));
+            }
             if let Some((flow, ident)) = self.sn_map.remove(&(*ue, *drb, rec.sn)) {
                 let queuing = rec.t_head.saturating_since(rec.t_ingress).as_millis_f64();
                 let sched = rec.t_first_tx.saturating_since(rec.t_head).as_millis_f64();
@@ -517,19 +705,28 @@ impl World {
         }
         for d in out.deliveries.drain(..) {
             let ue = d.tb.ue.0 as usize;
-            self.sched(d.deliver_at, Event::TbAtUe { ue, tb: d.tb });
+            self.sched(d.deliver_at, Event::TbAtUe { cell, ue, tb: d.tb });
         }
         if out.role == Some(SlotRole::Uplink) {
-            let air = self.cfg.cell.slot_duration;
+            let air = self.gnbs[cell].config().slot_duration;
             for i in 0..self.ues.len() {
-                let (pkts, statuses) = self.ues[i].on_uplink_slot(now);
+                if self.serving[i] != cell {
+                    continue;
+                }
+                let (mut pkts, mut statuses) = self.ul_pool.pop().unwrap_or_default();
+                self.ues[i].on_uplink_slot_into(now, &mut pkts, &mut statuses);
                 if !pkts.is_empty() || !statuses.is_empty() {
-                    self.sched(now + air, Event::UlAtGnb { ue: i, pkts, statuses });
+                    self.sched(now + air, Event::UlAtGnb { cell, ue: i, pkts, statuses });
+                } else {
+                    self.ul_pool.push((pkts, statuses));
                 }
             }
         }
         self.slot_out = out;
-        self.sched(now + self.cfg.cell.slot_duration, Event::Slot);
+        self.sched(
+            now + self.gnbs[cell].config().slot_duration,
+            Event::Slot { cell },
+        );
     }
 
     fn on_dl_at_cu(&mut self, flow: usize, mut pkt: PacketBuf, now: Instant) {
@@ -543,7 +740,8 @@ impl World {
             self.flows[flow].sent_at.remove(&ident);
             return;
         }
-        match self.gnb.enqueue_downlink(ue_id, qfi, pkt, now) {
+        let cell = self.serving[self.flows[flow].ue_idx];
+        match self.gnbs[cell].enqueue_downlink(ue_id, qfi, pkt, now) {
             Some((drb, sn)) => {
                 self.sn_map.insert((ue_id, drb, sn), (flow, ident));
             }
@@ -568,6 +766,7 @@ impl World {
             let owd = now.saturating_since(sent).as_millis_f64();
             if payload > 0 {
                 self.owd_ms[flow].push(owd);
+                self.owd_at_s[flow].push(now.as_secs_f64());
                 let bin =
                     (now.as_nanos() / self.cfg.thr_bin.as_nanos().max(1)) as usize;
                 let bins = &mut self.thr_bins[flow];
@@ -575,10 +774,21 @@ impl World {
                     bins.resize(bin + 1, 0);
                 }
                 bins[bin] += payload as u64;
+                let cbins = &mut self.cell_thr_bins[self.serving[ue]];
+                if cbins.len() <= bin {
+                    cbins.resize(bin + 1, 0);
+                }
+                cbins[bin] += payload as u64;
+                // Handover-interruption accounting: this is a payload
+                // delivery to the UE, closing any pending gap.
+                self.last_delivery[ue] = Some(now);
+                if let Some(h) = self.pending_ho[ue].take() {
+                    self.handovers[h].first_delivery_after = Some(now);
+                }
             }
             if let Some((queuing, sched)) = self.breakdown_pending.remove(&(flow, ident)) {
-                let prop = (self.flows[flow].wan_one_way + self.cfg.cell.core_to_cu_delay)
-                    .as_millis_f64();
+                let core = self.gnbs[self.serving[ue]].config().core_to_cu_delay;
+                let prop = (self.flows[flow].wan_one_way + core).as_millis_f64();
                 let other = (owd - prop - queuing - sched).max(0.0);
                 self.breakdown[flow].push(Breakdown {
                     propagation: prop,
@@ -615,21 +825,33 @@ impl World {
 
     fn on_ul_at_gnb(
         &mut self,
+        cell: usize,
         ue: usize,
-        pkts: Vec<PacketBuf>,
-        statuses: Vec<(DrbId, RlcStatus)>,
+        mut pkts: Vec<PacketBuf>,
+        mut statuses: Vec<(DrbId, RlcStatus)>,
         now: Instant,
     ) {
         let ue_id = UeId(ue as u16);
-        for (drb, st) in &statuses {
-            let (_records, f1u) = self.gnb.on_rlc_status(ue_id, *drb, st, now);
-            if let Some(msg) = f1u {
-                let t0 = self.clock_start();
-                self.marker.on_feedback(&msg, now);
-                self.clock_stop(t0, 2);
+        // RLC status reports are addressed to the cell the UE transmitted
+        // toward; if it handed over while they were on the air, that
+        // cell's RLC context is gone and they die with it (the forced
+        // post-handover status resynchronises the target instead).
+        if self.serving[ue] == cell {
+            for (drb, st) in statuses.drain(..) {
+                let (_records, f1u) = self.gnbs[cell].on_rlc_status(ue_id, drb, &st, now);
+                if let Some(msg) = f1u {
+                    let t0 = self.clock_start();
+                    self.marker.on_feedback(&msg, now);
+                    self.clock_stop(t0, 2);
+                }
             }
+        } else {
+            statuses.clear();
         }
-        for mut pkt in pkts {
+        // Uplink IP packets were decoded by the old cell before the UE
+        // left; they continue to the core (and the CU marker) either way.
+        let core = self.gnbs[cell].config().core_to_cu_delay;
+        for mut pkt in pkts.drain(..) {
             let t0 = self.clock_start();
             self.marker.on_ul(&mut pkt, now);
             self.clock_stop(t0, 1);
@@ -637,9 +859,11 @@ impl World {
             let Some(&flow) = self.tuple_to_flow.get(&tuple.reversed()) else {
                 continue;
             };
-            let delay = self.cfg.cell.core_to_cu_delay + self.flows[flow].wan_one_way;
+            let delay = core + self.flows[flow].wan_one_way;
             self.sched(now + delay, Event::UlAtServer { flow, pkt });
         }
+        // Both buffers are empty again: back to the pool.
+        self.ul_pool.push((pkts, statuses));
     }
 
     fn on_ul_at_server(&mut self, flow: usize, pkt: PacketBuf, now: Instant) {
@@ -706,7 +930,8 @@ impl World {
             if self.router.is_some() {
                 self.sched(now + wan, Event::DlAtRouter { pkt });
             } else {
-                let delay = wan + self.cfg.cell.core_to_cu_delay;
+                let cell = self.serving[self.flows[flow].ue_idx];
+                let delay = wan + self.gnbs[cell].config().core_to_cu_delay;
                 self.sched(now + delay, Event::DlAtCu { flow, pkt });
             }
         }
@@ -715,11 +940,12 @@ impl World {
     fn drain_router(&mut self, now: Instant) {
         let Some(r) = &mut self.router else { return };
         let departed = r.poll(now);
-        let core = self.cfg.cell.core_to_cu_delay;
         let next = r.next_departure();
         for pkt in departed {
             if let Some(tuple) = pkt.five_tuple() {
                 if let Some(&flow) = self.tuple_to_flow.get(&tuple) {
+                    let cell = self.serving[self.flows[flow].ue_idx];
+                    let core = self.gnbs[cell].config().core_to_cu_delay;
                     self.sched(now + core, Event::DlAtCu { flow, pkt });
                 }
             }
@@ -752,11 +978,17 @@ impl World {
     }
 
     fn on_sample(&mut self, now: Instant) {
-        // RLC queue lengths.
+        // RLC queue lengths, read from each UE's serving cell (and broken
+        // out per cell for the per-cell series).
         for (i, spec) in self.cfg.ues.iter().enumerate() {
+            let cell = self.serving[i];
             for &(d, _) in &spec.drbs {
-                let len = self.gnb.rlc_queue_len(UeId(i as u16), DrbId(d));
+                let len = self.gnbs[cell].rlc_queue_len(UeId(i as u16), DrbId(d));
                 self.queue_series.entry((i as u16, d)).or_default().push(len);
+                self.cell_queue_series
+                    .entry((cell as u8, i as u16, d))
+                    .or_default()
+                    .push(len);
             }
         }
         // Estimation error vs ground truth (L4Span only). The ground
@@ -820,15 +1052,28 @@ impl World {
             total_marks = s.dl_marks + s.tentative_marks;
             marker_memory = l.memory_bytes();
         }
-        let g = self.gnb.stats();
+        // Table-1 accounting sums over every cell in the topology.
+        let mut g = l4span_ran::gnb::GnbStats::default();
+        for gnb in &self.gnbs {
+            let s = gnb.stats();
+            g.tbs_sent += s.tbs_sent;
+            g.harq_retx += s.harq_retx;
+            g.tbs_lost += s.tbs_lost;
+            g.sdus_enqueued += s.sdus_enqueued;
+            g.sdus_dropped += s.sdus_dropped;
+        }
         Report {
             duration: self.cfg.duration,
             bin: self.cfg.thr_bin,
             owd_ms: self.owd_ms,
+            owd_at_s: self.owd_at_s,
             rtt_ms: self.rtt_ms,
             rtt_at_s: self.rtt_at_s,
             thr_bins: self.thr_bins,
+            cell_thr_bins: self.cell_thr_bins,
             queue_series: self.queue_series,
+            cell_queue_series: self.cell_queue_series,
+            handovers: self.handovers,
             breakdown: self.breakdown,
             rate_err_pct: self.rate_err_pct,
             finish_ms: self
@@ -840,9 +1085,10 @@ impl World {
                 })
                 .collect(),
             flow_start: self.flows.iter().map(|f| f.start).collect(),
+            flow_ue: self.flows.iter().map(|f| f.ue_idx as u16).collect(),
             total_marks,
             rlc_drops: g.sdus_dropped,
-            tbs_lost: g.tbs_lost,
+            tbs_lost: g.tbs_lost + self.ho_tbs_lost,
             harq_retx: g.harq_retx,
             marker_memory,
             marker_time_ns: self.marker_time,
@@ -854,8 +1100,11 @@ impl World {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::{congested_cell, l4span_default, ChannelMix};
+    use crate::scenario::{
+        congested_cell, handover_cell, l4span_default, ChannelMix, MobilityStep,
+    };
     use l4span_cc::WanLink;
+    use l4span_core::HandoverPolicy;
 
     fn quick(marker: crate::marker::MarkerKind, cc: &str) -> Report {
         let cfg = congested_cell(
@@ -909,6 +1158,164 @@ mod tests {
             "throughput preserved: {thr_on} vs {thr_off}"
         );
         assert!(l4s.total_marks > 0, "marks must actually flow");
+    }
+
+    #[test]
+    fn two_cell_handover_keeps_flows_alive_and_records_interruption() {
+        let cfg = handover_cell(
+            2,
+            "cubic",
+            Duration::from_secs(1),
+            HandoverPolicy::MigrateState,
+            l4span_default(),
+            11,
+            Duration::from_secs(4),
+        );
+        let r = World::new(cfg).run();
+        // Every UE handed over at least once…
+        for ue in 0..2u16 {
+            assert!(
+                r.handovers.iter().filter(|h| h.ue == ue).count() >= 1,
+                "ue{ue} must hand over"
+            );
+        }
+        // …the switches actually moved cells and resolved their gaps…
+        assert!(r.handovers.iter().all(|h| h.from_cell != h.to_cell));
+        let gap = r.mean_interruption_ms().expect("service resumed post-HO");
+        assert!((0.0..1000.0).contains(&gap), "interruption {gap} ms");
+        // …both cells served traffic…
+        assert!(r.cell_goodput_mbps(0) > 0.5, "{}", r.cell_goodput_mbps(0));
+        assert!(r.cell_goodput_mbps(1) > 0.5, "{}", r.cell_goodput_mbps(1));
+        // …and the flows kept moving end to end across the switches.
+        for f in 0..2 {
+            assert!(
+                r.goodput_total_mbps(f) > 1.0,
+                "flow {f}: {}",
+                r.goodput_total_mbps(f)
+            );
+        }
+        // Per-cell accounting tallies with the per-flow accounting.
+        let per_cell: u64 = r.cell_thr_bins.iter().flatten().sum();
+        let per_flow: u64 = r.thr_bins.iter().flatten().sum();
+        assert_eq!(per_cell, per_flow);
+    }
+
+    #[test]
+    fn handover_to_the_serving_cell_is_a_channel_change() {
+        // A mobility step naming the serving cell must not produce a
+        // handover record (it degrades to replace_channel).
+        let mut cfg = congested_cell(
+            1,
+            "cubic",
+            ChannelMix::Static,
+            16_384,
+            WanLink::east(),
+            l4span_default(),
+            5,
+            Duration::from_secs(2),
+        );
+        cfg.ues[0].mobility = vec![MobilityStep::new(
+            Instant::from_secs(1),
+            0,
+            l4span_ran::ChannelProfile::Vehicular,
+            8.0,
+        )];
+        let r = World::new(cfg).run();
+        assert!(r.handovers.is_empty());
+        assert!(r.goodput_total_mbps(0) > 1.0);
+    }
+
+    #[test]
+    fn channel_events_shim_matches_equivalent_mobility_step() {
+        // The deprecated single-cell `channel_events` field and a
+        // MobilitySpec step naming the serving cell must produce
+        // byte-identical runs.
+        let base = |seed| {
+            congested_cell(
+                2,
+                "prague",
+                ChannelMix::Static,
+                16_384,
+                WanLink::east(),
+                l4span_default(),
+                seed,
+                Duration::from_secs(2),
+            )
+        };
+        let mut via_shim = base(9);
+        via_shim
+            .channel_events
+            .push((Instant::from_secs(1), 0, ChannelProfile::Vehicular, 9.0));
+        let mut via_dsl = base(9);
+        via_dsl.ues[0].mobility = vec![MobilityStep::new(
+            Instant::from_secs(1),
+            0,
+            ChannelProfile::Vehicular,
+            9.0,
+        )];
+        let a = World::new(via_shim).run();
+        let b = World::new(via_dsl).run();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "shim ≡ DSL");
+    }
+
+    #[test]
+    fn heterogeneous_cells_run_and_adopt_target_timing() {
+        // Cell 1 is narrower and slower-reporting than cell 0; a UE
+        // migrating onto it must keep working under the target's
+        // configuration (and back).
+        let mut cfg = congested_cell(
+            1,
+            "cubic",
+            ChannelMix::Static,
+            16_384,
+            WanLink::east(),
+            l4span_default(),
+            21,
+            Duration::from_secs(3),
+        );
+        let small = l4span_ran::CellConfig {
+            n_prbs: 24,
+            rlc_status_period: Duration::from_millis(20),
+            ..l4span_ran::CellConfig::default()
+        };
+        cfg.add_cell(small);
+        cfg.ues[0].mobility = vec![
+            MobilityStep::new(Instant::from_secs(1), 1, ChannelProfile::Static, 20.0),
+            MobilityStep::new(Instant::from_secs(2), 0, ChannelProfile::Static, 24.0),
+        ];
+        let r = World::new(cfg).run();
+        assert_eq!(r.handovers.len(), 2);
+        assert!(r.goodput_total_mbps(0) > 1.0, "{}", r.goodput_total_mbps(0));
+        // The narrow cell served the middle second.
+        assert!(r.cell_goodput_mbps(1) > 0.1, "{}", r.cell_goodput_mbps(1));
+    }
+
+    #[test]
+    fn marker_policies_diverge_after_handover() {
+        let mk = |policy| {
+            let cfg = handover_cell(
+                2,
+                "prague",
+                Duration::from_secs(1),
+                policy,
+                l4span_default(),
+                13,
+                Duration::from_secs(4),
+            );
+            World::new(cfg).run()
+        };
+        let migrate = mk(HandoverPolicy::MigrateState);
+        let cold = mk(HandoverPolicy::ColdStart);
+        // The policies must actually change the simulation, visibly in
+        // the post-handover delay distribution.
+        assert_ne!(migrate.fingerprint(), cold.fingerprint());
+        let w = Duration::from_millis(500);
+        let m = migrate.post_handover_owd(&[0, 1], w).median;
+        let c = cold.post_handover_owd(&[0, 1], w).median;
+        assert!(
+            (m - c).abs() > 1e-6,
+            "policies must separate post-HO OWD: migrate {m} vs cold {c}"
+        );
     }
 
     #[test]

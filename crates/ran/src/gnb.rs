@@ -30,7 +30,7 @@ use crate::ids::{DrbId, Qfi, UeId};
 use crate::mac::{self, Candidate, TransportBlock};
 use crate::pdcp::PdcpTx;
 use crate::phy;
-use crate::rlc::{DeliveryRecord, RlcStatus, RlcTx, Sn, TxRecord};
+use crate::rlc::{DeliveryRecord, ForwardedSdu, RlcStatus, RlcTx, Sn, TxRecord};
 use crate::sdap::SdapEntity;
 
 /// Gain of the proportional-fair average-throughput EWMA (per slot);
@@ -62,6 +62,36 @@ pub struct SlotOutput {
     pub txed_records: Vec<(UeId, DrbId, TxRecord)>,
     /// Transport blocks abandoned after max HARQ attempts this slot.
     pub lost_tbs: usize,
+}
+
+/// Serialized per-DRB context carried over Xn at handover: the PDCP
+/// transmit state plus every SDU not yet confirmed delivered, in SN
+/// order, for lossless forwarding to the target cell.
+#[derive(Debug)]
+pub struct DrbHandoverState {
+    /// The bearer.
+    pub drb: DrbId,
+    /// Its RLC mode (the target re-creates the entity in the same mode).
+    pub mode: RlcMode,
+    /// PDCP SN the target continues numbering at (no SN reuse).
+    pub next_sn: Sn,
+    /// SDUs to retransmit at the target, ascending SN order.
+    pub forwarded: Vec<ForwardedSdu>,
+}
+
+/// Everything a source gNB hands the target over Xn when a UE moves:
+/// the SDAP QFI→DRB map, the CA configuration, and per-DRB PDCP/RLC
+/// context (TS 38.300 §9.2.3.2 handover with data forwarding). The
+/// radio channel itself does *not* travel — the target cell has its own.
+#[derive(Debug)]
+pub struct UeHandoverCtx {
+    /// QFI→DRB mapping rules (CU-UP configuration follows the UE).
+    pub sdap: SdapEntity,
+    /// Carrier-aggregation factor at the source (kept unless the target
+    /// reconfigures it).
+    pub ca_factor: u8,
+    /// Per-DRB context, in DRB-id order.
+    pub drbs: Vec<DrbHandoverState>,
 }
 
 /// Counters for Table-1-style accounting.
@@ -206,6 +236,96 @@ impl Gnb {
     /// the egress rate.
     pub fn replace_channel(&mut self, ue: UeId, channel: FadingChannel) {
         self.ues.get_mut(&ue).expect("unknown UE").channel = channel;
+    }
+
+    /// Detach a UE for handover: remove it from this cell and serialize
+    /// the context the target needs (PDCP SN state, RLC buffered and
+    /// unacknowledged SDUs for lossless forwarding, the SDAP QFI map).
+    /// Transport blocks pending HARQ retransmission die with the source
+    /// cell's PHY — in AM their SDUs are in the forwarded set anyway; in
+    /// UM they are genuinely lost, exactly as over the air.
+    pub fn detach_ue(&mut self, ue: UeId) -> UeHandoverCtx {
+        let mut ctx = self.ues.remove(&ue).expect("unknown UE");
+        // Purged HARQ blocks are radio losses like any other: count them
+        // (over-the-air losses increment `tbs_lost` on HARQ exhaustion,
+        // and a mobility study reading Table-1 accounting must see the
+        // handover-destroyed blocks too).
+        let before = self.pending_harq.len();
+        self.pending_harq.retain(|p| p.tb.ue != ue);
+        self.stats.tbs_lost += (before - self.pending_harq.len()) as u64;
+        let drbs = ctx
+            .drb_ids
+            .iter()
+            .map(|&drb| {
+                let d = ctx.drbs.get_mut(&drb).expect("drb exists");
+                DrbHandoverState {
+                    drb,
+                    mode: d.rlc.mode(),
+                    next_sn: d.pdcp.next_sn(),
+                    forwarded: d.rlc.drain_for_handover(),
+                }
+            })
+            .collect();
+        UeHandoverCtx {
+            sdap: ctx.sdap,
+            ca_factor: ctx.ca_factor,
+            drbs,
+        }
+    }
+
+    /// Attach a UE arriving by handover: re-establish PDCP (SN numbering
+    /// continues) and RLC (fresh entities in this cell's configuration),
+    /// re-enqueue the forwarded SDUs as new data under their original
+    /// SNs, and install the migrated SDAP map. `channel` is this cell's
+    /// own radio link to the UE. Forwarded SDUs that overflow this
+    /// cell's RLC queue are tail-dropped and counted; their identities
+    /// are returned so the caller can release any per-SDU bookkeeping
+    /// (they will never produce a transmit record). The returned vector
+    /// is empty — and allocation-free — on the common, uncongested path.
+    pub fn attach_ue_handover(
+        &mut self,
+        ue: UeId,
+        channel: FadingChannel,
+        ctx: UeHandoverCtx,
+        now: Instant,
+    ) -> Vec<(DrbId, Sn)> {
+        assert!(!ctx.drbs.is_empty(), "a UE needs at least one DRB");
+        let mut dropped = Vec::new();
+        let mut map = BTreeMap::new();
+        for st in ctx.drbs {
+            let mut rlc = RlcTx::new(st.mode, self.cfg.rlc_queue_sdus, self.cfg.segment_overhead);
+            for fwd in st.forwarded {
+                let sn = fwd.sn;
+                if !rlc.enqueue_forwarded(fwd, now) {
+                    self.stats.sdus_dropped += 1;
+                    dropped.push((st.drb, sn));
+                }
+            }
+            map.insert(
+                st.drb,
+                DrbCtx {
+                    pdcp: PdcpTx::resuming_at(st.next_sn),
+                    rlc,
+                    reported_txed: None,
+                },
+            );
+        }
+        let mut drb_ids: Vec<DrbId> = map.keys().copied().collect();
+        drb_ids.sort_unstable();
+        let prev = self.ues.insert(
+            ue,
+            UeCtx {
+                channel,
+                sdap: ctx.sdap,
+                drbs: map,
+                drb_ids,
+                avg_tput: Ewma::new(PF_EWMA_GAIN),
+                drb_cursor: 0,
+                ca_factor: ctx.ca_factor,
+            },
+        );
+        assert!(prev.is_none(), "UE {ue} already attached to this cell");
+        dropped
     }
 
     /// Configure carrier aggregation for a UE: `carriers` ≥ 1 equal-width
@@ -743,6 +863,95 @@ mod tests {
             g.rlc_backlog_bytes(UeId(0), DrbId(0)) < before,
             "backlog keeps draining after handover"
         );
+    }
+
+    #[test]
+    fn xn_handover_forwards_backlog_and_continues_sns() {
+        let cfg = CellConfig::default();
+        let mut src = Gnb::new(cfg.clone(), SchedulerKind::RoundRobin, SimRng::new(2));
+        let mut dst = Gnb::new(cfg.clone(), SchedulerKind::RoundRobin, SimRng::new(3));
+        let ch_a = FadingChannel::new(
+            ChannelProfile::Static,
+            25.0,
+            cfg.carrier_hz,
+            &mut SimRng::new(5),
+        );
+        src.add_ue(UeId(0), ch_a, &[(DrbId(0), RlcMode::Am)]);
+        src.map_qfi(UeId(0), Qfi(7), DrbId(0));
+        for _ in 0..300 {
+            src.enqueue_downlink(UeId(0), Qfi(0), pkt(1460), Instant::ZERO);
+        }
+        run_slots(&mut src, 50);
+        let backlog_before = src.rlc_backlog_bytes(UeId(0), DrbId(0));
+        assert!(backlog_before > 0, "still draining at handover time");
+
+        // --- the handover ---
+        let ctx = src.detach_ue(UeId(0));
+        assert!(src.ue_ids().is_empty());
+        assert!(
+            !ctx.drbs[0].forwarded.is_empty(),
+            "unconfirmed SDUs travel over Xn"
+        );
+        let sn_resume = ctx.drbs[0].next_sn;
+        let ch_b = FadingChannel::new(
+            ChannelProfile::Static,
+            20.0,
+            cfg.carrier_hz,
+            &mut SimRng::new(9),
+        );
+        dst.attach_ue_handover(UeId(0), ch_b, ctx, Instant::from_millis(25));
+
+        // QFI map migrated; PDCP numbering continues, no SN reuse.
+        assert_eq!(dst.drb_for(UeId(0), Qfi(7)), DrbId(0));
+        let (_, sn) = dst
+            .enqueue_downlink(UeId(0), Qfi(0), pkt(100), Instant::from_millis(25))
+            .unwrap();
+        assert_eq!(sn, sn_resume);
+
+        // The target serves the forwarded backlog.
+        let slot = cfg.slot_duration;
+        let outs: Vec<SlotOutput> = (50..600u64)
+            .map(|i| dst.on_slot(Instant::ZERO + slot * i))
+            .collect();
+        let served: usize = outs
+            .iter()
+            .flat_map(|o| &o.deliveries)
+            .map(|d| d.tb.bytes)
+            .sum();
+        assert!(served > 0, "forwarded SDUs are transmitted by the target");
+        // Lowest forwarded SN is retransmitted first.
+        let first_sn = outs
+            .iter()
+            .flat_map(|o| &o.deliveries)
+            .flat_map(|d| d.tb.segments.iter())
+            .map(|(_, s)| s.sn)
+            .next()
+            .unwrap();
+        assert_eq!(first_sn, 0, "retransmission restarts at the oldest unconfirmed SN");
+    }
+
+    #[test]
+    fn detach_drops_pending_harq_for_the_ue() {
+        // Cell-edge channel: force HARQ backlog, then detach.
+        let cfg = CellConfig::default();
+        let mut g = Gnb::new(cfg.clone(), SchedulerKind::RoundRobin, SimRng::new(3));
+        let ch = FadingChannel::new(
+            ChannelProfile::Vehicular,
+            6.0,
+            cfg.carrier_hz,
+            &mut SimRng::new(17),
+        );
+        g.add_ue(UeId(0), ch, &[(DrbId(0), RlcMode::Am)]);
+        for _ in 0..200 {
+            g.enqueue_downlink(UeId(0), Qfi(0), pkt(1460), Instant::ZERO);
+        }
+        run_slots(&mut g, 200);
+        let _ctx = g.detach_ue(UeId(0));
+        // Subsequent slots must not panic on orphaned HARQ state.
+        let slot = g.config().slot_duration;
+        for i in 200..260u64 {
+            g.on_slot(Instant::ZERO + slot * i);
+        }
     }
 
     #[test]

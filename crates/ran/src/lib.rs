@@ -43,6 +43,6 @@ pub mod ue;
 pub use channel::{ChannelProfile, FadingChannel};
 pub use config::{CellConfig, RlcMode, SchedulerKind};
 pub use f1u::DlDataDeliveryStatus;
-pub use gnb::{Gnb, SlotOutput};
+pub use gnb::{DrbHandoverState, Gnb, SlotOutput, UeHandoverCtx};
 pub use ids::{DrbId, UeId};
 pub use ue::UeStack;

@@ -21,6 +21,15 @@ impl PdcpTx {
         PdcpTx { next_sn: 0 }
     }
 
+    /// Re-established entity continuing at `next_sn` — PDCP SN
+    /// allocation is continuous across handover (TS 38.323 §5.1.2: the
+    /// transmitting entity keeps its COUNT state at re-establishment for
+    /// AM DRBs), which is what keeps L4Span's profile table, RLC ARQ,
+    /// and the F1-U cumulative counters coherent when a UE changes cell.
+    pub fn resuming_at(next_sn: Sn) -> PdcpTx {
+        PdcpTx { next_sn }
+    }
+
     /// Assign the next sequence number (dense, in ingress order).
     pub fn assign_sn(&mut self) -> Sn {
         let sn = self.next_sn;
@@ -45,5 +54,14 @@ mod tests {
         assert_eq!(p.assign_sn(), 1);
         assert_eq!(p.assign_sn(), 2);
         assert_eq!(p.next_sn(), 3);
+    }
+
+    #[test]
+    fn reestablished_entity_continues_the_sn_space() {
+        let mut old = PdcpTx::new();
+        old.assign_sn();
+        old.assign_sn();
+        let mut new = PdcpTx::resuming_at(old.next_sn());
+        assert_eq!(new.assign_sn(), 2, "no SN reuse across handover");
     }
 }

@@ -92,6 +92,21 @@ pub struct TxRecord {
     pub t_txed: Instant,
 }
 
+/// One SDU lifted out of a downlink RLC entity for Xn-style data
+/// forwarding at handover (TS 38.300 §9.2.3.2): everything the target
+/// cell needs to retransmit the SDU losslessly under its original PDCP
+/// SN, with the CU ingress timestamp preserved so end-to-end delay
+/// metrics span the switch.
+#[derive(Debug, Clone, Copy)]
+pub struct ForwardedSdu {
+    /// Original PDCP sequence number (preserved across re-establishment).
+    pub sn: Sn,
+    /// The full SDU.
+    pub pkt: PacketBuf,
+    /// CU ingress timestamp.
+    pub t_ingress: Instant,
+}
+
 /// Per-SDU record emitted when delivery is confirmed by a status report
 /// (AM only).
 #[derive(Debug, Clone, Copy)]
@@ -199,6 +214,14 @@ impl RlcTx {
     /// the queue is at capacity — srsRAN's tail-drop behaviour that the
     /// 256-SDU configuration of Fig. 9 leans on.
     pub fn enqueue(&mut self, sn: Sn, pkt: PacketBuf, now: Instant) -> bool {
+        self.enqueue_at(sn, pkt, now, now)
+    }
+
+    /// The one enqueue path: `t_ingress` is the SDU's CU ingress time
+    /// (equal to `now` for fresh traffic, the original timestamp for
+    /// SDUs forwarded at handover), `now` stamps the head-of-queue
+    /// arrival.
+    fn enqueue_at(&mut self, sn: Sn, pkt: PacketBuf, t_ingress: Instant, now: Instant) -> bool {
         if self.queue.len() >= self.capacity_sdus {
             self.drops += 1;
             return false;
@@ -210,7 +233,7 @@ impl RlcTx {
             sn,
             pkt,
             size,
-            t_ingress: now,
+            t_ingress,
             t_head: if head { Some(now) } else { None },
             t_first_tx: None,
             txed: 0,
@@ -378,6 +401,48 @@ impl RlcTx {
         consumed
     }
 
+    /// PDCP re-establishment, transmit side (TS 38.323 §5.1.2): lift out
+    /// every SDU not yet confirmed delivered — the unacknowledged store
+    /// first (AM only; fully transmitted but unconfirmed), then the
+    /// transmission queue (including a partially-pulled head SDU, whose
+    /// already-transmitted bytes are simply retransmitted in full by the
+    /// target) — in ascending SN order, for forwarding to the target
+    /// cell. The entity is left empty; pending retransmission ranges are
+    /// dropped (the whole SDUs travel instead). Drop/delivery counters
+    /// survive, as they describe this entity's history.
+    pub fn drain_for_handover(&mut self) -> Vec<ForwardedSdu> {
+        let mut out = Vec::with_capacity(self.unacked.len() + self.queue.len());
+        // Pull order is strictly SN order, so every unacked SN precedes
+        // every queued SN: chaining the two stores keeps ascending order.
+        for (sn, sdu) in std::mem::take(&mut self.unacked) {
+            out.push(ForwardedSdu {
+                sn,
+                pkt: sdu.pkt,
+                t_ingress: sdu.t_ingress,
+            });
+        }
+        for s in self.queue.drain(..) {
+            out.push(ForwardedSdu {
+                sn: s.sn,
+                pkt: s.pkt,
+                t_ingress: s.t_ingress,
+            });
+        }
+        self.retx.clear();
+        self.queued_bytes = 0;
+        self.highest_txed = None;
+        out
+    }
+
+    /// Accept an SDU forwarded from a source cell at handover: enqueued
+    /// as new data under its *original* SN with its *original* CU ingress
+    /// timestamp (PDCP SNs and delay accounting are continuous across
+    /// re-establishment). Subject to the same tail-drop capacity check as
+    /// fresh traffic. `now` stamps the head-of-queue arrival.
+    pub fn enqueue_forwarded(&mut self, fwd: ForwardedSdu, now: Instant) -> bool {
+        self.enqueue_at(fwd.sn, fwd.pkt, fwd.t_ingress, now)
+    }
+
     /// Process an AM status report from the UE. Returns delivery records
     /// for newly-acknowledged SDUs; NACKed ranges join the retransmission
     /// queue.
@@ -531,6 +596,13 @@ impl RlcRx {
         self.skipped
     }
 
+    /// Adopt a new status-report cadence (the serving cell's
+    /// t-StatusProhibit analogue changes when the UE hands over to a
+    /// cell with a different configuration).
+    pub fn set_status_period(&mut self, period: Duration) {
+        self.status_period = period;
+    }
+
     /// Ingest one segment; returns any SDUs that became deliverable
     /// in order.
     pub fn on_segment(&mut self, seg: Segment, now: Instant) -> Vec<RxDelivery> {
@@ -607,6 +679,19 @@ impl RlcRx {
             out.extend(self.deliver_in_order(now));
         }
         out
+    }
+
+    /// PDCP re-establishment, receive side (TS 38.323 §5.1.2): the RLC
+    /// entity under this receiver is reset, so partially-reassembled
+    /// SDUs (whose missing segments died with the source cell) are
+    /// discarded; complete-but-undelivered SDUs stay in the PDCP
+    /// reordering buffer (`next_expected` and in-order delivery are
+    /// continuous across the switch). The receiver is marked dirty so
+    /// the next uplink opportunity carries a status report — the PDCP
+    /// status report that tells the target what to retransmit.
+    pub fn reestablish(&mut self) {
+        self.entries.retain(|_, e| e.complete());
+        self.dirty = true;
     }
 
     /// Produce a status report if the cadence allows and there is news —
@@ -811,6 +896,126 @@ mod tests {
         let r = t.pull(100_000, Instant::from_millis(12));
         let count_sn0 = r.segments.iter().filter(|s| s.sn == 0).count();
         assert_eq!(count_sn0, 1, "retransmit once, not twice");
+    }
+
+    #[test]
+    fn handover_drain_forwards_unacked_then_queued_in_sn_order() {
+        let mut t = tx(RlcMode::Am);
+        // SN 0: fully transmitted, unacked. SN 1: partially pulled.
+        // SN 2: untouched in the queue.
+        t.enqueue(0, pkt(492), Instant::ZERO); // wire 532
+        t.pull(1000, Instant::from_millis(1));
+        t.enqueue(1, pkt(1460), Instant::from_millis(2)); // wire 1500
+        t.enqueue(2, pkt(500), Instant::from_millis(3));
+        t.pull(600, Instant::from_millis(4)); // SN 1 partially out
+        let fwd = t.drain_for_handover();
+        assert_eq!(
+            fwd.iter().map(|f| f.sn).collect::<Vec<_>>(),
+            vec![0, 1, 2],
+            "ascending SN order: unacked first, then the queue"
+        );
+        assert_eq!(fwd[1].t_ingress, Instant::from_millis(2));
+        assert_eq!(t.backlog_bytes(), 0);
+        assert_eq!(t.queue_len_sdus(), 0);
+        assert_eq!(t.highest_txed(), None);
+        // Target side: forwarded SDUs re-enqueue as new data.
+        let mut target = tx(RlcMode::Am);
+        for f in fwd {
+            assert!(target.enqueue_forwarded(f, Instant::from_millis(5)));
+        }
+        let r = target.pull(100_000, Instant::from_millis(6));
+        let sns: Vec<Sn> = r.segments.iter().map(|s| s.sn).collect();
+        assert_eq!(sns, vec![0, 1, 2], "full retransmission at the target");
+        assert!(
+            r.segments.iter().all(|s| s.is_last() && s.payload.is_some()),
+            "ample budget: every forwarded SDU travels whole"
+        );
+    }
+
+    #[test]
+    fn handover_drain_respects_delivery_confirmations() {
+        let mut t = tx(RlcMode::Am);
+        t.enqueue(0, pkt(500), Instant::ZERO);
+        t.enqueue(1, pkt(500), Instant::ZERO);
+        t.pull(10_000, Instant::from_millis(1));
+        // SN 0 confirmed delivered: it must NOT be forwarded.
+        t.on_status(
+            &RlcStatus {
+                ack_sn: 1,
+                nacks: vec![],
+            },
+            Instant::from_millis(5),
+        );
+        let fwd = t.drain_for_handover();
+        assert_eq!(fwd.len(), 1);
+        assert_eq!(fwd[0].sn, 1);
+    }
+
+    #[test]
+    fn enqueue_forwarded_respects_capacity() {
+        let mut t = RlcTx::new(RlcMode::Am, 1, OH);
+        let f0 = ForwardedSdu {
+            sn: 0,
+            pkt: pkt(100),
+            t_ingress: Instant::ZERO,
+        };
+        let f1 = ForwardedSdu {
+            sn: 1,
+            pkt: pkt(100),
+            t_ingress: Instant::ZERO,
+        };
+        assert!(t.enqueue_forwarded(f0, Instant::ZERO));
+        assert!(!t.enqueue_forwarded(f1, Instant::ZERO));
+        assert_eq!(t.drop_count(), 1);
+    }
+
+    #[test]
+    fn rx_reestablish_drops_partials_keeps_completes() {
+        let mut rx = RlcRx::new(RlcMode::Am, Duration::from_millis(10));
+        // SN 1 complete (held for SN 0); SN 2 partial.
+        rx.on_segment(
+            Segment {
+                sn: 1,
+                offset: 0,
+                len: 1000,
+                sdu_size: 1000,
+                payload: Some(pkt(960)),
+                t_ingress: Instant::ZERO,
+            },
+            Instant::from_millis(1),
+        );
+        rx.on_segment(
+            Segment {
+                sn: 2,
+                offset: 0,
+                len: 300,
+                sdu_size: 1000,
+                payload: None,
+                t_ingress: Instant::ZERO,
+            },
+            Instant::from_millis(2),
+        );
+        rx.reestablish();
+        // Status goes out at the next opportunity and still NACKs the
+        // gap (SN 0) plus the now-discarded partial (SN 2).
+        let st = rx.make_status(Instant::from_millis(20)).unwrap();
+        assert_eq!(st.ack_sn, 0);
+        assert!(st.nacks.iter().any(|n| n.sn == 0));
+        assert!(st.nacks.iter().any(|n| n.sn == 2));
+        // The target retransmits SN 0 in full: SN 0 and the buffered
+        // SN 1 deliver in order, with no duplicate of SN 1.
+        let d = rx.on_segment(
+            Segment {
+                sn: 0,
+                offset: 0,
+                len: 1000,
+                sdu_size: 1000,
+                payload: Some(pkt(960)),
+                t_ingress: Instant::ZERO,
+            },
+            Instant::from_millis(25),
+        );
+        assert_eq!(d.iter().map(|x| x.sn).collect::<Vec<_>>(), vec![0, 1]);
     }
 
     #[test]

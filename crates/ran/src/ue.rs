@@ -143,19 +143,59 @@ impl UeStack {
         now: Instant,
     ) -> (Vec<PacketBuf>, Vec<(DrbId, RlcStatus)>) {
         let mut pkts = Vec::new();
+        let mut statuses = Vec::new();
+        self.on_uplink_slot_into(now, &mut pkts, &mut statuses);
+        (pkts, statuses)
+    }
+
+    /// Allocation-free variant of [`UeStack::on_uplink_slot`]: packets
+    /// and status reports are appended to the caller's reusable buffers
+    /// (the world pools them alongside the event boxes, so the uplink
+    /// slot tick — like the downlink one — touches the allocator only
+    /// while a buffer is still growing to its steady-state size).
+    pub fn on_uplink_slot_into(
+        &mut self,
+        now: Instant,
+        pkts: &mut Vec<PacketBuf>,
+        statuses: &mut Vec<(DrbId, RlcStatus)>,
+    ) {
         while let Some(item) = self.ul_queue.front() {
             if item.ready_at > now {
                 break;
             }
             pkts.push(self.ul_queue.pop_front().expect("front exists").pkt);
         }
-        let mut statuses = Vec::new();
         for (drb, rx) in self.rlc.iter_mut() {
             if let Some(st) = rx.make_status(now) {
                 statuses.push((*drb, st));
             }
         }
-        (pkts, statuses)
+    }
+
+    /// The UE side of a handover: every DRB's receive entity goes
+    /// through PDCP re-establishment (partial reassembly state from the
+    /// old cell is discarded, the in-order delivery point and complete
+    /// SDUs in the reordering buffer survive) and a status report is
+    /// forced onto the next uplink opportunity so the target learns what
+    /// to retransmit. The UE also adopts the *target* cell's timing
+    /// parameters (status cadence, modem/kernel delay, SR delay bound) —
+    /// in a heterogeneous topology these are per-cell configuration, and
+    /// freezing the initial cell's values would make two UEs on the same
+    /// cell behave differently by migration history. Queued uplink
+    /// packets (client ACKs) survive — they ride the new cell's first
+    /// uplink slot.
+    pub fn on_handover(
+        &mut self,
+        status_period: Duration,
+        internal_delay: Duration,
+        sr_delay_max: Duration,
+    ) {
+        self.internal_delay = internal_delay;
+        self.sr_delay_max = sr_delay_max;
+        for rx in self.rlc.values_mut() {
+            rx.set_status_period(status_period);
+            rx.reestablish();
+        }
     }
 }
 
@@ -246,6 +286,58 @@ mod tests {
         u.enqueue_uplink(pkt(0), now);
         let (sent, _) = u.on_uplink_slot(now + Duration::from_millis(6));
         assert_eq!(sent.len(), 3);
+    }
+
+    #[test]
+    fn handover_forces_a_status_and_keeps_delivery_order() {
+        let mut u = ue();
+        // SN 1 complete but held (SN 0 missing) when the handover hits.
+        let seg1 = Segment {
+            sn: 1,
+            offset: 0,
+            len: 1000,
+            sdu_size: 1000,
+            payload: Some(pkt(960)),
+            t_ingress: Instant::ZERO,
+        };
+        let d = u.on_transport_block(tb_with(vec![(DrbId(0), seg1)]), Instant::from_millis(50));
+        assert!(d.is_empty());
+        u.on_handover(
+            Duration::from_millis(10),
+            Duration::from_millis(2),
+            Duration::from_millis(5),
+        );
+        let (_, statuses) = u.on_uplink_slot(Instant::from_millis(65));
+        assert_eq!(statuses.len(), 1, "re-establishment forces a status");
+        assert_eq!(statuses[0].1.ack_sn, 0);
+        assert!(statuses[0].1.nacks.iter().any(|n| n.sn == 0));
+        // Target retransmits SN 0: in-order delivery resumes across the
+        // switch with no duplicate of SN 1.
+        let seg0 = Segment {
+            sn: 0,
+            offset: 0,
+            len: 1000,
+            sdu_size: 1000,
+            payload: Some(pkt(960)),
+            t_ingress: Instant::ZERO,
+        };
+        let d = u.on_transport_block(tb_with(vec![(DrbId(0), seg0)]), Instant::from_millis(70));
+        assert_eq!(d.len(), 2, "SN 0 then the buffered SN 1, exactly once each");
+    }
+
+    #[test]
+    fn uplink_slot_into_reuses_buffers() {
+        let mut u = ue();
+        let mut pkts = Vec::with_capacity(8);
+        let mut statuses = Vec::with_capacity(4);
+        let now = Instant::from_millis(100);
+        u.enqueue_uplink(pkt(0), now);
+        u.on_uplink_slot_into(now + Duration::from_millis(6), &mut pkts, &mut statuses);
+        assert_eq!(pkts.len(), 1);
+        pkts.clear();
+        u.enqueue_uplink(pkt(0), now + Duration::from_millis(7));
+        u.on_uplink_slot_into(now + Duration::from_millis(14), &mut pkts, &mut statuses);
+        assert_eq!(pkts.len(), 1, "appended into the reused buffer");
     }
 
     #[test]

@@ -13,8 +13,9 @@
 
 use l4span::net::{Ecn, PacketBuf, TcpFlags, TcpHeader};
 use l4span::ran::config::RlcMode;
-use l4span::ran::rlc::{RlcTx, Segment, TxRecord};
-use l4span::sim::{Duration, EventQueue, Instant};
+use l4span::ran::rlc::{RlcStatus, RlcTx, Segment, TxRecord};
+use l4span::ran::{DrbId, UeId, UeStack};
+use l4span::sim::{Duration, EventQueue, Instant, SimRng};
 use l4span_alloctrack::CountingAlloc;
 
 #[global_allocator]
@@ -93,7 +94,69 @@ fn steady_state_downlink_path_makes_zero_allocations() {
         "UM enqueue/segment/pull cycle must not allocate once warm"
     );
 
-    // --- 3. Event-queue schedule/pop with a warm heap -------------------
+    // --- 3. UE uplink path: enqueue → uplink slot into pooled buffers ---
+    // PR 3 pools the `UlAtGnb` payload vectors exactly like the DL event
+    // boxes; with the buffers at steady-state size, a full uplink cycle
+    // (ACK enqueue with SR-delay draw, queue drain, AM status emission)
+    // must not allocate.
+    let mut ue = UeStack::new(
+        UeId(0),
+        &[(DrbId(0), RlcMode::Am)],
+        Duration::from_millis(1),
+        Duration::from_millis(2),
+        Duration::from_millis(5),
+        SimRng::new(7),
+    );
+    let mut ul_pkts: Vec<PacketBuf> = Vec::with_capacity(64);
+    let mut ul_statuses: Vec<(DrbId, RlcStatus)> = Vec::with_capacity(8);
+    // Warm-up: grow the UL queue ring and produce one status cycle.
+    for i in 0..32u64 {
+        ue.enqueue_uplink(data_packet(i as u16, 0), Instant::from_millis(i));
+    }
+    ue.on_uplink_slot_into(Instant::from_millis(100), &mut ul_pkts, &mut ul_statuses);
+    ul_pkts.clear();
+    ul_statuses.clear();
+    // A delivered segment makes the AM receiver dirty, so the first
+    // measured slot below also exercises the status-report emission path
+    // (a gap-free status carries an empty NACK vec: no allocation).
+    let seg = Segment {
+        sn: 0,
+        offset: 0,
+        len: 1480,
+        sdu_size: 1480,
+        payload: Some(data_packet(0, 1400)),
+        t_ingress: Instant::from_millis(100),
+    };
+    let deliveries = ue.on_transport_block(
+        l4span::ran::mac::TransportBlock {
+            ue: UeId(0),
+            segments: vec![(DrbId(0), seg)],
+            bytes: 1480,
+            attempt: 1,
+            cqi: 10,
+            first_tx: Instant::from_millis(150),
+        },
+        Instant::from_millis(150),
+    );
+    assert_eq!(deliveries.len(), 1);
+    let (n, _) = allocs_during(|| {
+        let mut total = 0usize;
+        for k in 0..64u64 {
+            let t = Instant::from_millis(200 + 10 * k);
+            ue.enqueue_uplink(data_packet(k as u16, 0), t);
+            ue.on_uplink_slot_into(t + Duration::from_millis(6), &mut ul_pkts, &mut ul_statuses);
+            total += ul_pkts.len() + ul_statuses.len();
+            ul_pkts.clear();
+            ul_statuses.clear();
+        }
+        total
+    });
+    assert_eq!(
+        n, 0,
+        "uplink enqueue/slot cycle into pooled buffers must not allocate"
+    );
+
+    // --- 4. Event-queue schedule/pop with a warm heap -------------------
     let mut q: EventQueue<(u64, PacketBuf)> = EventQueue::with_capacity(1024);
     for i in 0..512 {
         q.schedule(Instant::from_millis(i), (i, data_packet(i as u16, 1400)));

@@ -10,6 +10,7 @@
 //! runner's own contract: a batch fingerprints identically whether it
 //! runs on one worker thread or many.
 
+use l4span::core::HandoverPolicy;
 use l4span::cc::WanLink;
 use l4span::harness::{self, scenario, scenario::ChannelMix};
 use l4span::sim::Duration;
@@ -29,12 +30,28 @@ fn config(cc: &str, seed: u64) -> scenario::ScenarioConfig {
     )
 }
 
-fn assert_deterministic(cc: &str) {
+/// A 2-cell scenario with a genuine mid-run handover per UE: the
+/// mobility path (Xn context transfer, PDCP re-establishment, marker
+/// migration, interruption accounting) must be exactly as reproducible
+/// as the single-cell path.
+fn ho_config(cc: &str, seed: u64) -> scenario::ScenarioConfig {
+    scenario::handover_cell(
+        2,
+        cc,
+        Duration::from_millis(400),
+        HandoverPolicy::MigrateState,
+        scenario::l4span_default(),
+        seed,
+        Duration::from_secs(1),
+    )
+}
+
+fn assert_matrix(mk: impl Fn(u64) -> scenario::ScenarioConfig, label: &str) {
     // Same seed twice plus a different seed: once through the default
     // runner (worker count = available parallelism, or pinned via
     // L4SPAN_THREADS — which is how CI exercises 1 vs N workers), and
     // once strictly sequentially.
-    let batch = || vec![config(cc, 7), config(cc, 7), config(cc, 8)];
+    let batch = || vec![mk(7), mk(7), mk(8)];
     let par: Vec<String> = harness::run_batch(batch())
         .iter()
         .map(|r| r.fingerprint())
@@ -45,13 +62,24 @@ fn assert_deterministic(cc: &str) {
         .collect();
     assert_eq!(
         par[0], par[1],
-        "{cc}: same seed must give a byte-identical report"
+        "{label}: same seed must give a byte-identical report"
     );
-    assert_ne!(par[0], par[2], "{cc}: a different seed must change the run");
+    assert_ne!(
+        par[0], par[2],
+        "{label}: a different seed must change the run"
+    );
     assert_eq!(
         par, seq,
-        "{cc}: fingerprints must not depend on worker-thread count"
+        "{label}: fingerprints must not depend on worker-thread count"
     );
+}
+
+fn assert_deterministic(cc: &str) {
+    assert_matrix(|seed| config(cc, seed), cc);
+}
+
+fn assert_handover_deterministic(cc: &str) {
+    assert_matrix(|seed| ho_config(cc, seed), &format!("handover/{cc}"));
 }
 
 #[test]
@@ -77,4 +105,51 @@ fn bbr_is_deterministic() {
 #[test]
 fn bbr2_is_deterministic() {
     assert_deterministic("bbr2");
+}
+
+#[test]
+fn handover_reno_is_deterministic() {
+    assert_handover_deterministic("reno");
+}
+
+#[test]
+fn handover_cubic_is_deterministic() {
+    assert_handover_deterministic("cubic");
+}
+
+#[test]
+fn handover_prague_is_deterministic() {
+    assert_handover_deterministic("prague");
+}
+
+#[test]
+fn handover_bbr_is_deterministic() {
+    assert_handover_deterministic("bbr");
+}
+
+#[test]
+fn handover_bbr2_is_deterministic() {
+    assert_handover_deterministic("bbr2");
+}
+
+#[test]
+fn handover_cold_start_policy_is_deterministic_and_distinct() {
+    // The ColdStart marker policy is its own code path through the
+    // handover; it must be just as reproducible, and must not collide
+    // with MigrateState's fingerprint.
+    let cold = |seed| {
+        scenario::handover_cell(
+            2,
+            "prague",
+            Duration::from_millis(400),
+            HandoverPolicy::ColdStart,
+            scenario::l4span_default(),
+            seed,
+            Duration::from_secs(1),
+        )
+    };
+    assert_matrix(cold, "handover/cold-start");
+    let c = harness::run(cold(7)).fingerprint();
+    let m = harness::run(ho_config("prague", 7)).fingerprint();
+    assert_ne!(c, m, "policies must alter the run");
 }

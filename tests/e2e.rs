@@ -2,9 +2,10 @@
 //! facade crate, checking the end-to-end behaviours the paper claims.
 
 use l4span::cc::WanLink;
-use l4span::core::L4SpanConfig;
+use l4span::core::{HandoverPolicy, L4SpanConfig};
 use l4span::harness::scenario::{
-    congested_cell, l4span_default, ChannelMix, FlowSpec, ScenarioConfig, TrafficKind, UeSpec,
+    congested_cell, handover_cell, l4span_default, ChannelMix, FlowSpec, ScenarioConfig,
+    TrafficKind, UeSpec,
 };
 use l4span::harness::{self, MarkerKind};
 use l4span::ran::config::RlcMode;
@@ -85,9 +86,8 @@ fn rlc_um_mode_still_delivers_tcp() {
     // A UM DRB on a fading channel: HARQ exhaustion now loses SDUs for
     // good; TCP must recover via retransmission.
     cfg.ues.push(UeSpec {
-        profile: ChannelProfile::Vehicular,
-        mean_snr_db: 12.0,
         drbs: vec![(0, RlcMode::Um)],
+        ..UeSpec::simple(ChannelProfile::Vehicular, 12.0)
     });
     cfg.flows.push(FlowSpec {
         ue: 0,
@@ -194,6 +194,47 @@ fn scream_call_adapts_to_the_cell() {
 }
 
 #[test]
+fn handover_is_lossless_for_tcp_and_interruption_is_bounded() {
+    // Every CC the paper evaluates must ride out a 2-cell ping-pong: the
+    // TCP byte stream survives the Xn forwarding (goodput keeps flowing
+    // after every switch) and the delivery gap around each handover is
+    // bounded.
+    for cc in ["reno", "cubic", "prague", "bbr", "bbr2"] {
+        let cfg = handover_cell(
+            2,
+            cc,
+            Duration::from_secs(1),
+            HandoverPolicy::MigrateState,
+            l4span_default(),
+            41,
+            Duration::from_secs(4),
+        );
+        let r = harness::run(cfg);
+        assert!(
+            r.handovers.len() >= 4,
+            "{cc}: both UEs ping-pong: {}",
+            r.handovers.len()
+        );
+        for f in 0..2 {
+            assert!(
+                r.goodput_total_mbps(f) > 0.5,
+                "{cc}: flow {f} survived handovers: {}",
+                r.goodput_total_mbps(f)
+            );
+            // Goodput after the last handover: the stream is still live.
+            let last = r.handovers.iter().map(|h| h.at).max().unwrap();
+            let tail = r.goodput_mbps(f, last, Instant::ZERO + r.duration);
+            assert!(tail > 0.1, "{cc}: flow {f} moves bytes post-HO: {tail}");
+        }
+        let gap = r.mean_interruption_ms().expect("gaps resolved");
+        assert!(
+            gap < 500.0,
+            "{cc}: mean interruption {gap} ms must stay bounded"
+        );
+    }
+}
+
+#[test]
 fn flow_stop_quiesces_traffic() {
     let mut cfg = ScenarioConfig::new(23, Duration::from_secs(6));
     cfg.marker = l4span_default();
@@ -221,9 +262,8 @@ fn l4s_and_classic_coexist_on_separate_drbs_of_one_ue() {
     let mut cfg = ScenarioConfig::new(37, Duration::from_secs(6));
     cfg.marker = l4span_default();
     cfg.ues.push(UeSpec {
-        profile: ChannelProfile::Static,
-        mean_snr_db: 24.0,
         drbs: vec![(0, RlcMode::Am), (1, RlcMode::Am)],
+        ..UeSpec::simple(ChannelProfile::Static, 24.0)
     });
     for (i, cc) in ["prague", "cubic"].iter().enumerate() {
         cfg.flows.push(FlowSpec {
