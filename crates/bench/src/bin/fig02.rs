@@ -6,9 +6,10 @@
 //! `cargo run --release -p l4span-bench --bin fig02`
 
 use l4span_bench::{banner, run_grid, Args};
-use l4span_cc::WanLink;
+use l4span_cc::{CcKind, WanLink};
+use l4span_harness::app::AppProfile;
 use l4span_harness::scenario::{
-    l4span_default, BottleneckSpec, FlowSpec, ScenarioConfig, TrafficKind, UeSpec,
+    l4span_default, BottleneckSpec, FlowSpec, ScenarioConfig, TransportSpec, UeSpec,
 };
 use l4span_harness::wired::{run_wired, WiredConfig};
 use l4span_harness::{MarkerKind, Report};
@@ -67,19 +68,15 @@ fn ran_scenario(seed: u64, secs: u64, marker: MarkerKind) -> ScenarioConfig {
         ],
         l4s_aqm: true,
     });
-    for (i, cc) in ["prague", "cubic"].iter().enumerate() {
+    for (i, cc) in [CcKind::Prague, CcKind::Cubic].into_iter().enumerate() {
         cfg.ues.push(UeSpec::simple(ChannelProfile::Static, 24.0));
-        cfg.flows.push(FlowSpec {
-            ue: i,
-            drb: 0,
-            traffic: TrafficKind::Tcp {
-                cc: cc.to_string(),
-                app_limit: None,
-            },
-            wan: WanLink::east(),
-            start: Instant::from_millis(10 * i as u64),
-            stop: None,
-        });
+        cfg.flows.push(FlowSpec::new(
+            i,
+            AppProfile::bulk(),
+            TransportSpec::tcp(cc),
+            WanLink::east(),
+            Instant::from_millis(10 * i as u64),
+        ));
     }
     cfg
 }
@@ -96,8 +93,8 @@ fn main() {
         rate_bps: 40e6,
         one_way: Duration::from_millis(5),
         flows: vec![
-            ("prague".into(), Instant::from_millis(0)),
-            ("cubic".into(), Instant::from_millis(100)),
+            (CcKind::Prague, Instant::from_millis(0)),
+            (CcKind::Cubic, Instant::from_millis(100)),
         ],
         thr_bin: Duration::from_millis(100),
     });

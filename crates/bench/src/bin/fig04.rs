@@ -8,7 +8,8 @@
 
 use l4span_bench::{banner, run_grid, Args};
 use l4span_cc::WanLink;
-use l4span_harness::scenario::{l4span_default, FlowSpec, ScenarioConfig, TrafficKind, UeSpec};
+use l4span_harness::app::AppProfile;
+use l4span_harness::scenario::{l4span_default, FlowSpec, ScenarioConfig, TransportSpec, UeSpec};
 use l4span_harness::Report;
 use l4span_ran::ChannelProfile;
 use l4span_sim::{Duration, Instant};
@@ -17,17 +18,13 @@ fn walkthrough_cfg(cc: &str, seed: u64, secs: u64) -> ScenarioConfig {
     let mut cfg = ScenarioConfig::new(seed, Duration::from_secs(secs));
     cfg.marker = l4span_default();
     cfg.ues.push(UeSpec::simple(ChannelProfile::Static, 25.0));
-    cfg.flows.push(FlowSpec {
-        ue: 0,
-        drb: 0,
-        traffic: TrafficKind::Tcp {
-            cc: cc.to_string(),
-            app_limit: None,
-        },
-        wan: WanLink::east(),
-        start: Instant::ZERO,
-        stop: None,
-    });
+    cfg.flows.push(FlowSpec::new(
+        0,
+        AppProfile::bulk(),
+        TransportSpec::tcp_named(cc).expect("known cc"),
+        WanLink::east(),
+        Instant::ZERO,
+    ));
     // The Fig. 4 storyline: stable channel, sharp degradation at 40% of
     // the run ("channel sharply turns bad"), recovery at 70%.
     cfg.channel_events = vec![

@@ -6,8 +6,9 @@
 
 use l4span_bench::{banner, fmt_box, run_grid, Args};
 use l4span_cc::WanLink;
+use l4span_harness::app::AppProfile;
 use l4span_harness::scenario::{
-    l4span_default, FlowSpec, ScenarioConfig, TrafficKind, UeSpec,
+    l4span_default, FlowSpec, ScenarioConfig, TransportSpec, UeSpec,
 };
 use l4span_harness::MarkerKind;
 use l4span_ran::ChannelProfile;
@@ -23,34 +24,27 @@ fn scenario(
     let mut cfg = ScenarioConfig::new(seed, Duration::from_secs(secs));
     cfg.marker = marker;
     cfg.ues.push(UeSpec::simple(ChannelProfile::Static, 24.0));
+    let transport = TransportSpec::tcp_named(cc).expect("known cc");
     // Flow 0: the long-lived download.
-    cfg.flows.push(FlowSpec {
-        ue: 0,
-        drb: 0,
-        traffic: TrafficKind::Tcp {
-            cc: cc.to_string(),
-            app_limit: None,
-        },
-        wan: WanLink::east(),
-        start: Instant::ZERO,
-        stop: None,
-    });
+    cfg.flows.push(FlowSpec::new(
+        0,
+        AppProfile::bulk(),
+        transport.clone(),
+        WanLink::east(),
+        Instant::ZERO,
+    ));
     // Repeated 14 kB SLFs, one every 2 s starting at t=3 s.
     let mut slf = Vec::new();
     let mut t = 3;
     while t + 2 <= secs {
         slf.push(cfg.flows.len());
-        cfg.flows.push(FlowSpec {
-            ue: 0,
-            drb: 0,
-            traffic: TrafficKind::Tcp {
-                cc: cc.to_string(),
-                app_limit: Some(14_000),
-            },
-            wan: WanLink::east(),
-            start: Instant::from_secs(t),
-            stop: None,
-        });
+        cfg.flows.push(FlowSpec::new(
+            0,
+            AppProfile::sized(14_000),
+            transport.clone(),
+            WanLink::east(),
+            Instant::from_secs(t),
+        ));
         t += 2;
     }
     (cfg, slf)

@@ -6,8 +6,9 @@
 
 use l4span_bench::{banner, fmt_box, run_grid, Args};
 use l4span_cc::WanLink;
+use l4span_harness::app::AppProfile;
 use l4span_harness::scenario::{
-    l4span_default, ChannelMix, FlowSpec, ScenarioConfig, TrafficKind, UeSpec,
+    l4span_default, ChannelMix, FlowSpec, ScenarioConfig, TransportSpec, UeSpec,
 };
 use l4span_harness::MarkerKind;
 use l4span_sim::stats::BoxStats;
@@ -15,7 +16,7 @@ use l4span_sim::{Duration, Instant};
 
 fn video_cell(
     n: usize,
-    traffic: &TrafficKind,
+    workload: &(AppProfile, TransportSpec),
     mix: ChannelMix,
     marker: MarkerKind,
     seed: u64,
@@ -26,14 +27,13 @@ fn video_cell(
     for i in 0..n {
         let snr = 20.0 + 5.0 * (i as f64 * 0.618).fract();
         cfg.ues.push(UeSpec::simple(mix.profile(i), snr));
-        cfg.flows.push(FlowSpec {
-            ue: i,
-            drb: 0,
-            traffic: traffic.clone(),
-            wan: WanLink::east(),
-            start: Instant::from_millis(20 * i as u64),
-            stop: None,
-        });
+        cfg.flows.push(FlowSpec::new(
+            i,
+            workload.0.clone(),
+            workload.1.clone(),
+            WanLink::east(),
+            Instant::from_millis(20 * i as u64),
+        ));
     }
     cfg
 }
@@ -44,17 +44,14 @@ fn main() {
     banner("Fig. 13", "interactive video congestion control ±L4Span", &args);
 
     let n = 8;
-    let scream = TrafficKind::Scream {
-        min_bps: 0.5e6,
-        start_bps: 2.0e6,
-        max_bps: 20.0e6,
-        fps: 25.0,
-    };
-    let udp_prague = TrafficKind::UdpPrague {
-        min_rate: 6.25e4,
-        start_rate: 2.5e5,
-        max_rate: 2.5e6,
-    };
+    let scream = (
+        AppProfile::video(25.0, 0.5e6, 2.0e6, 20.0e6),
+        TransportSpec::scream(),
+    );
+    let udp_prague = (
+        AppProfile::bulk(),
+        TransportSpec::udp_prague(6.25e4, 2.5e5, 2.5e6),
+    );
     println!(
         "\n{:<12} {:<12} {:<3} {:>52} {:>12}",
         "app", "channel", "+", "RTT ms: med [p25,p75] (p10,p90)", "Mbit/s/UE"

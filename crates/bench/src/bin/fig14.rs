@@ -7,7 +7,8 @@
 
 use l4span_bench::{banner, run_grid, Args};
 use l4span_cc::WanLink;
-use l4span_harness::scenario::{l4span_default, FlowSpec, ScenarioConfig, TrafficKind, UeSpec};
+use l4span_harness::app::AppProfile;
+use l4span_harness::scenario::{l4span_default, FlowSpec, ScenarioConfig, TransportSpec, UeSpec};
 use l4span_harness::Report;
 use l4span_ran::ChannelProfile;
 use l4span_sim::{Duration, Instant};
@@ -17,17 +18,16 @@ fn staggered(ccs: &[&str], wans: &[WanLink], seed: u64, secs: u64) -> ScenarioCo
     cfg.marker = l4span_default();
     for (i, cc) in ccs.iter().enumerate() {
         cfg.ues.push(UeSpec::simple(ChannelProfile::Static, 24.0));
-        cfg.flows.push(FlowSpec {
-            ue: i,
-            drb: 0,
-            traffic: TrafficKind::Tcp {
-                cc: cc.to_string(),
-                app_limit: None,
-            },
-            wan: wans[i % wans.len()],
-            start: Instant::from_secs(secs * i as u64 / 6),
-            stop: Some(Instant::from_secs(secs - secs * i as u64 / 6)),
-        });
+        cfg.flows.push(
+            FlowSpec::new(
+                i,
+                AppProfile::bulk(),
+                TransportSpec::tcp_named(cc).expect("known cc"),
+                wans[i % wans.len()],
+                Instant::from_secs(secs * i as u64 / 6),
+            )
+            .stop_at(Instant::from_secs(secs - secs * i as u64 / 6)),
+        );
     }
     cfg
 }

@@ -8,7 +8,8 @@
 use l4span_bench::{banner, run_grid, Args};
 use l4span_cc::WanLink;
 use l4span_core::{L4SpanConfig, SharedDrbStrategy};
-use l4span_harness::scenario::{FlowSpec, ScenarioConfig, TrafficKind, UeSpec};
+use l4span_harness::app::AppProfile;
+use l4span_harness::scenario::{FlowSpec, ScenarioConfig, TransportSpec, UeSpec};
 use l4span_harness::MarkerKind;
 use l4span_ran::ChannelProfile;
 use l4span_sim::{Duration, Instant};
@@ -22,17 +23,14 @@ fn shared_drb(strategy: SharedDrbStrategy, seed: u64, secs: u64) -> ScenarioConf
     cfg.marker = MarkerKind::L4Span(l4);
     cfg.ues.push(UeSpec::simple(ChannelProfile::Static, 24.0));
     for cc in ["prague", "cubic"] {
-        cfg.flows.push(FlowSpec {
-            ue: 0,
-            drb: 0, // same DRB: the lower-end-UE case of §4.2.3
-            traffic: TrafficKind::Tcp {
-                cc: cc.to_string(),
-                app_limit: None,
-            },
-            wan: WanLink::east(),
-            start: Instant::from_millis(if cc == "prague" { 0 } else { 50 }),
-            stop: None,
-        });
+        // Same DRB 0: the lower-end-UE case of §4.2.3.
+        cfg.flows.push(FlowSpec::new(
+            0,
+            AppProfile::bulk(),
+            TransportSpec::tcp_named(cc).expect("known cc"),
+            WanLink::east(),
+            Instant::from_millis(if cc == "prague" { 0 } else { 50 }),
+        ));
     }
     cfg
 }

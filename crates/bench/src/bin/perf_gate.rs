@@ -1,5 +1,5 @@
 //! Simulator performance gate: runs the canonical scenarios, reports
-//! events/sec and wall-ms per simulated second, writes `BENCH_PR3.json`
+//! events/sec and wall-ms per simulated second, writes `BENCH_PR4.json`
 //! at the repo root, and (with `--check`) fails when events/sec on any
 //! scenario regresses more than 30 % below the **best prior baseline** —
 //! the maximum of the committed constants and every `BENCH_PR*.json`
@@ -17,12 +17,14 @@ use std::time::Instant as WallInstant;
 
 use l4span_cc::WanLink;
 use l4span_core::HandoverPolicy;
-use l4span_harness::scenario::{congested_cell, handover_cell, l4span_default, ChannelMix};
+use l4span_harness::scenario::{
+    congested_cell, handover_cell, interactive_apps_mixed, l4span_default, ChannelMix,
+};
 use l4span_harness::{run, ScenarioConfig};
 use l4span_sim::Duration;
 
 /// The PR this gate's artifact belongs to.
-const PR: u32 = 3;
+const PR: u32 = 4;
 
 /// Simulated seconds per scenario (long enough to reach steady state,
 /// short enough for CI).
@@ -43,6 +45,9 @@ const BASELINES: &[(&str, f64)] = &[
     ("prague_l4span_16ue", 1_900_000.0),
     ("bbr2_mobile_8ue", 1_050_000.0),
     ("handover_2cell_cubic_4ue", 2_000_000.0),
+    // New in PR 4: the mixed interactive-apps workload (FramedVideo +
+    // RequestResponse + Bulk over TCP, with per-unit QoE tracking).
+    ("interactive_apps_mixed", 1_500_000.0),
 ];
 
 /// The pre-PR-2 measurement (Vec-backed `PacketBuf`, ~112-byte inline
@@ -107,6 +112,10 @@ fn scenarios() -> Vec<(&'static str, ScenarioConfig)> {
                 7,
                 Duration::from_secs(SECS),
             ),
+        ),
+        (
+            "interactive_apps_mixed",
+            interactive_apps_mixed(4, "prague", l4span_default(), 7, Duration::from_secs(SECS)),
         ),
     ]
 }

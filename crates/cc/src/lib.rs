@@ -29,6 +29,7 @@ pub mod bbr2;
 pub mod cc;
 pub mod cubic;
 pub mod prague;
+pub mod registry;
 pub mod reno;
 pub mod scream;
 pub mod tcp;
@@ -36,18 +37,21 @@ pub mod udp_prague;
 pub mod wan;
 
 pub use cc::{AckSample, CongestionControl, EcnMode};
+pub use registry::{CcEntry, CcKind, UnknownCc, REGISTRY};
 pub use tcp::{TcpReceiver, TcpSender};
 pub use wan::WanLink;
 
 /// Build a boxed congestion controller by paper name. MSS is the payload
 /// bytes per segment.
+#[deprecated(
+    since = "0.1.0",
+    note = "parse a typed `CcKind` (`name.parse::<CcKind>()?`) and call \
+            `CcKind::make(mss)`; unknown names then become a typed \
+            `UnknownCc` error instead of this panic"
+)]
 pub fn make_cc(name: &str, mss: usize) -> Box<dyn CongestionControl> {
-    match name {
-        "reno" => Box::new(reno::Reno::new(mss)),
-        "cubic" => Box::new(cubic::Cubic::new(mss)),
-        "prague" => Box::new(prague::Prague::new(mss)),
-        "bbr" => Box::new(bbr::Bbr::new(mss)),
-        "bbr2" | "bbrv2" => Box::new(bbr2::Bbr2::new(mss)),
-        other => panic!("unknown congestion control {other:?}"),
+    match name.parse::<CcKind>() {
+        Ok(kind) => kind.make(mss),
+        Err(e) => panic!("{e}"),
     }
 }

@@ -38,6 +38,30 @@ pub struct ScreamFeedback {
     pub ce_bytes: u64,
 }
 
+/// One RTP packet queued by the encoder, tagged with the frame it
+/// belongs to so frame-level QoE can be tracked end to end.
+#[derive(Debug, Clone, Copy)]
+struct RtpPkt {
+    len: usize,
+    frame: u64,
+    /// `Some(created_at)` on the frame's final packet.
+    frame_end: Option<Instant>,
+}
+
+/// Emission-time record of a frame's last packet: the wire send counter
+/// it rode (its low 16 bits are the IP identification), the frame id,
+/// and the encoder's capture timestamp. The harness drains these to join
+/// frame creation to UE-side delivery (per-frame one-way delay).
+#[derive(Debug, Clone, Copy)]
+pub struct FrameMark {
+    /// Send counter of the frame's last packet (`& 0xFFFF` = IP ident).
+    pub wire_seq: u64,
+    /// Frame id (0-based generation order).
+    pub frame: u64,
+    /// Encoder capture timestamp.
+    pub created: Instant,
+}
+
 /// SCReAM sender: media source + window-based rate adaptation.
 #[derive(Debug)]
 pub struct ScreamSender {
@@ -54,9 +78,26 @@ pub struct ScreamSender {
     /// Frame cadence.
     frame_interval: Duration,
     next_frame_at: Instant,
-    /// RTP queue of (seq, len) awaiting window room.
-    rtp_queue: std::collections::VecDeque<(u64, usize)>,
+    /// RTP queue of frame-tagged packets awaiting window room.
+    rtp_queue: std::collections::VecDeque<RtpPkt>,
     next_seq: u64,
+    /// Keyframe cadence: every `keyframe_every`-th frame is a keyframe
+    /// (`0` = uniform frame sizes, the pre-keyframe behaviour).
+    keyframe_every: u32,
+    /// Keyframe size as a multiple of the GOP-average frame size; delta
+    /// frames shrink so the GOP average stays on the target bitrate.
+    keyframe_boost: f64,
+    /// Frames generated so far (frame ids are 0-based).
+    frame_count: u64,
+    /// Frames at least partially discarded by the queue discipline.
+    dropped_frames: std::collections::BTreeSet<u64>,
+    /// Emission-time marks of complete frames, for the harness to drain.
+    frame_marks: Vec<FrameMark>,
+    /// Cumulative frames the encoder produced (QoE denominator).
+    pub frames_generated: u64,
+    /// Cumulative frames the encoder's queue discipline discarded (in
+    /// whole or part); these can never be delivered complete.
+    pub frames_dropped: u64,
     /// Send log for RTT estimation: (seq, sent_at).
     sent_log: std::collections::VecDeque<(u64, Instant)>,
     /// Congestion window in bytes and current flight.
@@ -105,6 +146,13 @@ impl ScreamSender {
             next_frame_at: Instant::ZERO,
             rtp_queue: std::collections::VecDeque::new(),
             next_seq: 0,
+            keyframe_every: 0,
+            keyframe_boost: 1.0,
+            frame_count: 0,
+            dropped_frames: std::collections::BTreeSet::new(),
+            frame_marks: Vec::new(),
+            frames_generated: 0,
+            frames_dropped: 0,
             sent_log: std::collections::VecDeque::new(),
             cwnd: 20_000.0,
             bytes_in_flight: 0,
@@ -120,9 +168,27 @@ impl ScreamSender {
         }
     }
 
+    /// Enable an I/P keyframe pattern: every `every`-th frame is `boost`×
+    /// the GOP-average size, delta frames shrink to compensate. `every`
+    /// below 2 (or a boost that would leave delta frames non-positive)
+    /// keeps uniform sizes.
+    pub fn with_keyframes(mut self, every: u32, boost: f64) -> ScreamSender {
+        if every >= 2 && boost > 1.0 && boost < every as f64 {
+            self.keyframe_every = every;
+            self.keyframe_boost = boost;
+        }
+        self
+    }
+
     /// Current target bitrate (bit/s).
     pub fn target_bps(&self) -> f64 {
         self.target_bps
+    }
+
+    /// Drain the emission-time marks of complete frames into `out` (the
+    /// harness joins them to UE-side deliveries for per-frame QoE).
+    pub fn take_frame_marks_into(&mut self, out: &mut Vec<FrameMark>) {
+        out.append(&mut self.frame_marks);
     }
 
     /// The DCTCP-style CE fraction EWMA (diagnostics).
@@ -153,13 +219,32 @@ impl ScreamSender {
     pub fn poll(&mut self, now: Instant) -> Vec<PacketBuf> {
         // Frame generation.
         while now >= self.next_frame_at {
-            let frame_bytes =
-                (self.target_bps * self.frame_interval.as_secs_f64() / 8.0) as usize;
+            // The encoder's capture timestamp is the nominal frame time.
+            let created = self.next_frame_at;
+            let frame = self.frame_count;
+            let frame_bytes = if self.keyframe_every >= 2 {
+                // I/P pattern around the same GOP-average size.
+                let base = self.target_bps * self.frame_interval.as_secs_f64() / 8.0;
+                let k = self.keyframe_every as f64;
+                if frame.is_multiple_of(u64::from(self.keyframe_every)) {
+                    (base * self.keyframe_boost) as usize
+                } else {
+                    (base * (k - self.keyframe_boost) / (k - 1.0)) as usize
+                }
+            } else {
+                (self.target_bps * self.frame_interval.as_secs_f64() / 8.0) as usize
+            };
+            self.frame_count += 1;
+            self.frames_generated += 1;
             self.media_bytes += frame_bytes as u64;
             let mut left = frame_bytes.max(200);
             while left > 0 {
                 let take = left.min(RTP_MTU);
-                self.rtp_queue.push_back((self.next_seq, take));
+                self.rtp_queue.push_back(RtpPkt {
+                    len: take,
+                    frame,
+                    frame_end: (left == take).then_some(created),
+                });
                 self.next_seq += 1;
                 left -= take;
             }
@@ -167,22 +252,41 @@ impl ScreamSender {
             // RTP queue discipline: if the queue exceeds ~400 ms of media,
             // drop the oldest frame's worth (the encoder would skip).
             let cap = (self.target_bps * 0.4 / 8.0) as usize;
-            let mut queued: usize = self.rtp_queue.iter().map(|&(_, l)| l).sum();
+            let mut queued: usize = self.rtp_queue.iter().map(|p| p.len).sum();
             while queued > cap && !self.rtp_queue.is_empty() {
-                let (_, l) = self.rtp_queue.pop_front().expect("non-empty");
-                queued -= l;
+                let p = self.rtp_queue.pop_front().expect("non-empty");
+                queued -= p.len;
+                // The frame this packet belonged to can no longer arrive
+                // complete; count it once and forget it after its tail.
+                if self.dropped_frames.insert(p.frame) {
+                    self.frames_dropped += 1;
+                }
+                if p.frame_end.is_some() {
+                    self.dropped_frames.remove(&p.frame);
+                }
             }
         }
         // Window-limited emission.
         let mut out = Vec::new();
-        while let Some(&(seq, len)) = self.rtp_queue.front() {
-            if self.bytes_in_flight as f64 + len as f64 > self.cwnd {
+        while let Some(&p) = self.rtp_queue.front() {
+            if self.bytes_in_flight as f64 + p.len as f64 > self.cwnd {
                 break;
             }
             self.rtp_queue.pop_front();
-            let _ = seq; // RTP seq is internal; the wire counter is n_sent
+            // RTP seq is internal; the wire counter is n_sent.
             self.n_sent += 1;
             self.ident = (self.n_sent & 0xFFFF) as u16;
+            if let Some(created) = p.frame_end {
+                // Suppress the mark if the head of this frame was
+                // discarded by the queue discipline: it arrives corrupt.
+                if !self.dropped_frames.remove(&p.frame) {
+                    self.frame_marks.push(FrameMark {
+                        wire_seq: self.n_sent,
+                        frame: p.frame,
+                        created,
+                    });
+                }
+            }
             out.push(PacketBuf::udp(
                 self.src_ip,
                 self.dst_ip,
@@ -190,10 +294,10 @@ impl ScreamSender {
                 self.ident,
                 self.src_port,
                 self.dst_port,
-                len,
+                p.len,
             ));
-            self.bytes_in_flight += len;
-            self.sent_bytes += len as u64;
+            self.bytes_in_flight += p.len;
+            self.sent_bytes += p.len as u64;
             self.sent_log.push_back((self.n_sent, now));
             if self.sent_log.len() > 4096 {
                 self.sent_log.pop_front();
@@ -373,6 +477,74 @@ mod tests {
         assert!(pkts.iter().all(|p| p.ecn() == Ecn::Ect1));
         // 2 Mbit/s at 25 fps = 10 kB frames = ~9 packets.
         assert!(pkts.len() >= 8, "{}", pkts.len());
+    }
+
+    #[test]
+    fn keyframe_pattern_boosts_keyframes_and_keeps_gop_average() {
+        let mut s = sender(true).with_keyframes(5, 3.0);
+        s.cwnd = 1e9; // never window-limited in this test
+        let mut t = Instant::ZERO;
+        let mut sizes = Vec::new();
+        for _ in 0..5 {
+            let pkts = s.poll(t);
+            sizes.push(pkts.iter().map(|p| p.payload_len()).sum::<usize>());
+            t += Duration::from_millis(40);
+        }
+        // 2 Mbit/s at 25 fps: base 10 kB; keyframe 30 kB, deltas 5 kB.
+        assert!(sizes[0] > 2 * sizes[1], "keyframe dominates: {sizes:?}");
+        assert_eq!(sizes[1], sizes[2]);
+        let total: usize = sizes.iter().sum();
+        let base = 5 * 10_000;
+        assert!(
+            (total as f64 - base as f64).abs() < 0.02 * base as f64,
+            "GOP average holds: {total} vs {base}"
+        );
+        assert_eq!(s.frames_generated, 5);
+    }
+
+    #[test]
+    fn invalid_keyframe_config_keeps_uniform_sizes() {
+        let mut a = sender(true);
+        let mut b = sender(true).with_keyframes(1, 0.5);
+        let pa = a.poll(Instant::ZERO);
+        let pb = b.poll(Instant::ZERO);
+        assert_eq!(pa.len(), pb.len());
+    }
+
+    #[test]
+    fn frame_marks_record_complete_frames_at_emission() {
+        let mut s = sender(true);
+        let pkts = s.poll(Instant::ZERO);
+        assert!(!pkts.is_empty());
+        let mut marks = Vec::new();
+        s.take_frame_marks_into(&mut marks);
+        assert_eq!(marks.len(), 1, "one frame emitted, one mark");
+        assert_eq!(marks[0].frame, 0);
+        assert_eq!(marks[0].created, Instant::ZERO);
+        // The mark's wire seq is the last packet's ident.
+        assert_eq!(
+            (marks[0].wire_seq & 0xFFFF) as u16,
+            pkts.last().unwrap().ip().identification
+        );
+        // Draining twice yields nothing new.
+        s.take_frame_marks_into(&mut marks);
+        assert_eq!(marks.len(), 1);
+    }
+
+    #[test]
+    fn encoder_drops_are_counted_and_unmarked() {
+        let mut s = sender(true);
+        s.cwnd = 0.0; // nothing ever leaves: the 400 ms cap must engage
+        let mut t = Instant::ZERO;
+        for _ in 0..40 {
+            let pkts = s.poll(t);
+            assert!(pkts.is_empty());
+            t += Duration::from_millis(40);
+        }
+        assert!(s.frames_dropped > 0, "queue discipline engaged");
+        let mut marks = Vec::new();
+        s.take_frame_marks_into(&mut marks);
+        assert!(marks.is_empty(), "nothing emitted, nothing marked");
     }
 
     #[test]

@@ -114,6 +114,9 @@ pub struct TcpSender {
     // Pacing.
     next_send_at: Instant,
     ident: u16,
+    /// Application-driven mode: the app may still [`TcpSender::offer`]
+    /// more bytes, so a drained `app_limit` does not mean finished.
+    app_open: bool,
     /// Count of fast retransmits (diagnostics).
     pub fast_retx: u64,
     /// Count of RTO retransmits (diagnostics).
@@ -145,9 +148,64 @@ impl TcpSender {
             acc_last: AccEcnCounters::default(),
             next_send_at: Instant::ZERO,
             ident: 0,
+            app_open: false,
             fast_retx: 0,
             rto_retx: 0,
         }
+    }
+
+    /// Create a sender in application-driven mode: it starts with no
+    /// payload to send and the application feeds it incrementally via
+    /// [`TcpSender::offer`]. [`TcpSender::finished`] stays `false` until
+    /// [`TcpSender::close_app`] declares the stream complete (so a
+    /// momentarily drained send buffer between application bursts is not
+    /// mistaken for the end of the flow). `cfg.app_limit` is ignored.
+    pub fn app_driven(mut cfg: TcpConfig, cc: Box<dyn CongestionControl>) -> TcpSender {
+        cfg.app_limit = Some(0);
+        let mut s = TcpSender::new(cfg, cc);
+        s.app_open = true;
+        s
+    }
+
+    /// Application-driven mode: make `bytes` more payload available to
+    /// the stream. The caller should `poll` afterwards so newly
+    /// unblocked segments go out immediately. Returns whether the offer
+    /// was accepted: after [`TcpSender::stop`] or
+    /// [`TcpSender::close_app`] the stream is sealed and offers are
+    /// refused, so a scheduled flow stop quiesces even an application
+    /// that keeps ticking.
+    pub fn offer(&mut self, bytes: u64) -> bool {
+        if !self.app_open {
+            return false;
+        }
+        if let Some(limit) = &mut self.cfg.app_limit {
+            *limit += bytes;
+        }
+        true
+    }
+
+    /// Application-driven mode: the application will offer no more
+    /// bytes; once everything offered is acked the flow is finished.
+    pub fn close_app(&mut self) {
+        self.app_open = false;
+    }
+
+    /// Total payload bytes the application has made available so far
+    /// (`u64::MAX` for a greedy flow).
+    pub fn offered(&self) -> u64 {
+        self.cfg.app_limit.unwrap_or(u64::MAX)
+    }
+
+    /// A smoothed estimate of the rate this connection can currently
+    /// sustain, in bit/s: one (send-buffer-capped) window per smoothed
+    /// RTT. `None` before the first RTT sample. This is the signal the
+    /// harness feeds to application rate-adaptation hooks (a video
+    /// encoder tracking its transport).
+    pub fn rate_estimate_bps(&self) -> Option<f64> {
+        self.srtt.map(|s| {
+            (self.cc.cwnd().min(self.cfg.snd_buf)) as f64 * 8.0
+                / s.as_secs_f64().max(1e-4)
+        })
     }
 
     /// The congestion controller (for diagnostics).
@@ -175,10 +233,13 @@ impl TcpSender {
         self.state == SenderState::Established
     }
 
-    /// For app-limited flows: all payload delivered.
+    /// For app-limited flows: all payload delivered. An
+    /// [application-driven](TcpSender::app_driven) sender additionally
+    /// requires [`TcpSender::close_app`] — between bursts the stream is
+    /// drained but not over.
     pub fn finished(&self) -> bool {
         match self.cfg.app_limit {
-            Some(limit) => self.snd_una >= limit,
+            Some(limit) => !self.app_open && self.snd_una >= limit,
             None => false,
         }
     }
@@ -192,6 +253,7 @@ impl TcpSender {
     /// everything already sent still gets retransmitted/acked.
     pub fn stop(&mut self) {
         self.cfg.app_limit = Some(self.snd_nxt);
+        self.app_open = false;
     }
 
     fn next_ident(&mut self) -> u16 {
@@ -994,6 +1056,44 @@ mod tests {
         }
         assert!(s.finished());
         assert_eq!(r.received, 14_000);
+    }
+
+    #[test]
+    fn app_driven_sender_sends_only_offered_bytes_and_finishes_on_close() {
+        let cfg = TcpConfig::new(1, 2, 443, 50_000);
+        let mut s = TcpSender::app_driven(cfg, Box::new(Cubic::new(1400)));
+        let mut r = TcpReceiver::new(cfg, EcnMode::Classic);
+        let syn = r.start(Instant::ZERO);
+        let synack = s.on_packet(&syn, Instant::ZERO);
+        let ack = r.on_packet(&synack[0], Instant::ZERO).unwrap();
+        let burst = s.on_packet(&ack, Instant::ZERO);
+        assert!(burst.is_empty(), "nothing offered yet, nothing sent");
+        assert!(!s.finished(), "drained but the app is still open");
+
+        s.offer(2800);
+        let out = s.poll(Instant::from_millis(1));
+        assert_eq!(out.len(), 2, "exactly the offered two segments");
+        let t = Instant::from_millis(40);
+        for p in &out {
+            if let Some(a) = r.on_packet(p, t) {
+                s.on_packet(&a, t);
+            }
+        }
+        assert!(!s.finished(), "acked, but more bursts may come");
+        s.offer(1400);
+        s.close_app();
+        let out2 = s.poll(Instant::from_millis(41));
+        assert_eq!(out2.len(), 1);
+        assert!(!s.finished());
+        let t2 = Instant::from_millis(80);
+        for p in &out2 {
+            if let Some(a) = r.on_packet(p, t2) {
+                s.on_packet(&a, t2);
+            }
+        }
+        assert!(s.finished(), "closed and fully acked");
+        assert_eq!(r.received, 4200);
+        assert!(s.rate_estimate_bps().unwrap() > 0.0);
     }
 
     #[test]

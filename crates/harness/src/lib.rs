@@ -2,9 +2,12 @@
 //! metrics collection, and canned scenario builders for every figure in
 //! the paper's evaluation (§6).
 //!
-//! * [`scenario`] — declarative scenario configs (cells, UEs, flows,
-//!   marker, channel profiles, mobility trajectories, wired
-//!   bottlenecks);
+//! * [`app`] — the pluggable application layer: the [`Application`]
+//!   trait plus the built-in Bulk / FramedVideo / RequestResponse /
+//!   TraceReplay workloads and their QoE unit tagging;
+//! * [`scenario`] — declarative scenario configs (cells, UEs, flows as
+//!   application × transport pairs, marker, channel profiles, mobility
+//!   trajectories, wired bottlenecks);
 //! * [`world`] — the event loop wiring content servers, WAN links, an
 //!   optional wired router, the CU marker (L4Span or a baseline), an
 //!   N-cell RAN with runtime handover, and the UE stacks;
@@ -23,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod app;
 pub mod dci;
 pub mod marker;
 pub mod metrics;
@@ -31,12 +35,15 @@ pub mod scenario;
 pub mod wired;
 pub mod world;
 
+pub use app::{AppProfile, Application};
 pub use marker::MarkerKind;
 pub use metrics::{HandoverRecord, Report};
 pub use runner::{run_batch, run_batch_on};
 pub use scenario::{
-    ChannelMix, FlowSpec, MobilitySpec, MobilityStep, ScenarioConfig, TrafficKind, UeSpec,
+    ChannelMix, FlowSpec, MobilitySpec, MobilityStep, ScenarioConfig, TransportSpec, UeSpec,
 };
+#[allow(deprecated)]
+pub use scenario::TrafficKind;
 pub use world::World;
 
 /// Run a scenario to completion and return its report.

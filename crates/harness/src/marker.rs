@@ -15,7 +15,9 @@ use l4span_ran::f1u::DlDataDeliveryStatus;
 use l4span_ran::{DrbId, UeId};
 use l4span_sim::{Duration, FxHashMap, Instant, SimRng};
 
-/// Which marker the scenario installs at the CU.
+/// Which marker the scenario installs at the CU. `#[non_exhaustive]`:
+/// match with a wildcard arm so future baselines aren't semver breaks.
+#[non_exhaustive]
 #[derive(Debug, Clone)]
 pub enum MarkerKind {
     /// Vanilla RAN: no in-network signaling at all (the "5G network" bars

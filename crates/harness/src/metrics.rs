@@ -122,6 +122,28 @@ pub struct Report {
     pub breakdown: Vec<BreakdownAvg>,
     /// Egress-rate estimation errors in percent (Fig. 20), if L4Span ran.
     pub rate_err_pct: Vec<f64>,
+    /// Per-frame one-way delays (encoder capture → complete frame at the
+    /// UE application), milliseconds, per flow in delivery order. Empty
+    /// for flows without a framed application.
+    pub frame_owd_ms: Vec<Vec<f64>>,
+    /// Frames the application generated, per flow.
+    pub frames_generated: Vec<u64>,
+    /// Frames delivered complete to the UE, per flow. Completion is
+    /// joined on delivery of the frame's *last* byte/packet; over a
+    /// reliable (RLC AM) bearer that implies the whole frame arrived.
+    /// Over UM, a mid-frame loss is not detected — the frame counts as
+    /// delivered if its final packet arrives.
+    pub frames_delivered: Vec<u64>,
+    /// Frames that missed their deadline: delivered late, dropped by the
+    /// encoder, or never delivered by run end. Per flow.
+    pub frames_missed: Vec<u64>,
+    /// Playback stall time per flow, milliseconds: the summed deadline
+    /// excess of late frames plus one frame interval for every frame
+    /// that never arrived.
+    pub stall_ms: Vec<f64>,
+    /// Request/burst completion times (issue → fully delivered at the
+    /// UE), milliseconds, per flow in completion order.
+    pub request_ms: Vec<Vec<f64>>,
     /// Per-flow finish time (app-limited flows), milliseconds from start.
     pub finish_ms: Vec<Option<f64>>,
     /// Per-flow start times.
@@ -264,6 +286,48 @@ impl Report {
         BoxStats::from_samples(&all)
     }
 
+    /// Box statistics of a flow's per-frame one-way delay (empty stats
+    /// for flows without a framed application).
+    pub fn frame_owd_stats(&self, flow: usize) -> BoxStats {
+        BoxStats::from_samples(
+            self.frame_owd_ms.get(flow).map_or(&[][..], |v| &v[..]),
+        )
+    }
+
+    /// Pooled per-frame one-way-delay statistics across flows.
+    pub fn frame_owd_stats_pooled(&self, flows: &[usize]) -> BoxStats {
+        let mut all = Vec::new();
+        for &f in flows {
+            if let Some(v) = self.frame_owd_ms.get(f) {
+                all.extend_from_slice(v);
+            }
+        }
+        BoxStats::from_samples(&all)
+    }
+
+    /// Fraction of a flow's frames that missed their deadline (late,
+    /// dropped, or never delivered). `None` when the flow generated no
+    /// frames.
+    pub fn frame_deadline_miss_rate(&self, flow: usize) -> Option<f64> {
+        let generated = *self.frames_generated.get(flow)?;
+        if generated == 0 {
+            return None;
+        }
+        Some(*self.frames_missed.get(flow)? as f64 / generated as f64)
+    }
+
+    /// Playback stall time of a flow, milliseconds.
+    pub fn stall_time_ms(&self, flow: usize) -> f64 {
+        self.stall_ms.get(flow).copied().unwrap_or(0.0)
+    }
+
+    /// Box statistics of a flow's request completion times.
+    pub fn request_stats(&self, flow: usize) -> BoxStats {
+        BoxStats::from_samples(
+            self.request_ms.get(flow).map_or(&[][..], |v| &v[..]),
+        )
+    }
+
     /// Mean handover interruption time in milliseconds over the records
     /// that resolved (`None` when no handover resolved at all).
     pub fn mean_interruption_ms(&self) -> Option<f64> {
@@ -322,6 +386,16 @@ impl Report {
         for b in &self.breakdown {
             let _ = write!(s, "bd={:?}/{};", b.mean(), b.count());
         }
+        let _ = write!(
+            s,
+            "fowd={:?};fgen={:?};fdel={:?};fmiss={:?};stall={:?};req={:?};",
+            self.frame_owd_ms,
+            self.frames_generated,
+            self.frames_delivered,
+            self.frames_missed,
+            self.stall_ms,
+            self.request_ms
+        );
         let _ = write!(
             s,
             "err={:?};fin={:?};start={:?};fue={:?};marks={};rlc_drops={};tbs_lost={};harq={};mem={};ev={}",
@@ -424,6 +498,30 @@ mod tests {
         assert_eq!(post.median, 80.0);
         let win = r.owd_stats_windowed(&[0], 0.0, 1.0);
         assert_eq!(win.median, 10.0);
+    }
+
+    #[test]
+    fn qoe_helpers_handle_populated_and_absent_flows() {
+        let r = Report {
+            frame_owd_ms: vec![vec![20.0, 120.0, 40.0]],
+            frames_generated: vec![5],
+            frames_delivered: vec![3],
+            frames_missed: vec![3], // 1 late + 2 undelivered
+            stall_ms: vec![53.3],
+            request_ms: vec![vec![80.0, 120.0]],
+            ..Report::default()
+        };
+        assert_eq!(r.frame_owd_stats(0).median, 40.0);
+        assert_eq!(r.frame_deadline_miss_rate(0), Some(0.6));
+        assert_eq!(r.stall_time_ms(0), 53.3);
+        assert_eq!(r.request_stats(0).median, 100.0);
+        // Out-of-range / absent flows degrade gracefully.
+        assert_eq!(r.frame_deadline_miss_rate(7), None);
+        assert_eq!(r.stall_time_ms(7), 0.0);
+        assert_eq!(r.frame_owd_stats(7).n, 0);
+        // The QoE fields are part of the determinism fingerprint.
+        let fp = r.fingerprint();
+        assert!(fp.contains("fowd=") && fp.contains("stall="), "{fp}");
     }
 
     #[test]

@@ -1,12 +1,13 @@
 //! Declarative scenario descriptions plus canned builders for the
 //! paper's experiments.
 
-use l4span_cc::WanLink;
+use l4span_cc::{CcKind, WanLink};
 use l4span_core::{HandoverPolicy, L4SpanConfig};
 use l4span_ran::config::{CellConfig, RlcMode, SchedulerKind};
 use l4span_ran::ChannelProfile;
 use l4span_sim::{Duration, Instant};
 
+use crate::app::{AppProfile, FramedVideoCfg};
 use crate::marker::MarkerKind;
 
 /// How UEs' channel profiles are assigned.
@@ -115,8 +116,71 @@ impl UeSpec {
     }
 }
 
-/// What a flow sends.
+/// How a flow's bytes cross the network (the transport half of a flow;
+/// the *what/when* half is its [`AppProfile`]).
+#[non_exhaustive]
 #[derive(Debug, Clone)]
+pub enum TransportSpec {
+    /// TCP under a typed congestion controller.
+    Tcp {
+        /// The congestion controller (typed; parse names via
+        /// [`CcKind::from_str`](std::str::FromStr)).
+        cc: CcKind,
+    },
+    /// SCReAM RTP/UDP media transport (RFC 8298 flavour, L4S-aware).
+    /// Requires an [`AppProfile::FramedVideo`] application, whose
+    /// encoder bounds and frame cadence it executes.
+    Scream,
+    /// Self-clocked UDP Prague (byte/s rate bounds). Carries a greedy
+    /// [`AppProfile::Bulk`] application.
+    UdpPrague {
+        /// Minimum rate in bytes/s.
+        min_rate: f64,
+        /// Starting rate in bytes/s.
+        start_rate: f64,
+        /// Maximum rate in bytes/s.
+        max_rate: f64,
+    },
+}
+
+impl TransportSpec {
+    /// TCP under `cc`.
+    pub fn tcp(cc: CcKind) -> TransportSpec {
+        TransportSpec::Tcp { cc }
+    }
+
+    /// TCP under the named controller; unknown names are a typed error.
+    pub fn tcp_named(name: &str) -> Result<TransportSpec, l4span_cc::UnknownCc> {
+        Ok(TransportSpec::Tcp { cc: name.parse()? })
+    }
+
+    /// The SCReAM media transport.
+    pub fn scream() -> TransportSpec {
+        TransportSpec::Scream
+    }
+
+    /// UDP Prague with the given byte/s rate bounds.
+    pub fn udp_prague(min_rate: f64, start_rate: f64, max_rate: f64) -> TransportSpec {
+        TransportSpec::UdpPrague {
+            min_rate,
+            start_rate,
+            max_rate,
+        }
+    }
+}
+
+/// What a flow sends — the **deprecated** closed traffic enum that
+/// predates the open application/transport split. Each variant lowers
+/// onto an `(AppProfile, TransportSpec)` pair via [`TrafficKind::lower`]
+/// (used by [`FlowSpec::from_traffic`]); the lowering is asserted
+/// byte-identical to the equivalent new-API scenario.
+#[non_exhaustive]
+#[derive(Debug, Clone)]
+#[deprecated(
+    since = "0.1.0",
+    note = "use `AppProfile` (what/when bytes are offered) plus \
+            `TransportSpec` (how they cross the network) instead"
+)]
 pub enum TrafficKind {
     /// A greedy (or size-limited) TCP download using the named congestion
     /// control ("prague", "cubic", "bbr2", "bbr", "reno").
@@ -148,21 +212,133 @@ pub enum TrafficKind {
     },
 }
 
-/// One end-to-end flow.
+#[allow(deprecated)]
+impl TrafficKind {
+    /// Lower onto the new application/transport split.
+    ///
+    /// # Panics
+    ///
+    /// On an unknown congestion-control name, exactly like the old
+    /// stringly construction did (new code should parse a [`CcKind`]
+    /// and get the typed error instead).
+    pub fn lower(&self) -> (AppProfile, TransportSpec) {
+        match self {
+            TrafficKind::Tcp { cc, app_limit } => {
+                let cc: CcKind = match cc.parse() {
+                    Ok(k) => k,
+                    Err(e) => panic!("{e}"),
+                };
+                (
+                    AppProfile::Bulk { bytes: *app_limit },
+                    TransportSpec::Tcp { cc },
+                )
+            }
+            TrafficKind::Scream {
+                min_bps,
+                start_bps,
+                max_bps,
+                fps,
+            } => (
+                AppProfile::FramedVideo(FramedVideoCfg::new(
+                    *fps, *min_bps, *start_bps, *max_bps,
+                )),
+                TransportSpec::Scream,
+            ),
+            TrafficKind::UdpPrague {
+                min_rate,
+                start_rate,
+                max_rate,
+            } => (
+                AppProfile::bulk(),
+                TransportSpec::UdpPrague {
+                    min_rate: *min_rate,
+                    start_rate: *start_rate,
+                    max_rate: *max_rate,
+                },
+            ),
+        }
+    }
+}
+
+/// One end-to-end flow: an application over a transport, terminating at
+/// a UE, behind a WAN segment.
 #[derive(Debug, Clone)]
 pub struct FlowSpec {
     /// Index into [`ScenarioConfig::ues`].
     pub ue: usize,
     /// DRB id the flow rides (must exist in the UE's spec).
     pub drb: u8,
-    /// Traffic generator.
-    pub traffic: TrafficKind,
+    /// The application: what bytes are offered and when.
+    pub app: AppProfile,
+    /// The transport carrying them.
+    pub transport: TransportSpec,
     /// WAN segment between this flow's server and the 5G core.
     pub wan: WanLink,
     /// When the client opens the connection.
     pub start: Instant,
     /// Optional stop time (sender quiesces).
     pub stop: Option<Instant>,
+}
+
+impl FlowSpec {
+    /// A flow on the UE's default DRB 0.
+    pub fn new(
+        ue: usize,
+        app: AppProfile,
+        transport: TransportSpec,
+        wan: WanLink,
+        start: Instant,
+    ) -> FlowSpec {
+        FlowSpec {
+            ue,
+            drb: 0,
+            app,
+            transport,
+            wan,
+            start,
+            stop: None,
+        }
+    }
+
+    /// Ride a specific DRB.
+    pub fn on_drb(mut self, drb: u8) -> FlowSpec {
+        self.drb = drb;
+        self
+    }
+
+    /// Quiesce the sender at `stop`.
+    pub fn stop_at(mut self, stop: Instant) -> FlowSpec {
+        self.stop = Some(stop);
+        self
+    }
+
+    /// **Deprecated** shim: build a flow from the old [`TrafficKind`]
+    /// enum. Lowers onto the new API; asserted byte-identical to the
+    /// equivalent `(AppProfile, TransportSpec)` construction.
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct with `FlowSpec::new(ue, app, transport, wan, start)`"
+    )]
+    #[allow(deprecated)]
+    pub fn from_traffic(
+        ue: usize,
+        drb: u8,
+        traffic: TrafficKind,
+        wan: WanLink,
+        start: Instant,
+        stop: Option<Instant>,
+    ) -> FlowSpec {
+        let (app, transport) = traffic.lower();
+        FlowSpec {
+            ue,
+            drb,
+            app,
+            transport,
+            wan,
+            start,
+            stop,
+        }
+    }
 }
 
 /// A wired bottleneck between the servers and the core (Fig. 2's
@@ -178,6 +354,10 @@ pub struct BottleneckSpec {
 }
 
 /// A complete experiment description.
+///
+/// Construct with [`ScenarioConfig::new`] and mutate fields; the struct
+/// is `#[non_exhaustive]` so future knobs aren't semver breaks.
+#[non_exhaustive]
 #[derive(Debug, Clone)]
 pub struct ScenarioConfig {
     /// RNG seed (every stochastic element derives from it).
@@ -277,24 +457,35 @@ pub fn congested_cell(
     let mut cfg = ScenarioConfig::new(seed, duration);
     cfg.cell.rlc_queue_sdus = rlc_queue_sdus;
     cfg.marker = marker;
+    let cc = parse_cc(cc);
     for i in 0..n_ues {
         let snr = 19.0 + 8.0 * (i as f64 * 0.6180339887).fract();
         cfg.ues.push(UeSpec::simple(mix.profile(i), snr));
-        cfg.flows.push(FlowSpec {
-            ue: i,
-            drb: 0,
-            traffic: TrafficKind::Tcp {
-                cc: cc.to_string(),
-                app_limit: None,
-            },
+        cfg.flows.push(FlowSpec::new(
+            i,
+            AppProfile::bulk(),
+            TransportSpec::tcp(cc),
             wan,
             // Stagger starts inside the first 200 ms so handshakes don't
             // collide on slot boundaries.
-            start: Instant::from_millis(3 * i as u64 % 200),
-            stop: None,
-        });
+            Instant::from_millis(3 * i as u64 % 200),
+        ));
     }
     cfg
+}
+
+/// Parse a congestion-control name for a canned builder.
+///
+/// # Panics
+///
+/// On unknown names — the canned builders take paper names for
+/// quickstart ergonomics; the typed error path is
+/// `name.parse::<CcKind>()`.
+fn parse_cc(cc: &str) -> CcKind {
+    match cc.parse() {
+        Ok(k) => k,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// An L4Span marker with the paper's defaults.
@@ -345,17 +536,57 @@ pub fn handover_cell(
                 .on_cell(home)
                 .with_mobility(steps),
         );
-        cfg.flows.push(FlowSpec {
-            ue: i,
-            drb: 0,
-            traffic: TrafficKind::Tcp {
-                cc: cc.to_string(),
-                app_limit: None,
-            },
-            wan: WanLink::east(),
-            start: Instant::from_millis(3 * i as u64 % 200),
-            stop: None,
-        });
+        cfg.flows.push(FlowSpec::new(
+            i,
+            AppProfile::bulk(),
+            TransportSpec::tcp(parse_cc(cc)),
+            WanLink::east(),
+            Instant::from_millis(3 * i as u64 % 200),
+        ));
+    }
+    cfg
+}
+
+/// The interactive-applications workload: `n_groups` groups of three
+/// UEs — a frame-paced video call (30 fps, keyframes, 0.5–8 Mbit/s
+/// encoder), a web/RPC session (256 kB responses, 200 ms think), and a
+/// greedy bulk download — all over TCP under `cc`, sharing one cell.
+/// This is the canonical mixed-QoE scenario: the video flows populate
+/// the frame OWD / deadline-miss / stall metrics, the web flows the
+/// request-completion distribution, and the bulk flows keep the cell
+/// congested so the marker has work to do.
+pub fn interactive_apps_mixed(
+    n_groups: usize,
+    cc: &str,
+    marker: MarkerKind,
+    seed: u64,
+    duration: Duration,
+) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::new(seed, duration);
+    cfg.marker = marker;
+    let cc = parse_cc(cc);
+    for g in 0..n_groups {
+        for (k, app) in [
+            AppProfile::FramedVideo(
+                FramedVideoCfg::new(30.0, 0.5e6, 2.0e6, 8.0e6).with_keyframes(30, 3.0),
+            ),
+            AppProfile::request_response(256 * 1024, Duration::from_millis(200), None),
+            AppProfile::bulk(),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let i = 3 * g + k;
+            let snr = 19.0 + 8.0 * (i as f64 * 0.6180339887).fract();
+            cfg.ues.push(UeSpec::simple(ChannelMix::Mobile.profile(i), snr));
+            cfg.flows.push(FlowSpec::new(
+                i,
+                app,
+                TransportSpec::tcp(cc),
+                WanLink::east(),
+                Instant::from_millis(3 * i as u64 % 200),
+            ));
+        }
     }
     cfg
 }
@@ -413,6 +644,82 @@ mod tests {
         assert_eq!(cfg.n_cells(), 2);
         assert_eq!(cfg.cell_config(0).n_prbs, 51);
         assert_eq!(cfg.cell_config(1).n_prbs, 24);
+    }
+
+    #[test]
+    fn interactive_apps_mixed_builder_shapes() {
+        let cfg = interactive_apps_mixed(
+            2,
+            "prague",
+            l4span_default(),
+            3,
+            Duration::from_secs(2),
+        );
+        assert_eq!(cfg.ues.len(), 6);
+        assert_eq!(cfg.flows.len(), 6);
+        let videos = cfg
+            .flows
+            .iter()
+            .filter(|f| matches!(f.app, AppProfile::FramedVideo(_)))
+            .count();
+        let webs = cfg
+            .flows
+            .iter()
+            .filter(|f| matches!(f.app, AppProfile::RequestResponse(_)))
+            .count();
+        assert_eq!((videos, webs), (2, 2));
+        assert!(cfg
+            .flows
+            .iter()
+            .all(|f| matches!(f.transport, TransportSpec::Tcp { cc: CcKind::Prague })));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn traffic_kind_lowering_maps_every_variant() {
+        let (app, tr) = TrafficKind::Tcp {
+            cc: "cubic".into(),
+            app_limit: Some(14_000),
+        }
+        .lower();
+        assert!(matches!(app, AppProfile::Bulk { bytes: Some(14_000) }));
+        assert!(matches!(tr, TransportSpec::Tcp { cc: CcKind::Cubic }));
+
+        let (app, tr) = TrafficKind::Scream {
+            min_bps: 1.0,
+            start_bps: 2.0,
+            max_bps: 3.0,
+            fps: 25.0,
+        }
+        .lower();
+        match app {
+            AppProfile::FramedVideo(v) => {
+                assert_eq!((v.min_bps, v.start_bps, v.max_bps, v.fps), (1.0, 2.0, 3.0, 25.0));
+                assert_eq!(v.keyframe_every, 0, "the shim has no keyframe pattern");
+            }
+            other => panic!("expected FramedVideo, got {other:?}"),
+        }
+        assert!(matches!(tr, TransportSpec::Scream));
+
+        let (app, tr) = TrafficKind::UdpPrague {
+            min_rate: 1.0,
+            start_rate: 2.0,
+            max_rate: 3.0,
+        }
+        .lower();
+        assert!(matches!(app, AppProfile::Bulk { bytes: None }));
+        assert!(matches!(tr, TransportSpec::UdpPrague { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown congestion control")]
+    #[allow(deprecated)]
+    fn traffic_kind_lowering_panics_on_unknown_cc_like_the_old_path() {
+        let _ = TrafficKind::Tcp {
+            cc: "vegas".into(),
+            app_limit: None,
+        }
+        .lower();
     }
 
     #[test]

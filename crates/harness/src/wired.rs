@@ -8,7 +8,7 @@ use std::collections::HashMap;
 
 use l4span_aqm::{DualPi2, Router, RouterAqm};
 use l4span_cc::tcp::TcpConfig;
-use l4span_cc::{make_cc, TcpReceiver, TcpSender};
+use l4span_cc::{CcKind, TcpReceiver, TcpSender};
 use l4span_net::PacketBuf;
 use l4span_sim::{Duration, EventQueue, Instant, SimRng};
 
@@ -25,8 +25,8 @@ pub struct WiredConfig {
     pub rate_bps: f64,
     /// One-way propagation delay on each side of the router.
     pub one_way: Duration,
-    /// Flows: (congestion control name, start time).
-    pub flows: Vec<(String, Instant)>,
+    /// Flows: (typed congestion controller, start time).
+    pub flows: Vec<(CcKind, Instant)>,
     /// Throughput bin.
     pub thr_bin: Duration,
 }
@@ -60,7 +60,7 @@ pub fn run_wired(cfg: WiredConfig) -> Report {
     let mut flows = Vec::new();
     let mut tuple_to_flow = HashMap::new();
     for (f, (cc, start)) in cfg.flows.iter().enumerate() {
-        let controller = make_cc(cc, 1400);
+        let controller = cc.make(1400);
         let mode = controller.ecn_mode();
         let tcfg = TcpConfig::new(0x0A00_0000 + f as u32, 0xC0A8_0000, 443, 50_000 + f as u16);
         let tuple = tcfg.downlink_tuple();
@@ -216,8 +216,8 @@ mod tests {
             rate_bps: 40e6,
             one_way: Duration::from_millis(2),
             flows: vec![
-                ("prague".into(), Instant::from_millis(0)),
-                ("cubic".into(), Instant::from_millis(100)),
+                (CcKind::Prague, Instant::from_millis(0)),
+                (CcKind::Cubic, Instant::from_millis(100)),
             ],
             thr_bin: Duration::from_millis(100),
         };

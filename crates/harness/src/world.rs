@@ -8,9 +8,9 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use l4span_aqm::{DualPi2, Router, RouterAqm};
-use l4span_cc::scream::{ScreamFeedback, ScreamReceiver, ScreamSender};
+use l4span_cc::scream::{FrameMark, ScreamFeedback, ScreamReceiver, ScreamSender};
 use l4span_cc::udp_prague::{PragueFeedback, UdpPragueReceiver, UdpPragueSender};
-use l4span_cc::{make_cc, TcpReceiver, TcpSender};
+use l4span_cc::{TcpReceiver, TcpSender};
 use l4span_cc::tcp::TcpConfig;
 use l4span_core::DlVerdict;
 use l4span_net::{FiveTuple, PacketBuf, Protocol};
@@ -22,9 +22,10 @@ use l4span_ran::rlc::RlcStatus;
 use l4span_ran::{DrbId, Gnb, SlotOutput, UeId, UeStack};
 use l4span_sim::{Duration, EventQueue, FxHashMap, Instant, SimRng};
 
+use crate::app::{AppProfile, AppUnit, Application, UnitKind};
 use crate::marker::Marker;
 use crate::metrics::{Breakdown, BreakdownAvg, HandoverRecord, Report};
-use crate::scenario::{BottleneckSpec, ScenarioConfig, TrafficKind};
+use crate::scenario::{BottleneckSpec, ScenarioConfig, TransportSpec};
 
 /// UE IP block.
 fn ue_ip(i: usize) -> u32 {
@@ -74,6 +75,21 @@ struct Flow {
     fb_pending: FxHashMap<u16, FbData>,
     /// Earliest scheduled FlowTimer (dedupe).
     timer_at: Instant,
+    /// The driving [`Application`], for flows whose app is not executed
+    /// natively by the transport (`None` = native lowering: greedy/sized
+    /// TCP, SCReAM's built-in media source, UDP Prague pacing).
+    app: Option<Box<dyn Application + Send>>,
+    /// Earliest scheduled AppTick (dedupe).
+    app_timer_at: Instant,
+    /// Byte-stream units (frames/requests) awaiting UE-side delivery,
+    /// in stream order — completed against the TCP receiver's in-order
+    /// watermark.
+    pending_units: VecDeque<AppUnit>,
+    /// SCReAM path: downlink ident of a frame's last packet → encoder
+    /// capture time, completed at UE delivery of that packet.
+    frame_pending: FxHashMap<u16, Instant>,
+    /// Frame cadence + deadline for QoE accounting (framed apps only).
+    framed: Option<(Duration, Duration)>,
 }
 
 /// One scheduled occurrence. The queue stores events *boxed* so heap
@@ -107,6 +123,9 @@ enum Event {
     FlowStart { flow: usize },
     FlowStop { flow: usize },
     FlowTimer { flow: usize },
+    /// The flow's [`Application`] asked to be woken (app-driven flows
+    /// only; natively-lowered flows never schedule one).
+    AppTick { flow: usize },
     /// Abrupt channel change on the UE's *serving* cell (the deprecated
     /// `channel_events` shim rides this).
     ChannelChange { ue: usize, profile: ChannelProfile, snr_db: f64 },
@@ -154,9 +173,24 @@ pub struct World {
     /// stops touching the allocator once the buffers reach steady-state
     /// size.
     ul_pool: Vec<UlBatch>,
+    /// Scratch buffer for draining SCReAM frame marks (reused).
+    mark_scratch: Vec<FrameMark>,
     // --- metrics accumulators ---
     owd_ms: Vec<Vec<f64>>,
     owd_at_s: Vec<Vec<f64>>,
+    /// Per-flow delivered-frame one-way delays (QoE).
+    frame_owd_ms: Vec<Vec<f64>>,
+    /// Per-flow frames generated by app-driven sources (the SCReAM path
+    /// keeps its own counter inside the sender).
+    frames_generated: Vec<u64>,
+    /// Per-flow frames delivered complete to the UE.
+    frames_delivered: Vec<u64>,
+    /// Per-flow delivered frames that missed their deadline.
+    frame_late_n: Vec<u64>,
+    /// Per-flow summed deadline excess of late frames, milliseconds.
+    frame_late_excess_ms: Vec<f64>,
+    /// Per-flow request/burst completion times (QoE).
+    request_ms: Vec<Vec<f64>>,
     rtt_ms: Vec<Vec<f64>>,
     rtt_at_s: Vec<Vec<f64>>,
     thr_bins: Vec<Vec<u64>>,
@@ -252,12 +286,18 @@ impl World {
         for (f, spec) in cfg.flows.iter().enumerate() {
             let sip = server_ip(f);
             let uip = ue_ip(spec.ue);
-            let (endpoint, tuple) = match &spec.traffic {
-                TrafficKind::Tcp { cc, app_limit } => {
-                    let controller = make_cc(cc, 1400);
+            // Lower the (application, transport) pair onto an endpoint.
+            // The combinations the transports execute natively (greedy /
+            // sized TCP, SCReAM's built-in media source, UDP Prague
+            // pacing) take `app: None` and schedule no application
+            // events — which is what keeps pre-split scenarios
+            // byte-identical through the `TrafficKind` shims.
+            let (endpoint, tuple, app, framed) = match (&spec.app, &spec.transport) {
+                (AppProfile::Bulk { bytes }, TransportSpec::Tcp { cc }) => {
+                    let controller = cc.make(1400);
                     let mode = controller.ecn_mode();
                     let mut tcfg = TcpConfig::new(sip, uip, 443, 50_000 + f as u16);
-                    tcfg.app_limit = *app_limit;
+                    tcfg.app_limit = *bytes;
                     let tuple = tcfg.downlink_tuple();
                     (
                         Endpoint::Tcp {
@@ -265,14 +305,34 @@ impl World {
                             receiver: TcpReceiver::new(tcfg, mode),
                         },
                         tuple,
+                        None,
+                        None,
                     )
                 }
-                TrafficKind::Scream {
-                    min_bps,
-                    start_bps,
-                    max_bps,
-                    fps,
-                } => {
+                (app_profile, TransportSpec::Tcp { cc }) => {
+                    // Application-driven TCP: the app owns what bytes are
+                    // offered and when; the sender is fed incrementally.
+                    let controller = cc.make(1400);
+                    let mode = controller.ecn_mode();
+                    let tcfg = TcpConfig::new(sip, uip, 443, 50_000 + f as u16);
+                    let tuple = tcfg.downlink_tuple();
+                    let framed = match app_profile {
+                        AppProfile::FramedVideo(v) => {
+                            Some((v.frame_interval(), v.deadline))
+                        }
+                        _ => None,
+                    };
+                    (
+                        Endpoint::Tcp {
+                            sender: TcpSender::app_driven(tcfg, controller),
+                            receiver: TcpReceiver::new(tcfg, mode),
+                        },
+                        tuple,
+                        Some(app_profile.instantiate(spec.start)),
+                        framed,
+                    )
+                }
+                (AppProfile::FramedVideo(v), TransportSpec::Scream) => {
                     let sport = 5004u16;
                     let dport = 42_000 + f as u16;
                     let tuple = FiveTuple {
@@ -285,19 +345,22 @@ impl World {
                     (
                         Endpoint::Scream {
                             sender: ScreamSender::new(
-                                sip, uip, sport, dport, *min_bps, *start_bps, *max_bps,
-                                *fps, true,
-                            ),
+                                sip, uip, sport, dport, v.min_bps, v.start_bps,
+                                v.max_bps, v.fps, true,
+                            )
+                            .with_keyframes(v.keyframe_every, v.keyframe_boost),
                             receiver: ScreamReceiver::new(uip, sip, dport, sport),
                         },
                         tuple,
+                        None,
+                        Some((v.frame_interval(), v.deadline)),
                     )
                 }
-                TrafficKind::UdpPrague {
+                (AppProfile::Bulk { bytes: None }, TransportSpec::UdpPrague {
                     min_rate,
                     start_rate,
                     max_rate,
-                } => {
+                }) => {
                     let sport = 5006u16;
                     let dport = 43_000 + f as u16;
                     let tuple = FiveTuple {
@@ -315,8 +378,15 @@ impl World {
                             receiver: UdpPragueReceiver::new(uip, sip, dport, sport),
                         },
                         tuple,
+                        None,
+                        None,
                     )
                 }
+                (app, transport) => panic!(
+                    "flow {f}: unsupported application/transport combination \
+                     ({app:?} over {transport:?}); SCReAM requires a FramedVideo \
+                     application and UDP Prague a greedy Bulk one"
+                ),
             };
             tuple_to_flow.insert(tuple, f);
             flows.push(Flow {
@@ -333,6 +403,11 @@ impl World {
                 sent_at: FxHashMap::default(),
                 fb_pending: FxHashMap::default(),
                 timer_at: Instant::MAX,
+                app,
+                app_timer_at: Instant::MAX,
+                pending_units: VecDeque::new(),
+                frame_pending: FxHashMap::default(),
+                framed,
             });
         }
         let router = cfg.bottleneck.as_ref().map(|b: &BottleneckSpec| {
@@ -379,8 +454,15 @@ impl World {
             udp_flows,
             slot_out: SlotOutput::default(),
             ul_pool: Vec::new(),
+            mark_scratch: Vec::new(),
             owd_ms: vec![Vec::new(); n],
             owd_at_s: vec![Vec::new(); n],
+            frame_owd_ms: vec![Vec::new(); n],
+            frames_generated: vec![0; n],
+            frames_delivered: vec![0; n],
+            frame_late_n: vec![0; n],
+            frame_late_excess_ms: vec![0.0; n],
+            request_ms: vec![Vec::new(); n],
             rtt_ms: vec![Vec::new(); n],
             rtt_at_s: vec![Vec::new(); n],
             thr_bins: vec![Vec::new(); n],
@@ -532,6 +614,9 @@ impl World {
             Event::UlAtServer { flow, pkt } => self.on_ul_at_server(flow, pkt, now),
             Event::FlowStart { flow } => self.on_flow_start(flow, now),
             Event::FlowStop { flow } => {
+                if let Some(app) = &mut self.flows[flow].app {
+                    app.stop();
+                }
                 match &mut self.flows[flow].endpoint {
                     Endpoint::Tcp { sender, .. } => sender.stop(),
                     Endpoint::Scream { sender, .. } => sender.stop(),
@@ -545,12 +630,18 @@ impl World {
                 }
                 let outs = match &mut self.flows[flow].endpoint {
                     Endpoint::Tcp { sender, .. } => sender.poll(now),
-                    Endpoint::Scream { sender, .. } => sender.poll(now),
+                    Endpoint::Scream { sender, .. } => {
+                        let outs = sender.poll(now);
+                        sender.take_frame_marks_into(&mut self.mark_scratch);
+                        outs
+                    }
                     Endpoint::UdpPrague { sender, .. } => sender.poll(now),
                 };
+                self.register_frame_marks(flow);
                 self.route_dl(flow, outs, now);
                 self.reschedule_timer(flow, now);
             }
+            Event::AppTick { flow } => self.on_app_tick(flow, now),
             Event::ChannelChange { ue, profile, snr_db } => {
                 // Intra-cell channel change: the RLC queues and all
                 // in-flight state survive; only the radio changes.
@@ -800,9 +891,12 @@ impl World {
         }
         let _ = t_cu_ingress;
         // Hand to the client endpoint.
+        let mut tcp_watermark = None;
         match &mut self.flows[flow].endpoint {
             Endpoint::Tcp { receiver, .. } => {
-                if let Some(ack) = receiver.on_packet(&pkt, now) {
+                let ack = receiver.on_packet(&pkt, now);
+                tcp_watermark = Some(receiver.received);
+                if let Some(ack) = ack {
                     self.ues[ue].enqueue_uplink(ack, now);
                 }
             }
@@ -819,6 +913,27 @@ impl World {
                     self.flows[flow].fb_pending.insert(fid, FbData::Prague(fb));
                     self.ues[ue].enqueue_uplink(fb_pkt, now);
                 }
+            }
+        }
+        // Application-level QoE: complete stream units against the TCP
+        // in-order watermark, or the SCReAM frame whose last packet this
+        // delivery was. Natively-lowered bulk flows skip all of it.
+        if let Some(wm) = tcp_watermark {
+            if self.flows[flow].app.is_some() || !self.flows[flow].pending_units.is_empty()
+            {
+                self.on_stream_progress(flow, wm, now);
+            }
+        } else if let Some(created) = self.flows[flow].frame_pending.remove(&ident) {
+            // The join key is the 16-bit IP ident of the frame's last
+            // packet. If that packet was lost (RLC UM), its entry can
+            // linger until an unrelated packet reuses the ident after
+            // the 65 536-packet wrap; a capture timestamp implausibly
+            // far in the past identifies such a stale entry, which is
+            // dropped (the frame stays counted as never delivered).
+            const STALE_FRAME_MARK: Duration = Duration::from_secs(10);
+            if now.saturating_since(created) < STALE_FRAME_MARK {
+                let deadline = self.flows[flow].framed.map(|(_, d)| d);
+                self.record_unit(flow, UnitKind::Frame, created, deadline, now);
             }
         }
     }
@@ -870,6 +985,7 @@ impl World {
         let ident = pkt.identification();
         let f = &mut self.flows[flow];
         let fb = f.fb_pending.remove(&ident);
+        let mut rate_estimate = None;
         let outs = match &mut f.endpoint {
             Endpoint::Tcp { sender, .. } => {
                 let outs = sender.on_packet(&pkt, now);
@@ -880,6 +996,7 @@ impl World {
                 if sender.finished() && f.finished_at.is_none() {
                     f.finished_at = Some(now);
                 }
+                rate_estimate = sender.rate_estimate_bps();
                 outs
             }
             Endpoint::Scream { sender, .. } => {
@@ -888,7 +1005,9 @@ impl World {
                     self.rtt_ms[flow].push(sender.srtt().as_millis_f64());
                     self.rtt_at_s[flow].push(now.as_secs_f64());
                 }
-                sender.poll(now)
+                let outs = sender.poll(now);
+                sender.take_frame_marks_into(&mut self.mark_scratch);
+                outs
             }
             Endpoint::UdpPrague { sender, .. } => {
                 if let Some(FbData::Prague(fb)) = fb {
@@ -901,6 +1020,16 @@ impl World {
                 sender.poll(now)
             }
         };
+        self.register_frame_marks(flow);
+        // Rate-adaptation hook: let a driving application (e.g. a video
+        // encoder over TCP) track what its transport can sustain.
+        if let Some(bps) = rate_estimate {
+            if let Some(mut app) = self.flows[flow].app.take() {
+                app.on_rate_estimate(bps, now);
+                self.flows[flow].app = Some(app);
+                self.resched_app(flow, now);
+            }
+        }
         self.route_dl(flow, outs, now);
         self.reschedule_timer(flow, now);
     }
@@ -918,6 +1047,133 @@ impl World {
                 self.flows[flow].timer_at = now;
             }
         }
+        // Application-driven flows: arm the app's own clock.
+        if self.flows[flow].app.is_some() {
+            self.resched_app(flow, now);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Application layer (app-driven flows)
+    // ------------------------------------------------------------------
+
+    /// Fire the flow's application clock: collect its offer, feed the
+    /// transport, and re-arm.
+    fn on_app_tick(&mut self, flow: usize, now: Instant) {
+        self.flows[flow].app_timer_at = Instant::MAX;
+        let Some(mut app) = self.flows[flow].app.take() else {
+            return;
+        };
+        let offer = app.on_tick(now);
+        self.flows[flow].app = Some(app);
+        if offer.bytes > 0 {
+            let accepted = match &mut self.flows[flow].endpoint {
+                Endpoint::Tcp { sender, .. } => sender.offer(offer.bytes),
+                _ => false,
+            };
+            // A sealed stream (FlowStop / close_app) refuses the offer:
+            // these bytes — and their units — can never be sent, so an
+            // application that ignores its stop() hook still quiesces.
+            if accepted {
+                for u in &offer.units {
+                    if u.kind == UnitKind::Frame {
+                        self.frames_generated[flow] += 1;
+                    }
+                }
+                self.flows[flow].pending_units.extend(offer.units);
+                if self.flows[flow].started {
+                    let outs = match &mut self.flows[flow].endpoint {
+                        Endpoint::Tcp { sender, .. } => sender.poll(now),
+                        _ => Vec::new(),
+                    };
+                    self.route_dl(flow, outs, now);
+                    self.reschedule_timer(flow, now);
+                }
+            }
+        }
+        self.resched_app(flow, now);
+    }
+
+    /// The TCP receiver's in-order watermark advanced: complete pending
+    /// units and let the application react (think timers, replenishment).
+    fn on_stream_progress(&mut self, flow: usize, watermark: u64, now: Instant) {
+        while let Some(&u) = self.flows[flow].pending_units.front() {
+            if u.end_byte > watermark {
+                break;
+            }
+            self.flows[flow].pending_units.pop_front();
+            self.record_unit(flow, u.kind, u.created, u.deadline, now);
+        }
+        let Some(mut app) = self.flows[flow].app.take() else {
+            return;
+        };
+        app.on_delivered(watermark, now);
+        self.flows[flow].app = Some(app);
+        self.resched_app(flow, now);
+    }
+
+    /// Record a completed logical unit's QoE sample.
+    fn record_unit(
+        &mut self,
+        flow: usize,
+        kind: UnitKind,
+        created: Instant,
+        deadline: Option<Duration>,
+        now: Instant,
+    ) {
+        let ms = now.saturating_since(created).as_millis_f64();
+        match kind {
+            UnitKind::Frame => {
+                self.frame_owd_ms[flow].push(ms);
+                self.frames_delivered[flow] += 1;
+                if let Some(d) = deadline {
+                    let d_ms = d.as_millis_f64();
+                    if ms > d_ms {
+                        self.frame_late_n[flow] += 1;
+                        self.frame_late_excess_ms[flow] += ms - d_ms;
+                    }
+                }
+            }
+            UnitKind::Request => self.request_ms[flow].push(ms),
+        }
+    }
+
+    /// Re-arm the flow's AppTick at the app's next activity; propagate a
+    /// finished app into the transport so the flow can report finished.
+    fn resched_app(&mut self, flow: usize, now: Instant) {
+        let Some(app) = &self.flows[flow].app else {
+            return;
+        };
+        if app.done() {
+            if let Endpoint::Tcp { sender, .. } = &mut self.flows[flow].endpoint {
+                sender.close_app();
+            }
+        }
+        let at = self.flows[flow]
+            .app
+            .as_ref()
+            .expect("checked above")
+            .next_activity()
+            .max(now);
+        if at < self.flows[flow].app_timer_at && at < Instant::MAX {
+            self.flows[flow].app_timer_at = at;
+            self.sched(at, Event::AppTick { flow });
+        }
+    }
+
+    /// Move freshly drained SCReAM frame marks into the flow's pending
+    /// table (ident of the frame's last packet → capture time).
+    fn register_frame_marks(&mut self, flow: usize) {
+        if self.mark_scratch.is_empty() {
+            return;
+        }
+        let mut scratch = std::mem::take(&mut self.mark_scratch);
+        for m in scratch.drain(..) {
+            self.flows[flow]
+                .frame_pending
+                .insert((m.wire_seq & 0xFFFF) as u16, m.created);
+        }
+        self.mark_scratch = scratch;
     }
 
     /// Register send times and push packets onto the WAN (and through
@@ -1052,6 +1308,25 @@ impl World {
             total_marks = s.dl_marks + s.tentative_marks;
             marker_memory = l.memory_bytes();
         }
+        // Application QoE roll-up. The SCReAM media source lives inside
+        // its sender, so its generation counter is read back here;
+        // app-driven flows counted on the world as frames were offered.
+        // A frame that never completed by run end (in flight, lost in
+        // UM, or discarded by the encoder) is a deadline miss and stalls
+        // playback for one frame interval.
+        let n = self.flows.len();
+        let mut frames_generated = self.frames_generated.clone();
+        let mut frames_missed = vec![0u64; n];
+        let mut stall_ms = vec![0.0f64; n];
+        for (f, fl) in self.flows.iter().enumerate() {
+            if let Endpoint::Scream { sender, .. } = &fl.endpoint {
+                frames_generated[f] = sender.frames_generated;
+            }
+            let undelivered = frames_generated[f].saturating_sub(self.frames_delivered[f]);
+            frames_missed[f] = self.frame_late_n[f] + undelivered;
+            let interval_ms = fl.framed.map_or(0.0, |(i, _)| i.as_millis_f64());
+            stall_ms[f] = self.frame_late_excess_ms[f] + undelivered as f64 * interval_ms;
+        }
         // Table-1 accounting sums over every cell in the topology.
         let mut g = l4span_ran::gnb::GnbStats::default();
         for gnb in &self.gnbs {
@@ -1076,6 +1351,12 @@ impl World {
             handovers: self.handovers,
             breakdown: self.breakdown,
             rate_err_pct: self.rate_err_pct,
+            frame_owd_ms: self.frame_owd_ms,
+            frames_generated,
+            frames_delivered: self.frames_delivered,
+            frames_missed,
+            stall_ms,
+            request_ms: self.request_ms,
             finish_ms: self
                 .flows
                 .iter()

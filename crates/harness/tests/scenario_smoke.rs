@@ -122,17 +122,13 @@ fn ue_spec_simple_and_channel_events_run() {
     cfg.measure_marker_time = true;
     cfg.ues
         .push(scenario::UeSpec::simple(ChannelProfile::Pedestrian, 26.0));
-    cfg.flows.push(scenario::FlowSpec {
-        ue: 0,
-        drb: 0,
-        traffic: scenario::TrafficKind::Tcp {
-            cc: "prague".to_string(),
-            app_limit: None,
-        },
-        wan: WanLink::local(),
-        start: Instant::ZERO,
-        stop: None,
-    });
+    cfg.flows.push(scenario::FlowSpec::new(
+        0,
+        l4span_harness::app::AppProfile::bulk(),
+        scenario::TransportSpec::tcp(l4span_cc::CcKind::Prague),
+        WanLink::local(),
+        Instant::ZERO,
+    ));
     cfg.channel_events
         .push((Instant::from_millis(500), 0, ChannelProfile::Vehicular, 5.0));
     let r = one_second(cfg);

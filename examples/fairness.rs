@@ -4,8 +4,9 @@
 //!
 //! Run with: `cargo run --release --example fairness`
 
-use l4span::cc::WanLink;
-use l4span::harness::scenario::{l4span_default, FlowSpec, ScenarioConfig, TrafficKind, UeSpec};
+use l4span::cc::{CcKind, WanLink};
+use l4span::harness::app::AppProfile;
+use l4span::harness::scenario::{l4span_default, FlowSpec, ScenarioConfig, TransportSpec, UeSpec};
 use l4span::harness::{self};
 use l4span::ran::ChannelProfile;
 use l4span::sim::{Duration, Instant};
@@ -13,20 +14,19 @@ use l4span::sim::{Duration, Instant};
 fn main() {
     let mut cfg = ScenarioConfig::new(5, Duration::from_secs(60));
     cfg.marker = l4span_default();
-    let ccs = ["prague", "prague", "cubic"];
-    for (i, cc) in ccs.iter().enumerate() {
+    let ccs = [CcKind::Prague, CcKind::Prague, CcKind::Cubic];
+    for (i, cc) in ccs.into_iter().enumerate() {
         cfg.ues.push(UeSpec::simple(ChannelProfile::Static, 24.0));
-        cfg.flows.push(FlowSpec {
-            ue: i,
-            drb: 0,
-            traffic: TrafficKind::Tcp {
-                cc: cc.to_string(),
-                app_limit: None,
-            },
-            wan: WanLink::east(),
-            start: Instant::from_secs(10 * i as u64),
-            stop: Some(Instant::from_secs(60 - 10 * i as u64)),
-        });
+        cfg.flows.push(
+            FlowSpec::new(
+                i,
+                AppProfile::bulk(),
+                TransportSpec::tcp(cc),
+                WanLink::east(),
+                Instant::from_secs(10 * i as u64),
+            )
+            .stop_at(Instant::from_secs(60 - 10 * i as u64)),
+        );
     }
     let r = harness::run(cfg);
 

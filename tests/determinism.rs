@@ -46,6 +46,19 @@ fn ho_config(cc: &str, seed: u64) -> scenario::ScenarioConfig {
     )
 }
 
+/// The mixed interactive-applications scenario: FramedVideo (frame OWD,
+/// deadline misses, stall), RequestResponse (completion times), and Bulk
+/// flows together — the QoE series join the fingerprint here.
+fn apps_config(cc: &str, seed: u64) -> scenario::ScenarioConfig {
+    scenario::interactive_apps_mixed(
+        2,
+        cc,
+        scenario::l4span_default(),
+        seed,
+        Duration::from_secs(1),
+    )
+}
+
 fn assert_matrix(mk: impl Fn(u64) -> scenario::ScenarioConfig, label: &str) {
     // Same seed twice plus a different seed: once through the default
     // runner (worker count = available parallelism, or pinned via
@@ -130,6 +143,21 @@ fn handover_bbr_is_deterministic() {
 #[test]
 fn handover_bbr2_is_deterministic() {
     assert_handover_deterministic("bbr2");
+}
+
+#[test]
+fn apps_mixed_prague_is_deterministic() {
+    assert_matrix(|seed| apps_config("prague", seed), "apps/prague");
+}
+
+#[test]
+fn apps_mixed_cubic_is_deterministic() {
+    assert_matrix(|seed| apps_config("cubic", seed), "apps/cubic");
+}
+
+#[test]
+fn apps_mixed_bbr2_is_deterministic() {
+    assert_matrix(|seed| apps_config("bbr2", seed), "apps/bbr2");
 }
 
 #[test]

@@ -3,9 +3,10 @@
 
 use l4span::cc::WanLink;
 use l4span::core::{HandoverPolicy, L4SpanConfig};
+use l4span::harness::app::AppProfile;
 use l4span::harness::scenario::{
     congested_cell, handover_cell, l4span_default, ChannelMix, FlowSpec, ScenarioConfig,
-    TrafficKind, UeSpec,
+    TransportSpec, UeSpec,
 };
 use l4span::harness::{self, MarkerKind};
 use l4span::ran::config::RlcMode;
@@ -89,17 +90,13 @@ fn rlc_um_mode_still_delivers_tcp() {
         drbs: vec![(0, RlcMode::Um)],
         ..UeSpec::simple(ChannelProfile::Vehicular, 12.0)
     });
-    cfg.flows.push(FlowSpec {
-        ue: 0,
-        drb: 0,
-        traffic: TrafficKind::Tcp {
-            cc: "cubic".into(),
-            app_limit: None,
-        },
-        wan: WanLink::east(),
-        start: Instant::ZERO,
-        stop: None,
-    });
+    cfg.flows.push(FlowSpec::new(
+        0,
+        AppProfile::bulk(),
+        TransportSpec::tcp(l4span::cc::CcKind::Cubic),
+        WanLink::east(),
+        Instant::ZERO,
+    ));
     let r = harness::run(cfg);
     assert!(
         r.goodput_total_mbps(0) > 0.5,
@@ -168,19 +165,13 @@ fn scream_call_adapts_to_the_cell() {
     cfg.marker = l4span_default();
     for i in 0..4 {
         cfg.ues.push(UeSpec::simple(ChannelProfile::Static, 23.0));
-        cfg.flows.push(FlowSpec {
-            ue: i,
-            drb: 0,
-            traffic: TrafficKind::Scream {
-                min_bps: 0.5e6,
-                start_bps: 2.0e6,
-                max_bps: 50.0e6,
-            fps: 25.0,
-            },
-            wan: WanLink::east(),
-            start: Instant::from_millis(10 * i as u64),
-            stop: None,
-        });
+        cfg.flows.push(FlowSpec::new(
+            i,
+            AppProfile::video(25.0, 0.5e6, 2.0e6, 50.0e6),
+            TransportSpec::scream(),
+            WanLink::east(),
+            Instant::from_millis(10 * i as u64),
+        ));
     }
     let r = harness::run(cfg);
     let total: f64 = (0..4).map(|f| r.goodput_total_mbps(f)).sum();
@@ -239,17 +230,16 @@ fn flow_stop_quiesces_traffic() {
     let mut cfg = ScenarioConfig::new(23, Duration::from_secs(6));
     cfg.marker = l4span_default();
     cfg.ues.push(UeSpec::simple(ChannelProfile::Static, 24.0));
-    cfg.flows.push(FlowSpec {
-        ue: 0,
-        drb: 0,
-        traffic: TrafficKind::Tcp {
-            cc: "prague".into(),
-            app_limit: None,
-        },
-        wan: WanLink::east(),
-        start: Instant::ZERO,
-        stop: Some(Instant::from_secs(2)),
-    });
+    cfg.flows.push(
+        FlowSpec::new(
+            0,
+            AppProfile::bulk(),
+            TransportSpec::tcp(l4span::cc::CcKind::Prague),
+            WanLink::east(),
+            Instant::ZERO,
+        )
+        .stop_at(Instant::from_secs(2)),
+    );
     let r = harness::run(cfg);
     let early = r.goodput_mbps(0, Instant::from_millis(500), Instant::from_secs(2));
     let late = r.goodput_mbps(0, Instant::from_secs(4), Instant::from_secs(6));
@@ -266,17 +256,16 @@ fn l4s_and_classic_coexist_on_separate_drbs_of_one_ue() {
         ..UeSpec::simple(ChannelProfile::Static, 24.0)
     });
     for (i, cc) in ["prague", "cubic"].iter().enumerate() {
-        cfg.flows.push(FlowSpec {
-            ue: 0,
-            drb: i as u8,
-            traffic: TrafficKind::Tcp {
-                cc: cc.to_string(),
-                app_limit: None,
-            },
-            wan: WanLink::east(),
-            start: Instant::from_millis(i as u64 * 20),
-            stop: None,
-        });
+        cfg.flows.push(
+            FlowSpec::new(
+                0,
+                AppProfile::bulk(),
+                TransportSpec::tcp_named(cc).expect("known cc"),
+                WanLink::east(),
+                Instant::from_millis(i as u64 * 20),
+            )
+            .on_drb(i as u8),
+        );
     }
     let r = harness::run(cfg);
     let prague = r.goodput_total_mbps(0);

@@ -400,3 +400,117 @@ fn rlc_am_lossless_fast_path() {
     let recs = tx.on_status(&st, now + Duration::from_millis(11));
     assert_eq!(recs.len(), 10);
 }
+
+// ---------------------------------------------------------------------
+// Application-layer determinism: every built-in `Application` impl is a
+// pure state machine over (tick, delivered) inputs, so two instances of
+// the same profile driven through the same schedule must produce
+// byte-identical offer transcripts — the property that makes scenario
+// fingerprints invariant to `L4SPAN_THREADS` at the workload layer.
+// ---------------------------------------------------------------------
+
+use l4span::harness::app::{AppProfile, Application, UnitKind};
+
+/// One transcript row: `(tick_ns, offered_bytes, unit (end, is_frame)
+/// list)`.
+type OfferRow = (u64, u64, Vec<(u64, bool)>);
+
+/// Drive an app with instant-delivery feedback until `horizon`.
+fn app_transcript(
+    app: &mut (dyn Application + Send),
+    horizon: Instant,
+) -> Vec<OfferRow> {
+    let mut out = Vec::new();
+    let mut offered = 0u64;
+    for _ in 0..10_000 {
+        let at = app.next_activity();
+        if at > horizon {
+            break;
+        }
+        let o = app.on_tick(at);
+        offered += o.bytes;
+        out.push((
+            at.as_nanos(),
+            o.bytes,
+            o.units
+                .iter()
+                .map(|u| (u.end_byte, u.kind == UnitKind::Frame))
+                .collect(),
+        ));
+        // Feed back a rate estimate and full delivery 1 ms later, the
+        // worst case for hidden non-determinism in the think/replenish
+        // paths.
+        app.on_rate_estimate(5e6, at);
+        app.on_delivered(offered, at + Duration::from_millis(1));
+        if app.done() {
+            break;
+        }
+    }
+    out
+}
+
+fn arb_app_profile() -> impl Strategy<Value = AppProfile> {
+    prop_oneof![
+        proptest::option::of(1_000u64..10_000_000).prop_map(|b| match b {
+            Some(n) => AppProfile::sized(n),
+            None => AppProfile::bulk(),
+        }),
+        (10u32..60, 100u32..5_000, 0u32..40, 15u32..45).prop_map(
+            |(fps, start_kbps, every, boost_tenths)| {
+                let cfg = l4span::harness::app::FramedVideoCfg::new(
+                    fps as f64,
+                    1e5,
+                    start_kbps as f64 * 1e3,
+                    2e7,
+                )
+                .with_keyframes(every, boost_tenths as f64 / 10.0);
+                AppProfile::FramedVideo(cfg)
+            }
+        ),
+        (1u32..500, 1u64..500, proptest::option::of(0u32..10)).prop_map(
+            |(resp_kb, think_ms, count)| AppProfile::request_response(
+                resp_kb as u64 * 1024,
+                Duration::from_millis(think_ms),
+                count,
+            )
+        ),
+        proptest::collection::vec((0u64..2_000, 0u64..100_000), 0..20).prop_map(|mut t| {
+            t.sort();
+            AppProfile::trace(
+                t.into_iter()
+                    .map(|(ms, b)| (Duration::from_millis(ms), b))
+                    .collect(),
+            )
+        }),
+    ]
+}
+
+proptest! {
+    /// Two instantiations of any profile, driven identically, offer the
+    /// identical byte stream — and the stream's unit boundaries are
+    /// well-formed (monotone, within the offered prefix).
+    #[test]
+    fn application_offer_streams_are_deterministic(
+        profile in arb_app_profile(),
+        start_ms in 0u64..500,
+    ) {
+        let start = Instant::from_millis(start_ms);
+        let horizon = start + Duration::from_secs(2);
+        let mut a = profile.instantiate(start);
+        let mut b = profile.instantiate(start);
+        let ta = app_transcript(&mut *a, horizon);
+        let tb = app_transcript(&mut *b, horizon);
+        prop_assert_eq!(&ta, &tb, "identical transcripts for {:?}", profile);
+        // Unit boundaries are monotone and never exceed offered bytes.
+        let mut offered = 0u64;
+        let mut last_end = 0u64;
+        for (_, bytes, units) in &ta {
+            offered += bytes;
+            for &(end, _) in units {
+                prop_assert!(end > last_end, "unit ends strictly increase");
+                prop_assert!(end <= offered, "unit inside the offered prefix");
+                last_end = end;
+            }
+        }
+    }
+}
