@@ -1,0 +1,71 @@
+//! Bidirectional-call sweep: `video_call_bidir` (a 30 fps downlink leg
+//! *and* a 30 fps uplink leg per UE) × {cubic, prague, bbr2} × marker
+//! on/off. The TDD pattern leaves the uplink one slot in five, so the
+//! uplink legs congest the **UE-side** RLC queues — the direction 5G-L4S
+//! work calls the harder one for time-critical apps — and the UE-side
+//! L4Span instance (SR/BSR-and-grant-driven delay prediction) is what
+//! keeps them usable. Reports per-direction frame QoE and uplink OWD.
+//!
+//! `cargo run --release -p l4span-bench --bin fig_uplink`
+
+use l4span_bench::{banner, fmt_box, run_grid, Args};
+use l4span_harness::scenario::{l4span_default, video_call_bidir};
+use l4span_harness::{MarkerKind, Report};
+use l4span_sim::Duration;
+
+/// Flow indices of one direction (flows alternate DL, UL per call).
+fn legs(r: &Report, uplink: bool) -> Vec<usize> {
+    (0..r.thr_bins.len())
+        .filter(|f| (f % 2 == 1) == uplink)
+        .collect()
+}
+
+fn miss_pct(r: &Report, flows: &[usize]) -> f64 {
+    let generated: u64 = flows.iter().map(|&f| r.frames_generated[f]).sum();
+    let missed: u64 = flows.iter().map(|&f| r.frames_missed[f]).sum();
+    100.0 * missed as f64 / generated.max(1) as f64
+}
+
+fn main() {
+    let args = Args::parse();
+    let secs = args.secs_or(10);
+    let calls = if args.full { 4 } else { 3 };
+    banner(
+        "Uplink",
+        "bidirectional video calls: uplink-leg QoE ±UE-side L4Span",
+        &args,
+    );
+    println!("\n{calls} calls × (DL 30fps + UL 30fps legs), {secs} s each");
+    println!(
+        "\n{:<7} {:<3} {:>10} {:>10} {:>10} {:>10} {:>44}",
+        "cc", "+", "UL miss %", "DL miss %", "UL Mb/s", "DL Mb/s", "UL OWD ms: med [p25,p75] (p10,p90)"
+    );
+
+    let mut cells = Vec::new();
+    for cc in ["cubic", "prague", "bbr2"] {
+        for (mark, marker) in [(" ", MarkerKind::None), ("+", l4span_default())] {
+            cells.push((
+                (cc, mark),
+                video_call_bidir(calls, cc, marker, args.seed, Duration::from_secs(secs)),
+            ));
+        }
+    }
+    for ((cc, mark), r) in run_grid(cells) {
+        let ul = legs(&r, true);
+        let dl = legs(&r, false);
+        let ul_thr: f64 = ul.iter().map(|&f| r.goodput_total_mbps(f)).sum();
+        let dl_thr: f64 = dl.iter().map(|&f| r.goodput_total_mbps(f)).sum();
+        let owd = r.ul_owd_stats_pooled(&ul);
+        println!(
+            "{cc:<7} {mark:<3} {:>10.1} {:>10.1} {ul_thr:>10.2} {dl_thr:>10.2} {}",
+            miss_pct(&r, &ul),
+            miss_pct(&r, &dl),
+            fmt_box(&owd),
+        );
+    }
+    println!("\nExpected shape: without the marker the uplink legs bloat the");
+    println!("UE-side RLC queue (seconds of OWD, ~100% frame misses) while the");
+    println!("downlink legs stay healthy; with the UE-side L4Span instance the");
+    println!("uplink legs drop to tens of ms and single-digit-to-low misses,");
+    println!("sharpest for prague's scalable response.");
+}

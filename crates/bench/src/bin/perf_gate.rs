@@ -18,13 +18,14 @@ use std::time::Instant as WallInstant;
 use l4span_cc::WanLink;
 use l4span_core::HandoverPolicy;
 use l4span_harness::scenario::{
-    congested_cell, handover_cell, interactive_apps_mixed, l4span_default, ChannelMix,
+    congested_cell, handover_cell, interactive_apps_mixed, l4span_default, video_call_bidir,
+    ChannelMix,
 };
 use l4span_harness::{run, ScenarioConfig};
 use l4span_sim::Duration;
 
 /// The PR this gate's artifact belongs to.
-const PR: u32 = 4;
+const PR: u32 = 5;
 
 /// Simulated seconds per scenario (long enough to reach steady state,
 /// short enough for CI).
@@ -48,6 +49,9 @@ const BASELINES: &[(&str, f64)] = &[
     // New in PR 4: the mixed interactive-apps workload (FramedVideo +
     // RequestResponse + Bulk over TCP, with per-unit QoE tracking).
     ("interactive_apps_mixed", 1_500_000.0),
+    // New in PR 5: the bidirectional-call workload (paired DL+UL video
+    // legs with BSR/grant-driven uplink data and a UE-side marker).
+    ("video_call_bidir", 1_500_000.0),
 ];
 
 /// The pre-PR-2 measurement (Vec-backed `PacketBuf`, ~112-byte inline
@@ -116,6 +120,10 @@ fn scenarios() -> Vec<(&'static str, ScenarioConfig)> {
         (
             "interactive_apps_mixed",
             interactive_apps_mixed(4, "prague", l4span_default(), 7, Duration::from_secs(SECS)),
+        ),
+        (
+            "video_call_bidir",
+            video_call_bidir(3, "prague", l4span_default(), 7, Duration::from_secs(SECS)),
         ),
     ]
 }

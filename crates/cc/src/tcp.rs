@@ -11,6 +11,17 @@
 //! internally and truncated to the 32-bit wire field (flows here move far
 //! less than 4 GiB); no SACK (the RLC delivers in order, so cumulative
 //! ACKs lose little); receive window is unbounded.
+//!
+//! **Direction neutrality.** Neither endpoint knows where it sits in
+//! the topology: the [`TcpReceiver`] always initiates the connection
+//! and the [`TcpSender`] always owns the data bytes, wherever the
+//! harness places them. A downlink flow puts the sender at a content
+//! server and the receiver at the UE; an **uplink** flow mirrors the
+//! `TcpConfig` addressing (`local` = the UE) so the sender lives at the
+//! UE feeding the grant-driven uplink queue while the receiver — and
+//! its SYN/ACK stream — lives at the server and rides the downlink.
+//! `TcpConfig::downlink_tuple` therefore names the *data-direction*
+//! five-tuple, whichever physical direction that is.
 
 use std::collections::BTreeMap;
 

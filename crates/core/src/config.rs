@@ -85,6 +85,21 @@ impl L4SpanConfig {
         let b = self.classic_beta;
         (1.0 + b) / 2.0 * (2.0 / (1.0 - b * b)).sqrt()
     }
+
+    /// The same marking policy adapted for a **UE-side uplink** instance.
+    /// Uplink L4Span sits at the UE's per-DRB transmit queue, where the
+    /// standing queue is governed by SR/BSR latency and scheduler grants
+    /// rather than downlink slot telemetry. ACK short-circuiting is
+    /// disabled: its whole purpose is bypassing the jittery TDD *uplink*
+    /// for feedback, but an uplink flow's feedback already rides the
+    /// fast downlink — so marks go on the IP header directly and reach
+    /// the server-side receiver unmodified.
+    pub fn for_uplink(&self) -> L4SpanConfig {
+        L4SpanConfig {
+            short_circuit: false,
+            ..self.clone()
+        }
+    }
 }
 
 #[cfg(test)]

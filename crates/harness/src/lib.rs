@@ -10,7 +10,10 @@
 //!   trajectories, wired bottlenecks);
 //! * [`world`] — the event loop wiring content servers, WAN links, an
 //!   optional wired router, the CU marker (L4Span or a baseline), an
-//!   N-cell RAN with runtime handover, and the UE stacks;
+//!   N-cell RAN with runtime handover, and the UE stacks — carrying
+//!   data in **both directions**: downlink flows from content servers,
+//!   and uplink flows whose senders live at the UE behind grant/BSR-
+//!   driven uplink slots with a UE-side L4Span marker instance;
 //! * [`marker`] — the CU-side marking adapters: L4Span, DualPi2-at-CU
 //!   (§6.3.1 ablation), TC-RAN CoDel/ECN-CoDel (§6.2.2 baseline), or
 //!   nothing;
@@ -40,7 +43,8 @@ pub use marker::MarkerKind;
 pub use metrics::{HandoverRecord, Report};
 pub use runner::{run_batch, run_batch_on};
 pub use scenario::{
-    ChannelMix, FlowSpec, MobilitySpec, MobilityStep, ScenarioConfig, TransportSpec, UeSpec,
+    ChannelMix, FlowDir, FlowSpec, MobilitySpec, MobilityStep, ScenarioConfig, TransportSpec,
+    UeSpec,
 };
 #[allow(deprecated)]
 pub use scenario::TrafficKind;

@@ -70,6 +70,21 @@ pub enum Marker {
     },
 }
 
+impl MarkerKind {
+    /// The variant of this marker installed at the **UE side** for the
+    /// uplink data queue: L4Span runs with
+    /// [`L4SpanConfig::for_uplink`] (no ACK short-circuiting — uplink
+    /// feedback already rides the fast downlink), the fixed-threshold
+    /// baselines are unchanged. The marker API is direction-agnostic:
+    /// "a packet enters the RAN queue", "granted bytes left it".
+    pub fn uplink(&self) -> MarkerKind {
+        match self {
+            MarkerKind::L4Span(cfg) => MarkerKind::L4Span(cfg.for_uplink()),
+            other => other.clone(),
+        }
+    }
+}
+
 impl Marker {
     /// Instantiate a marker.
     pub fn new(kind: &MarkerKind, rng: SimRng) -> Marker {

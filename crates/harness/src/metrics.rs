@@ -99,6 +99,11 @@ pub struct Report {
     /// Timestamps (seconds) of the `owd_ms` samples, for windowed
     /// post-handover delay analysis.
     pub owd_at_s: Vec<Vec<f64>>,
+    /// Per-flow **uplink** one-way delays (UE-side sender → server app),
+    /// milliseconds. Empty for downlink flows.
+    pub ul_owd_ms: Vec<Vec<f64>>,
+    /// Timestamps (seconds) of the `ul_owd_ms` samples.
+    pub ul_owd_at_s: Vec<Vec<f64>>,
     /// Per-flow smoothed-RTT samples at ACK arrival, milliseconds.
     pub rtt_ms: Vec<Vec<f64>>,
     /// Timestamps (seconds) of the `rtt_ms` samples, for time series.
@@ -113,6 +118,10 @@ pub struct Report {
     /// drb) → lengths sampled while that cell served the UE. Series
     /// lengths differ per key exactly by attachment time.
     pub cell_queue_series: BTreeMap<(u8, u16, u8), Vec<usize>>,
+    /// **Uplink** RLC transmission-queue samples (SDUs) per (ue, drb),
+    /// read from the UE-side transmit entity at each tick. Empty unless
+    /// the scenario carries uplink data flows.
+    pub ul_queue_series: BTreeMap<(u16, u8), Vec<usize>>,
     /// Delivered payload bytes per bin, attributed to the cell serving
     /// the receiving UE at delivery time (per-cell throughput series).
     pub cell_thr_bins: Vec<Vec<u64>>,
@@ -152,8 +161,12 @@ pub struct Report {
     /// [`HandoverRecord::ue`]; empty in hand-built reports, in which
     /// case per-UE attribution is skipped).
     pub flow_ue: Vec<u16>,
-    /// CE marks on downlink headers + tentative marks (L4Span).
+    /// CE marks on downlink headers + tentative marks (L4Span), across
+    /// both marker instances.
     pub total_marks: u64,
+    /// CE marks applied by the **UE-side uplink** marker instance alone
+    /// (zero in downlink-only scenarios; a subset of `total_marks`).
+    pub ul_marks: u64,
     /// SDUs dropped at full RLC queues.
     pub rlc_drops: u64,
     /// Transport blocks lost after HARQ exhaustion.
@@ -238,6 +251,23 @@ impl Report {
         let mut all = Vec::new();
         for &f in flows {
             all.extend_from_slice(&self.owd_ms[f]);
+        }
+        BoxStats::from_samples(&all)
+    }
+
+    /// Box statistics of a flow's uplink one-way delay (empty stats for
+    /// downlink flows).
+    pub fn ul_owd_stats(&self, flow: usize) -> BoxStats {
+        BoxStats::from_samples(self.ul_owd_ms.get(flow).map_or(&[][..], |v| &v[..]))
+    }
+
+    /// Pooled uplink one-way-delay statistics across a set of flows.
+    pub fn ul_owd_stats_pooled(&self, flows: &[usize]) -> BoxStats {
+        let mut all = Vec::new();
+        for &f in flows {
+            if let Some(v) = self.ul_owd_ms.get(f) {
+                all.extend_from_slice(v);
+            }
         }
         BoxStats::from_samples(&all)
     }
@@ -374,11 +404,19 @@ impl Report {
             self.thr_bins,
             self.cell_thr_bins
         );
+        let _ = write!(
+            s,
+            "ulowd={:?};ulowd_at={:?};",
+            self.ul_owd_ms, self.ul_owd_at_s
+        );
         for (k, v) in &self.queue_series {
             let _ = write!(s, "q{:?}={:?};", k, v);
         }
         for (k, v) in &self.cell_queue_series {
             let _ = write!(s, "cq{:?}={:?};", k, v);
+        }
+        for (k, v) in &self.ul_queue_series {
+            let _ = write!(s, "uq{:?}={:?};", k, v);
         }
         for h in &self.handovers {
             let _ = write!(s, "ho={:?};", h);
@@ -398,12 +436,13 @@ impl Report {
         );
         let _ = write!(
             s,
-            "err={:?};fin={:?};start={:?};fue={:?};marks={};rlc_drops={};tbs_lost={};harq={};mem={};ev={}",
+            "err={:?};fin={:?};start={:?};fue={:?};marks={};ulmarks={};rlc_drops={};tbs_lost={};harq={};mem={};ev={}",
             self.rate_err_pct,
             self.finish_ms,
             self.flow_start,
             self.flow_ue,
             self.total_marks,
+            self.ul_marks,
             self.rlc_drops,
             self.tbs_lost,
             self.harq_retx,
@@ -411,6 +450,22 @@ impl Report {
             self.events
         );
         s
+    }
+
+    /// A compact, stable 64-bit digest of [`Report::fingerprint`]
+    /// (FNV-1a over the fingerprint bytes), rendered as 16 lowercase hex
+    /// digits. This is what the golden-fingerprint regression corpus
+    /// checks in: equal digests ⇒ byte-identical fingerprints for all
+    /// practical purposes, and the corpus file stays reviewable.
+    pub fn fingerprint_digest(&self) -> String {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for b in self.fingerprint().as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        format!("{h:016x}")
     }
 
     /// Pooled throughput box stats (per-bin Mbit/s across flows).
@@ -522,6 +577,28 @@ mod tests {
         // The QoE fields are part of the determinism fingerprint.
         let fp = r.fingerprint();
         assert!(fp.contains("fowd=") && fp.contains("stall="), "{fp}");
+    }
+
+    #[test]
+    fn ul_owd_helpers_and_digest_are_stable() {
+        let r = Report {
+            ul_owd_ms: vec![vec![5.0, 15.0, 10.0]],
+            ul_owd_at_s: vec![vec![0.1, 0.2, 0.3]],
+            ..Report::default()
+        };
+        assert_eq!(r.ul_owd_stats(0).median, 10.0);
+        assert_eq!(r.ul_owd_stats_pooled(&[0]).n, 3);
+        assert_eq!(r.ul_owd_stats(5).n, 0, "absent flows degrade gracefully");
+        let fp = r.fingerprint();
+        assert!(fp.contains("ulowd="), "{fp}");
+        // The digest is a pure function of the fingerprint.
+        assert_eq!(r.fingerprint_digest(), r.fingerprint_digest());
+        assert_eq!(r.fingerprint_digest().len(), 16);
+        let other = Report {
+            ul_owd_ms: vec![vec![5.0, 15.0, 10.1]],
+            ..Report::default()
+        };
+        assert_ne!(r.fingerprint_digest(), other.fingerprint_digest());
     }
 
     #[test]

@@ -260,6 +260,28 @@ impl TrafficKind {
     }
 }
 
+/// Direction a flow's *data* travels. The opposite direction always
+/// carries that flow's feedback (ACKs, RTCP-like reports).
+///
+/// * [`Downlink`](FlowDir::Downlink) — the classic shape: a content
+///   server sends toward the UE; feedback rides the UE's uplink
+///   control path.
+/// * [`Uplink`](FlowDir::Uplink) — the sender lives **at the UE**,
+///   feeding the per-DRB uplink PDCP/RLC queue; transmission is
+///   BSR-solicited and grant-driven, feedback returns on the downlink.
+///   The UE-side L4Span instance marks at this queue.
+///
+/// A *paired* DL+UL application (a video call with both legs) is two
+/// flows built together — see [`video_call`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlowDir {
+    /// Server → UE data (the pre-bidirectional default).
+    #[default]
+    Downlink,
+    /// UE → server data (uploads, call/gaming uplink legs).
+    Uplink,
+}
+
 /// One end-to-end flow: an application over a transport, terminating at
 /// a UE, behind a WAN segment.
 #[derive(Debug, Clone)]
@@ -278,10 +300,12 @@ pub struct FlowSpec {
     pub start: Instant,
     /// Optional stop time (sender quiesces).
     pub stop: Option<Instant>,
+    /// Which direction the data travels (default: downlink).
+    pub dir: FlowDir,
 }
 
 impl FlowSpec {
-    /// A flow on the UE's default DRB 0.
+    /// A downlink flow on the UE's default DRB 0.
     pub fn new(
         ue: usize,
         app: AppProfile,
@@ -297,7 +321,27 @@ impl FlowSpec {
             wan,
             start,
             stop: None,
+            dir: FlowDir::Downlink,
         }
+    }
+
+    /// An uplink flow on the UE's default DRB 0: the application and
+    /// transport sender live at the UE, data rides grant-driven uplink
+    /// slots, feedback returns on the downlink.
+    pub fn uplink(
+        ue: usize,
+        app: AppProfile,
+        transport: TransportSpec,
+        wan: WanLink,
+        start: Instant,
+    ) -> FlowSpec {
+        FlowSpec::new(ue, app, transport, wan, start).direction(FlowDir::Uplink)
+    }
+
+    /// Set the data direction.
+    pub fn direction(mut self, dir: FlowDir) -> FlowSpec {
+        self.dir = dir;
+        self
     }
 
     /// Ride a specific DRB.
@@ -337,8 +381,40 @@ impl FlowSpec {
             wan,
             start,
             stop,
+            dir: FlowDir::Downlink,
         }
     }
+}
+
+/// Both legs of one interactive call as a single app-level construct:
+/// a downlink [`FramedVideoCfg`] leg and an uplink one on the same UE,
+/// DRB, transport, and WAN segment, starting together. Returns
+/// `(downlink_leg, uplink_leg)` — push both into
+/// [`ScenarioConfig::flows`].
+pub fn video_call(
+    ue: usize,
+    dl: FramedVideoCfg,
+    ul: FramedVideoCfg,
+    cc: CcKind,
+    wan: WanLink,
+    start: Instant,
+) -> (FlowSpec, FlowSpec) {
+    (
+        FlowSpec::new(
+            ue,
+            AppProfile::FramedVideo(dl),
+            TransportSpec::tcp(cc),
+            wan,
+            start,
+        ),
+        FlowSpec::uplink(
+            ue,
+            AppProfile::FramedVideo(ul),
+            TransportSpec::tcp(cc),
+            wan,
+            start,
+        ),
+    )
 }
 
 /// A wired bottleneck between the servers and the core (Fig. 2's
@@ -591,6 +667,37 @@ pub fn interactive_apps_mixed(
     cfg
 }
 
+/// The bidirectional-call workload: `n_calls` UEs each running a full
+/// two-way video call — a 30 fps downlink leg *and* a 30 fps uplink leg
+/// (0.5–8 Mbit/s encoders with keyframes) over TCP under `cc`, sharing
+/// one cell. The TDD pattern gives the uplink only one slot in five
+/// (≈11 Mbit/s shared), so the uplink legs congest the UE-side queues
+/// well before the downlink ones congest the cell: this is the scenario
+/// where the UE-side L4Span instance (SR/BSR-and-grant-driven delay
+/// prediction) earns its keep, and the canonical perf-gate entry for
+/// the bidirectional data path.
+pub fn video_call_bidir(
+    n_calls: usize,
+    cc: &str,
+    marker: MarkerKind,
+    seed: u64,
+    duration: Duration,
+) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::new(seed, duration);
+    cfg.marker = marker;
+    let cc = parse_cc(cc);
+    let leg = FramedVideoCfg::new(30.0, 0.5e6, 2.0e6, 8.0e6).with_keyframes(30, 3.0);
+    for i in 0..n_calls {
+        let snr = 19.0 + 8.0 * (i as f64 * 0.6180339887).fract();
+        cfg.ues.push(UeSpec::simple(ChannelMix::Mobile.profile(i), snr));
+        let start = Instant::from_millis(3 * i as u64 % 200);
+        let (dl, ul) = video_call(i, leg, leg, cc, WanLink::east(), start);
+        cfg.flows.push(dl);
+        cfg.flows.push(ul);
+    }
+    cfg
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -720,6 +827,21 @@ mod tests {
             app_limit: None,
         }
         .lower();
+    }
+
+    #[test]
+    fn video_call_bidir_builder_pairs_legs() {
+        let cfg = video_call_bidir(3, "prague", l4span_default(), 5, Duration::from_secs(2));
+        assert_eq!(cfg.ues.len(), 3);
+        assert_eq!(cfg.flows.len(), 6, "one DL and one UL leg per call");
+        for (i, pair) in cfg.flows.chunks(2).enumerate() {
+            assert_eq!(pair[0].dir, FlowDir::Downlink);
+            assert_eq!(pair[1].dir, FlowDir::Uplink);
+            assert_eq!(pair[0].ue, i);
+            assert_eq!(pair[1].ue, i);
+            assert_eq!(pair[0].start, pair[1].start, "legs start together");
+            assert!(matches!(pair[1].app, AppProfile::FramedVideo(_)));
+        }
     }
 
     #[test]

@@ -19,13 +19,13 @@ use l4span_ran::config::{RlcMode, SlotRole};
 use l4span_ran::ids::Qfi;
 use l4span_ran::mac::TransportBlock;
 use l4span_ran::rlc::RlcStatus;
-use l4span_ran::{DrbId, Gnb, SlotOutput, UeId, UeStack};
+use l4span_ran::{DlDataDeliveryStatus, DrbId, Gnb, SlotOutput, UeId, UeStack, UlTbOutcome};
 use l4span_sim::{Duration, EventQueue, FxHashMap, Instant, SimRng};
 
 use crate::app::{AppProfile, AppUnit, Application, UnitKind};
 use crate::marker::Marker;
 use crate::metrics::{Breakdown, BreakdownAvg, HandoverRecord, Report};
-use crate::scenario::{BottleneckSpec, ScenarioConfig, TransportSpec};
+use crate::scenario::{BottleneckSpec, FlowDir, ScenarioConfig, TransportSpec};
 
 /// UE IP block.
 fn ue_ip(i: usize) -> u32 {
@@ -69,7 +69,11 @@ struct Flow {
     endpoint: Endpoint,
     started: bool,
     finished_at: Option<Instant>,
-    /// ident → send time of downlink packets (for OWD).
+    /// Which direction the data travels. For [`FlowDir::Uplink`] the
+    /// endpoint roles flip: the sender lives at the UE feeding the UL
+    /// PDCP/RLC queue, the receiver at the content server.
+    dir: FlowDir,
+    /// ident → send time of *data-direction* packets (for OWD).
     sent_at: FxHashMap<u16, Instant>,
     /// ident of uplink feedback packet → its payload.
     fb_pending: FxHashMap<u16, FbData>,
@@ -112,13 +116,22 @@ enum Event {
     TbAtUe { cell: usize, ue: usize, tb: TransportBlock },
     AppDeliver { pkt: PacketBuf, t_cu_ingress: Instant },
     /// An uplink batch transmitted toward `cell` arrives (pooled
-    /// buffers; returned to `World::ul_pool` after processing).
+    /// buffers; returned to `World::ul_pool` after processing): client
+    /// ACKs/feedback, RLC status reports, and — in bidirectional
+    /// scenarios — the UE's buffer-status report.
     UlAtGnb {
         cell: usize,
         ue: usize,
         pkts: Vec<PacketBuf>,
         statuses: Vec<(DrbId, RlcStatus)>,
+        bsr: Vec<(DrbId, usize)>,
     },
+    /// An uplink *data* transport block (grant-driven) arrives at the
+    /// gNB PHY; dropped mid-air if the UE handed over while in flight.
+    UlTbAtGnb { cell: usize, ue: usize, tb: TransportBlock },
+    /// An uplink RLC AM status report travels the downlink control
+    /// channel back to the UE's transmit entity.
+    UlStatusAtUe { ue: usize, drb: DrbId, status: RlcStatus },
     UlAtServer { flow: usize, pkt: PacketBuf },
     FlowStart { flow: usize },
     FlowStop { flow: usize },
@@ -137,8 +150,13 @@ enum Event {
     UePoll,
 }
 
-/// A pooled pair of uplink-batch buffers (packets, status reports).
-type UlBatch = (Vec<PacketBuf>, Vec<(DrbId, RlcStatus)>);
+/// A pooled triple of uplink-batch buffers (packets, status reports,
+/// buffer-status entries).
+type UlBatch = (
+    Vec<PacketBuf>,
+    Vec<(DrbId, RlcStatus)>,
+    Vec<(DrbId, usize)>,
+);
 
 /// The assembled world. Build with [`World::new`], run with [`World::run`].
 pub struct World {
@@ -156,6 +174,16 @@ pub struct World {
     serving: Vec<usize>,
     ues: Vec<UeStack>,
     marker: Marker,
+    /// The UE-side marker instance for uplink data queues (one instance
+    /// serves every UE, keyed internally by (ue, drb) — mirroring the
+    /// CU-side layout). Inert in downlink-only scenarios.
+    ul_marker: Marker,
+    /// Any flow carries uplink data: gates the whole UL data plane so
+    /// downlink-only scenarios stay byte-identical.
+    has_ul_data: bool,
+    /// Any uplink data bearer runs RLC UM (needs the gNB-side
+    /// reassembly-timeout poll).
+    has_um_ul: bool,
     flows: Vec<Flow>,
     tuple_to_flow: FxHashMap<FiveTuple, usize>,
     router: Option<Router>,
@@ -175,9 +203,22 @@ pub struct World {
     ul_pool: Vec<UlBatch>,
     /// Scratch buffer for draining SCReAM frame marks (reused).
     mark_scratch: Vec<FrameMark>,
+    /// Reused per-UL-slot grant buffer: (ue, granted bytes, cqi).
+    scratch_grants: Vec<(UeId, usize, u8)>,
+    /// Reused buffer for UE-side granted-bytes feedback messages.
+    scratch_ul_f1u: Vec<DlDataDeliveryStatus>,
+    /// Reused buffer for gNB-side UL RLC status reports.
+    scratch_ul_statuses: Vec<(UeId, DrbId, RlcStatus)>,
+    /// Reused buffer for UM reassembly-timeout skips at the gNB.
+    scratch_ul_skips: Vec<(UeId, DrbId, l4span_ran::rlc::RxDelivery)>,
     // --- metrics accumulators ---
     owd_ms: Vec<Vec<f64>>,
     owd_at_s: Vec<Vec<f64>>,
+    /// Per-flow uplink data one-way delays (UE sender → server).
+    ul_owd_ms: Vec<Vec<f64>>,
+    ul_owd_at_s: Vec<Vec<f64>>,
+    /// UE-side uplink RLC queue samples per (ue, drb).
+    ul_queue_series: BTreeMap<(u16, u8), Vec<usize>>,
     /// Per-flow delivered-frame one-way delays (QoE).
     frame_owd_ms: Vec<Vec<f64>>,
     /// Per-flow frames generated by app-driven sources (the SCReAM path
@@ -283,9 +324,19 @@ impl World {
         let marker = Marker::new(&cfg.marker, marker_rng);
         let mut flows = Vec::new();
         let mut tuple_to_flow = FxHashMap::default();
+        let mut has_ul_data = false;
+        let mut has_um_ul = false;
         for (f, spec) in cfg.flows.iter().enumerate() {
             let sip = server_ip(f);
             let uip = ue_ip(spec.ue);
+            // Data-direction addressing: the sender's IP first. For a
+            // downlink flow the sender is the content server; for an
+            // uplink flow it is the UE, and every constructor below is
+            // simply mirrored.
+            let (src, dst) = match spec.dir {
+                FlowDir::Downlink => (sip, uip),
+                FlowDir::Uplink => (uip, sip),
+            };
             // Lower the (application, transport) pair onto an endpoint.
             // The combinations the transports execute natively (greedy /
             // sized TCP, SCReAM's built-in media source, UDP Prague
@@ -296,7 +347,7 @@ impl World {
                 (AppProfile::Bulk { bytes }, TransportSpec::Tcp { cc }) => {
                     let controller = cc.make(1400);
                     let mode = controller.ecn_mode();
-                    let mut tcfg = TcpConfig::new(sip, uip, 443, 50_000 + f as u16);
+                    let mut tcfg = TcpConfig::new(src, dst, 443, 50_000 + f as u16);
                     tcfg.app_limit = *bytes;
                     let tuple = tcfg.downlink_tuple();
                     (
@@ -314,7 +365,7 @@ impl World {
                     // offered and when; the sender is fed incrementally.
                     let controller = cc.make(1400);
                     let mode = controller.ecn_mode();
-                    let tcfg = TcpConfig::new(sip, uip, 443, 50_000 + f as u16);
+                    let tcfg = TcpConfig::new(src, dst, 443, 50_000 + f as u16);
                     let tuple = tcfg.downlink_tuple();
                     let framed = match app_profile {
                         AppProfile::FramedVideo(v) => {
@@ -336,8 +387,8 @@ impl World {
                     let sport = 5004u16;
                     let dport = 42_000 + f as u16;
                     let tuple = FiveTuple {
-                        src_ip: sip,
-                        dst_ip: uip,
+                        src_ip: src,
+                        dst_ip: dst,
                         src_port: sport,
                         dst_port: dport,
                         protocol: Protocol::Udp,
@@ -345,11 +396,11 @@ impl World {
                     (
                         Endpoint::Scream {
                             sender: ScreamSender::new(
-                                sip, uip, sport, dport, v.min_bps, v.start_bps,
+                                src, dst, sport, dport, v.min_bps, v.start_bps,
                                 v.max_bps, v.fps, true,
                             )
                             .with_keyframes(v.keyframe_every, v.keyframe_boost),
-                            receiver: ScreamReceiver::new(uip, sip, dport, sport),
+                            receiver: ScreamReceiver::new(dst, src, dport, sport),
                         },
                         tuple,
                         None,
@@ -364,8 +415,8 @@ impl World {
                     let sport = 5006u16;
                     let dport = 43_000 + f as u16;
                     let tuple = FiveTuple {
-                        src_ip: sip,
-                        dst_ip: uip,
+                        src_ip: src,
+                        dst_ip: dst,
                         src_port: sport,
                         dst_port: dport,
                         protocol: Protocol::Udp,
@@ -373,9 +424,9 @@ impl World {
                     (
                         Endpoint::UdpPrague {
                             sender: UdpPragueSender::new(
-                                sip, uip, sport, dport, *min_rate, *start_rate, *max_rate,
+                                src, dst, sport, dport, *min_rate, *start_rate, *max_rate,
                             ),
-                            receiver: UdpPragueReceiver::new(uip, sip, dport, sport),
+                            receiver: UdpPragueReceiver::new(dst, src, dport, sport),
                         },
                         tuple,
                         None,
@@ -388,6 +439,31 @@ impl World {
                      application and UDP Prague a greedy Bulk one"
                 ),
             };
+            if spec.dir == FlowDir::Uplink {
+                // Stand up the uplink data plane for this bearer: the
+                // UE-side PDCP/RLC transmit entities and the serving
+                // cell's receive entities, in the DRB's configured mode.
+                has_ul_data = true;
+                let ue_id = UeId(spec.ue as u16);
+                let home = cfg.ues[spec.ue].initial_cell;
+                let mode = cfg.ues[spec.ue]
+                    .drbs
+                    .iter()
+                    .find(|&&(d, _)| d == spec.drb)
+                    .map(|&(_, m)| m)
+                    .unwrap_or_else(|| {
+                        panic!("uplink flow {f}: DRB {} not in UE {} spec", spec.drb, spec.ue)
+                    });
+                has_um_ul |= mode == RlcMode::Um;
+                let cell_cfg = cfg.cell_config(home);
+                ues[spec.ue].configure_ul_drb(
+                    DrbId(spec.drb),
+                    mode,
+                    cell_cfg.rlc_queue_sdus,
+                    cell_cfg.segment_overhead,
+                );
+                gnbs[home].ensure_ul_drb(ue_id, DrbId(spec.drb), mode);
+            }
             tuple_to_flow.insert(tuple, f);
             flows.push(Flow {
                 ue_idx: spec.ue,
@@ -400,6 +476,7 @@ impl World {
                 endpoint,
                 started: false,
                 finished_at: None,
+                dir: spec.dir,
                 sent_at: FxHashMap::default(),
                 fb_pending: FxHashMap::default(),
                 timer_at: Instant::MAX,
@@ -436,8 +513,12 @@ impl World {
             .filter(|(_, f)| !matches!(f.endpoint, Endpoint::Tcp { .. }))
             .map(|(i, _)| i)
             .collect();
-        let need_ue_poll = !um_ues.is_empty() || !udp_flows.is_empty();
+        let need_ue_poll = !um_ues.is_empty() || !udp_flows.is_empty() || has_um_ul;
         let n_ues = serving.len();
+        // The UE-side uplink marker mirrors the CU one; its RNG stream is
+        // derived (purely) from the root, so constructing it perturbs
+        // nothing in downlink-only scenarios.
+        let ul_marker = Marker::new(&cfg.marker.uplink(), root.derive(4));
         let mut w = World {
             cfg,
             queue: EventQueue::with_capacity(1024 + 128 * n),
@@ -446,6 +527,9 @@ impl World {
             serving,
             ues,
             marker,
+            ul_marker,
+            has_ul_data,
+            has_um_ul,
             flows,
             tuple_to_flow,
             router,
@@ -455,8 +539,15 @@ impl World {
             slot_out: SlotOutput::default(),
             ul_pool: Vec::new(),
             mark_scratch: Vec::new(),
+            scratch_grants: Vec::new(),
+            scratch_ul_f1u: Vec::new(),
+            scratch_ul_statuses: Vec::new(),
+            scratch_ul_skips: Vec::new(),
             owd_ms: vec![Vec::new(); n],
             owd_at_s: vec![Vec::new(); n],
+            ul_owd_ms: vec![Vec::new(); n],
+            ul_owd_at_s: vec![Vec::new(); n],
+            ul_queue_series: BTreeMap::new(),
             frame_owd_ms: vec![Vec::new(); n],
             frames_generated: vec![0; n],
             frames_delivered: vec![0; n],
@@ -608,8 +699,16 @@ impl World {
             Event::AppDeliver { pkt, t_cu_ingress } => {
                 self.on_app_deliver(pkt, t_cu_ingress, now)
             }
-            Event::UlAtGnb { cell, ue, pkts, statuses } => {
-                self.on_ul_at_gnb(cell, ue, pkts, statuses, now)
+            Event::UlAtGnb { cell, ue, pkts, statuses, bsr } => {
+                self.on_ul_at_gnb(cell, ue, pkts, statuses, bsr, now)
+            }
+            Event::UlTbAtGnb { cell, ue, tb } => self.on_ul_tb_at_gnb(cell, ue, tb, now),
+            Event::UlStatusAtUe { ue, drb, status } => {
+                // The UE's transmit entity survives handover (it
+                // re-establishes in place), so a status from the old
+                // cell lands safely: unknown SNs are ignored by ARQ.
+                let _ = self.ues[ue].on_ul_status(drb, &status, now);
+                self.feed_ul_marker_feedback(ue, now);
             }
             Event::UlAtServer { flow, pkt } => self.on_ul_at_server(flow, pkt, now),
             Event::FlowStart { flow } => self.on_flow_start(flow, now),
@@ -638,7 +737,10 @@ impl World {
                     Endpoint::UdpPrague { sender, .. } => sender.poll(now),
                 };
                 self.register_frame_marks(flow);
-                self.route_dl(flow, outs, now);
+                match self.flows[flow].dir {
+                    FlowDir::Downlink => self.route_dl(flow, outs, now),
+                    FlowDir::Uplink => self.send_ul_data(flow, outs, now),
+                }
                 self.reschedule_timer(flow, now);
             }
             Event::AppTick { flow } => self.on_app_tick(flow, now),
@@ -676,6 +778,7 @@ impl World {
                     let flow = self.udp_flows[k];
                     let f = &mut self.flows[flow];
                     let ue = f.ue_idx;
+                    let dir = f.dir;
                     let pending = match &mut f.endpoint {
                         Endpoint::Scream { receiver, .. } => receiver
                             .poll(now)
@@ -688,8 +791,29 @@ impl World {
                     if let Some((fb_pkt, fb)) = pending {
                         let fid = fb_pkt.identification();
                         f.fb_pending.insert(fid, fb);
-                        self.ues[ue].enqueue_uplink(fb_pkt, now);
+                        match dir {
+                            // Downlink flow: the receiver is at the UE,
+                            // its report rides the uplink control path.
+                            FlowDir::Downlink => self.ues[ue].enqueue_uplink(fb_pkt, now),
+                            // Uplink flow: the receiver is at the
+                            // server, its report rides the downlink.
+                            FlowDir::Uplink => self.route_dl_pkt(flow, fb_pkt, now),
+                        }
                     }
+                }
+                // UM uplink bearers: run the gNB-side reassembly-timeout
+                // skip so a lost uplink SDU does not stall later ones.
+                if self.has_um_ul {
+                    let mut skipped = std::mem::take(&mut self.scratch_ul_skips);
+                    for cell in 0..self.gnbs.len() {
+                        let core = self.gnbs[cell].config().core_to_cu_delay;
+                        skipped.clear();
+                        self.gnbs[cell].poll_ul_rx_into(now, &mut skipped);
+                        for (_ue, _drb, d) in skipped.drain(..) {
+                            self.forward_ul_to_server(d.pkt, core, now);
+                        }
+                    }
+                    self.scratch_ul_skips = skipped;
                 }
                 self.sched(now + Duration::from_millis(5), Event::UePoll);
             }
@@ -751,10 +875,17 @@ impl World {
             tgt_cfg.ue_internal_delay,
             tgt_cfg.ul_sr_delay_max,
         );
-        self.ues[ue].on_handover(sp, id, sr);
+        self.ues[ue].on_handover(sp, id, sr, now);
         for k in 0..self.cfg.ues[ue].drbs.len() {
             let d = self.cfg.ues[ue].drbs[k].0;
             self.marker
+                .on_handover(ue_id, DrbId(d), self.cfg.marker_ho_policy);
+            // The uplink marker applies the same policy symmetrically:
+            // its profile table (SN mirror of the UE-side PDCP, whose
+            // numbering is continuous across re-establishment) always
+            // survives; MigrateState keeps the grant-rate estimator,
+            // ColdStart resets it.
+            self.ul_marker
                 .on_handover(ue_id, DrbId(d), self.cfg.marker_ho_policy);
         }
         self.serving[ue] = target_cell;
@@ -798,18 +929,61 @@ impl World {
             let ue = d.tb.ue.0 as usize;
             self.sched(d.deliver_at, Event::TbAtUe { cell, ue, tb: d.tb });
         }
+        if self.has_ul_data {
+            // Uplink RLC AM statuses ride the downlink control channel
+            // on their own cadence (any slot role).
+            let air = self.gnbs[cell].config().slot_duration;
+            self.scratch_ul_statuses.clear();
+            let mut statuses = std::mem::take(&mut self.scratch_ul_statuses);
+            self.gnbs[cell].ul_statuses_into(now, &mut statuses);
+            for (ue_id, drb, status) in statuses.drain(..) {
+                self.sched(
+                    now + air,
+                    Event::UlStatusAtUe { ue: ue_id.0 as usize, drb, status },
+                );
+            }
+            self.scratch_ul_statuses = statuses;
+        }
         if out.role == Some(SlotRole::Uplink) {
             let air = self.gnbs[cell].config().slot_duration;
+            if self.has_ul_data {
+                // BSR-driven grant allocation: the scheduler grants
+                // against the buffer status it learned from earlier
+                // reports; each granted UE packs a transport block that
+                // never exceeds its TBS and transmits it this slot.
+                let mut grants = std::mem::take(&mut self.scratch_grants);
+                self.gnbs[cell].allocate_ul_grants_into(now, &mut grants);
+                for &(ue_id, bytes, cqi) in &grants {
+                    let i = ue_id.0 as usize;
+                    if self.serving[i] != cell {
+                        continue;
+                    }
+                    if let Some(tb) = self.ues[i].build_ul_tb(bytes, cqi, now) {
+                        self.sched(now + air, Event::UlTbAtGnb { cell, ue: i, tb });
+                    }
+                    // Granted-bytes history → the uplink marker's
+                    // delay predictor (the UE-side F1-U mirror).
+                    self.feed_ul_marker_feedback(i, now);
+                }
+                self.scratch_grants = grants;
+            }
             for i in 0..self.ues.len() {
                 if self.serving[i] != cell {
                     continue;
                 }
-                let (mut pkts, mut statuses) = self.ul_pool.pop().unwrap_or_default();
+                let (mut pkts, mut statuses, mut bsr) =
+                    self.ul_pool.pop().unwrap_or_default();
                 self.ues[i].on_uplink_slot_into(now, &mut pkts, &mut statuses);
-                if !pkts.is_empty() || !statuses.is_empty() {
-                    self.sched(now + air, Event::UlAtGnb { cell, ue: i, pkts, statuses });
+                if self.has_ul_data {
+                    self.ues[i].ul_bsr_into(now, &mut bsr);
+                }
+                if !pkts.is_empty() || !statuses.is_empty() || !bsr.is_empty() {
+                    self.sched(
+                        now + air,
+                        Event::UlAtGnb { cell, ue: i, pkts, statuses, bsr },
+                    );
                 } else {
-                    self.ul_pool.push((pkts, statuses));
+                    self.ul_pool.push((pkts, statuses, bsr));
                 }
             }
         }
@@ -823,22 +997,35 @@ impl World {
     fn on_dl_at_cu(&mut self, flow: usize, mut pkt: PacketBuf, now: Instant) {
         let (ue_id, qfi) = (self.flows[flow].ue_id, self.flows[flow].qfi);
         let drb = self.flows[flow].drb;
+        // `sent_at`/`sn_map` bookkeeping is for downlink *data* only.
+        // For an uplink flow this packet is feedback whose ident space
+        // belongs to the server-side receiver — it collides with the
+        // UE-side sender's data idents, so touching `sent_at` here
+        // would erase a pending uplink OWD registration; and its
+        // per-SDU breakdown is never consumed.
+        let dl = self.flows[flow].dir == FlowDir::Downlink;
         let ident = pkt.identification();
         let t0 = self.clock_start();
         let verdict = self.marker.on_dl(ue_id, drb, &mut pkt, now);
         self.clock_stop(t0, 0);
         if verdict == DlVerdict::Drop {
-            self.flows[flow].sent_at.remove(&ident);
+            if dl {
+                self.flows[flow].sent_at.remove(&ident);
+            }
             return;
         }
         let cell = self.serving[self.flows[flow].ue_idx];
         match self.gnbs[cell].enqueue_downlink(ue_id, qfi, pkt, now) {
             Some((drb, sn)) => {
-                self.sn_map.insert((ue_id, drb, sn), (flow, ident));
+                if dl {
+                    self.sn_map.insert((ue_id, drb, sn), (flow, ident));
+                }
             }
             None => {
                 // RLC tail drop: the packet is gone; TCP sees the loss.
-                self.flows[flow].sent_at.remove(&ident);
+                if dl {
+                    self.flows[flow].sent_at.remove(&ident);
+                }
             }
         }
     }
@@ -847,9 +1034,20 @@ impl World {
         let Some(tuple) = pkt.five_tuple() else {
             return;
         };
-        let Some(&flow) = self.tuple_to_flow.get(&tuple) else {
-            return;
+        // Downlink flows register their (downlink) data tuple, so the
+        // direct probe hits. Uplink flows register the uplink data
+        // tuple; a downlink delivery for one is its feedback, found
+        // under the reversed key.
+        let flow = match self.tuple_to_flow.get(&tuple) {
+            Some(&f) => f,
+            None => match self.tuple_to_flow.get(&tuple.reversed()) {
+                Some(&f) if self.flows[f].dir == FlowDir::Uplink => f,
+                _ => return,
+            },
         };
+        if self.flows[flow].dir == FlowDir::Uplink {
+            return self.on_ul_feedback_at_ue(flow, pkt, now);
+        }
         let ident = pkt.identification();
         let payload = pkt.payload_len();
         let ue = self.flows[flow].ue_idx;
@@ -858,18 +1056,7 @@ impl World {
             if payload > 0 {
                 self.owd_ms[flow].push(owd);
                 self.owd_at_s[flow].push(now.as_secs_f64());
-                let bin =
-                    (now.as_nanos() / self.cfg.thr_bin.as_nanos().max(1)) as usize;
-                let bins = &mut self.thr_bins[flow];
-                if bins.len() <= bin {
-                    bins.resize(bin + 1, 0);
-                }
-                bins[bin] += payload as u64;
-                let cbins = &mut self.cell_thr_bins[self.serving[ue]];
-                if cbins.len() <= bin {
-                    cbins.resize(bin + 1, 0);
-                }
-                cbins[bin] += payload as u64;
+                self.record_thr_bins(flow, ue, payload, now);
                 // Handover-interruption accounting: this is a payload
                 // delivery to the UE, closing any pending gap.
                 self.last_delivery[ue] = Some(now);
@@ -915,9 +1102,21 @@ impl World {
                 }
             }
         }
-        // Application-level QoE: complete stream units against the TCP
-        // in-order watermark, or the SCReAM frame whose last packet this
-        // delivery was. Natively-lowered bulk flows skip all of it.
+        self.complete_stream_units(flow, tcp_watermark, ident, now);
+    }
+
+    /// Application-level QoE at the data-direction receiver (the UE for
+    /// downlink flows, the content server for uplink ones): complete
+    /// stream units against the TCP in-order watermark, or the SCReAM
+    /// frame whose last packet this delivery was. Natively-lowered bulk
+    /// flows skip all of it.
+    fn complete_stream_units(
+        &mut self,
+        flow: usize,
+        tcp_watermark: Option<u64>,
+        ident: u16,
+        now: Instant,
+    ) {
         if let Some(wm) = tcp_watermark {
             if self.flows[flow].app.is_some() || !self.flows[flow].pending_units.is_empty()
             {
@@ -944,9 +1143,20 @@ impl World {
         ue: usize,
         mut pkts: Vec<PacketBuf>,
         mut statuses: Vec<(DrbId, RlcStatus)>,
+        mut bsr: Vec<(DrbId, usize)>,
         now: Instant,
     ) {
         let ue_id = UeId(ue as u16);
+        // Buffer-status reports teach the scheduler how much this UE has
+        // buffered; a report addressed to a cell the UE already left
+        // dies with it (the re-armed post-handover BSR replaces it).
+        if !bsr.is_empty() {
+            if self.serving[ue] == cell {
+                let total: usize = bsr.iter().map(|&(_, b)| b).sum();
+                self.gnbs[cell].on_ul_bsr(ue_id, total);
+            }
+            bsr.clear();
+        }
         // RLC status reports are addressed to the cell the UE transmitted
         // toward; if it handed over while they were on the air, that
         // cell's RLC context is gone and they die with it (the forced
@@ -977,18 +1187,114 @@ impl World {
             let delay = core + self.flows[flow].wan_one_way;
             self.sched(now + delay, Event::UlAtServer { flow, pkt });
         }
-        // Both buffers are empty again: back to the pool.
-        self.ul_pool.push((pkts, statuses));
+        // All buffers are empty again: back to the pool.
+        self.ul_pool.push((pkts, statuses, bsr));
+    }
+
+    /// An uplink data transport block decodes (or fails) at the gNB.
+    fn on_ul_tb_at_gnb(&mut self, cell: usize, ue: usize, tb: TransportBlock, now: Instant) {
+        if self.serving[ue] != cell {
+            // Destroyed mid-air by the handover, exactly like a downlink
+            // block: in AM the UE's re-established transmit entity
+            // retransmits the SDUs at the target anyway.
+            self.ho_tbs_lost += 1;
+            return;
+        }
+        match self.gnbs[cell].receive_ul_tb(tb, now) {
+            UlTbOutcome::Retx(tb) => {
+                let rtt = self.gnbs[cell].config().harq_rtt;
+                self.sched(now + rtt, Event::UlTbAtGnb { cell, ue, tb });
+            }
+            UlTbOutcome::Lost => {}
+            UlTbOutcome::Decoded(deliveries) => {
+                let core = self.gnbs[cell].config().core_to_cu_delay;
+                for (_drb, d) in deliveries {
+                    self.forward_ul_to_server(d.pkt, core, now);
+                }
+            }
+        }
+    }
+
+    /// Route one decoded uplink data packet onward to its content
+    /// server, through the CU (where the downlink marker's uplink hook
+    /// sees it, like every packet heading for the core).
+    fn forward_ul_to_server(&mut self, mut pkt: PacketBuf, core: Duration, now: Instant) {
+        let t0 = self.clock_start();
+        self.marker.on_ul(&mut pkt, now);
+        self.clock_stop(t0, 1);
+        let Some(tuple) = pkt.five_tuple() else {
+            return;
+        };
+        // Uplink data tuples are registered in their data direction.
+        let Some(&flow) = self.tuple_to_flow.get(&tuple) else {
+            return;
+        };
+        let delay = core + self.flows[flow].wan_one_way;
+        self.sched(now + delay, Event::UlAtServer { flow, pkt });
+    }
+
+    /// Feed the uplink marker the UE's freshly advanced transmit and
+    /// delivery watermarks — the granted-bytes feedback stream that
+    /// plays the role F1-U telemetry plays for the CU-side instance.
+    fn feed_ul_marker_feedback(&mut self, ue: usize, now: Instant) {
+        self.scratch_ul_f1u.clear();
+        let mut f1u = std::mem::take(&mut self.scratch_ul_f1u);
+        self.ues[ue].ul_f1u_into(now, &mut f1u);
+        for msg in &f1u {
+            let t0 = self.clock_start();
+            self.ul_marker.on_feedback(msg, now);
+            self.clock_stop(t0, 2);
+        }
+        f1u.clear();
+        self.scratch_ul_f1u = f1u;
+    }
+
+    /// Send uplink data packets from a UE-side sender: the uplink
+    /// marker sees each packet at queue ingress (event 1, mirrored),
+    /// then PDCP numbers it and RLC queues it for grant-driven
+    /// transmission. Send times are registered for uplink OWD.
+    fn send_ul_data(&mut self, flow: usize, pkts: Vec<PacketBuf>, now: Instant) {
+        for mut pkt in pkts {
+            let ident = pkt.identification();
+            let (ue, ue_id, drb) = {
+                let f = &self.flows[flow];
+                (f.ue_idx, f.ue_id, f.drb)
+            };
+            let t0 = self.clock_start();
+            let verdict = self.ul_marker.on_dl(ue_id, drb, &mut pkt, now);
+            self.clock_stop(t0, 0);
+            if verdict == DlVerdict::Drop {
+                continue;
+            }
+            if self.ues[ue].enqueue_uplink_data(drb, pkt, now).is_some() {
+                self.flows[flow].sent_at.insert(ident, now);
+            }
+        }
     }
 
     fn on_ul_at_server(&mut self, flow: usize, pkt: PacketBuf, now: Instant) {
+        if self.flows[flow].dir == FlowDir::Uplink {
+            return self.on_ul_data_at_server(flow, pkt, now);
+        }
+        let outs = self.drive_sender(flow, &pkt, now);
+        self.route_dl(flow, outs, now);
+        self.reschedule_timer(flow, now);
+    }
+
+    /// Feed one arriving feedback packet to the flow's sender —
+    /// wherever it lives (content server for downlink flows, the UE for
+    /// uplink ones) — recording RTT samples, completion, frame marks,
+    /// and the application rate-adaptation hook. Returns the data
+    /// packets the sender released; the caller routes them in the
+    /// flow's data direction.
+    fn drive_sender(&mut self, flow: usize, pkt: &PacketBuf, now: Instant) -> Vec<PacketBuf> {
         let ident = pkt.identification();
         let f = &mut self.flows[flow];
         let fb = f.fb_pending.remove(&ident);
         let mut rate_estimate = None;
         let outs = match &mut f.endpoint {
             Endpoint::Tcp { sender, .. } => {
-                let outs = sender.on_packet(&pkt, now);
+                let outs = sender.on_packet(pkt, now);
                 if let Some(srtt) = sender.srtt() {
                     self.rtt_ms[flow].push(srtt.as_millis_f64());
                     self.rtt_at_s[flow].push(now.as_secs_f64());
@@ -1030,17 +1336,74 @@ impl World {
                 self.resched_app(flow, now);
             }
         }
-        self.route_dl(flow, outs, now);
+        outs
+    }
+
+    /// Uplink data arrives at the content server: record uplink OWD and
+    /// throughput, hand the packet to the server-side receiver, and
+    /// route its feedback back down toward the UE. Frame/unit QoE
+    /// completes here — the uplink mirror of `on_app_deliver`.
+    fn on_ul_data_at_server(&mut self, flow: usize, pkt: PacketBuf, now: Instant) {
+        let ident = pkt.identification();
+        let payload = pkt.payload_len();
+        let ue = self.flows[flow].ue_idx;
+        if let Some(sent) = self.flows[flow].sent_at.remove(&ident) {
+            if payload > 0 {
+                let owd = now.saturating_since(sent).as_millis_f64();
+                self.ul_owd_ms[flow].push(owd);
+                self.ul_owd_at_s[flow].push(now.as_secs_f64());
+                self.record_thr_bins(flow, ue, payload, now);
+            }
+        }
+        let mut tcp_watermark = None;
+        match &mut self.flows[flow].endpoint {
+            Endpoint::Tcp { receiver, .. } => {
+                let ack = receiver.on_packet(&pkt, now);
+                tcp_watermark = Some(receiver.received);
+                if let Some(ack) = ack {
+                    self.route_dl_pkt(flow, ack, now);
+                }
+            }
+            Endpoint::Scream { receiver, .. } => {
+                if let Some((fb_pkt, fb)) = receiver.on_packet(&pkt, now) {
+                    let fid = fb_pkt.identification();
+                    self.flows[flow].fb_pending.insert(fid, FbData::Scream(fb));
+                    self.route_dl_pkt(flow, fb_pkt, now);
+                }
+            }
+            Endpoint::UdpPrague { receiver, .. } => {
+                if let Some((fb_pkt, fb)) = receiver.on_packet(&pkt, now) {
+                    let fid = fb_pkt.identification();
+                    self.flows[flow].fb_pending.insert(fid, FbData::Prague(fb));
+                    self.route_dl_pkt(flow, fb_pkt, now);
+                }
+            }
+        }
+        self.complete_stream_units(flow, tcp_watermark, ident, now);
+    }
+
+    /// Feedback for an uplink flow delivers at the UE: drive the UE-side
+    /// sender — the uplink mirror of the downlink `on_ul_at_server` —
+    /// and queue the released data onto the uplink bearer.
+    fn on_ul_feedback_at_ue(&mut self, flow: usize, pkt: PacketBuf, now: Instant) {
+        let outs = self.drive_sender(flow, &pkt, now);
+        self.send_ul_data(flow, outs, now);
         self.reschedule_timer(flow, now);
     }
 
     fn on_flow_start(&mut self, flow: usize, now: Instant) {
         self.flows[flow].started = true;
         let ue = self.flows[flow].ue_idx;
+        let dir = self.flows[flow].dir;
         match &mut self.flows[flow].endpoint {
             Endpoint::Tcp { receiver, .. } => {
+                // The receiver opens the connection; for an uplink flow
+                // it lives at the server, so its SYN rides the downlink.
                 let syn = receiver.start(now);
-                self.ues[ue].enqueue_uplink(syn, now);
+                match dir {
+                    FlowDir::Downlink => self.ues[ue].enqueue_uplink(syn, now),
+                    FlowDir::Uplink => self.route_dl_pkt(flow, syn, now),
+                }
             }
             Endpoint::Scream { .. } | Endpoint::UdpPrague { .. } => {
                 self.sched(now, Event::FlowTimer { flow });
@@ -1086,7 +1449,10 @@ impl World {
                         Endpoint::Tcp { sender, .. } => sender.poll(now),
                         _ => Vec::new(),
                     };
-                    self.route_dl(flow, outs, now);
+                    match self.flows[flow].dir {
+                        FlowDir::Downlink => self.route_dl(flow, outs, now),
+                        FlowDir::Uplink => self.send_ul_data(flow, outs, now),
+                    }
                     self.reschedule_timer(flow, now);
                 }
             }
@@ -1110,6 +1476,23 @@ impl World {
         app.on_delivered(watermark, now);
         self.flows[flow].app = Some(app);
         self.resched_app(flow, now);
+    }
+
+    /// Account one delivered data payload into the per-flow and
+    /// per-cell throughput bins (both data directions; the cell is the
+    /// UE's serving cell at delivery time).
+    fn record_thr_bins(&mut self, flow: usize, ue: usize, payload: usize, now: Instant) {
+        let bin = (now.as_nanos() / self.cfg.thr_bin.as_nanos().max(1)) as usize;
+        let bins = &mut self.thr_bins[flow];
+        if bins.len() <= bin {
+            bins.resize(bin + 1, 0);
+        }
+        bins[bin] += payload as u64;
+        let cbins = &mut self.cell_thr_bins[self.serving[ue]];
+        if cbins.len() <= bin {
+            cbins.resize(bin + 1, 0);
+        }
+        cbins[bin] += payload as u64;
     }
 
     /// Record a completed logical unit's QoE sample.
@@ -1180,16 +1563,26 @@ impl World {
     /// the wired bottleneck when configured).
     fn route_dl(&mut self, flow: usize, pkts: Vec<PacketBuf>, now: Instant) {
         for pkt in pkts {
+            self.route_dl_pkt(flow, pkt, now);
+        }
+    }
+
+    /// Route one packet downlink toward the UE. For downlink flows this
+    /// is the data path and the send time is registered for OWD; for
+    /// uplink flows it carries feedback (ACKs, reports), which is not an
+    /// OWD sample.
+    fn route_dl_pkt(&mut self, flow: usize, pkt: PacketBuf, now: Instant) {
+        if self.flows[flow].dir == FlowDir::Downlink {
             let ident = pkt.identification();
             self.flows[flow].sent_at.insert(ident, now);
-            let wan = self.flows[flow].wan_one_way;
-            if self.router.is_some() {
-                self.sched(now + wan, Event::DlAtRouter { pkt });
-            } else {
-                let cell = self.serving[self.flows[flow].ue_idx];
-                let delay = wan + self.gnbs[cell].config().core_to_cu_delay;
-                self.sched(now + delay, Event::DlAtCu { flow, pkt });
-            }
+        }
+        let wan = self.flows[flow].wan_one_way;
+        if self.router.is_some() {
+            self.sched(now + wan, Event::DlAtRouter { pkt });
+        } else {
+            let cell = self.serving[self.flows[flow].ue_idx];
+            let delay = wan + self.gnbs[cell].config().core_to_cu_delay;
+            self.sched(now + delay, Event::DlAtCu { flow, pkt });
         }
     }
 
@@ -1199,7 +1592,16 @@ impl World {
         let next = r.next_departure();
         for pkt in departed {
             if let Some(tuple) = pkt.five_tuple() {
-                if let Some(&flow) = self.tuple_to_flow.get(&tuple) {
+                // Direct hit = downlink data; reversed hit = an uplink
+                // flow's feedback heading down to the UE.
+                let flow = match self.tuple_to_flow.get(&tuple) {
+                    Some(&f) => Some(f),
+                    None => match self.tuple_to_flow.get(&tuple.reversed()) {
+                        Some(&f) if self.flows[f].dir == FlowDir::Uplink => Some(f),
+                        _ => None,
+                    },
+                };
+                if let Some(flow) = flow {
                     let cell = self.serving[self.flows[flow].ue_idx];
                     let core = self.gnbs[cell].config().core_to_cu_delay;
                     self.sched(now + core, Event::DlAtCu { flow, pkt });
@@ -1245,6 +1647,20 @@ impl World {
                     .entry((cell as u8, i as u16, d))
                     .or_default()
                     .push(len);
+            }
+        }
+        // UE-side uplink transmit queues (the queue the UL marker
+        // manages), sampled on the same tick.
+        if self.has_ul_data {
+            for i in 0..self.ues.len() {
+                for k in 0..self.ues[i].ul_drbs().len() {
+                    let d = self.ues[i].ul_drbs()[k];
+                    let len = self.ues[i].ul_queue_len_sdus(d);
+                    self.ul_queue_series
+                        .entry((i as u16, d.0))
+                        .or_default()
+                        .push(len);
+                }
             }
         }
         // Estimation error vs ground truth (L4Span only). The ground
@@ -1308,6 +1724,19 @@ impl World {
             total_marks = s.dl_marks + s.tentative_marks;
             marker_memory = l.memory_bytes();
         }
+        // The uplink instance's marks and resident tables join the same
+        // accounting (only when the uplink data plane actually ran, so
+        // downlink-only reports are unchanged) — and are also reported
+        // alone, so tests can tell UE-side marking actually happened.
+        let mut ul_marks = 0;
+        if self.has_ul_data {
+            if let Some(l) = self.ul_marker.as_l4span() {
+                let s = l.stats();
+                ul_marks = s.dl_marks + s.tentative_marks;
+                total_marks += ul_marks;
+                marker_memory += l.memory_bytes();
+            }
+        }
         // Application QoE roll-up. The SCReAM media source lives inside
         // its sender, so its generation counter is read back here;
         // app-driven flows counted on the world as frames were offered.
@@ -1342,6 +1771,9 @@ impl World {
             bin: self.cfg.thr_bin,
             owd_ms: self.owd_ms,
             owd_at_s: self.owd_at_s,
+            ul_owd_ms: self.ul_owd_ms,
+            ul_owd_at_s: self.ul_owd_at_s,
+            ul_queue_series: self.ul_queue_series,
             rtt_ms: self.rtt_ms,
             rtt_at_s: self.rtt_at_s,
             thr_bins: self.thr_bins,
@@ -1368,6 +1800,7 @@ impl World {
             flow_start: self.flows.iter().map(|f| f.start).collect(),
             flow_ue: self.flows.iter().map(|f| f.ue_idx as u16).collect(),
             total_marks,
+            ul_marks,
             rlc_drops: g.sdus_dropped,
             tbs_lost: g.tbs_lost + self.ho_tbs_lost,
             harq_retx: g.harq_retx,
@@ -1596,6 +2029,66 @@ mod tests {
         assert!(
             (m - c).abs() > 1e-6,
             "policies must separate post-HO OWD: migrate {m} vs cold {c}"
+        );
+    }
+
+    #[test]
+    fn bidirectional_call_moves_data_both_ways() {
+        let cfg = crate::scenario::video_call_bidir(
+            2,
+            "prague",
+            l4span_default(),
+            7,
+            Duration::from_secs(3),
+        );
+        let r = World::new(cfg).run();
+        // Flows alternate DL, UL per call.
+        for call in 0..2 {
+            let (dl, ul) = (2 * call, 2 * call + 1);
+            assert!(
+                r.frames_delivered[dl] > 30,
+                "call {call}: DL leg delivered {} frames",
+                r.frames_delivered[dl]
+            );
+            assert!(
+                r.frames_delivered[ul] > 30,
+                "call {call}: UL leg delivered {} frames",
+                r.frames_delivered[ul]
+            );
+            assert!(
+                !r.ul_owd_ms[ul].is_empty(),
+                "call {call}: UL leg must record uplink OWD samples"
+            );
+            assert!(
+                r.ul_owd_ms[dl].is_empty(),
+                "call {call}: DL leg must not record uplink OWD"
+            );
+            assert!(r.goodput_total_mbps(ul) > 0.3, "{}", r.goodput_total_mbps(ul));
+        }
+        // The UE-side queues were sampled.
+        assert!(!r.ul_queue_series.is_empty());
+    }
+
+    #[test]
+    fn uplink_marker_cuts_uplink_queuing_delay() {
+        let mk = |marker| {
+            let cfg = crate::scenario::video_call_bidir(
+                3,
+                "prague",
+                marker,
+                11,
+                Duration::from_secs(4),
+            );
+            World::new(cfg).run()
+        };
+        let off = mk(crate::marker::MarkerKind::None);
+        let on = mk(l4span_default());
+        let ul: Vec<usize> = (0..6).filter(|f| f % 2 == 1).collect();
+        let owd_off = off.ul_owd_stats_pooled(&ul).median;
+        let owd_on = on.ul_owd_stats_pooled(&ul).median;
+        assert!(
+            owd_on < owd_off,
+            "uplink L4Span must cut UL OWD: {owd_on} vs {owd_off} ms"
         );
     }
 

@@ -30,7 +30,9 @@ use crate::ids::{DrbId, Qfi, UeId};
 use crate::mac::{self, Candidate, TransportBlock};
 use crate::pdcp::PdcpTx;
 use crate::phy;
-use crate::rlc::{DeliveryRecord, ForwardedSdu, RlcStatus, RlcTx, Sn, TxRecord};
+use crate::rlc::{
+    DeliveryRecord, ForwardedSdu, RlcRx, RlcStatus, RlcTx, RxDelivery, Sn, TxRecord,
+};
 use crate::sdap::SdapEntity;
 
 /// Gain of the proportional-fair average-throughput EWMA (per slot);
@@ -92,6 +94,25 @@ pub struct UeHandoverCtx {
     pub ca_factor: u8,
     /// Per-DRB context, in DRB-id order.
     pub drbs: Vec<DrbHandoverState>,
+    /// gNB-side uplink RLC receive entities, in DRB-id order. The
+    /// target applies PDCP re-establishment (drop partials, keep the
+    /// in-order delivery point) before installing them, so uplink SNs —
+    /// like downlink ones — are continuous across the switch.
+    pub ul_rx: Vec<(DrbId, RlcRx)>,
+}
+
+/// Outcome of an uplink transport block arriving at the gNB PHY.
+#[derive(Debug)]
+pub enum UlTbOutcome {
+    /// Decoded: reassembled uplink SDUs in per-DRB SN order, ready for
+    /// the core (and the CU's uplink path).
+    Decoded(Vec<(DrbId, RxDelivery)>),
+    /// Block error: the UE holds the block and retransmits after the
+    /// HARQ round trip (chase combining raises the next attempt's SNR).
+    Retx(TransportBlock),
+    /// HARQ exhausted (or the UE is gone): recovery falls to RLC ARQ in
+    /// AM, or the data is lost in UM — exactly as on the downlink.
+    Lost,
 }
 
 /// Counters for Table-1-style accounting.
@@ -107,6 +128,12 @@ pub struct GnbStats {
     pub sdus_enqueued: u64,
     /// Downlink SDUs tail-dropped at full RLC queues.
     pub sdus_dropped: u64,
+    /// Uplink transport blocks received (first attempts).
+    pub ul_tbs_sent: u64,
+    /// Uplink HARQ retransmission attempts received.
+    pub ul_harq_retx: u64,
+    /// Uplink transport blocks lost after max attempts (or mid-handover).
+    pub ul_tbs_lost: u64,
 }
 
 #[derive(Debug)]
@@ -134,6 +161,16 @@ struct UeCtx {
     /// only change the workflow of MAC and PHY layers, captured by
     /// L4Span's egress rate prediction").
     ca_factor: u8,
+    /// Uplink RLC receive entities (empty unless the UE has UL data
+    /// bearers configured).
+    ul_rx: BTreeMap<DrbId, RlcRx>,
+    /// Most recent buffer-status report from the UE, minus bytes already
+    /// granted against it (refreshed by every arriving BSR).
+    ul_bsr: usize,
+    /// PF average **uplink** throughput in granted bytes per UL slot —
+    /// its own EWMA: coupling UL fairness to the downlink history would
+    /// starve a UE's uplink because its downlink is busy.
+    ul_avg_tput: Ewma,
 }
 
 #[derive(Debug)]
@@ -149,6 +186,9 @@ pub struct Gnb {
     cfg: CellConfig,
     scheduler: SchedulerKind,
     rr_cursor: usize,
+    /// Uplink-grant round-robin cursor (independent of the DL one so
+    /// adding uplink traffic does not perturb downlink rotation).
+    ul_rr_cursor: usize,
     ues: BTreeMap<UeId, UeCtx>,
     pending_harq: Vec<PendingHarq>,
     slot_index: u64,
@@ -169,6 +209,7 @@ impl Gnb {
             cfg,
             scheduler,
             rr_cursor: 0,
+            ul_rr_cursor: 0,
             ues: BTreeMap::new(),
             pending_harq: Vec::new(),
             slot_index: 0,
@@ -218,6 +259,9 @@ impl Gnb {
                 avg_tput: Ewma::new(PF_EWMA_GAIN),
                 drb_cursor: 0,
                 ca_factor: 1,
+                ul_rx: BTreeMap::new(),
+                ul_bsr: 0,
+                ul_avg_tput: Ewma::new(PF_EWMA_GAIN),
             },
         );
         assert!(prev.is_none(), "duplicate UE id {ue}");
@@ -266,10 +310,12 @@ impl Gnb {
                 }
             })
             .collect();
+        let ul_rx = std::mem::take(&mut ctx.ul_rx).into_iter().collect();
         UeHandoverCtx {
             sdap: ctx.sdap,
             ca_factor: ctx.ca_factor,
             drbs,
+            ul_rx,
         }
     }
 
@@ -312,6 +358,17 @@ impl Gnb {
         }
         let mut drb_ids: Vec<DrbId> = map.keys().copied().collect();
         drb_ids.sort_unstable();
+        // Uplink receive entities migrate whole, through PDCP
+        // re-establishment: partial reassembly state from the source is
+        // dropped (the UE retransmits those SDUs in full), the in-order
+        // delivery point survives, and the cadence adopts this cell's
+        // status period. A forced status resynchronises the UE's ARQ.
+        let mut ul_rx = BTreeMap::new();
+        for (drb, mut rx) in ctx.ul_rx {
+            rx.reestablish();
+            rx.set_status_period(self.cfg.rlc_status_period);
+            ul_rx.insert(drb, rx);
+        }
         let prev = self.ues.insert(
             ue,
             UeCtx {
@@ -322,6 +379,9 @@ impl Gnb {
                 avg_tput: Ewma::new(PF_EWMA_GAIN),
                 drb_cursor: 0,
                 ca_factor: ctx.ca_factor,
+                ul_rx,
+                ul_bsr: 0,
+                ul_avg_tput: Ewma::new(PF_EWMA_GAIN),
             },
         );
         assert!(prev.is_none(), "UE {ue} already attached to this cell");
@@ -628,6 +688,178 @@ impl Gnb {
             desired_buffer_size: 0,
         });
         (records, f1u)
+    }
+
+    // ------------------------------------------------------------------
+    // Uplink data plane (bidirectional scenarios)
+    // ------------------------------------------------------------------
+
+    /// Configure an uplink receive bearer for an attached UE (the DU
+    /// mirror of [`UeStack::configure_ul_drb`](crate::UeStack)).
+    /// Idempotent per DRB.
+    pub fn ensure_ul_drb(&mut self, ue: UeId, drb: DrbId, mode: RlcMode) {
+        let ctx = self.ues.get_mut(&ue).expect("unknown UE");
+        ctx.ul_rx
+            .entry(drb)
+            .or_insert_with(|| RlcRx::new(mode, self.cfg.rlc_status_period));
+    }
+
+    /// A buffer-status report arrived from a UE: the scheduler now knows
+    /// this many bytes are buffered across the UE's UL bearers.
+    pub fn on_ul_bsr(&mut self, ue: UeId, total_bytes: usize) {
+        if let Some(ctx) = self.ues.get_mut(&ue) {
+            ctx.ul_bsr = total_bytes;
+        }
+    }
+
+    /// The buffer status the scheduler currently believes for a UE
+    /// (reported bytes minus grants already issued against them).
+    pub fn ul_known_bsr(&self, ue: UeId) -> usize {
+        self.ues.get(&ue).map_or(0, |c| c.ul_bsr)
+    }
+
+    /// Allocate this uplink slot's resources across BSR-backlogged UEs:
+    /// the same RBG allocators as the downlink (round-robin or
+    /// proportional fair), with link adaptation from the stale CQI and a
+    /// separate rotation cursor. Each entry is `(ue, granted_bytes,
+    /// cqi)`; **the sum of granted TBS never exceeds the slot's
+    /// capacity**, and every grant is debited against the UE's known BSR
+    /// so the scheduler does not re-grant the same bytes before the next
+    /// report arrives.
+    pub fn allocate_ul_grants_into(
+        &mut self,
+        now: Instant,
+        out: &mut Vec<(UeId, usize, u8)>,
+    ) {
+        out.clear();
+        let stale_at = Instant::from_nanos(
+            now.as_nanos().saturating_sub(self.cfg.cqi_delay.as_nanos()),
+        );
+        self.scratch_cands.clear();
+        self.scratch_cqis.clear();
+        for (&ue, ctx) in &self.ues {
+            let cqi = phy::select_mcs(
+                ctx.channel.snr_db(stale_at),
+                self.cfg.link_adaptation_backoff_db,
+            );
+            self.scratch_cqis.push((ue, cqi));
+            let per_rbg = phy::tbs_bytes(cqi, self.cfg.rbg_size, self.cfg.re_per_prb)
+                * usize::from(ctx.ca_factor);
+            self.scratch_cands.push(Candidate {
+                ue,
+                backlog: ctx.ul_bsr,
+                bytes_per_rbg: per_rbg,
+                avg_throughput: ctx.ul_avg_tput.get_or(0.0),
+            });
+        }
+        let grants = match self.scheduler {
+            SchedulerKind::RoundRobin => mac::allocate_round_robin(
+                &self.scratch_cands,
+                self.cfg.n_rbgs(),
+                &mut self.ul_rr_cursor,
+            ),
+            SchedulerKind::ProportionalFair => {
+                mac::allocate_proportional_fair(&self.scratch_cands, self.cfg.n_rbgs())
+            }
+        };
+        for (ue, n_rbgs) in grants {
+            let cqi = self.scratch_cqis[self
+                .scratch_cqis
+                .binary_search_by_key(&ue, |&(u, _)| u)
+                .expect("granted UE was a candidate")]
+            .1;
+            let prbs = (n_rbgs * self.cfg.rbg_size).min(self.cfg.n_prbs);
+            let ctx = self.ues.get_mut(&ue).expect("granted UE exists");
+            let budget = phy::tbs_bytes(cqi, prbs, self.cfg.re_per_prb)
+                * usize::from(ctx.ca_factor);
+            if budget == 0 {
+                continue;
+            }
+            ctx.ul_bsr = ctx.ul_bsr.saturating_sub(budget);
+            out.push((ue, budget, cqi));
+        }
+        // Uplink PF averages: every attached UE, every UL slot (`out`
+        // is UE-id sorted because the allocators preserve candidate
+        // order — merge-walk, exactly like the downlink step 4).
+        let mut granted_it = out.iter().peekable();
+        for (&ue, ctx) in self.ues.iter_mut() {
+            let bytes = match granted_it.peek() {
+                Some(&&(gu, b, _)) if gu == ue => {
+                    granted_it.next();
+                    b as f64
+                }
+                _ => 0.0,
+            };
+            ctx.ul_avg_tput.push(bytes);
+        }
+    }
+
+    /// An uplink transport block arrives at the PHY: draw the block
+    /// error at the UE's actual SNR (plus chase-combining gain per HARQ
+    /// attempt); on success, reassemble through the per-DRB uplink RLC
+    /// receivers and return in-order SDU deliveries.
+    pub fn receive_ul_tb(&mut self, mut tb: TransportBlock, now: Instant) -> UlTbOutcome {
+        let Some(snr0) = self.ues.get(&tb.ue).map(|c| c.channel.snr_db(now)) else {
+            self.stats.ul_tbs_lost += 1;
+            return UlTbOutcome::Lost;
+        };
+        if tb.attempt == 1 {
+            self.stats.ul_tbs_sent += 1;
+        } else {
+            self.stats.ul_harq_retx += 1;
+        }
+        let snr = snr0 + HARQ_COMBINING_GAIN_DB * f64::from(tb.attempt - 1);
+        if self.rng.chance(phy::bler(tb.cqi, snr)) {
+            if tb.attempt >= self.cfg.harq_max_attempts {
+                self.stats.ul_tbs_lost += 1;
+                return UlTbOutcome::Lost;
+            }
+            tb.attempt += 1;
+            return UlTbOutcome::Retx(tb);
+        }
+        let ctx = self.ues.get_mut(&tb.ue).expect("checked above");
+        let mut out = Vec::new();
+        for (drb, seg) in tb.segments.drain(..) {
+            let Some(rx) = ctx.ul_rx.get_mut(&drb) else {
+                continue; // segment for an unconfigured UL DRB: dropped
+            };
+            for d in rx.on_segment(seg, now) {
+                out.push((drb, d));
+            }
+        }
+        UlTbOutcome::Decoded(out)
+    }
+
+    /// Collect due uplink RLC AM status reports (the DU→UE half of UL
+    /// ARQ; they ride the fast downlink control channel). Cadence is
+    /// governed by each receive entity's status period.
+    pub fn ul_statuses_into(
+        &mut self,
+        now: Instant,
+        out: &mut Vec<(UeId, DrbId, RlcStatus)>,
+    ) {
+        for (&ue, ctx) in self.ues.iter_mut() {
+            for (&drb, rx) in ctx.ul_rx.iter_mut() {
+                if let Some(st) = rx.make_status(now) {
+                    out.push((ue, drb, st));
+                }
+            }
+        }
+    }
+
+    /// Timer poll of the uplink receive entities: UM reassembly-timeout
+    /// skips, mirroring the UE-side downlink poll. Appends into the
+    /// caller's reusable buffer (the `_into` convention of the other
+    /// uplink paths — the poll runs every 5 ms and is almost always
+    /// empty).
+    pub fn poll_ul_rx_into(&mut self, now: Instant, out: &mut Vec<(UeId, DrbId, RxDelivery)>) {
+        for (&ue, ctx) in self.ues.iter_mut() {
+            for (&drb, rx) in ctx.ul_rx.iter_mut() {
+                for d in rx.poll(now) {
+                    out.push((ue, drb, d));
+                }
+            }
+        }
     }
 }
 
@@ -986,6 +1218,84 @@ mod tests {
             dual > 1.7 * single,
             "CA x2 should ~double the rate: {single} -> {dual} Mbit/s"
         );
+    }
+
+    #[test]
+    fn ul_grants_respect_bsr_and_slot_capacity() {
+        let mut g = cell(2);
+        g.ensure_ul_drb(UeId(0), DrbId(0), RlcMode::Am);
+        g.ensure_ul_drb(UeId(1), DrbId(0), RlcMode::Am);
+        let mut grants = Vec::new();
+        // No BSR yet: nothing granted.
+        g.allocate_ul_grants_into(Instant::from_millis(2), &mut grants);
+        assert!(grants.is_empty(), "no grants before a BSR: {grants:?}");
+        // One UE reports a small backlog, the other a huge one.
+        g.on_ul_bsr(UeId(0), 500);
+        g.on_ul_bsr(UeId(1), 10_000_000);
+        g.allocate_ul_grants_into(Instant::from_millis(2), &mut grants);
+        assert_eq!(grants.len(), 2, "both backlogged UEs served: {grants:?}");
+        let cfg = CellConfig::default();
+        let slot_cap = crate::phy::tbs_bytes(15, cfg.n_prbs, cfg.re_per_prb);
+        let total: usize = grants.iter().map(|&(_, b, _)| b).sum();
+        assert!(
+            total <= slot_cap + cfg.rbg_size * cfg.re_per_prb,
+            "granted {total} exceeds slot capacity {slot_cap}"
+        );
+        // Grants are debited against the known BSR.
+        assert_eq!(g.ul_known_bsr(UeId(0)), 0);
+        assert!(g.ul_known_bsr(UeId(1)) < 10_000_000);
+    }
+
+    #[test]
+    fn ul_tb_roundtrip_delivers_in_order_through_gnb_rlc() {
+        use crate::ue::UeStack;
+        use l4span_sim::Duration;
+        let mut g = cell(1);
+        g.ensure_ul_drb(UeId(0), DrbId(0), RlcMode::Am);
+        let mut ue = UeStack::new(
+            UeId(0),
+            &[(DrbId(0), RlcMode::Am)],
+            Duration::from_millis(10),
+            Duration::from_millis(2),
+            Duration::from_millis(5),
+            SimRng::new(3),
+        );
+        ue.configure_ul_drb(DrbId(0), RlcMode::Am, 1024, 8);
+        let mut delivered = Vec::new();
+        let mut t = Instant::from_millis(10);
+        for k in 0..20u16 {
+            ue.enqueue_uplink_data(DrbId(0), pkt(960), t);
+            let _ = k;
+        }
+        let mut grants = Vec::new();
+        for _ in 0..200 {
+            g.on_ul_bsr(UeId(0), ue.ul_backlog_bytes());
+            g.allocate_ul_grants_into(t, &mut grants);
+            for &(gu, bytes, cqi) in &grants {
+                assert_eq!(gu, UeId(0));
+                if let Some(tb) = ue.build_ul_tb(bytes, cqi, t) {
+                    assert!(tb.bytes <= bytes, "TB exceeds grant");
+                    let mut next = Some(tb);
+                    while let Some(tb) = next.take() {
+                        match g.receive_ul_tb(tb, t) {
+                            UlTbOutcome::Decoded(ds) => {
+                                delivered.extend(ds.into_iter().map(|(_, d)| d.sn));
+                            }
+                            UlTbOutcome::Retx(tb) => next = Some(tb),
+                            UlTbOutcome::Lost => {}
+                        }
+                    }
+                }
+            }
+            t += Duration::from_micros(2500);
+            if delivered.len() == 20 {
+                break;
+            }
+        }
+        assert_eq!(delivered.len(), 20, "all uplink SDUs arrive");
+        let sorted: Vec<u64> = (0..20).collect();
+        assert_eq!(delivered, sorted, "exactly once, in SN order");
+        assert!(g.stats().ul_tbs_sent > 0);
     }
 
     #[test]

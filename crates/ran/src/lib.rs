@@ -9,7 +9,9 @@
 //! * [`phy`] — SNR→CQI→MCS adaptation, transport-block sizing, TDD
 //!   (DDDSU) slot structure, and the BLER model feeding HARQ;
 //! * [`mac`] — round-robin and proportional-fair schedulers allocating
-//!   resource-block groups per downlink slot, plus HARQ retransmission;
+//!   resource-block groups per slot (downlink data and, since the
+//!   bidirectional extension, BSR-driven uplink grants), plus HARQ
+//!   retransmission;
 //! * [`rlc`] — RLC Acknowledged and Unacknowledged modes with byte-level
 //!   segmentation, ARQ status reporting, and bounded SDU queues (the deep
 //!   default of 16384 SDUs or the short 256-SDU variant of Fig. 9);
@@ -17,8 +19,10 @@
 //!   *downlink data delivery status* feedback L4Span consumes;
 //! * [`sdap`] — QFI→DRB mapping;
 //! * [`ue`] — the UE-side stack: reassembly, in-order delivery, RLC
-//!   status generation, modem/kernel delay, and TDD uplink opportunities
-//!   (the RAN "jitter" that feedback short-circuiting bypasses);
+//!   status generation, modem/kernel delay, TDD uplink opportunities
+//!   (the RAN "jitter" that feedback short-circuiting bypasses), and
+//!   the uplink data plane — per-DRB PDCP/RLC transmit entities with
+//!   SR/BSR solicitation and grant-bounded transport-block building;
 //! * [`gnb`] — the composition of all of the above into one cell.
 //!
 //! The crate deliberately knows nothing about L4Span: the hook points are
@@ -43,6 +47,6 @@ pub mod ue;
 pub use channel::{ChannelProfile, FadingChannel};
 pub use config::{CellConfig, RlcMode, SchedulerKind};
 pub use f1u::DlDataDeliveryStatus;
-pub use gnb::{DrbHandoverState, Gnb, SlotOutput, UeHandoverCtx};
+pub use gnb::{DrbHandoverState, Gnb, SlotOutput, UeHandoverCtx, UlTbOutcome};
 pub use ids::{DrbId, UeId};
 pub use ue::UeStack;

@@ -226,6 +226,13 @@ impl RlcTx {
             self.drops += 1;
             return false;
         }
+        self.push_sdu(sn, pkt, t_ingress, now);
+        true
+    }
+
+    /// Append an SDU with no admission check (re-establishment path;
+    /// the SDU already passed admission when it first entered).
+    fn push_sdu(&mut self, sn: Sn, pkt: PacketBuf, t_ingress: Instant, now: Instant) {
         let size = pkt.wire_len() as u32;
         let head = self.queue.is_empty() && self.retx.is_empty();
         self.queued_bytes += size as usize;
@@ -238,7 +245,23 @@ impl RlcTx {
             t_first_tx: None,
             txed: 0,
         });
-        true
+    }
+
+    /// PDCP re-establishment for an entity that keeps serving the same
+    /// bearer (the UE-side uplink transmit case, TS 38.323 §5.1.2):
+    /// every SDU not yet confirmed delivered returns to the
+    /// transmission queue in SN order, for retransmission in full
+    /// toward the target cell. Unlike the [`RlcTx::drain_for_handover`]
+    /// → [`RlcTx::enqueue_forwarded`] pair used when the entity changes
+    /// hosts, **no capacity check applies**: each SDU already passed
+    /// admission when it first entered this entity, and tail-dropping
+    /// here would permanently stall the migrated receiver's in-order
+    /// delivery point (AM never skips an SN).
+    pub fn reestablish_requeue(&mut self, now: Instant) {
+        let forwarded = self.drain_for_handover();
+        for f in forwarded {
+            self.push_sdu(f.sn, f.pkt, f.t_ingress, now);
+        }
     }
 
     /// Bytes awaiting (re)transmission: the MAC backlog for this DRB.
@@ -256,6 +279,13 @@ impl RlcTx {
     /// Count of SDUs tail-dropped at enqueue.
     pub fn drop_count(&self) -> u64 {
         self.drops
+    }
+
+    /// True while fully-transmitted SDUs await delivery confirmation
+    /// (AM only; the uplink BSR probes for a grant while this holds so
+    /// tail loss can be repaired via the poll-retransmit path).
+    pub fn has_unacked(&self) -> bool {
+        !self.unacked.is_empty()
     }
 
     /// Highest SN fully handed to the MAC, if any.

@@ -1,6 +1,17 @@
 //! The UE-side stack: per-DRB RLC receivers, in-order delivery to the
 //! "kernel", RLC status generation, and the TDD uplink path whose jitter
 //! L4Span's feedback short-circuiting bypasses (paper §4.4, Fig. 7).
+//!
+//! Since the bidirectional extension the UE also hosts a full uplink
+//! *data* plane: per-DRB PDCP numbering and RLC transmit queues fed by
+//! UE-side senders, a scheduling-request / buffer-status-report (SR/BSR)
+//! machine that tells the serving gNB how much is buffered, and a
+//! grant-driven transport-block builder ([`UeStack::build_ul_tb`]) that
+//! never exceeds the granted TBS. The uplink queue is exactly the place
+//! where the UE-side L4Span marker instance sits: its delay predictor is
+//! driven by granted-bytes history (the transmit watermarks this module
+//! reports via [`UeStack::ul_f1u_into`]) rather than downlink slot
+//! telemetry.
 
 use std::collections::{BTreeMap, VecDeque};
 
@@ -8,9 +19,11 @@ use l4span_net::PacketBuf;
 use l4span_sim::{Duration, Instant, SimRng};
 
 use crate::config::RlcMode;
+use crate::f1u::DlDataDeliveryStatus;
 use crate::ids::{DrbId, UeId};
 use crate::mac::TransportBlock;
-use crate::rlc::{RlcRx, RlcStatus};
+use crate::pdcp::PdcpTx;
+use crate::rlc::{DeliveryRecord, RlcRx, RlcStatus, RlcTx, Sn, TxRecord};
 
 /// A downlink IP packet delivered up to the UE application, with the
 /// timing metadata the harness needs for one-way-delay accounting.
@@ -34,8 +47,21 @@ struct UlItem {
     ready_at: Instant,
 }
 
+/// Per-DRB uplink transmit context: UE-side PDCP numbering plus the RLC
+/// queue that grant-driven transmission drains.
+#[derive(Debug)]
+struct UlDrbCtx {
+    pdcp: PdcpTx,
+    rlc: RlcTx,
+    /// Last transmit watermark reported via [`UeStack::ul_f1u_into`].
+    reported_txed: Option<Sn>,
+    /// Last delivery watermark reported via [`UeStack::ul_f1u_into`].
+    reported_delivered: Option<Sn>,
+}
+
 /// The UE model: RLC receivers plus an uplink queue drained at TDD
-/// uplink opportunities.
+/// uplink opportunities — and, for bidirectional scenarios, per-DRB
+/// uplink PDCP/RLC transmit entities driven by BSR-solicited grants.
 #[derive(Debug)]
 pub struct UeStack {
     id: UeId,
@@ -44,6 +70,22 @@ pub struct UeStack {
     internal_delay: Duration,
     sr_delay_max: Duration,
     rng: SimRng,
+    /// Uplink data-plane entities (empty unless the scenario configures
+    /// uplink flows, so downlink-only runs are byte-identical).
+    ul_tx: BTreeMap<DrbId, UlDrbCtx>,
+    /// Cached sorted UL DRB ids (fixed after configuration).
+    ul_drb_ids: Vec<DrbId>,
+    /// Intra-UE UL DRB round-robin cursor for TB building.
+    ul_drb_cursor: usize,
+    /// Earliest instant the *first* BSR of the current busy period may
+    /// ride an uplink opportunity (the SR + grant round trip);
+    /// `Instant::MAX` = no SR pending.
+    ul_sr_at: Instant,
+    /// A BSR has already gone out this busy period: subsequent reports
+    /// piggyback on uplink batches for free.
+    bsr_open: bool,
+    /// Reusable transmit-record scratch for [`UeStack::build_ul_tb`].
+    scratch_txed: Vec<TxRecord>,
 }
 
 impl UeStack {
@@ -67,6 +109,12 @@ impl UeStack {
             internal_delay,
             sr_delay_max,
             rng,
+            ul_tx: BTreeMap::new(),
+            ul_drb_ids: Vec::new(),
+            ul_drb_cursor: 0,
+            ul_sr_at: Instant::MAX,
+            bsr_open: false,
+            scratch_txed: Vec::new(),
         }
     }
 
@@ -172,6 +220,192 @@ impl UeStack {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Uplink data plane (bidirectional scenarios)
+    // ------------------------------------------------------------------
+
+    /// Configure an uplink data bearer: a PDCP transmit entity plus an
+    /// RLC transmit queue in `mode`. Idempotent per DRB. Downlink-only
+    /// scenarios never call this, so the legacy uplink (ACK/feedback)
+    /// path is untouched.
+    pub fn configure_ul_drb(
+        &mut self,
+        drb: DrbId,
+        mode: RlcMode,
+        capacity_sdus: usize,
+        segment_overhead: usize,
+    ) {
+        self.ul_tx.entry(drb).or_insert_with(|| UlDrbCtx {
+            pdcp: PdcpTx::new(),
+            rlc: RlcTx::new(mode, capacity_sdus, segment_overhead),
+            reported_txed: None,
+            reported_delivered: None,
+        });
+        self.ul_drb_ids = self.ul_tx.keys().copied().collect();
+    }
+
+    /// UL DRBs configured on this UE, in id order.
+    pub fn ul_drbs(&self) -> &[DrbId] {
+        &self.ul_drb_ids
+    }
+
+    /// Enqueue an uplink *data* packet from a UE-side sender: PDCP
+    /// assigns the next SN, RLC queues the SDU. Returns the SN, or
+    /// `None` on a tail drop at a full queue. The first packet of a busy
+    /// period arms the scheduling request: the gNB cannot grant before
+    /// it learns (via BSR) that the buffer is non-empty.
+    pub fn enqueue_uplink_data(&mut self, drb: DrbId, pkt: PacketBuf, now: Instant) -> Option<Sn> {
+        let was_empty = self.ul_backlog_bytes() == 0;
+        let d = self.ul_tx.get_mut(&drb).expect("UL DRB not configured");
+        let sn = d.pdcp.assign_sn();
+        if !d.rlc.enqueue(sn, pkt, now) {
+            return None;
+        }
+        if was_empty && !self.bsr_open {
+            let sr = if self.sr_delay_max.is_zero() {
+                Duration::ZERO
+            } else {
+                Duration::from_nanos(
+                    self.rng.range_u64(0, self.sr_delay_max.as_nanos().max(1)),
+                )
+            };
+            self.ul_sr_at = now + sr;
+        }
+        Some(sn)
+    }
+
+    /// Total uplink data backlog awaiting (re)transmission, in bytes.
+    pub fn ul_backlog_bytes(&self) -> usize {
+        self.ul_tx.values().map(|d| d.rlc.backlog_bytes()).sum()
+    }
+
+    /// Uplink RLC transmission-queue length in SDUs for one DRB.
+    pub fn ul_queue_len_sdus(&self, drb: DrbId) -> usize {
+        self.ul_tx.get(&drb).map_or(0, |d| d.rlc.queue_len_sdus())
+    }
+
+    /// Append the buffer-status report that rides this uplink
+    /// opportunity, one `(drb, bytes)` entry per backlogged bearer. The
+    /// first report of a busy period is gated behind the SR round trip;
+    /// later ones piggyback for free. A bearer with fully-transmitted
+    /// but unacknowledged SDUs reports a one-MTU probe so the ARQ
+    /// poll-retransmit path can obtain a grant after tail loss. The
+    /// report **never under-reports**: every entry is at least the
+    /// bearer's true RLC backlog at call time.
+    pub fn ul_bsr_into(&mut self, now: Instant, out: &mut Vec<(DrbId, usize)>) {
+        if self.ul_tx.is_empty() {
+            return;
+        }
+        let total = self.ul_backlog_bytes();
+        let unacked = self.ul_tx.values().any(|d| d.rlc.has_unacked());
+        if total == 0 && !unacked {
+            // Busy period over: the next arrival starts a fresh SR.
+            self.bsr_open = false;
+            self.ul_sr_at = Instant::MAX;
+            return;
+        }
+        if !self.bsr_open {
+            // `Instant::MAX` with backlog present means the backlog
+            // appeared without an enqueue (NACK retransmissions, post-
+            // handover re-establishment): the control channel is already
+            // live, so the report goes out immediately.
+            if self.ul_sr_at != Instant::MAX && now < self.ul_sr_at {
+                return;
+            }
+            self.bsr_open = true;
+            self.ul_sr_at = Instant::MAX;
+        }
+        for (&drb, d) in self.ul_tx.iter() {
+            let b = d.rlc.backlog_bytes();
+            if b > 0 {
+                out.push((drb, b));
+            } else if d.rlc.has_unacked() {
+                out.push((drb, 1600)); // ARQ poll probe
+            }
+        }
+    }
+
+    /// Build the transport block that rides a grant of `granted` bytes:
+    /// UL DRBs are drained round-robin, retransmissions first within
+    /// each, and the block **never exceeds the granted TBS**. Returns
+    /// `None` when nothing was pending (a wasted grant).
+    pub fn build_ul_tb(
+        &mut self,
+        granted: usize,
+        cqi: u8,
+        now: Instant,
+    ) -> Option<TransportBlock> {
+        if self.ul_tx.is_empty() || granted == 0 {
+            return None;
+        }
+        let n = self.ul_drb_ids.len();
+        let mut segments = Vec::with_capacity(4);
+        let mut left = granted;
+        for k in 0..n {
+            let drb = self.ul_drb_ids[(self.ul_drb_cursor + k) % n];
+            let d = self.ul_tx.get_mut(&drb).expect("drb exists");
+            self.scratch_txed.clear();
+            let consumed = d.rlc.pull_with(left, now, &mut self.scratch_txed, |s| {
+                segments.push((drb, s));
+            });
+            left -= consumed;
+            if left == 0 {
+                break;
+            }
+        }
+        self.ul_drb_cursor = (self.ul_drb_cursor + 1) % n.max(1);
+        if segments.is_empty() {
+            return None;
+        }
+        Some(TransportBlock {
+            ue: self.id,
+            segments,
+            bytes: granted - left,
+            attempt: 1,
+            cqi,
+            first_tx: now,
+        })
+    }
+
+    /// An uplink RLC AM status report arrived from the serving gNB:
+    /// acknowledged SDUs are released, NACKed ranges join the
+    /// retransmission queue (and re-arm the BSR machine so the repair
+    /// bytes get granted).
+    pub fn on_ul_status(
+        &mut self,
+        drb: DrbId,
+        status: &RlcStatus,
+        now: Instant,
+    ) -> Vec<DeliveryRecord> {
+        let d = self.ul_tx.get_mut(&drb).expect("UL DRB not configured");
+        d.rlc.on_status(status, now)
+    }
+
+    /// Report uplink transmit/delivery watermarks that advanced since
+    /// the last call — the UE-side mirror of the gNB's F1-U delivery
+    /// status, synthesised from granted-bytes history. This is the
+    /// feedback stream that drives the uplink L4Span instance's egress
+    /// estimator: `timestamp` is the grant time at which the bytes left
+    /// the queue.
+    pub fn ul_f1u_into(&mut self, now: Instant, out: &mut Vec<DlDataDeliveryStatus>) {
+        for (&drb, d) in self.ul_tx.iter_mut() {
+            let txed = d.rlc.highest_txed();
+            let delivered = d.rlc.highest_delivered();
+            if txed != d.reported_txed || delivered != d.reported_delivered {
+                d.reported_txed = txed;
+                d.reported_delivered = delivered;
+                out.push(DlDataDeliveryStatus {
+                    ue: self.id,
+                    drb,
+                    highest_txed_sn: txed,
+                    highest_delivered_sn: delivered,
+                    timestamp: now,
+                    desired_buffer_size: 0,
+                });
+            }
+        }
+    }
+
     /// The UE side of a handover: every DRB's receive entity goes
     /// through PDCP re-establishment (partial reassembly state from the
     /// old cell is discarded, the in-order delivery point and complete
@@ -184,17 +418,40 @@ impl UeStack {
     /// cell behave differently by migration history. Queued uplink
     /// packets (client ACKs) survive — they ride the new cell's first
     /// uplink slot.
+    ///
+    /// Uplink data bearers mirror the downlink's lossless forwarding:
+    /// the transmit entity re-establishes by re-enqueueing every SDU not
+    /// yet confirmed delivered, in SN order under the original SNs
+    /// (TS 38.323 §5.1.2 transmit side — PDCP COUNT continues), and the
+    /// BSR machine re-arms immediately because handover signalling
+    /// already told the target the buffer is non-empty.
     pub fn on_handover(
         &mut self,
         status_period: Duration,
         internal_delay: Duration,
         sr_delay_max: Duration,
+        now: Instant,
     ) {
         self.internal_delay = internal_delay;
         self.sr_delay_max = sr_delay_max;
         for rx in self.rlc.values_mut() {
             rx.set_status_period(status_period);
             rx.reestablish();
+        }
+        for d in self.ul_tx.values_mut() {
+            // Lossless by construction: the requeue path skips the
+            // admission check (every SDU passed it once), because a
+            // tail drop here would leave a permanent SN gap that the
+            // migrated gNB-side receiver's in-order point never passes.
+            d.rlc.reestablish_requeue(now);
+            // The target's watermark bookkeeping starts fresh, exactly
+            // like the gNB-side DrbCtx after `attach_ue_handover`.
+            d.reported_txed = None;
+            d.reported_delivered = None;
+        }
+        if self.ul_backlog_bytes() > 0 {
+            self.bsr_open = false;
+            self.ul_sr_at = now;
         }
     }
 }
@@ -306,6 +563,7 @@ mod tests {
             Duration::from_millis(10),
             Duration::from_millis(2),
             Duration::from_millis(5),
+            Instant::from_millis(60),
         );
         let (_, statuses) = u.on_uplink_slot(Instant::from_millis(65));
         assert_eq!(statuses.len(), 1, "re-establishment forces a status");
@@ -338,6 +596,124 @@ mod tests {
         u.enqueue_uplink(pkt(0), now + Duration::from_millis(7));
         u.on_uplink_slot_into(now + Duration::from_millis(14), &mut pkts, &mut statuses);
         assert_eq!(pkts.len(), 1, "appended into the reused buffer");
+    }
+
+    fn ue_with_ul() -> UeStack {
+        let mut u = ue();
+        u.configure_ul_drb(DrbId(0), RlcMode::Am, 1024, 8);
+        u
+    }
+
+    #[test]
+    fn ul_enqueue_assigns_dense_sns_and_counts_backlog() {
+        let mut u = ue_with_ul();
+        let now = Instant::from_millis(1);
+        assert_eq!(u.enqueue_uplink_data(DrbId(0), pkt(960), now), Some(0));
+        assert_eq!(u.enqueue_uplink_data(DrbId(0), pkt(960), now), Some(1));
+        assert!(u.ul_backlog_bytes() >= 2 * 960);
+        assert_eq!(u.ul_queue_len_sdus(DrbId(0)), 2);
+    }
+
+    #[test]
+    fn first_bsr_waits_for_sr_then_piggybacks() {
+        let mut u = ue_with_ul();
+        let now = Instant::from_millis(100);
+        u.enqueue_uplink_data(DrbId(0), pkt(960), now);
+        let mut bsr = Vec::new();
+        u.ul_bsr_into(now, &mut bsr);
+        assert!(bsr.is_empty(), "SR delay (0..5 ms) has not elapsed");
+        u.ul_bsr_into(now + Duration::from_millis(6), &mut bsr);
+        assert_eq!(bsr.len(), 1);
+        assert!(bsr[0].1 >= 960, "BSR must not under-report: {:?}", bsr);
+        // Piggyback: the next report is free.
+        bsr.clear();
+        u.enqueue_uplink_data(DrbId(0), pkt(960), now + Duration::from_millis(7));
+        u.ul_bsr_into(now + Duration::from_millis(7), &mut bsr);
+        assert_eq!(bsr.len(), 1);
+    }
+
+    #[test]
+    fn ul_tb_respects_grant_and_f1u_reports_progress() {
+        let mut u = ue_with_ul();
+        let now = Instant::from_millis(10);
+        for _ in 0..4 {
+            u.enqueue_uplink_data(DrbId(0), pkt(960), now);
+        }
+        let granted = 1200;
+        let tb = u.build_ul_tb(granted, 10, now).expect("backlog pending");
+        assert!(tb.bytes <= granted, "TB {} exceeds grant {granted}", tb.bytes);
+        assert!(!tb.segments.is_empty());
+        // Drain the rest and check the granted-bytes F1-U mirror.
+        let _ = u.build_ul_tb(100_000, 10, now + Duration::from_millis(1));
+        let mut f1u = Vec::new();
+        u.ul_f1u_into(now + Duration::from_millis(1), &mut f1u);
+        assert_eq!(f1u.len(), 1);
+        assert_eq!(f1u[0].highest_txed_sn, Some(3));
+        assert_eq!(f1u[0].highest_delivered_sn, None);
+        // Status acknowledges everything: the next report carries it.
+        let st = RlcStatus { ack_sn: 4, nacks: vec![] };
+        let recs = u.on_ul_status(DrbId(0), &st, now + Duration::from_millis(5));
+        assert_eq!(recs.len(), 4);
+        f1u.clear();
+        u.ul_f1u_into(now + Duration::from_millis(5), &mut f1u);
+        assert_eq!(f1u[0].highest_delivered_sn, Some(3));
+    }
+
+    #[test]
+    fn ul_handover_requeues_unconfirmed_sdus() {
+        let mut u = ue_with_ul();
+        let now = Instant::from_millis(10);
+        for _ in 0..3 {
+            u.enqueue_uplink_data(DrbId(0), pkt(960), now);
+        }
+        // Transmit everything; nothing acknowledged yet.
+        let _ = u.build_ul_tb(100_000, 10, now).expect("tb");
+        assert_eq!(u.ul_backlog_bytes(), 0);
+        u.on_handover(
+            Duration::from_millis(10),
+            Duration::from_millis(2),
+            Duration::from_millis(5),
+            Instant::from_millis(20),
+        );
+        assert!(
+            u.ul_backlog_bytes() > 0,
+            "unconfirmed SDUs must be requeued for the target cell"
+        );
+        // The BSR goes out immediately (handover signalling carried it).
+        let mut bsr = Vec::new();
+        u.ul_bsr_into(Instant::from_millis(20), &mut bsr);
+        assert_eq!(bsr.len(), 1);
+        // Retransmission restarts at the oldest unconfirmed SN.
+        let tb = u.build_ul_tb(100_000, 10, Instant::from_millis(21)).expect("tb");
+        assert_eq!(tb.segments[0].1.sn, 0);
+    }
+
+    #[test]
+    fn ul_handover_requeue_is_lossless_even_past_queue_capacity() {
+        // Regression: queued + unacked can exceed the queue's admission
+        // capacity at handover time; re-establishment must requeue ALL
+        // of them (a tail drop would stall the migrated AM receiver's
+        // in-order delivery point forever).
+        let mut u = ue();
+        u.configure_ul_drb(DrbId(0), RlcMode::Am, 2, 8);
+        let now = Instant::from_millis(10);
+        assert_eq!(u.enqueue_uplink_data(DrbId(0), pkt(960), now), Some(0));
+        assert_eq!(u.enqueue_uplink_data(DrbId(0), pkt(960), now), Some(1));
+        // Transmit both (→ unacked), then fill the queue again.
+        let _ = u.build_ul_tb(100_000, 10, now).expect("tb");
+        assert_eq!(u.enqueue_uplink_data(DrbId(0), pkt(960), now), Some(2));
+        assert_eq!(u.enqueue_uplink_data(DrbId(0), pkt(960), now), Some(3));
+        // 2 unacked + 2 queued > capacity 2.
+        u.on_handover(
+            Duration::from_millis(10),
+            Duration::from_millis(2),
+            Duration::from_millis(5),
+            Instant::from_millis(20),
+        );
+        assert_eq!(u.ul_queue_len_sdus(DrbId(0)), 4, "all four SDUs requeued");
+        let tb = u.build_ul_tb(100_000, 10, Instant::from_millis(21)).expect("tb");
+        let sns: Vec<u64> = tb.segments.iter().map(|(_, s)| s.sn).collect();
+        assert_eq!(sns, vec![0, 1, 2, 3], "retransmission covers every SN, in order");
     }
 
     #[test]

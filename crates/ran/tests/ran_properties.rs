@@ -1,5 +1,6 @@
 //! RAN-layer invariants under randomised inputs: scheduler conservation,
-//! PHY monotonicity, channel purity, and whole-cell byte conservation.
+//! PHY monotonicity, channel purity, whole-cell byte conservation, and
+//! the uplink data plane's grant/BSR/ARQ contracts.
 
 use proptest::prelude::*;
 
@@ -9,8 +10,8 @@ use l4span_ran::config::{CellConfig, RlcMode, SchedulerKind};
 use l4span_ran::ids::{Qfi, UeId};
 use l4span_ran::mac::{allocate_proportional_fair, allocate_round_robin, Candidate};
 use l4span_ran::phy;
-use l4span_ran::{DrbId, Gnb};
-use l4span_sim::{Instant, SimRng};
+use l4span_ran::{DrbId, Gnb, UeStack, UlTbOutcome};
+use l4span_sim::{Duration, Instant, SimRng};
 
 fn arb_candidates() -> impl Strategy<Value = Vec<Candidate>> {
     proptest::collection::vec(
@@ -129,5 +130,166 @@ proptest! {
             "delivered {segment_bytes} vs enqueued {enqueued_bytes}"
         );
         prop_assert!(still_queued <= enqueued_bytes);
+    }
+
+    /// Uplink grant conservation: the sum of granted TBS never exceeds
+    /// one uplink slot's capacity, grants only go to UEs with a reported
+    /// buffer status, and every grant is debited against it.
+    #[test]
+    fn ul_grants_never_exceed_slot_capacity(
+        bsrs in proptest::collection::vec(0usize..2_000_000, 1..12),
+        seed in any::<u64>(),
+    ) {
+        let cfg = CellConfig::default();
+        let mut g = Gnb::new(cfg.clone(), SchedulerKind::RoundRobin, SimRng::new(seed));
+        let root = SimRng::new(seed ^ 0x55AA);
+        for (i, &b) in bsrs.iter().enumerate() {
+            let ch = FadingChannel::new(
+                ChannelProfile::Pedestrian,
+                18.0,
+                cfg.carrier_hz,
+                &mut root.derive(i as u64),
+            );
+            g.add_ue(UeId(i as u16), ch, &[(DrbId(0), RlcMode::Am)]);
+            g.ensure_ul_drb(UeId(i as u16), DrbId(0), RlcMode::Am);
+            g.on_ul_bsr(UeId(i as u16), b);
+        }
+        let mut grants = Vec::new();
+        g.allocate_ul_grants_into(Instant::from_millis(5), &mut grants);
+        // RBG rounding can over-shoot by at most one RBG of PRBs.
+        let cap = phy::tbs_bytes(15, cfg.n_prbs + cfg.rbg_size, cfg.re_per_prb);
+        let total: usize = grants.iter().map(|&(_, b, _)| b).sum();
+        prop_assert!(total <= cap, "granted {total} > slot capacity {cap}");
+        for &(ue, bytes, _) in &grants {
+            prop_assert!(bytes > 0, "zero-byte grant");
+            prop_assert!(
+                bsrs[ue.0 as usize] > 0,
+                "granted {ue} whose BSR was empty"
+            );
+            prop_assert!(g.ul_known_bsr(ue) <= bsrs[ue.0 as usize]);
+        }
+    }
+
+    /// The BSR never under-reports: whenever a report goes out, the sum
+    /// of its entries covers the UE's true RLC backlog — and bytes
+    /// scheduled per grant never exceed the granted TBS.
+    #[test]
+    fn bsr_never_underreports_and_tbs_respect_grants(
+        sizes in proptest::collection::vec(200usize..1400, 1..40),
+        grant in 400usize..20_000,
+        seed in any::<u64>(),
+    ) {
+        let mut ue = UeStack::new(
+            UeId(0),
+            &[(DrbId(0), RlcMode::Am)],
+            Duration::from_millis(10),
+            Duration::from_millis(2),
+            Duration::from_millis(5),
+            SimRng::new(seed),
+        );
+        ue.configure_ul_drb(DrbId(0), RlcMode::Am, 4096, 8);
+        let hdr = TcpHeader::default();
+        let mut t = Instant::from_millis(1);
+        let mut bsr = Vec::new();
+        for (i, &sz) in sizes.iter().enumerate() {
+            let p = PacketBuf::tcp(1, 2, Ecn::Ect1, i as u16, &hdr, sz);
+            ue.enqueue_uplink_data(DrbId(0), p, t);
+            bsr.clear();
+            ue.ul_bsr_into(t + Duration::from_millis(6), &mut bsr);
+            let reported: usize = bsr.iter().map(|&(_, b)| b).sum();
+            prop_assert!(
+                reported >= ue.ul_backlog_bytes(),
+                "BSR {reported} under-reports backlog {}",
+                ue.ul_backlog_bytes()
+            );
+            if let Some(tb) = ue.build_ul_tb(grant, 10, t + Duration::from_millis(6)) {
+                prop_assert!(tb.bytes <= grant, "TB {} > grant {grant}", tb.bytes);
+                let seg_total: usize = tb
+                    .segments
+                    .iter()
+                    .map(|(_, s)| s.len as usize + 8)
+                    .sum();
+                prop_assert_eq!(seg_total, tb.bytes, "TB bytes ≠ segments + overhead");
+            }
+            t += Duration::from_millis(1);
+        }
+    }
+
+    /// End-to-end uplink ARQ under random air loss: every uplink SDU is
+    /// delivered to the gNB **exactly once, in SN order** — the uplink
+    /// mirror of the downlink lossless-forwarding property.
+    #[test]
+    fn ul_rlc_delivers_exactly_once_in_order(
+        sizes in proptest::collection::vec(200usize..1400, 1..40),
+        loss_pct in 0u32..40,
+        seed in any::<u64>(),
+    ) {
+        let cfg = CellConfig::default();
+        let mut g = Gnb::new(cfg.clone(), SchedulerKind::RoundRobin, SimRng::new(seed));
+        let ch = FadingChannel::new(
+            ChannelProfile::Static,
+            30.0, // near-zero BLER: losses come from our coin below
+            cfg.carrier_hz,
+            &mut SimRng::new(seed ^ 1),
+        );
+        g.add_ue(UeId(0), ch, &[(DrbId(0), RlcMode::Am)]);
+        g.ensure_ul_drb(UeId(0), DrbId(0), RlcMode::Am);
+        let mut ue = UeStack::new(
+            UeId(0),
+            &[(DrbId(0), RlcMode::Am)],
+            Duration::from_millis(10),
+            Duration::from_millis(2),
+            Duration::from_millis(5),
+            SimRng::new(seed ^ 2),
+        );
+        ue.configure_ul_drb(DrbId(0), RlcMode::Am, 4096, 8);
+        let mut air = SimRng::new(seed ^ 3);
+        let hdr = TcpHeader::default();
+        let mut t = Instant::from_millis(10);
+        for (i, &sz) in sizes.iter().enumerate() {
+            let p = PacketBuf::tcp(1, 2, Ecn::Ect1, i as u16, &hdr, sz);
+            prop_assert!(ue.enqueue_uplink_data(DrbId(0), p, t).is_some());
+        }
+        let mut delivered: Vec<u64> = Vec::new();
+        let mut bsr = Vec::new();
+        let mut grants = Vec::new();
+        let mut statuses = Vec::new();
+        for _ in 0..4000 {
+            bsr.clear();
+            ue.ul_bsr_into(t, &mut bsr);
+            if !bsr.is_empty() {
+                g.on_ul_bsr(UeId(0), bsr.iter().map(|&(_, b)| b).sum());
+            }
+            g.allocate_ul_grants_into(t, &mut grants);
+            for &(_, bytes, cqi) in &grants {
+                if let Some(tb) = ue.build_ul_tb(bytes, cqi, t) {
+                    prop_assert!(tb.bytes <= bytes);
+                    if air.chance(f64::from(loss_pct) / 100.0) {
+                        continue; // the air ate it; ARQ must recover
+                    }
+                    match g.receive_ul_tb(tb, t) {
+                        UlTbOutcome::Decoded(ds) => {
+                            delivered.extend(ds.into_iter().map(|(_, d)| d.sn));
+                        }
+                        // Treat HARQ retx as further loss: stresses ARQ.
+                        UlTbOutcome::Retx(_) | UlTbOutcome::Lost => {}
+                    }
+                }
+            }
+            statuses.clear();
+            g.ul_statuses_into(t, &mut statuses);
+            for (_, drb, st) in statuses.drain(..) {
+                let _ = ue.on_ul_status(drb, &st, t);
+            }
+            t += Duration::from_micros(2500);
+            if delivered.len() == sizes.len() {
+                break;
+            }
+        }
+        let expected: Vec<u64> = (0..sizes.len() as u64).collect();
+        prop_assert_eq!(
+            delivered, expected,
+            "uplink SDUs must arrive exactly once, in SN order (loss {loss_pct}%)"
+        );
     }
 }

@@ -156,6 +156,46 @@ fn steady_state_downlink_path_makes_zero_allocations() {
         "uplink enqueue/slot cycle into pooled buffers must not allocate"
     );
 
+    // --- 3b. UE uplink DATA path: enqueue → BSR → grant-bounded pull ----
+    // The bidirectional extension adds per-DRB uplink PDCP/RLC transmit
+    // entities at the UE. Once their rings and the pooled BSR buffer are
+    // warm, the steady-state cycle — PDCP SN assignment, RLC enqueue
+    // (with the SR-arming RNG draw), buffer-status reporting into a
+    // pooled buffer, and a grant-sized pull into reused scratch — must
+    // not touch the allocator.
+    let mut ue_ul = UeStack::new(
+        UeId(1),
+        &[(DrbId(0), RlcMode::Am)],
+        Duration::from_millis(1),
+        Duration::from_millis(2),
+        Duration::from_millis(5),
+        SimRng::new(9),
+    );
+    ue_ul.configure_ul_drb(DrbId(0), RlcMode::Am, 4096, 8);
+    let mut bsr: Vec<(DrbId, usize)> = Vec::with_capacity(8);
+    // Warm-up: grow the UL queue ring, emit a BSR, drain via a TB.
+    for i in 0..64u64 {
+        ue_ul.enqueue_uplink_data(DrbId(0), data_packet(i as u16, 1400), Instant::from_millis(i));
+    }
+    ue_ul.ul_bsr_into(Instant::from_millis(100), &mut bsr);
+    bsr.clear();
+    let _ = ue_ul.build_ul_tb(usize::MAX / 2, 10, Instant::from_millis(101));
+    let (n, _) = allocs_during(|| {
+        let mut total = 0usize;
+        for k in 0..64u64 {
+            let t = Instant::from_millis(200 + 10 * k);
+            ue_ul.enqueue_uplink_data(DrbId(0), data_packet(k as u16, 1400), t);
+            ue_ul.ul_bsr_into(t + Duration::from_millis(6), &mut bsr);
+            total += bsr.len();
+            bsr.clear();
+        }
+        total
+    });
+    assert_eq!(
+        n, 0,
+        "uplink data enqueue/BSR cycle into pooled buffers must not allocate"
+    );
+
     // --- 4. Event-queue schedule/pop with a warm heap -------------------
     let mut q: EventQueue<(u64, PacketBuf)> = EventQueue::with_capacity(1024);
     for i in 0..512 {

@@ -280,3 +280,70 @@ fn l4s_and_classic_coexist_on_separate_drbs_of_one_ue() {
         r.owd_stats(1).median
     );
 }
+
+/// The bidirectional acceptance test: `video_call_bidir` across the
+/// L4S-capable and classic stacks, marker on and off. Every combination
+/// must move call data in **both** directions; for prague (the scalable
+/// L4S response the UE-side marker signals to), marker-on must strictly
+/// improve the uplink legs' frame-deadline misses and median uplink OWD
+/// over marker-off — the uplink mirror of the paper's headline claim.
+#[test]
+fn video_call_bidir_marker_improves_uplink_qoe() {
+    use l4span::harness::scenario::video_call_bidir;
+
+    let secs = Duration::from_secs(4);
+    let mut cfgs = Vec::new();
+    for cc in ["cubic", "prague", "bbr2"] {
+        for marker in [MarkerKind::None, l4span_default()] {
+            cfgs.push(video_call_bidir(3, cc, marker, 11, secs));
+        }
+    }
+    let reports = harness::run_batch(cfgs);
+    let ul: Vec<usize> = (0..6).filter(|f| f % 2 == 1).collect();
+    let dl: Vec<usize> = (0..6).filter(|f| f % 2 == 0).collect();
+    let miss = |r: &harness::Report| {
+        let generated: u64 = ul.iter().map(|&f| r.frames_generated[f]).sum();
+        let missed: u64 = ul.iter().map(|&f| r.frames_missed[f]).sum();
+        missed as f64 / generated.max(1) as f64
+    };
+    for (k, cc) in ["cubic", "prague", "bbr2"].iter().enumerate() {
+        for (r, m) in [(&reports[2 * k], "off"), (&reports[2 * k + 1], "on")] {
+            // Both directions carried real call traffic in every cell.
+            for &f in dl.iter().chain(&ul) {
+                assert!(
+                    r.frames_delivered[f] > 30,
+                    "{cc}/marker-{m} flow {f}: only {} frames delivered",
+                    r.frames_delivered[f]
+                );
+            }
+            assert!(
+                r.ul_owd_stats_pooled(&ul).n > 100,
+                "{cc}/marker-{m}: uplink OWD samples missing"
+            );
+        }
+    }
+    // Prague, marker on vs off: strictly better uplink QoE.
+    let (off, on) = (&reports[2], &reports[3]);
+    let (miss_off, miss_on) = (miss(off), miss(on));
+    assert!(
+        miss_on < miss_off,
+        "prague uplink deadline misses must strictly improve: {miss_on:.3} vs {miss_off:.3}"
+    );
+    let owd_off = off.ul_owd_stats_pooled(&ul).median;
+    let owd_on = on.ul_owd_stats_pooled(&ul).median;
+    assert!(
+        owd_on < owd_off,
+        "prague median uplink OWD must strictly improve: {owd_on:.1} vs {owd_off:.1} ms"
+    );
+    // And not marginally: the UE-side marker keeps the uplink queue near
+    // its sojourn target instead of seconds-deep bufferbloat.
+    assert!(
+        owd_on < owd_off / 4.0,
+        "expected a decisive uplink OWD cut: {owd_on:.1} vs {owd_off:.1} ms"
+    );
+    assert!(
+        on.ul_marks > 0,
+        "the UE-side uplink marker must actually mark ({} total marks)",
+        on.total_marks
+    );
+}
