@@ -1,0 +1,67 @@
+//! Per-subsystem cycle breakdown of the canonical perf scenarios: the
+//! attribution companion to `perf_gate`. Each scenario runs once with
+//! the harness's `CycleScope` instrumentation enabled; the table says
+//! where the wall-clock went — gNB slot machinery, the L4Span marker,
+//! UE stacks, the UL grant/BSR/status path, the wired core, transport
+//! endpoints, metrics/QoE bookkeeping, and the event queue itself —
+//! plus the untracked remainder (dispatch glue, scheduling, map
+//! lookups).
+//!
+//! `cargo run --release -p l4span-bench --bin fig_breakdown [--secs N]`
+//!
+//! Enabling the instrumentation costs two monotonic-clock reads per
+//! span, so the events/sec printed here sits below `perf_gate`'s
+//! (uninstrumented) number; use this binary to decide *what* to
+//! optimise and `perf_gate` to verify *that* it worked. The simulation
+//! itself never observes the instrumentation: fingerprints are
+//! identical with it on or off (asserted by a harness test).
+
+use std::time::Instant as WallInstant;
+
+use l4span_bench::gate::{canonical_scenarios, CANONICAL_SECS};
+use l4span_bench::Args;
+use l4span_harness::run;
+
+fn main() {
+    let args = Args::parse();
+    let secs = args.secs_or(CANONICAL_SECS);
+    println!("fig_breakdown: per-subsystem cycle accounting, {secs} simulated seconds per scenario");
+    println!("(instrumented run: absolute events/sec is lower than perf_gate's)");
+    for (name, mut cfg) in canonical_scenarios(secs) {
+        cfg.measure_cycles = true;
+        let t0 = WallInstant::now();
+        let report = run(cfg);
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        let tracked: u64 = report.cycles.iter().map(|c| c.nanos).sum();
+        let events_per_sec = report.events as f64 / (wall_ns as f64 / 1e9);
+        println!(
+            "\n== {name}: {} events, {:.2} wall s, {:.0} events/sec ==",
+            report.events,
+            wall_ns as f64 / 1e9,
+            events_per_sec
+        );
+        println!(
+            "{:<12} {:>10} {:>7} {:>12} {:>10}",
+            "subsystem", "ms", "%wall", "calls", "ns/call"
+        );
+        let mut stats = report.cycles.clone();
+        stats.sort_by_key(|c| std::cmp::Reverse(c.nanos));
+        for c in &stats {
+            println!(
+                "{:<12} {:>10.1} {:>6.1}% {:>12} {:>10.0}",
+                c.label,
+                c.nanos as f64 / 1e6,
+                c.nanos as f64 * 100.0 / wall_ns as f64,
+                c.calls,
+                c.mean_ns()
+            );
+        }
+        let untracked = wall_ns.saturating_sub(tracked);
+        println!(
+            "{:<12} {:>10.1} {:>6.1}%",
+            "(untracked)",
+            untracked as f64 / 1e6,
+            untracked as f64 * 100.0 / wall_ns as f64
+        );
+    }
+}

@@ -1,0 +1,326 @@
+//! Shared machinery behind the perf tooling (`perf_gate`,
+//! `fig_breakdown`): the canonical scenario set, `BENCH_PR*.json`
+//! parsing, baseline folding, and the regression-check math.
+//!
+//! Everything that decides pass/fail lives here as pure functions over
+//! plain data so the unit tests can exercise the threshold math,
+//! best-prior-baseline selection, and missing-scenario handling without
+//! running a single simulation.
+
+use l4span_cc::WanLink;
+use l4span_core::HandoverPolicy;
+use l4span_harness::scenario::{
+    congested_cell, handover_cell, interactive_apps_mixed, l4span_default, video_call_bidir,
+    ChannelMix,
+};
+use l4span_harness::ScenarioConfig;
+use l4span_sim::Duration;
+
+/// Simulated seconds per canonical scenario (long enough to reach
+/// steady state, short enough for CI).
+pub const CANONICAL_SECS: u64 = 8;
+
+/// The canonical perf-tracking scenario set, shared by `perf_gate`
+/// (events/sec) and `fig_breakdown` (per-subsystem attribution) so the
+/// two always measure the same workloads.
+pub fn canonical_scenarios(secs: u64) -> Vec<(&'static str, ScenarioConfig)> {
+    let dur = Duration::from_secs(secs);
+    vec![
+        (
+            "congested_cubic_16ue",
+            congested_cell(
+                16,
+                "cubic",
+                ChannelMix::Mobile,
+                16_384,
+                WanLink::east(),
+                l4span_default(),
+                7,
+                dur,
+            ),
+        ),
+        (
+            "prague_l4span_16ue",
+            congested_cell(
+                16,
+                "prague",
+                ChannelMix::Mobile,
+                16_384,
+                WanLink::east(),
+                l4span_default(),
+                7,
+                dur,
+            ),
+        ),
+        (
+            "bbr2_mobile_8ue",
+            congested_cell(
+                8,
+                "bbr2",
+                ChannelMix::Mobile,
+                16_384,
+                WanLink::east(),
+                l4span_default(),
+                7,
+                dur,
+            ),
+        ),
+        (
+            "handover_2cell_cubic_4ue",
+            handover_cell(
+                4,
+                "cubic",
+                Duration::from_secs(1),
+                HandoverPolicy::MigrateState,
+                l4span_default(),
+                7,
+                dur,
+            ),
+        ),
+        (
+            "interactive_apps_mixed",
+            interactive_apps_mixed(4, "prague", l4span_default(), 7, dur),
+        ),
+        (
+            "video_call_bidir",
+            video_call_bidir(3, "prague", l4span_default(), 7, dur),
+        ),
+    ]
+}
+
+/// One scenario's events/sec as read from a `BENCH_PR*.json` artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Scenario name.
+    pub name: String,
+    /// Measured events per wall-clock second.
+    pub events_per_sec: f64,
+}
+
+/// Extract `(name, events_per_sec)` pairs from one of our own
+/// `BENCH_PR*.json` artifacts. The files are written by `perf_gate` in
+/// a fixed shape (one scenario object per line), so a line-oriented
+/// scan is exact — no JSON dependency in the offline workspace.
+pub fn parse_bench_json(text: &str) -> Vec<BenchEntry> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(npos) = line.find("\"name\": \"") else {
+            continue;
+        };
+        let rest = &line[npos + 9..];
+        let Some(nend) = rest.find('"') else { continue };
+        let name = rest[..nend].to_string();
+        let Some(epos) = line.find("\"events_per_sec\": ") else {
+            continue;
+        };
+        let tail = &line[epos + 18..];
+        let num: String = tail
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let Ok(events_per_sec) = num.parse::<f64>() {
+            out.push(BenchEntry {
+                name,
+                events_per_sec,
+            });
+        }
+    }
+    out
+}
+
+/// Extract the `"pr": N` header from a `BENCH_PR*.json` artifact.
+pub fn parse_bench_pr(text: &str) -> Option<u32> {
+    for line in text.lines() {
+        let Some(pos) = line.find("\"pr\": ") else {
+            continue;
+        };
+        let tail = &line[pos + 6..];
+        let num: String = tail.chars().take_while(|c| c.is_ascii_digit()).collect();
+        return num.parse().ok();
+    }
+    None
+}
+
+/// Fold a set of artifact measurements into the committed baseline
+/// constants, keeping per-scenario maxima. Artifact values are
+/// discounted by `headroom` first (see `perf_gate` for why), committed
+/// constants are taken as-is, and scenarios that only exist in
+/// artifacts are added.
+pub fn fold_best(
+    baselines: &[(&str, f64)],
+    artifacts: &[Vec<BenchEntry>],
+    headroom: f64,
+) -> Vec<(String, f64)> {
+    let mut best: Vec<(String, f64)> = baselines
+        .iter()
+        .map(|&(n, v)| (n.to_string(), v))
+        .collect();
+    for art in artifacts {
+        for e in art {
+            let v = e.events_per_sec * headroom;
+            match best.iter_mut().find(|(n, _)| *n == e.name) {
+                Some((_, b)) => *b = b.max(v),
+                None => best.push((e.name.clone(), v)),
+            }
+        }
+    }
+    best
+}
+
+/// Look up one scenario in a baseline table.
+pub fn baseline_for(table: &[(String, f64)], name: &str) -> Option<f64> {
+    table.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+}
+
+/// The verdict for one measured scenario against the baseline table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateVerdict {
+    /// Events/sec is within `max_regression` of the best prior baseline.
+    Pass,
+    /// Events/sec fell more than `max_regression` below the baseline.
+    Fail {
+        /// The bar that was missed (baseline × (1 − max_regression)).
+        bar: f64,
+        /// The best prior baseline itself.
+        baseline: f64,
+    },
+    /// The scenario has no prior baseline (first appearance): there is
+    /// nothing to regress against, so the check explicitly skips it.
+    NoBaseline,
+}
+
+/// Check one scenario's events/sec against the best-prior table.
+pub fn check_scenario(
+    best: &[(String, f64)],
+    name: &str,
+    events_per_sec: f64,
+    max_regression: f64,
+) -> GateVerdict {
+    match baseline_for(best, name) {
+        None => GateVerdict::NoBaseline,
+        Some(baseline) => {
+            let bar = baseline * (1.0 - max_regression);
+            if events_per_sec < bar {
+                GateVerdict::Fail { bar, baseline }
+            } else {
+                GateVerdict::Pass
+            }
+        }
+    }
+}
+
+/// Percent delta of `now` vs `prev` (`+` = faster). `None` when the
+/// scenario has no previous measurement.
+pub fn delta_pct(prev: Option<f64>, now: f64) -> Option<f64> {
+    match prev {
+        Some(p) if p > 0.0 => Some((now / p - 1.0) * 100.0),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries(pairs: &[(&str, f64)]) -> Vec<BenchEntry> {
+        pairs
+            .iter()
+            .map(|&(n, v)| BenchEntry {
+                name: n.to_string(),
+                events_per_sec: v,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parse_bench_json_reads_rows_and_ignores_pre_pr2_fields() {
+        let text = "{\n  \"pr\": 6,\n  \"sim_secs_per_scenario\": 8,\n  \"scenarios\": [\n    \
+                    {\"name\": \"a\", \"events\": 10, \"wall_s\": 1.000, \"events_per_sec\": 1500000, \"wall_ms_per_sim_s\": 125.0},\n    \
+                    {\"name\": \"b\", \"events\": 20, \"wall_s\": 2.000, \"events_per_sec\": 2000000.5, \"wall_ms_per_sim_s\": 250.0, \"pre_pr2_events_per_sec\": 955942, \"speedup_vs_pre_pr2\": 2.09}\n  ]\n}\n";
+        let got = parse_bench_json(text);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].name, "a");
+        assert_eq!(got[0].events_per_sec, 1_500_000.0);
+        assert_eq!(got[1].name, "b");
+        assert_eq!(got[1].events_per_sec, 2_000_000.5);
+        assert_eq!(parse_bench_pr(text), Some(6));
+    }
+
+    #[test]
+    fn fold_best_takes_max_with_haircut_and_adds_new_scenarios() {
+        let committed = [("a", 1_000_000.0), ("b", 2_000_000.0)];
+        // Artifact 1: `a` faster even after the 10% haircut; `b` slower.
+        // Artifact 2: a brand-new scenario `c`.
+        let art1 = entries(&[("a", 1_500_000.0), ("b", 1_000_000.0)]);
+        let art2 = entries(&[("c", 3_000_000.0)]);
+        let best = fold_best(&committed, &[art1, art2], 0.9);
+        assert_eq!(baseline_for(&best, "a"), Some(1_350_000.0));
+        assert_eq!(baseline_for(&best, "b"), Some(2_000_000.0));
+        assert_eq!(baseline_for(&best, "c"), Some(2_700_000.0));
+        assert_eq!(baseline_for(&best, "missing"), None);
+    }
+
+    #[test]
+    fn check_scenario_threshold_math_at_ten_percent() {
+        let best = vec![("a".to_string(), 1_000_000.0)];
+        // Exactly at the bar passes; a hair under fails.
+        assert_eq!(
+            check_scenario(&best, "a", 900_000.0, 0.10),
+            GateVerdict::Pass
+        );
+        match check_scenario(&best, "a", 899_999.0, 0.10) {
+            GateVerdict::Fail { bar, baseline } => {
+                assert!((bar - 900_000.0).abs() < 1e-6);
+                assert_eq!(baseline, 1_000_000.0);
+            }
+            v => panic!("expected Fail, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn check_scenario_skips_unknown_scenarios_explicitly() {
+        let best = vec![("a".to_string(), 1_000_000.0)];
+        assert_eq!(
+            check_scenario(&best, "brand_new", 1.0, 0.10),
+            GateVerdict::NoBaseline
+        );
+    }
+
+    #[test]
+    fn best_prior_selection_across_multiple_bench_files() {
+        // Three PR artifacts measuring the same scenario: the bar must
+        // come from the fastest one, not the most recent one.
+        let committed = [("a", 500_000.0)];
+        let pr3 = entries(&[("a", 1_200_000.0)]);
+        let pr4 = entries(&[("a", 2_000_000.0)]); // the peak
+        let pr5 = entries(&[("a", 1_800_000.0)]); // most recent, slower
+        let best = fold_best(&committed, &[pr3, pr4, pr5], 0.9);
+        assert_eq!(baseline_for(&best, "a"), Some(1_800_000.0));
+    }
+
+    #[test]
+    fn delta_pct_handles_missing_and_zero_previous() {
+        assert_eq!(delta_pct(None, 1.0), None);
+        assert_eq!(delta_pct(Some(0.0), 1.0), None);
+        let d = delta_pct(Some(2_000_000.0), 2_200_000.0).unwrap();
+        assert!((d - 10.0).abs() < 1e-9);
+        let d = delta_pct(Some(2_000_000.0), 1_900_000.0).unwrap();
+        assert!((d + 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn canonical_scenarios_cover_the_tracked_set() {
+        let names: Vec<&str> = canonical_scenarios(1).iter().map(|&(n, _)| n).collect();
+        assert_eq!(
+            names,
+            [
+                "congested_cubic_16ue",
+                "prague_l4span_16ue",
+                "bbr2_mobile_8ue",
+                "handover_2cell_cubic_4ue",
+                "interactive_apps_mixed",
+                "video_call_bidir",
+            ]
+        );
+    }
+}

@@ -32,7 +32,13 @@ enum State {
 pub struct Bbr {
     mss: usize,
     state: State,
-    /// (round index, bw sample) pairs within the filter window.
+    /// Per-round bandwidth maxima within the filter window, at most one
+    /// entry per round (ascending round order). Only the windowed max is
+    /// ever read, and max-of-per-round-maxes equals max-of-all-samples,
+    /// so collapsing each round keeps `btl_bw` bit-identical while
+    /// bounding the vector at `BW_WINDOW_ROUNDS + 1` entries — the
+    /// per-ACK push/retain and the per-send `btl_bw` scan both stop
+    /// being O(ACKs-per-window).
     bw_samples: Vec<(u64, f64)>,
     rtprop: Duration,
     rtprop_stamp: Instant,
@@ -172,7 +178,10 @@ impl CongestionControl for Bbr {
         if let Some(bw) = ack.delivery_rate {
             // App-limited samples may only raise the estimate.
             if !ack.app_limited || bw > self.btl_bw() {
-                self.bw_samples.push((self.round, bw));
+                match self.bw_samples.last_mut() {
+                    Some((r, max)) if *r == self.round => *max = max.max(bw),
+                    _ => self.bw_samples.push((self.round, bw)),
+                }
             }
         }
         let min_round = self.round.saturating_sub(BW_WINDOW_ROUNDS);

@@ -217,6 +217,14 @@ impl ScreamSender {
     /// Produce media frames and emit as many RTP packets as the window
     /// allows. Call at (or after) `next_activity()`.
     pub fn poll(&mut self, now: Instant) -> Vec<PacketBuf> {
+        let mut out = Vec::new();
+        self.poll_into(now, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`ScreamSender::poll`]: emitted RTP
+    /// packets are appended to `out`.
+    pub fn poll_into(&mut self, now: Instant, out: &mut Vec<PacketBuf>) {
         // Frame generation.
         while now >= self.next_frame_at {
             // The encoder's capture timestamp is the nominal frame time.
@@ -267,7 +275,6 @@ impl ScreamSender {
             }
         }
         // Window-limited emission.
-        let mut out = Vec::new();
         while let Some(&p) = self.rtp_queue.front() {
             if self.bytes_in_flight as f64 + p.len as f64 > self.cwnd {
                 break;
@@ -303,7 +310,6 @@ impl ScreamSender {
                 self.sent_log.pop_front();
             }
         }
-        out
     }
 
     /// Diagnostics: (cwnd bytes, bytes in flight, RTP queue packets).

@@ -125,6 +125,9 @@ pub struct TcpSender {
     // Pacing.
     next_send_at: Instant,
     ident: u16,
+    /// Reusable buffer for the ACK-covered segment sweep, so the
+    /// per-ACK hot path allocates nothing at steady state.
+    scratch_acked: Vec<u64>,
     /// Application-driven mode: the app may still [`TcpSender::offer`]
     /// more bytes, so a drained `app_limit` does not mean finished.
     app_open: bool,
@@ -159,6 +162,7 @@ impl TcpSender {
             acc_last: AccEcnCounters::default(),
             next_send_at: Instant::ZERO,
             ident: 0,
+            scratch_acked: Vec::new(),
             app_open: false,
             fast_retx: 0,
             rto_retx: 0,
@@ -326,11 +330,12 @@ impl TcpSender {
         })
     }
 
-    /// Emit new data while the window, application limit, and pacer allow.
-    fn emit_data(&mut self, now: Instant) -> Vec<PacketBuf> {
-        let mut out = Vec::new();
+    /// Emit new data while the window, application limit, and pacer
+    /// allow, appending to the caller's buffer (the per-event hot path,
+    /// so no allocation here).
+    fn emit_data_into(&mut self, now: Instant, out: &mut Vec<PacketBuf>) {
         if self.state != SenderState::Established {
-            return out;
+            return;
         }
         loop {
             let inflight = self.inflight_bytes();
@@ -361,14 +366,21 @@ impl TcpSender {
                 }
             }
         }
-        out
     }
 
     /// Handle an uplink packet from the client (SYN or ACK). Returns
     /// packets to transmit now.
     pub fn on_packet(&mut self, pkt: &PacketBuf, now: Instant) -> Vec<PacketBuf> {
+        let mut out = Vec::new();
+        self.on_packet_into(pkt, now, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`TcpSender::on_packet`]: transmissions
+    /// are appended to `out`.
+    pub fn on_packet_into(&mut self, pkt: &PacketBuf, now: Instant, out: &mut Vec<PacketBuf>) {
         let Some(hdr) = pkt.tcp_header() else {
-            return Vec::new();
+            return;
         };
         match self.state {
             SenderState::Listen => {
@@ -390,38 +402,36 @@ impl TcpSender {
                         ..TcpHeader::default()
                     };
                     let ident = self.next_ident();
-                    return vec![PacketBuf::tcp(
+                    out.push(PacketBuf::tcp(
                         self.cfg.local_ip,
                         self.cfg.remote_ip,
                         Ecn::NotEct, // control packets are not ECT (RFC 3168)
                         ident,
                         &synack,
                         0,
-                    )];
+                    ));
                 }
-                Vec::new()
             }
             SenderState::SynAckSent => {
                 if hdr.flags.contains(TcpFlags::ACK) && !hdr.flags.contains(TcpFlags::SYN) {
                     self.state = SenderState::Established;
                     self.snd_nxt = 0;
                     self.snd_una = 0;
-                    return self.emit_data(now);
+                    self.emit_data_into(now, out);
                 }
-                Vec::new()
             }
-            SenderState::Established => self.on_ack(&hdr, now),
+            SenderState::Established => self.on_ack_into(&hdr, now, out),
         }
     }
 
-    fn on_ack(&mut self, hdr: &TcpHeader, now: Instant) -> Vec<PacketBuf> {
+    fn on_ack_into(&mut self, hdr: &TcpHeader, now: Instant, out: &mut Vec<PacketBuf>) {
         if !hdr.flags.contains(TcpFlags::ACK) {
-            return Vec::new();
+            return;
         }
         // Reconstruct the 64-bit ack from the 32-bit field near snd_una.
         let ack = unwrap_seq(hdr.ack, self.snd_una);
         if ack > self.snd_nxt {
-            return Vec::new(); // acks data never sent: bogus, drop
+            return; // acks data never sent: bogus, drop
         }
         let mut newly_acked = 0u64;
         let mut rtt_sample = None;
@@ -429,15 +439,18 @@ impl TcpSender {
             newly_acked = ack - self.snd_una;
             self.snd_una = ack;
             self.dupacks = 0;
-            // Remove fully-covered segments.
-            let covered: Vec<u64> = self
-                .inflight
-                .range(..ack)
-                .filter(|(_, s)| s.end <= ack)
-                .map(|(&k, _)| k)
-                .collect();
+            // Remove fully-covered segments, collecting their keys into
+            // the reusable scratch buffer (borrow rules forbid removing
+            // while iterating a BTreeMap range).
+            let mut covered = std::mem::take(&mut self.scratch_acked);
+            covered.extend(
+                self.inflight
+                    .range(..ack)
+                    .filter(|(_, s)| s.end <= ack)
+                    .map(|(&k, _)| k),
+            );
             let mut newest: Option<SentSeg> = None;
-            for k in covered {
+            for &k in &covered {
                 let s = self.inflight.remove(&k).expect("listed");
                 self.bytes_in_flight -= (s.end - k) as usize;
                 if !s.is_retx {
@@ -447,6 +460,8 @@ impl TcpSender {
                     });
                 }
             }
+            covered.clear();
+            self.scratch_acked = covered;
             self.delivered += newly_acked;
             if let Some(s) = newest {
                 let rtt = now.saturating_since(s.sent_at);
@@ -500,8 +515,6 @@ impl TcpSender {
             EcnMode::None => {}
         }
 
-        let mut out = Vec::new();
-
         // --- Loss detection: three duplicate ACKs ---
         if self.dupacks >= 3 && !self.in_recovery {
             self.in_recovery = true;
@@ -534,8 +547,7 @@ impl TcpSender {
             self.cc.on_ack(&sample);
         }
 
-        out.extend(self.emit_data(now));
-        out
+        self.emit_data_into(now, out);
     }
 
     /// Rate sample: bytes delivered over the last smoothed RTT.
@@ -567,6 +579,14 @@ impl TcpSender {
     /// Timer poll: fires RTO retransmissions and releases paced segments.
     pub fn poll(&mut self, now: Instant) -> Vec<PacketBuf> {
         let mut out = Vec::new();
+        self.poll_into(now, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`TcpSender::poll`]: transmissions are
+    /// appended to `out`. This fires once per pacing/RTO timer event, so
+    /// the harness reuses one scratch buffer across all flows.
+    pub fn poll_into(&mut self, now: Instant, out: &mut Vec<PacketBuf>) {
         if let Some(deadline) = self.rto_deadline {
             if now >= deadline && !self.inflight.is_empty() {
                 self.rto_retx += 1;
@@ -585,8 +605,7 @@ impl TcpSender {
                 self.rto_deadline = Some(now + self.rto);
             }
         }
-        out.extend(self.emit_data(now));
-        out
+        self.emit_data_into(now, out);
     }
 
     /// Next instant this sender needs a `poll` (RTO deadline or pacing

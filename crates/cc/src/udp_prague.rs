@@ -102,6 +102,14 @@ impl UdpPragueSender {
     /// Emit datagrams due under the paced schedule.
     pub fn poll(&mut self, now: Instant) -> Vec<PacketBuf> {
         let mut out = Vec::new();
+        self.poll_into(now, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`UdpPragueSender::poll`]: datagrams are
+    /// appended to `out` (the per-pacing-tick hot path).
+    pub fn poll_into(&mut self, now: Instant, out: &mut Vec<PacketBuf>) {
+        let mut emitted = 0;
         while now >= self.next_send_at {
             self.ident = self.ident.wrapping_add(1);
             out.push(PacketBuf::udp(
@@ -123,11 +131,11 @@ impl UdpPragueSender {
                     self.probe_log.pop_front();
                 }
             }
-            if out.len() >= 64 {
+            emitted += 1;
+            if emitted >= 64 {
                 break; // bound burst size after long idle gaps
             }
         }
-        out
     }
 
     /// When the pacer next releases a datagram.

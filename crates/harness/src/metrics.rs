@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use l4span_sim::{stats::BoxStats, Duration, Instant};
+use l4span_sim::{stats::BoxStats, CycleStat, Duration, Instant};
 
 /// Per-packet delay breakdown (Fig. 10's stacked bars), in milliseconds.
 #[derive(Debug, Default, Clone, Copy)]
@@ -178,6 +178,12 @@ pub struct Report {
     /// Wall-clock nanoseconds spent inside marker event handlers,
     /// (dl, ul, feedback) — Fig. 21 / Table 1 material.
     pub marker_time_ns: (Vec<u64>, Vec<u64>, Vec<u64>),
+    /// Per-subsystem wall-clock totals recorded when
+    /// `ScenarioConfig::measure_cycles` was set (the `fig_breakdown`
+    /// attribution table); empty otherwise. Excluded from the
+    /// fingerprint for the same reason as `marker_time_ns`: wall-clock
+    /// readings legitimately vary between runs.
+    pub cycles: Vec<CycleStat>,
     /// Discrete events processed by the world's run loop (deterministic;
     /// the numerator of the perf gate's events/sec metric).
     pub events: u64,
@@ -383,8 +389,8 @@ impl Report {
     /// for determinism tests: two runs of the same seeded scenario must
     /// produce identical fingerprints.
     ///
-    /// `marker_time_ns` is excluded (it measures wall-clock time inside
-    /// the marker, which legitimately varies between runs), and
+    /// `marker_time_ns` and `cycles` are excluded (they measure
+    /// wall-clock time, which legitimately varies between runs), and
     /// `queue_series` is emitted in sorted key order so the digest does
     /// not depend on hash-map iteration order. Floats are formatted with
     /// `{:?}` (shortest round-trip), so equal fingerprints imply

@@ -465,6 +465,15 @@ pub struct ScenarioConfig {
     /// Fig. 21 / Table 1 instrumentation; off by default as it perturbs
     /// nothing but costs two clock reads per packet).
     pub measure_marker_time: bool,
+    /// Record per-subsystem wall-clock cycle totals (gNB slot tick, UE
+    /// stacks, UL grant/BSR path, marker, wired core, transport,
+    /// metrics bookkeeping) into [`crate::Report::cycles`] via a
+    /// [`l4span_sim::CycleScope`]. The attribution tool behind the
+    /// `fig_breakdown` bench bin; off by default — a disabled scope
+    /// costs one predictable branch per span — and, like
+    /// `measure_marker_time`, it reads only the OS clock, so enabling
+    /// it never changes a fingerprint.
+    pub measure_cycles: bool,
     /// **Deprecated** single-cell shim: mid-run channel replacements as
     /// (time, ue index, new profile, new mean SNR dB), applied to the
     /// UE's *serving* cell. Equivalent to a [`MobilityStep`] naming the
@@ -490,6 +499,7 @@ impl ScenarioConfig {
             bottleneck: None,
             thr_bin: Duration::from_millis(100),
             measure_marker_time: false,
+            measure_cycles: false,
             channel_events: Vec::new(),
         }
     }

@@ -20,12 +20,35 @@ use l4span_ran::ids::Qfi;
 use l4span_ran::mac::TransportBlock;
 use l4span_ran::rlc::RlcStatus;
 use l4span_ran::{DlDataDeliveryStatus, DrbId, Gnb, SlotOutput, UeId, UeStack, UlTbOutcome};
-use l4span_sim::{Duration, EventQueue, FxHashMap, Instant, SimRng};
+use l4span_sim::{CycleScope, Duration, EventQueue, FxHashMap, Instant, SimRng};
 
 use crate::app::{AppProfile, AppUnit, Application, UnitKind};
 use crate::marker::Marker;
 use crate::metrics::{Breakdown, BreakdownAvg, HandoverRecord, Report};
 use crate::scenario::{BottleneckSpec, FlowDir, ScenarioConfig, TransportSpec};
+
+/// Subsystem labels of the world's [`CycleScope`] (the `fig_breakdown`
+/// attribution table). Indices are the `CYC_*` constants below; spans
+/// are non-overlapping, so their sum plus the untracked event-loop glue
+/// (scheduling, tuple lookups, dispatch) accounts for the whole run.
+pub const CYCLE_LABELS: &[&str] = &[
+    "gnb",         // gNB slot tick + downlink RLC enqueue
+    "marker",      // both L4Span instances: DL/UL hooks + feedback
+    "ue_stack",    // UE RLC rx/tx entities, polls, UL status handling
+    "ul_control",  // UL grant/BSR/status path + per-UE uplink-slot scan
+    "wired_core",  // wired-bottleneck router hops
+    "transport",   // endpoint senders/receivers (TCP/SCReAM/Prague)
+    "metrics",     // QoE/series/ground-truth bookkeeping + sample tick
+    "event_queue", // event pop + box recycling in the run loop
+];
+const CYC_GNB: usize = 0;
+const CYC_MARKER: usize = 1;
+const CYC_UE: usize = 2;
+const CYC_UL: usize = 3;
+const CYC_WIRED: usize = 4;
+const CYC_TRANSPORT: usize = 5;
+const CYC_METRICS: usize = 6;
+const CYC_QUEUE: usize = 7;
 
 /// UE IP block.
 fn ue_ip(i: usize) -> u32 {
@@ -203,6 +226,10 @@ pub struct World {
     ul_pool: Vec<UlBatch>,
     /// Scratch buffer for draining SCReAM frame marks (reused).
     mark_scratch: Vec<FrameMark>,
+    /// Reused buffer for sender-released packets (poll/ACK hot paths).
+    scratch_pkts: Vec<PacketBuf>,
+    /// Reused buffer for UE app deliveries (the per-TB hot path).
+    scratch_app_deliv: Vec<l4span_ran::ue::AppDelivery>,
     /// Reused per-UL-slot grant buffer: (ue, granted bytes, cqi).
     scratch_grants: Vec<(UeId, usize, u8)>,
     /// Reused buffer for UE-side granted-bytes feedback messages.
@@ -266,6 +293,10 @@ pub struct World {
     ho_tbs_lost: u64,
     /// Events processed by `run` (perf-gate denominator).
     events: u64,
+    /// Per-subsystem cycle accounting (disabled unless
+    /// `ScenarioConfig::measure_cycles`; a disabled scope costs one
+    /// predictable branch per span).
+    cycles: CycleScope,
 }
 
 impl World {
@@ -519,6 +550,11 @@ impl World {
         // derived (purely) from the root, so constructing it perturbs
         // nothing in downlink-only scenarios.
         let ul_marker = Marker::new(&cfg.marker.uplink(), root.derive(4));
+        let cycles = if cfg.measure_cycles {
+            CycleScope::new(CYCLE_LABELS)
+        } else {
+            CycleScope::disabled()
+        };
         let mut w = World {
             cfg,
             queue: EventQueue::with_capacity(1024 + 128 * n),
@@ -539,6 +575,8 @@ impl World {
             slot_out: SlotOutput::default(),
             ul_pool: Vec::new(),
             mark_scratch: Vec::new(),
+            scratch_pkts: Vec::new(),
+            scratch_app_deliv: Vec::new(),
             scratch_grants: Vec::new(),
             scratch_ul_f1u: Vec::new(),
             scratch_ul_statuses: Vec::new(),
@@ -572,6 +610,7 @@ impl World {
             marker_time: (Vec::new(), Vec::new(), Vec::new()),
             ho_tbs_lost: 0,
             events: 0,
+            cycles,
         };
         for cell in 0..n_cells {
             w.sched(Instant::ZERO, Event::Slot { cell });
@@ -641,10 +680,12 @@ impl World {
             if at > end {
                 break;
             }
+            let t0 = self.cycles.start();
             let (now, mut bx) = self.queue.pop().expect("peeked");
             // Recycle the box: move the event out, keep the allocation.
             let ev = std::mem::replace(&mut *bx, Event::Nop);
             self.pool.push(bx);
+            self.cycles.stop(t0, CYC_QUEUE);
             self.events += 1;
             self.handle(ev, now);
         }
@@ -660,14 +701,18 @@ impl World {
             Event::Nop => {}
             Event::Slot { cell } => self.on_slot(cell, now),
             Event::DlAtRouter { pkt } => {
+                let t0 = self.cycles.start();
                 if let Some(r) = &mut self.router {
                     r.enqueue(pkt, now);
                 }
                 self.drain_router(now);
+                self.cycles.stop(t0, CYC_WIRED);
             }
             Event::RouterPoll => {
+                let t0 = self.cycles.start();
                 self.router_poll_at = Instant::MAX;
                 self.drain_router(now);
+                self.cycles.stop(t0, CYC_WIRED);
             }
             Event::RouterRate { bps } => {
                 if let Some(r) = &mut self.router {
@@ -685,8 +730,11 @@ impl World {
                     self.ho_tbs_lost += 1;
                     return;
                 }
-                let deliveries = self.ues[ue].on_transport_block(tb, now);
-                for d in deliveries {
+                let t0 = self.cycles.start();
+                let mut deliveries = std::mem::take(&mut self.scratch_app_deliv);
+                let segs = self.ues[ue].on_transport_block_into(tb, now, &mut deliveries);
+                self.gnbs[cell].recycle_segments(segs);
+                for d in deliveries.drain(..) {
                     self.sched(
                         d.deliver_at,
                         Event::AppDeliver {
@@ -695,6 +743,8 @@ impl World {
                         },
                     );
                 }
+                self.scratch_app_deliv = deliveries;
+                self.cycles.stop(t0, CYC_UE);
             }
             Event::AppDeliver { pkt, t_cu_ingress } => {
                 self.on_app_deliver(pkt, t_cu_ingress, now)
@@ -707,7 +757,9 @@ impl World {
                 // The UE's transmit entity survives handover (it
                 // re-establishes in place), so a status from the old
                 // cell lands safely: unknown SNs are ignored by ARQ.
+                let t0 = self.cycles.start();
                 let _ = self.ues[ue].on_ul_status(drb, &status, now);
+                self.cycles.stop(t0, CYC_UE);
                 self.feed_ul_marker_feedback(ue, now);
             }
             Event::UlAtServer { flow, pkt } => self.on_ul_at_server(flow, pkt, now),
@@ -727,20 +779,23 @@ impl World {
                 if !self.flows[flow].started {
                     return;
                 }
-                let outs = match &mut self.flows[flow].endpoint {
-                    Endpoint::Tcp { sender, .. } => sender.poll(now),
+                let mut outs = std::mem::take(&mut self.scratch_pkts);
+                let t0 = self.cycles.start();
+                match &mut self.flows[flow].endpoint {
+                    Endpoint::Tcp { sender, .. } => sender.poll_into(now, &mut outs),
                     Endpoint::Scream { sender, .. } => {
-                        let outs = sender.poll(now);
+                        sender.poll_into(now, &mut outs);
                         sender.take_frame_marks_into(&mut self.mark_scratch);
-                        outs
                     }
-                    Endpoint::UdpPrague { sender, .. } => sender.poll(now),
-                };
+                    Endpoint::UdpPrague { sender, .. } => sender.poll_into(now, &mut outs),
+                }
+                self.cycles.stop(t0, CYC_TRANSPORT);
                 self.register_frame_marks(flow);
                 match self.flows[flow].dir {
-                    FlowDir::Downlink => self.route_dl(flow, outs, now),
-                    FlowDir::Uplink => self.send_ul_data(flow, outs, now),
+                    FlowDir::Downlink => self.route_dl(flow, &mut outs, now),
+                    FlowDir::Uplink => self.send_ul_data(flow, &mut outs, now),
                 }
+                self.scratch_pkts = outs;
                 self.reschedule_timer(flow, now);
             }
             Event::AppTick { flow } => self.on_app_tick(flow, now),
@@ -754,13 +809,19 @@ impl World {
             Event::Handover { ue, target_cell, profile, snr_db } => {
                 self.on_handover(ue, target_cell, profile, snr_db, now)
             }
-            Event::Sample => self.on_sample(now),
+            Event::Sample => {
+                let t0 = self.cycles.start();
+                self.on_sample(now);
+                self.cycles.stop(t0, CYC_METRICS);
+            }
             Event::UePoll => {
                 // Only UEs with UM DRBs have reassembly timers to run.
+                let t0 = self.cycles.start();
+                let mut deliveries = std::mem::take(&mut self.scratch_app_deliv);
                 for k in 0..self.um_ues.len() {
                     let i = self.um_ues[k];
-                    let deliveries = self.ues[i].poll(now);
-                    for d in deliveries {
+                    self.ues[i].poll_into(now, &mut deliveries);
+                    for d in deliveries.drain(..) {
                         self.sched(
                             d.deliver_at,
                             Event::AppDeliver {
@@ -770,10 +831,13 @@ impl World {
                         );
                     }
                 }
+                self.scratch_app_deliv = deliveries;
+                self.cycles.stop(t0, CYC_UE);
                 // Flush feedback reports suppressed by the prohibit
                 // interval (UDP receivers have no ack clock of their own;
                 // without this a window-limited sender can deadlock).
                 // Only UDP endpoints ever have anything to flush.
+                let t0 = self.cycles.start();
                 for k in 0..self.udp_flows.len() {
                     let flow = self.udp_flows[k];
                     let f = &mut self.flows[flow];
@@ -801,6 +865,7 @@ impl World {
                         }
                     }
                 }
+                self.cycles.stop(t0, CYC_TRANSPORT);
                 // UM uplink bearers: run the gNB-side reassembly-timeout
                 // skip so a lost uplink SDU does not stall later ones.
                 if self.has_um_ul {
@@ -808,7 +873,9 @@ impl World {
                     for cell in 0..self.gnbs.len() {
                         let core = self.gnbs[cell].config().core_to_cu_delay;
                         skipped.clear();
+                        let t0 = self.cycles.start();
                         self.gnbs[cell].poll_ul_rx_into(now, &mut skipped);
+                        self.cycles.stop(t0, CYC_UL);
                         for (_ue, _drb, d) in skipped.drain(..) {
                             self.forward_ul_to_server(d.pkt, core, now);
                         }
@@ -904,12 +971,17 @@ impl World {
         // Reuse the slot-output buffers across slots (taken out of self
         // so the marker/metrics borrows below stay disjoint).
         let mut out = std::mem::take(&mut self.slot_out);
+        let c0 = self.cycles.start();
         self.gnbs[cell].on_slot_into(now, &mut out);
+        self.cycles.stop(c0, CYC_GNB);
         for msg in &out.f1u {
+            let c0 = self.cycles.start();
             let t0 = self.clock_start();
             self.marker.on_feedback(msg, now);
             self.clock_stop(t0, 2);
+            self.cycles.stop(c0, CYC_MARKER);
         }
+        let c0 = self.cycles.start();
         for (ue, drb, rec) in &out.txed_records {
             let watermark = self.gt_watermark.entry((ue.0, drb.0)).or_insert(0);
             if rec.sn >= *watermark {
@@ -925,15 +997,20 @@ impl World {
                 self.breakdown_pending.insert((flow, ident), (queuing, sched));
             }
         }
+        self.cycles.stop(c0, CYC_METRICS);
+        let c0 = self.cycles.start();
         for d in out.deliveries.drain(..) {
             let ue = d.tb.ue.0 as usize;
             self.sched(d.deliver_at, Event::TbAtUe { cell, ue, tb: d.tb });
         }
+        self.cycles.stop(c0, CYC_GNB);
         if self.has_ul_data {
             // Uplink RLC AM statuses ride the downlink control channel
             // on their own cadence (any slot role).
             let air = self.gnbs[cell].config().slot_duration;
-            self.scratch_ul_statuses.clear();
+            let c0 = self.cycles.start();
+            // `drain(..)` below leaves the scratch vec empty, so the
+            // take hands `ul_statuses_into` a clean buffer as-is.
             let mut statuses = std::mem::take(&mut self.scratch_ul_statuses);
             self.gnbs[cell].ul_statuses_into(now, &mut statuses);
             for (ue_id, drb, status) in statuses.drain(..) {
@@ -943,6 +1020,7 @@ impl World {
                 );
             }
             self.scratch_ul_statuses = statuses;
+            self.cycles.stop(c0, CYC_UL);
         }
         if out.role == Some(SlotRole::Uplink) {
             let air = self.gnbs[cell].config().slot_duration;
@@ -952,23 +1030,37 @@ impl World {
                 // reports; each granted UE packs a transport block that
                 // never exceeds its TBS and transmits it this slot.
                 let mut grants = std::mem::take(&mut self.scratch_grants);
+                let c0 = self.cycles.start();
                 self.gnbs[cell].allocate_ul_grants_into(now, &mut grants);
+                self.cycles.stop(c0, CYC_UL);
                 for &(ue_id, bytes, cqi) in &grants {
                     let i = ue_id.0 as usize;
                     if self.serving[i] != cell {
                         continue;
                     }
+                    let c0 = self.cycles.start();
                     if let Some(tb) = self.ues[i].build_ul_tb(bytes, cqi, now) {
                         self.sched(now + air, Event::UlTbAtGnb { cell, ue: i, tb });
                     }
+                    self.cycles.stop(c0, CYC_UE);
                     // Granted-bytes history → the uplink marker's
                     // delay predictor (the UE-side F1-U mirror).
                     self.feed_ul_marker_feedback(i, now);
                 }
                 self.scratch_grants = grants;
             }
+            let c0 = self.cycles.start();
             for i in 0..self.ues.len() {
                 if self.serving[i] != cell {
+                    continue;
+                }
+                // Quiet-UE fast path: a UE with nothing to transmit and
+                // no status/BSR state transition due this slot is skipped
+                // before any pool churn. `ul_slot_pending` is an exact
+                // predicate — it returns true whenever any of the calls
+                // below would emit *or mutate*, so skipping is
+                // behaviour-identical (asserted by a harness test).
+                if !self.ues[i].ul_slot_pending(now, self.has_ul_data) {
                     continue;
                 }
                 let (mut pkts, mut statuses, mut bsr) =
@@ -986,6 +1078,7 @@ impl World {
                     self.ul_pool.push((pkts, statuses, bsr));
                 }
             }
+            self.cycles.stop(c0, CYC_UL);
         }
         self.slot_out = out;
         self.sched(
@@ -1005,9 +1098,11 @@ impl World {
         // per-SDU breakdown is never consumed.
         let dl = self.flows[flow].dir == FlowDir::Downlink;
         let ident = pkt.identification();
+        let c0 = self.cycles.start();
         let t0 = self.clock_start();
         let verdict = self.marker.on_dl(ue_id, drb, &mut pkt, now);
         self.clock_stop(t0, 0);
+        self.cycles.stop(c0, CYC_MARKER);
         if verdict == DlVerdict::Drop {
             if dl {
                 self.flows[flow].sent_at.remove(&ident);
@@ -1015,6 +1110,7 @@ impl World {
             return;
         }
         let cell = self.serving[self.flows[flow].ue_idx];
+        let c0 = self.cycles.start();
         match self.gnbs[cell].enqueue_downlink(ue_id, qfi, pkt, now) {
             Some((drb, sn)) => {
                 if dl {
@@ -1028,6 +1124,7 @@ impl World {
                 }
             }
         }
+        self.cycles.stop(c0, CYC_GNB);
     }
 
     fn on_app_deliver(&mut self, pkt: PacketBuf, t_cu_ingress: Instant, now: Instant) {
@@ -1051,6 +1148,7 @@ impl World {
         let ident = pkt.identification();
         let payload = pkt.payload_len();
         let ue = self.flows[flow].ue_idx;
+        let c0 = self.cycles.start();
         if let Some(sent) = self.flows[flow].sent_at.remove(&ident) {
             let owd = now.saturating_since(sent).as_millis_f64();
             if payload > 0 {
@@ -1076,8 +1174,10 @@ impl World {
                 });
             }
         }
+        self.cycles.stop(c0, CYC_METRICS);
         let _ = t_cu_ingress;
         // Hand to the client endpoint.
+        let c0 = self.cycles.start();
         let mut tcp_watermark = None;
         match &mut self.flows[flow].endpoint {
             Endpoint::Tcp { receiver, .. } => {
@@ -1102,7 +1202,10 @@ impl World {
                 }
             }
         }
+        self.cycles.stop(c0, CYC_TRANSPORT);
+        let c0 = self.cycles.start();
         self.complete_stream_units(flow, tcp_watermark, ident, now);
+        self.cycles.stop(c0, CYC_METRICS);
     }
 
     /// Application-level QoE at the data-direction receiver (the UE for
@@ -1151,11 +1254,13 @@ impl World {
         // buffered; a report addressed to a cell the UE already left
         // dies with it (the re-armed post-handover BSR replaces it).
         if !bsr.is_empty() {
+            let c0 = self.cycles.start();
             if self.serving[ue] == cell {
                 let total: usize = bsr.iter().map(|&(_, b)| b).sum();
                 self.gnbs[cell].on_ul_bsr(ue_id, total);
             }
             bsr.clear();
+            self.cycles.stop(c0, CYC_UL);
         }
         // RLC status reports are addressed to the cell the UE transmitted
         // toward; if it handed over while they were on the air, that
@@ -1163,11 +1268,15 @@ impl World {
         // post-handover status resynchronises the target instead).
         if self.serving[ue] == cell {
             for (drb, st) in statuses.drain(..) {
+                let c0 = self.cycles.start();
                 let (_records, f1u) = self.gnbs[cell].on_rlc_status(ue_id, drb, &st, now);
+                self.cycles.stop(c0, CYC_UL);
                 if let Some(msg) = f1u {
+                    let c0 = self.cycles.start();
                     let t0 = self.clock_start();
                     self.marker.on_feedback(&msg, now);
                     self.clock_stop(t0, 2);
+                    self.cycles.stop(c0, CYC_MARKER);
                 }
             }
         } else {
@@ -1177,9 +1286,11 @@ impl World {
         // left; they continue to the core (and the CU marker) either way.
         let core = self.gnbs[cell].config().core_to_cu_delay;
         for mut pkt in pkts.drain(..) {
+            let c0 = self.cycles.start();
             let t0 = self.clock_start();
             self.marker.on_ul(&mut pkt, now);
             self.clock_stop(t0, 1);
+            self.cycles.stop(c0, CYC_MARKER);
             let Some(tuple) = pkt.five_tuple() else { continue };
             let Some(&flow) = self.tuple_to_flow.get(&tuple.reversed()) else {
                 continue;
@@ -1200,7 +1311,10 @@ impl World {
             self.ho_tbs_lost += 1;
             return;
         }
-        match self.gnbs[cell].receive_ul_tb(tb, now) {
+        let c0 = self.cycles.start();
+        let outcome = self.gnbs[cell].receive_ul_tb(tb, now);
+        self.cycles.stop(c0, CYC_UL);
+        match outcome {
             UlTbOutcome::Retx(tb) => {
                 let rtt = self.gnbs[cell].config().harq_rtt;
                 self.sched(now + rtt, Event::UlTbAtGnb { cell, ue, tb });
@@ -1219,9 +1333,11 @@ impl World {
     /// server, through the CU (where the downlink marker's uplink hook
     /// sees it, like every packet heading for the core).
     fn forward_ul_to_server(&mut self, mut pkt: PacketBuf, core: Duration, now: Instant) {
+        let c0 = self.cycles.start();
         let t0 = self.clock_start();
         self.marker.on_ul(&mut pkt, now);
         self.clock_stop(t0, 1);
+        self.cycles.stop(c0, CYC_MARKER);
         let Some(tuple) = pkt.five_tuple() else {
             return;
         };
@@ -1237,13 +1353,18 @@ impl World {
     /// delivery watermarks — the granted-bytes feedback stream that
     /// plays the role F1-U telemetry plays for the CU-side instance.
     fn feed_ul_marker_feedback(&mut self, ue: usize, now: Instant) {
-        self.scratch_ul_f1u.clear();
+        // The trailing `clear()` below returns the buffer empty, so the
+        // take needs no second reset here.
         let mut f1u = std::mem::take(&mut self.scratch_ul_f1u);
+        let c0 = self.cycles.start();
         self.ues[ue].ul_f1u_into(now, &mut f1u);
+        self.cycles.stop(c0, CYC_UL);
         for msg in &f1u {
+            let c0 = self.cycles.start();
             let t0 = self.clock_start();
             self.ul_marker.on_feedback(msg, now);
             self.clock_stop(t0, 2);
+            self.cycles.stop(c0, CYC_MARKER);
         }
         f1u.clear();
         self.scratch_ul_f1u = f1u;
@@ -1253,20 +1374,27 @@ impl World {
     /// marker sees each packet at queue ingress (event 1, mirrored),
     /// then PDCP numbers it and RLC queues it for grant-driven
     /// transmission. Send times are registered for uplink OWD.
-    fn send_ul_data(&mut self, flow: usize, pkts: Vec<PacketBuf>, now: Instant) {
-        for mut pkt in pkts {
+    /// Queue sender-released packets onto the uplink bearer. Drains
+    /// `pkts` so callers can reuse the buffer.
+    fn send_ul_data(&mut self, flow: usize, pkts: &mut Vec<PacketBuf>, now: Instant) {
+        for mut pkt in pkts.drain(..) {
             let ident = pkt.identification();
             let (ue, ue_id, drb) = {
                 let f = &self.flows[flow];
                 (f.ue_idx, f.ue_id, f.drb)
             };
+            let c0 = self.cycles.start();
             let t0 = self.clock_start();
             let verdict = self.ul_marker.on_dl(ue_id, drb, &mut pkt, now);
             self.clock_stop(t0, 0);
+            self.cycles.stop(c0, CYC_MARKER);
             if verdict == DlVerdict::Drop {
                 continue;
             }
-            if self.ues[ue].enqueue_uplink_data(drb, pkt, now).is_some() {
+            let c0 = self.cycles.start();
+            let queued = self.ues[ue].enqueue_uplink_data(drb, pkt, now).is_some();
+            self.cycles.stop(c0, CYC_UE);
+            if queued {
                 self.flows[flow].sent_at.insert(ident, now);
             }
         }
@@ -1276,25 +1404,34 @@ impl World {
         if self.flows[flow].dir == FlowDir::Uplink {
             return self.on_ul_data_at_server(flow, pkt, now);
         }
-        let outs = self.drive_sender(flow, &pkt, now);
-        self.route_dl(flow, outs, now);
+        let mut outs = std::mem::take(&mut self.scratch_pkts);
+        self.drive_sender_into(flow, &pkt, now, &mut outs);
+        self.route_dl(flow, &mut outs, now);
+        self.scratch_pkts = outs;
         self.reschedule_timer(flow, now);
     }
 
     /// Feed one arriving feedback packet to the flow's sender —
     /// wherever it lives (content server for downlink flows, the UE for
     /// uplink ones) — recording RTT samples, completion, frame marks,
-    /// and the application rate-adaptation hook. Returns the data
-    /// packets the sender released; the caller routes them in the
-    /// flow's data direction.
-    fn drive_sender(&mut self, flow: usize, pkt: &PacketBuf, now: Instant) -> Vec<PacketBuf> {
+    /// and the application rate-adaptation hook. The data packets the
+    /// sender released are appended to `outs`; the caller routes them
+    /// in the flow's data direction.
+    fn drive_sender_into(
+        &mut self,
+        flow: usize,
+        pkt: &PacketBuf,
+        now: Instant,
+        outs: &mut Vec<PacketBuf>,
+    ) {
         let ident = pkt.identification();
         let f = &mut self.flows[flow];
         let fb = f.fb_pending.remove(&ident);
         let mut rate_estimate = None;
-        let outs = match &mut f.endpoint {
+        let c0 = self.cycles.start();
+        match &mut f.endpoint {
             Endpoint::Tcp { sender, .. } => {
-                let outs = sender.on_packet(pkt, now);
+                sender.on_packet_into(pkt, now, outs);
                 if let Some(srtt) = sender.srtt() {
                     self.rtt_ms[flow].push(srtt.as_millis_f64());
                     self.rtt_at_s[flow].push(now.as_secs_f64());
@@ -1303,7 +1440,6 @@ impl World {
                     f.finished_at = Some(now);
                 }
                 rate_estimate = sender.rate_estimate_bps();
-                outs
             }
             Endpoint::Scream { sender, .. } => {
                 if let Some(FbData::Scream(fb)) = fb {
@@ -1311,9 +1447,8 @@ impl World {
                     self.rtt_ms[flow].push(sender.srtt().as_millis_f64());
                     self.rtt_at_s[flow].push(now.as_secs_f64());
                 }
-                let outs = sender.poll(now);
+                sender.poll_into(now, outs);
                 sender.take_frame_marks_into(&mut self.mark_scratch);
-                outs
             }
             Endpoint::UdpPrague { sender, .. } => {
                 if let Some(FbData::Prague(fb)) = fb {
@@ -1323,9 +1458,10 @@ impl World {
                         self.rtt_at_s[flow].push(now.as_secs_f64());
                     }
                 }
-                sender.poll(now)
+                sender.poll_into(now, outs);
             }
-        };
+        }
+        self.cycles.stop(c0, CYC_TRANSPORT);
         self.register_frame_marks(flow);
         // Rate-adaptation hook: let a driving application (e.g. a video
         // encoder over TCP) track what its transport can sustain.
@@ -1336,7 +1472,6 @@ impl World {
                 self.resched_app(flow, now);
             }
         }
-        outs
     }
 
     /// Uplink data arrives at the content server: record uplink OWD and
@@ -1386,8 +1521,10 @@ impl World {
     /// sender — the uplink mirror of the downlink `on_ul_at_server` —
     /// and queue the released data onto the uplink bearer.
     fn on_ul_feedback_at_ue(&mut self, flow: usize, pkt: PacketBuf, now: Instant) {
-        let outs = self.drive_sender(flow, &pkt, now);
-        self.send_ul_data(flow, outs, now);
+        let mut outs = std::mem::take(&mut self.scratch_pkts);
+        self.drive_sender_into(flow, &pkt, now, &mut outs);
+        self.send_ul_data(flow, &mut outs, now);
+        self.scratch_pkts = outs;
         self.reschedule_timer(flow, now);
     }
 
@@ -1445,14 +1582,15 @@ impl World {
                 }
                 self.flows[flow].pending_units.extend(offer.units);
                 if self.flows[flow].started {
-                    let outs = match &mut self.flows[flow].endpoint {
-                        Endpoint::Tcp { sender, .. } => sender.poll(now),
-                        _ => Vec::new(),
-                    };
-                    match self.flows[flow].dir {
-                        FlowDir::Downlink => self.route_dl(flow, outs, now),
-                        FlowDir::Uplink => self.send_ul_data(flow, outs, now),
+                    let mut outs = std::mem::take(&mut self.scratch_pkts);
+                    if let Endpoint::Tcp { sender, .. } = &mut self.flows[flow].endpoint {
+                        sender.poll_into(now, &mut outs);
                     }
+                    match self.flows[flow].dir {
+                        FlowDir::Downlink => self.route_dl(flow, &mut outs, now),
+                        FlowDir::Uplink => self.send_ul_data(flow, &mut outs, now),
+                    }
+                    self.scratch_pkts = outs;
                     self.reschedule_timer(flow, now);
                 }
             }
@@ -1560,9 +1698,10 @@ impl World {
     }
 
     /// Register send times and push packets onto the WAN (and through
-    /// the wired bottleneck when configured).
-    fn route_dl(&mut self, flow: usize, pkts: Vec<PacketBuf>, now: Instant) {
-        for pkt in pkts {
+    /// the wired bottleneck when configured). Drains `pkts` so callers
+    /// can reuse the buffer.
+    fn route_dl(&mut self, flow: usize, pkts: &mut Vec<PacketBuf>, now: Instant) {
+        for pkt in pkts.drain(..) {
             self.route_dl_pkt(flow, pkt, now);
         }
     }
@@ -1617,11 +1756,13 @@ impl World {
     }
 
     fn reschedule_timer(&mut self, flow: usize, now: Instant) {
+        let c0 = self.cycles.start();
         let na = match &self.flows[flow].endpoint {
             Endpoint::Tcp { sender, .. } => sender.next_activity(),
             Endpoint::Scream { sender, .. } => Some(sender.next_activity()),
             Endpoint::UdpPrague { sender, .. } => Some(sender.next_activity()),
         };
+        self.cycles.stop(c0, CYC_TRANSPORT);
         if let Some(at) = na {
             // Record the *clamped* instant: a past-due `next_activity`
             // fires at `now`, and bookkeeping an earlier time would
@@ -1806,6 +1947,7 @@ impl World {
             harq_retx: g.harq_retx,
             marker_memory,
             marker_time_ns: self.marker_time,
+            cycles: self.cycles.report(),
             events: self.events,
         }
     }

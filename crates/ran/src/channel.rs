@@ -91,11 +91,13 @@ pub struct FadingChannel {
     paths: [PathCoef; N_PATHS],
     /// Static-profile shadowing offset in dB.
     static_offset_db: f64,
-    /// Two-entry memo of recent grid-point power gains, keyed by
+    /// Two-entry memo of recent grid-point SNRs in dB, keyed by
     /// `quantized_nanos + 1` (0 = empty). Consecutive slots usually land
-    /// on the same grid point, so most samples are a cache hit. Purely a
-    /// cache: the stored value is exactly what recomputation would give,
-    /// so `snr_db` stays a pure function of time.
+    /// on the same grid point, so most samples are a cache hit — and
+    /// caching the finished dB value (rather than the linear gain) keeps
+    /// the `log10` off the hit path too. Purely a cache: the stored
+    /// value is exactly what recomputation would give, so `snr_db` stays
+    /// a pure function of time.
     gain_cache: core::cell::Cell<[(u64, f64); 2]>,
 }
 
@@ -177,16 +179,16 @@ impl FadingChannel {
         let q = at.as_nanos() - at.as_nanos() % SAMPLE_PERIOD_NANOS;
         let key = q + 1;
         let cache = self.gain_cache.get();
-        let g = if cache[0].0 == key {
-            cache[0].1
-        } else if cache[1].0 == key {
-            cache[1].1
-        } else {
-            let g = self.power_gain(Instant::from_nanos(q));
-            self.gain_cache.set([(key, g), cache[0]]);
-            g
-        };
-        self.mean_snr_db + 10.0 * g.max(1e-9).log10()
+        if cache[0].0 == key {
+            return cache[0].1;
+        }
+        if cache[1].0 == key {
+            return cache[1].1;
+        }
+        let g = self.power_gain(Instant::from_nanos(q));
+        let db = self.mean_snr_db + 10.0 * g.max(1e-9).log10();
+        self.gain_cache.set([(key, db), cache[0]]);
+        db
     }
 }
 

@@ -31,7 +31,7 @@ use crate::mac::{self, Candidate, TransportBlock};
 use crate::pdcp::PdcpTx;
 use crate::phy;
 use crate::rlc::{
-    DeliveryRecord, ForwardedSdu, RlcRx, RlcStatus, RlcTx, RxDelivery, Sn, TxRecord,
+    DeliveryRecord, ForwardedSdu, RlcRx, RlcStatus, RlcTx, RxDelivery, Segment, Sn, TxRecord,
 };
 use crate::sdap::SdapEntity;
 
@@ -200,6 +200,16 @@ pub struct Gnb {
     scratch_cqis: Vec<(UeId, u8)>,
     scratch_served: Vec<(UeId, usize)>,
     scratch_txed: Vec<TxRecord>,
+    /// Spare buffer ping-ponged with `pending_harq` each slot so the
+    /// retransmission sweep reallocates nothing at steady state.
+    scratch_harq: Vec<PendingHarq>,
+    /// Pool of emptied TB segment buffers. TBs are built from here and
+    /// consumers hand the drained buffers back via
+    /// [`Gnb::recycle_segments`], so steady-state TB construction does
+    /// not touch the allocator.
+    segment_pool: Vec<Vec<(DrbId, Segment)>>,
+    /// Reusable RLC-delivery scratch for the uplink TB decode path.
+    scratch_rx: Vec<RxDelivery>,
 }
 
 impl Gnb {
@@ -219,6 +229,19 @@ impl Gnb {
             scratch_cqis: Vec::new(),
             scratch_served: Vec::new(),
             scratch_txed: Vec::new(),
+            scratch_harq: Vec::new(),
+            segment_pool: Vec::new(),
+            scratch_rx: Vec::new(),
+        }
+    }
+
+    /// Return an emptied TB segment buffer to the pool (see
+    /// [`Gnb::on_slot_into`]'s TB construction). Bounded so a burst
+    /// cannot pin memory.
+    pub fn recycle_segments(&mut self, mut v: Vec<(DrbId, Segment)>) {
+        v.clear();
+        if self.segment_pool.len() < 64 {
+            self.segment_pool.push(v);
         }
     }
 
@@ -503,8 +526,9 @@ impl Gnb {
         let deliver_at = now + self.cfg.slot_duration;
 
         // --- 1. HARQ retransmissions first (they own their resources) ---
-        let mut still_pending = Vec::new();
-        for mut p in std::mem::take(&mut self.pending_harq) {
+        let mut pending = std::mem::take(&mut self.pending_harq);
+        let mut still_pending = std::mem::take(&mut self.scratch_harq);
+        for mut p in pending.drain(..) {
             if p.retx_at > now || p.rbgs > rbgs_left {
                 still_pending.push(p);
                 continue;
@@ -520,6 +544,7 @@ impl Gnb {
                 if p.tb.attempt >= self.cfg.harq_max_attempts {
                     self.stats.tbs_lost += 1;
                     out.lost_tbs += 1;
+                    self.recycle_segments(p.tb.segments);
                 } else {
                     p.retx_at = now + self.cfg.harq_rtt;
                     still_pending.push(p);
@@ -532,6 +557,7 @@ impl Gnb {
             }
         }
         self.pending_harq = still_pending;
+        self.scratch_harq = pending;
 
         // --- 2. Link adaptation + scheduling for new data ---
         let stale_at = Instant::from_nanos(
@@ -584,8 +610,9 @@ impl Gnb {
             let ctx = self.ues.get_mut(&ue).expect("granted UE exists");
             let budget = budget * usize::from(ctx.ca_factor);
             let n_drbs = ctx.drb_ids.len();
-            // Small TBs carry 1–2 segments; 4 avoids regrowth in practice.
-            let mut segments = Vec::with_capacity(4);
+            // Pooled buffer (small TBs carry 1–2 segments; pooled vecs
+            // keep their grown capacity, so no regrowth in practice).
+            let mut segments = self.segment_pool.pop().unwrap_or_default();
             let mut left = budget;
             for k in 0..n_drbs {
                 if left <= self.cfg.segment_overhead {
@@ -606,6 +633,7 @@ impl Gnb {
             }
             ctx.drb_cursor = (ctx.drb_cursor + 1) % n_drbs.max(1);
             if segments.is_empty() {
+                self.recycle_segments(segments);
                 continue;
             }
             let used = budget - left;
@@ -801,6 +829,7 @@ impl Gnb {
     pub fn receive_ul_tb(&mut self, mut tb: TransportBlock, now: Instant) -> UlTbOutcome {
         let Some(snr0) = self.ues.get(&tb.ue).map(|c| c.channel.snr_db(now)) else {
             self.stats.ul_tbs_lost += 1;
+            self.recycle_segments(tb.segments);
             return UlTbOutcome::Lost;
         };
         if tb.attempt == 1 {
@@ -812,21 +841,26 @@ impl Gnb {
         if self.rng.chance(phy::bler(tb.cqi, snr)) {
             if tb.attempt >= self.cfg.harq_max_attempts {
                 self.stats.ul_tbs_lost += 1;
+                self.recycle_segments(tb.segments);
                 return UlTbOutcome::Lost;
             }
             tb.attempt += 1;
             return UlTbOutcome::Retx(tb);
         }
         let ctx = self.ues.get_mut(&tb.ue).expect("checked above");
+        let mut deliv = std::mem::take(&mut self.scratch_rx);
         let mut out = Vec::new();
         for (drb, seg) in tb.segments.drain(..) {
             let Some(rx) = ctx.ul_rx.get_mut(&drb) else {
                 continue; // segment for an unconfigured UL DRB: dropped
             };
-            for d in rx.on_segment(seg, now) {
+            rx.on_segment_into(seg, now, &mut deliv);
+            for d in deliv.drain(..) {
                 out.push((drb, d));
             }
         }
+        self.scratch_rx = deliv;
+        self.recycle_segments(tb.segments);
         UlTbOutcome::Decoded(out)
     }
 
@@ -853,13 +887,16 @@ impl Gnb {
     /// uplink paths — the poll runs every 5 ms and is almost always
     /// empty).
     pub fn poll_ul_rx_into(&mut self, now: Instant, out: &mut Vec<(UeId, DrbId, RxDelivery)>) {
+        let mut deliv = std::mem::take(&mut self.scratch_rx);
         for (&ue, ctx) in self.ues.iter_mut() {
             for (&drb, rx) in ctx.ul_rx.iter_mut() {
-                for d in rx.poll(now) {
+                rx.poll_into(now, &mut deliv);
+                for d in deliv.drain(..) {
                     out.push((ue, drb, d));
                 }
             }
         }
+        self.scratch_rx = deliv;
     }
 }
 

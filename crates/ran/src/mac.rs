@@ -90,32 +90,48 @@ pub fn allocate_round_robin(
 
 /// Allocate RBG-by-RBG to the UE with the highest proportional-fair
 /// metric `instantaneous_rate / avg_throughput` among those with backlog.
+///
+/// The metric is constant for the whole slot (avg throughput only updates
+/// between slots), so the textbook per-RBG argmax degenerates: the
+/// highest-metric UE keeps winning until its backlog is covered, then the
+/// next one, and so on. Walking candidates once in descending-metric
+/// order (same UE-id tie-break the argmax used) therefore produces
+/// *identical* grants to the RBG-by-RBG loop while replacing
+/// `O(n_rbgs × n_ues)` comparisons per slot with one small sort — the
+/// dominant cost of the 16-UE slot tick.
 pub fn allocate_proportional_fair(cands: &[Candidate], n_rbgs: usize) -> Vec<(UeId, usize)> {
     const EPS: f64 = 1e-6;
-    let mut backlog: Vec<isize> = cands.iter().map(|c| c.backlog as isize).collect();
+    let metric: Vec<f64> = cands
+        .iter()
+        .map(|c| c.bytes_per_rbg as f64 / (c.avg_throughput + EPS))
+        .collect();
+    let mut order: Vec<usize> = (0..cands.len())
+        .filter(|&i| cands[i].backlog > 0 && cands[i].bytes_per_rbg > 0)
+        .collect();
+    // Descending metric; on ties the smaller UE id wins, matching the
+    // argmax's `then_with` tie-break.
+    order.sort_by(|&i, &j| {
+        metric[j]
+            .partial_cmp(&metric[i])
+            .unwrap()
+            .then_with(|| cands[i].ue.cmp(&cands[j].ue))
+    });
     let mut grants = vec![0usize; cands.len()];
-    for _ in 0..n_rbgs {
-        let best = cands
-            .iter()
-            .enumerate()
-            .filter(|(i, c)| backlog[*i] > 0 && c.bytes_per_rbg > 0)
-            .max_by(|(i, a), (j, b)| {
-                let ma = a.bytes_per_rbg as f64 / (a.avg_throughput + EPS);
-                let mb = b.bytes_per_rbg as f64 / (b.avg_throughput + EPS);
-                ma.partial_cmp(&mb)
-                    .unwrap()
-                    // Deterministic tie-break on UE id.
-                    .then_with(|| cands[*j].ue.cmp(&cands[*i].ue))
-            })
-            .map(|(i, _)| i);
-        match best {
-            Some(i) => {
-                grants[i] += 1;
-                backlog[i] -= cands[i].bytes_per_rbg as isize;
-            }
-            None => break,
+    let mut left = n_rbgs;
+    for i in order {
+        if left == 0 {
+            break;
         }
+        // RBGs this UE would absorb: one per `bytes_per_rbg` of backlog,
+        // rounded up — exactly how many wins it takes before its residual
+        // backlog hits zero in the per-RBG formulation.
+        let want = cands[i].backlog.div_ceil(cands[i].bytes_per_rbg);
+        let n = want.min(left);
+        left -= n;
+        grants[i] = n;
     }
+    // Emit in candidate (UE-id) order, as the per-RBG loop did — the gNB
+    // builds TBs in this order, so it also fixes the RNG draw sequence.
     cands
         .iter()
         .enumerate()

@@ -636,8 +636,16 @@ impl RlcRx {
     /// Ingest one segment; returns any SDUs that became deliverable
     /// in order.
     pub fn on_segment(&mut self, seg: Segment, now: Instant) -> Vec<RxDelivery> {
+        let mut out = Vec::new();
+        self.on_segment_into(seg, now, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`RlcRx::on_segment`]: newly deliverable
+    /// SDUs are appended to `out` (the per-segment downlink hot path).
+    pub fn on_segment_into(&mut self, seg: Segment, now: Instant, out: &mut Vec<RxDelivery>) {
         if seg.sn < self.next_expected {
-            return Vec::new(); // duplicate of already-delivered data
+            return; // duplicate of already-delivered data
         }
         self.highest_seen = Some(self.highest_seen.map_or(seg.sn, |h| h.max(seg.sn)));
         self.dirty = true;
@@ -652,12 +660,11 @@ impl RlcRx {
         if let Some(p) = seg.payload {
             entry.payload = Some(p);
         }
-        self.deliver_in_order(now)
+        self.deliver_in_order(out)
     }
 
     /// Deliver the run of complete SDUs starting at `next_expected`.
-    fn deliver_in_order(&mut self, _now: Instant) -> Vec<RxDelivery> {
-        let mut out = Vec::new();
+    fn deliver_in_order(&mut self, out: &mut Vec<RxDelivery>) {
         while let Some(e) = self.entries.get(&self.next_expected) {
             if !e.complete() {
                 break;
@@ -671,16 +678,22 @@ impl RlcRx {
             });
             self.next_expected += 1;
         }
-        out
     }
 
     /// Timer poll: in UM, skip SDUs stuck longer than the reassembly
     /// timeout so later traffic keeps flowing (the skipped SDU is lost).
     pub fn poll(&mut self, now: Instant) -> Vec<RxDelivery> {
-        if self.mode == RlcMode::Am {
-            return Vec::new();
-        }
         let mut out = Vec::new();
+        self.poll_into(now, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`RlcRx::poll`]: skipped-past SDUs that
+    /// became deliverable are appended to `out`.
+    pub fn poll_into(&mut self, now: Instant, out: &mut Vec<RxDelivery>) {
+        if self.mode == RlcMode::Am {
+            return;
+        }
         loop {
             // Is the head-of-line SDU stuck?
             let stuck = match self.entries.get(&self.next_expected) {
@@ -706,9 +719,8 @@ impl RlcRx {
                 self.skipped += 1;
             }
             self.next_expected += 1;
-            out.extend(self.deliver_in_order(now));
+            self.deliver_in_order(out);
         }
-        out
     }
 
     /// PDCP re-establishment, receive side (TS 38.323 §5.1.2): the RLC
@@ -722,6 +734,19 @@ impl RlcRx {
     pub fn reestablish(&mut self) {
         self.entries.retain(|_, e| e.complete());
         self.dirty = true;
+    }
+
+    /// Whether [`RlcRx::make_status`] would emit a report at `now`.
+    /// Exactly the `Some` condition of `make_status` (whose `None`
+    /// paths are mutation-free), so callers may use this as a cheap
+    /// skip predicate without changing behaviour.
+    pub fn status_due(&self, now: Instant) -> bool {
+        let outstanding = self
+            .highest_seen
+            .is_some_and(|h| h >= self.next_expected);
+        self.mode == RlcMode::Am
+            && (self.dirty || outstanding)
+            && now.saturating_since(self.last_status) >= self.status_period
     }
 
     /// Produce a status report if the cadence allows and there is news —

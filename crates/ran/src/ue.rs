@@ -23,7 +23,7 @@ use crate::f1u::DlDataDeliveryStatus;
 use crate::ids::{DrbId, UeId};
 use crate::mac::TransportBlock;
 use crate::pdcp::PdcpTx;
-use crate::rlc::{DeliveryRecord, RlcRx, RlcStatus, RlcTx, Sn, TxRecord};
+use crate::rlc::{DeliveryRecord, RlcRx, RlcStatus, RlcTx, RxDelivery, Segment, Sn, TxRecord};
 
 /// A downlink IP packet delivered up to the UE application, with the
 /// timing metadata the harness needs for one-way-delay accounting.
@@ -86,6 +86,8 @@ pub struct UeStack {
     bsr_open: bool,
     /// Reusable transmit-record scratch for [`UeStack::build_ul_tb`].
     scratch_txed: Vec<TxRecord>,
+    /// Reusable RLC-delivery scratch for the downlink TB hot path.
+    scratch_rx: Vec<RxDelivery>,
 }
 
 impl UeStack {
@@ -115,6 +117,7 @@ impl UeStack {
             ul_sr_at: Instant::MAX,
             bsr_open: false,
             scratch_txed: Vec::new(),
+            scratch_rx: Vec::new(),
         }
     }
 
@@ -129,11 +132,27 @@ impl UeStack {
     /// their inline packet payloads) move instead of being cloned.
     pub fn on_transport_block(&mut self, tb: TransportBlock, now: Instant) -> Vec<AppDelivery> {
         let mut out = Vec::new();
-        for (drb, seg) in tb.segments {
+        self.on_transport_block_into(tb, now, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`UeStack::on_transport_block`]:
+    /// deliveries are appended to `out`, and the TB's emptied segment
+    /// buffer is handed back so the caller can recycle it into the
+    /// gNB's pool.
+    pub fn on_transport_block_into(
+        &mut self,
+        mut tb: TransportBlock,
+        now: Instant,
+        out: &mut Vec<AppDelivery>,
+    ) -> Vec<(DrbId, Segment)> {
+        let mut deliv = std::mem::take(&mut self.scratch_rx);
+        for (drb, seg) in tb.segments.drain(..) {
             let Some(rx) = self.rlc.get_mut(&drb) else {
                 continue; // segment for an unconfigured DRB: dropped
             };
-            for d in rx.on_segment(seg, now) {
+            rx.on_segment_into(seg, now, &mut deliv);
+            for d in deliv.drain(..) {
                 out.push(AppDelivery {
                     pkt: d.pkt,
                     deliver_at: now + self.internal_delay,
@@ -142,15 +161,25 @@ impl UeStack {
                 });
             }
         }
-        out
+        self.scratch_rx = deliv;
+        tb.segments
     }
 
     /// Timer poll: UM reassembly-timeout skips (lost SDUs are abandoned
     /// so later ones flow).
     pub fn poll(&mut self, now: Instant) -> Vec<AppDelivery> {
         let mut out = Vec::new();
+        self.poll_into(now, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`UeStack::poll`]: deliveries are
+    /// appended to `out`.
+    pub fn poll_into(&mut self, now: Instant, out: &mut Vec<AppDelivery>) {
+        let mut deliv = std::mem::take(&mut self.scratch_rx);
         for (drb, rx) in self.rlc.iter_mut() {
-            for d in rx.poll(now) {
+            rx.poll_into(now, &mut deliv);
+            for d in deliv.drain(..) {
                 out.push(AppDelivery {
                     pkt: d.pkt,
                     deliver_at: now + self.internal_delay,
@@ -159,7 +188,7 @@ impl UeStack {
                 });
             }
         }
-        out
+        self.scratch_rx = deliv;
     }
 
     /// Enqueue an uplink IP packet (e.g. a TCP ACK from the client
@@ -218,6 +247,42 @@ impl UeStack {
                 statuses.push((*drb, st));
             }
         }
+    }
+
+    /// Whether this UE has anything to do on an uplink slot at `now`:
+    /// a ready feedback packet, an RLC AM status due, or (when
+    /// `with_bsr`) a buffer-status report to send *or a BSR state
+    /// transition to make*. This is an exact mirror of what
+    /// [`UeStack::on_uplink_slot_into`] / [`UeStack::ul_bsr_into`] would
+    /// emit or mutate, so a `false` return means the whole uplink slot
+    /// visit can be skipped without changing behaviour. In particular
+    /// the quiet `total == 0 && !unacked` case still returns `true`
+    /// while `bsr_open`/`ul_sr_at` need their end-of-busy-period reset —
+    /// that reset gates the next busy period's SR RNG draw, so skipping
+    /// it would shift the deterministic random stream.
+    pub fn ul_slot_pending(&self, now: Instant, with_bsr: bool) -> bool {
+        if self.ul_queue.front().is_some_and(|item| item.ready_at <= now) {
+            return true;
+        }
+        if self.rlc.values().any(|rx| rx.status_due(now)) {
+            return true;
+        }
+        if !with_bsr || self.ul_tx.is_empty() {
+            return false;
+        }
+        let total = self.ul_backlog_bytes();
+        let unacked = self.ul_tx.values().any(|d| d.rlc.has_unacked());
+        if total == 0 && !unacked {
+            // `ul_bsr_into` emits nothing but must still reset the SR
+            // machine if a busy period just ended.
+            return self.bsr_open || self.ul_sr_at != Instant::MAX;
+        }
+        if !self.bsr_open && self.ul_sr_at != Instant::MAX && now < self.ul_sr_at {
+            // SR round trip still pending: `ul_bsr_into` early-returns
+            // without emitting or mutating.
+            return false;
+        }
+        true
     }
 
     // ------------------------------------------------------------------

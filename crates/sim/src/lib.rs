@@ -19,13 +19,19 @@
 //! * [`hash`] — a deterministic fast hasher ([`FxHashMap`]) for the
 //!   per-packet lookup tables on the simulator's hot path.
 //!
+//! * [`cycles`] — an opt-in per-subsystem wall-clock accumulator
+//!   ([`CycleScope`]) behind the perf-attribution tooling.
+//!
 //! The design follows the smoltcp idiom: passive state machines driven by
-//! explicit `poll`-style calls with an explicit notion of *now*. Nothing in
-//! this crate (or its dependents) reads wall-clock time.
+//! explicit `poll`-style calls with an explicit notion of *now*. Nothing
+//! *simulated* ever depends on wall-clock time — the only consumers of the
+//! OS clock are the measurement scopes ([`cycles`]), whose readings feed
+//! reports, never the simulation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cycles;
 pub mod fastmath;
 pub mod hash;
 pub mod queue;
@@ -33,6 +39,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use cycles::{CycleScope, CycleStat};
 pub use hash::{FxHashMap, FxHashSet};
 pub use queue::EventQueue;
 pub use rng::SimRng;

@@ -1,0 +1,63 @@
+//! Cycle-accounting invariance: enabling `measure_cycles` must not
+//! change simulation behaviour in any observable way.
+//!
+//! The `CycleScope` spans in the harness read the OS clock, but nothing
+//! they record feeds back into the event stream, RNG draws, or metrics
+//! that enter [`Report::fingerprint`]. This test is the promised
+//! assertion behind the "zero behavioural footprint" claim in
+//! `l4span_sim::cycles` and the `fig_breakdown` tool: the fingerprint
+//! digest — which folds in every event count, metric vector, and final
+//! queue state — is bit-identical with instrumentation on and off.
+
+use l4span::cc::WanLink;
+use l4span::harness::{self, scenario, scenario::ChannelMix};
+use l4span::sim::Duration;
+
+fn base_cfg() -> scenario::ScenarioConfig {
+    scenario::congested_cell(
+        4,
+        "prague",
+        ChannelMix::Mobile,
+        16_384,
+        WanLink::east(),
+        scenario::l4span_default(),
+        7,
+        Duration::from_secs(1),
+    )
+}
+
+#[test]
+fn fingerprint_identical_with_cycles_on_and_off() {
+    let off = harness::run(base_cfg());
+    let mut cfg = base_cfg();
+    cfg.measure_cycles = true;
+    let on = harness::run(cfg);
+    assert_eq!(
+        off.fingerprint_digest(),
+        on.fingerprint_digest(),
+        "cycle accounting must not perturb simulation behaviour"
+    );
+}
+
+#[test]
+fn cycles_report_empty_when_disabled_and_populated_when_enabled() {
+    let off = harness::run(base_cfg());
+    assert!(
+        off.cycles.iter().all(|s| s.calls == 0),
+        "disabled scopes must record nothing"
+    );
+    let mut cfg = base_cfg();
+    cfg.measure_cycles = true;
+    let on = harness::run(cfg);
+    let total_calls: u64 = on.cycles.iter().map(|s| s.calls).sum();
+    assert!(total_calls > 0, "enabled scopes must record spans");
+    // The per-slot subsystems must have fired in a congested scenario.
+    for label in ["gnb", "marker", "transport", "event_queue"] {
+        let stat = on
+            .cycles
+            .iter()
+            .find(|s| s.label == label)
+            .unwrap_or_else(|| panic!("missing cycle label {label}"));
+        assert!(stat.calls > 0, "{label} should have recorded calls");
+    }
+}
