@@ -20,19 +20,41 @@ use std::time::Instant as WallInstant;
 
 use l4span_bench::gate::{canonical_scenarios, CANONICAL_SECS};
 use l4span_bench::Args;
-use l4span_harness::run;
+use l4span_harness::run_sharded;
 
 fn main() {
     let args = Args::parse();
     let secs = args.secs_or(CANONICAL_SECS);
     println!("fig_breakdown: per-subsystem cycle accounting, {secs} simulated seconds per scenario");
     println!("(instrumented run: absolute events/sec is lower than perf_gate's)");
-    for (name, mut cfg) in canonical_scenarios(secs) {
+    for c in canonical_scenarios(secs) {
+        let name = c.name;
+        let mut cfg = c.cfg;
         cfg.measure_cycles = true;
         let t0 = WallInstant::now();
-        let report = run(cfg);
+        let report = run_sharded(cfg, c.shards);
         let wall_ns = t0.elapsed().as_nanos() as u64;
-        let tracked: u64 = report.cycles.iter().map(|c| c.nanos).sum();
+        // A sharded run's merged `cycles` only carries the primary
+        // replica's attribution; sum across the per-shard snapshots so
+        // the subsystem table covers the whole shard set.
+        let mut stats = if report.shards.len() > 1 {
+            let mut acc: Vec<l4span_sim::CycleStat> = Vec::new();
+            for s in &report.shards {
+                for cy in &s.cycles {
+                    match acc.iter_mut().find(|a| a.label == cy.label) {
+                        Some(a) => {
+                            a.nanos += cy.nanos;
+                            a.calls += cy.calls;
+                        }
+                        None => acc.push(*cy),
+                    }
+                }
+            }
+            acc
+        } else {
+            report.cycles.clone()
+        };
+        let tracked: u64 = stats.iter().map(|c| c.nanos).sum();
         let events_per_sec = report.events as f64 / (wall_ns as f64 / 1e9);
         println!(
             "\n== {name}: {} events, {:.2} wall s, {:.0} events/sec ==",
@@ -44,7 +66,6 @@ fn main() {
             "{:<12} {:>10} {:>7} {:>12} {:>10}",
             "subsystem", "ms", "%wall", "calls", "ns/call"
         );
-        let mut stats = report.cycles.clone();
         stats.sort_by_key(|c| std::cmp::Reverse(c.nanos));
         for c in &stats {
             println!(
@@ -63,5 +84,28 @@ fn main() {
             untracked as f64 / 1e6,
             untracked as f64 * 100.0 / wall_ns as f64
         );
+        // Sharded scenarios: where each shard's epoch time went. The
+        // idle column is the barrier wait a shard would see under
+        // fully parallel epochs — 1 − busy/longest-shard-busy — i.e.
+        // the load-balance figure of the cell assignment.
+        if report.shards.len() > 1 {
+            let busy_max = report.shards.iter().map(|s| s.busy_ns).max().unwrap_or(1);
+            println!(
+                "{:<6} {:>6} {:>12} {:>10} {:>10} {:>8} {:>7}",
+                "shard", "cells", "events", "busy ms", "drain ms", "mailed", "idle"
+            );
+            for s in &report.shards {
+                println!(
+                    "{:<6} {:>6} {:>12} {:>10.1} {:>10.2} {:>8} {:>6.1}%",
+                    s.shard,
+                    s.cells,
+                    s.events,
+                    s.busy_ns as f64 / 1e6,
+                    s.drain_ns as f64 / 1e6,
+                    s.mailed,
+                    (1.0 - s.busy_ns as f64 / busy_max as f64) * 100.0,
+                );
+            }
+        }
     }
 }

@@ -10,8 +10,8 @@
 use l4span_cc::WanLink;
 use l4span_core::HandoverPolicy;
 use l4span_harness::scenario::{
-    congested_cell, handover_cell, interactive_apps_mixed, l4span_default, video_call_bidir,
-    ChannelMix,
+    congested_cell, handover_cell, interactive_apps_mixed, l4span_default, metro_1000ue_50cell,
+    video_call_bidir, ChannelMix,
 };
 use l4span_harness::ScenarioConfig;
 use l4span_sim::Duration;
@@ -20,13 +20,46 @@ use l4span_sim::Duration;
 /// steady state, short enough for CI).
 pub const CANONICAL_SECS: u64 = 8;
 
+/// Shards the perf tooling runs the metro world on. The metro's UEs
+/// are uniform across cells, so round-robin assignment at 25 shards
+/// gives every shard exactly two cells — zero imbalance, and the
+/// shortest critical path (longest single-shard busy time) the
+/// aggregate rate divides by.
+pub const METRO_SHARDS: usize = 25;
+
+/// Simulated seconds for the metro canonical scenario — shorter than
+/// [`CANONICAL_SECS`] because the world is two orders of magnitude
+/// bigger (1000 UEs / 50 cells); two seconds covers the flow-start
+/// ramp, the first mobility wave, and plenty of steady state.
+pub const METRO_SECS: u64 = 2;
+
+/// One canonical perf scenario: the config plus how many per-cell
+/// shards the perf tooling runs it on (1 = the classic whole-world
+/// path; `perf_gate` keeps those rows byte-compatible with PR 6).
+pub struct Canonical {
+    /// Stable scenario name (keys `BENCH_PR*.json` rows and baselines).
+    pub name: &'static str,
+    /// The scenario.
+    pub cfg: ScenarioConfig,
+    /// Shard count for `run_sharded` (1 = classic `World::run`).
+    pub shards: usize,
+}
+
+fn classic(name: &'static str, cfg: ScenarioConfig) -> Canonical {
+    Canonical {
+        name,
+        cfg,
+        shards: 1,
+    }
+}
+
 /// The canonical perf-tracking scenario set, shared by `perf_gate`
 /// (events/sec) and `fig_breakdown` (per-subsystem attribution) so the
 /// two always measure the same workloads.
-pub fn canonical_scenarios(secs: u64) -> Vec<(&'static str, ScenarioConfig)> {
+pub fn canonical_scenarios(secs: u64) -> Vec<Canonical> {
     let dur = Duration::from_secs(secs);
     vec![
-        (
+        classic(
             "congested_cubic_16ue",
             congested_cell(
                 16,
@@ -39,7 +72,7 @@ pub fn canonical_scenarios(secs: u64) -> Vec<(&'static str, ScenarioConfig)> {
                 dur,
             ),
         ),
-        (
+        classic(
             "prague_l4span_16ue",
             congested_cell(
                 16,
@@ -52,7 +85,7 @@ pub fn canonical_scenarios(secs: u64) -> Vec<(&'static str, ScenarioConfig)> {
                 dur,
             ),
         ),
-        (
+        classic(
             "bbr2_mobile_8ue",
             congested_cell(
                 8,
@@ -65,7 +98,7 @@ pub fn canonical_scenarios(secs: u64) -> Vec<(&'static str, ScenarioConfig)> {
                 dur,
             ),
         ),
-        (
+        classic(
             "handover_2cell_cubic_4ue",
             handover_cell(
                 4,
@@ -77,31 +110,53 @@ pub fn canonical_scenarios(secs: u64) -> Vec<(&'static str, ScenarioConfig)> {
                 dur,
             ),
         ),
-        (
+        classic(
             "interactive_apps_mixed",
             interactive_apps_mixed(4, "prague", l4span_default(), 7, dur),
         ),
-        (
+        classic(
             "video_call_bidir",
             video_call_bidir(3, "prague", l4span_default(), 7, dur),
         ),
+        // New in PR 8: the sharded metro world. Its simulated duration
+        // is fixed at METRO_SECS (not `secs`) so `perf_gate` and
+        // `fig_breakdown --secs N` stay comparable on it.
+        Canonical {
+            name: "metro_1000ue_50cell",
+            cfg: metro_1000ue_50cell("prague", 11, Duration::from_secs(METRO_SECS)),
+            shards: METRO_SHARDS,
+        },
     ]
 }
 
-/// One scenario's events/sec as read from a `BENCH_PR*.json` artifact.
+/// One scenario's gated rate as read from a `BENCH_PR*.json` artifact.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchEntry {
     /// Scenario name.
     pub name: String,
-    /// Measured events per wall-clock second.
+    /// The rate the gate compares against: aggregate events/sec for
+    /// sharded rows (which carry `aggregate_events_per_sec`), measured
+    /// events per wall-clock second otherwise.
     pub events_per_sec: f64,
 }
 
-/// Extract `(name, events_per_sec)` pairs from one of our own
+/// Extract `(name, gated rate)` pairs from one of our own
 /// `BENCH_PR*.json` artifacts. The files are written by `perf_gate` in
 /// a fixed shape (one scenario object per line), so a line-oriented
-/// scan is exact — no JSON dependency in the offline workspace.
+/// scan is exact — no JSON dependency in the offline workspace. A
+/// sharded row's `aggregate_events_per_sec` takes precedence over its
+/// wall-based `events_per_sec`: the wall rate depends on how many cores
+/// the recording machine had, the aggregate does not.
 pub fn parse_bench_json(text: &str) -> Vec<BenchEntry> {
+    fn number_after(line: &str, key: &str) -> Option<f64> {
+        let pos = line.find(key)?;
+        let tail = &line[pos + key.len()..];
+        let num: String = tail
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        num.parse().ok()
+    }
     let mut out = Vec::new();
     for line in text.lines() {
         let Some(npos) = line.find("\"name\": \"") else {
@@ -110,15 +165,9 @@ pub fn parse_bench_json(text: &str) -> Vec<BenchEntry> {
         let rest = &line[npos + 9..];
         let Some(nend) = rest.find('"') else { continue };
         let name = rest[..nend].to_string();
-        let Some(epos) = line.find("\"events_per_sec\": ") else {
-            continue;
-        };
-        let tail = &line[epos + 18..];
-        let num: String = tail
-            .chars()
-            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
-            .collect();
-        if let Ok(events_per_sec) = num.parse::<f64>() {
+        let rate = number_after(line, "\"aggregate_events_per_sec\": ")
+            .or_else(|| number_after(line, "\"events_per_sec\": "));
+        if let Some(events_per_sec) = rate {
             out.push(BenchEntry {
                 name,
                 events_per_sec,
@@ -247,6 +296,18 @@ mod tests {
     }
 
     #[test]
+    fn parse_bench_json_prefers_aggregate_rate_on_sharded_rows() {
+        let text = "{\n  \"pr\": 8,\n  \"scenarios\": [\n    \
+                    {\"name\": \"metro\", \"events\": 9, \"wall_s\": 4.000, \"events_per_sec\": 3000000, \"wall_ms_per_sim_s\": 2000.0, \"shards\": 8, \"busy_max_s\": 0.500, \"aggregate_events_per_sec\": 12000000, \"per_core_events_per_sec\": 1500000}\n  ]\n}\n";
+        let got = parse_bench_json(text);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].name, "metro");
+        // The wall-based 3M must lose to the 12M aggregate: the former
+        // depends on the recording machine's core count.
+        assert_eq!(got[0].events_per_sec, 12_000_000.0);
+    }
+
+    #[test]
     fn fold_best_takes_max_with_haircut_and_adds_new_scenarios() {
         let committed = [("a", 1_000_000.0), ("b", 2_000_000.0)];
         // Artifact 1: `a` faster even after the 10% haircut; `b` slower.
@@ -310,7 +371,8 @@ mod tests {
 
     #[test]
     fn canonical_scenarios_cover_the_tracked_set() {
-        let names: Vec<&str> = canonical_scenarios(1).iter().map(|&(n, _)| n).collect();
+        let set = canonical_scenarios(1);
+        let names: Vec<&str> = set.iter().map(|c| c.name).collect();
         assert_eq!(
             names,
             [
@@ -320,7 +382,19 @@ mod tests {
                 "handover_2cell_cubic_4ue",
                 "interactive_apps_mixed",
                 "video_call_bidir",
+                "metro_1000ue_50cell",
             ]
         );
+        // Only the metro world runs sharded; every pre-PR8 scenario
+        // stays on the classic path so its row is comparable with the
+        // earlier BENCH_PR*.json artifacts.
+        for c in &set {
+            let want = if c.name == "metro_1000ue_50cell" {
+                METRO_SHARDS
+            } else {
+                1
+            };
+            assert_eq!(c.shards, want, "{}", c.name);
+        }
     }
 }

@@ -51,7 +51,9 @@ pub struct AckSample {
 }
 
 /// A pluggable congestion controller. All window values are in bytes.
-pub trait CongestionControl {
+/// `Send` is a supertrait so whole worlds (which box controllers per
+/// flow) can move between — and be driven by — worker threads.
+pub trait CongestionControl: Send {
     /// Process one cumulative ACK.
     fn on_ack(&mut self, ack: &AckSample);
     /// A loss was detected (fast retransmit). At most once per RTT.

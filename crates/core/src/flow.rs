@@ -205,6 +205,24 @@ impl FlowTable {
         let c = self.counts.get(&(ue, drb)).copied().unwrap_or_default();
         (c[0] as usize, c[1] as usize, c[2] as usize)
     }
+
+    /// Remove a flow entry and keep the class counters in sync. The Xn
+    /// handover path uses this to carry a UE's per-tuple state between
+    /// per-cell marker instances.
+    pub fn extract(&mut self, tuple: &FiveTuple) -> Option<FlowState> {
+        let flow = self.flows.remove(tuple)?;
+        if let Some(c) = self.counts.get_mut(&(flow.ue, flow.drb)) {
+            c[class_idx(flow.class)] = c[class_idx(flow.class)].saturating_sub(1);
+        }
+        Some(flow)
+    }
+
+    /// Re-insert a flow entry previously removed with
+    /// [`FlowTable::extract`], restoring its class counter.
+    pub fn absorb(&mut self, tuple: FiveTuple, flow: FlowState) {
+        self.counts.entry((flow.ue, flow.drb)).or_default()[class_idx(flow.class)] += 1;
+        self.flows.insert(tuple, flow);
+    }
 }
 
 #[cfg(test)]

@@ -8,7 +8,8 @@ use l4span_sim::{Duration, FxHashMap, Instant, SimRng};
 
 use crate::config::{HandoverPolicy, L4SpanConfig, SharedDrbStrategy};
 use crate::estimator::EgressEstimator;
-use crate::flow::FlowTable;
+use crate::flow::{FlowState, FlowTable};
+use l4span_net::FiveTuple;
 use crate::marking;
 use crate::profile::ProfileTable;
 
@@ -64,6 +65,15 @@ impl DrbState {
 /// migration when a CU-UP instance follows a UE across cells.
 #[derive(Debug)]
 pub struct MarkerDrbState(DrbState);
+
+/// A flow's per-tuple state (short-circuit ledger, ECE latch, RTT*)
+/// lifted out of one instance's [`FlowTable`], opaque to the caller.
+/// The uplink short-circuit path rewrites ACKs from this state, so when
+/// a CU-UP instance follows a UE across cells the tuple entries must
+/// migrate with the DRB state — rebuilding them fresh would desync the
+/// AccECN ledger from what the client has already been told.
+#[derive(Debug)]
+pub struct MarkerFlowState(FlowState);
 
 /// The L4Span CU-UP module. One instance serves a whole cell (it holds
 /// per-UE, per-DRB state internally, like the per-UE entities of §5).
@@ -168,6 +178,19 @@ impl L4SpanLayer {
     /// desynchronise the SN bookkeeping from the in-flight F1-U counters.
     pub fn reseed_drb_state(&mut self, ue: UeId, drb: DrbId, state: MarkerDrbState) {
         self.drbs.insert((ue, drb), state.0);
+    }
+
+    /// Lift a tracked flow's per-tuple state out of this instance (for
+    /// migration alongside [`L4SpanLayer::extract_drb_state`]). Returns
+    /// `None` when the tuple was never observed.
+    pub fn extract_flow_state(&mut self, tuple: &FiveTuple) -> Option<MarkerFlowState> {
+        self.flows.extract(tuple).map(MarkerFlowState)
+    }
+
+    /// Install a previously-extracted flow entry (class counters are
+    /// restored with it).
+    pub fn reseed_flow_state(&mut self, tuple: FiveTuple, state: MarkerFlowState) {
+        self.flows.absorb(tuple, state.0);
     }
 
     /// The UE carrying `drb` handed over to a different cell. Under

@@ -38,4 +38,4 @@ pub mod marking;
 pub mod profile;
 
 pub use config::{HandoverPolicy, L4SpanConfig, SharedDrbStrategy};
-pub use layer::{DlVerdict, L4SpanLayer, MarkerDrbState};
+pub use layer::{DlVerdict, L4SpanLayer, MarkerDrbState, MarkerFlowState};

@@ -35,12 +35,13 @@ pub mod marker;
 pub mod metrics;
 pub mod runner;
 pub mod scenario;
+pub mod shard;
 pub mod wired;
 pub mod world;
 
 pub use app::{AppProfile, Application};
 pub use marker::MarkerKind;
-pub use metrics::{HandoverRecord, Report};
+pub use metrics::{HandoverRecord, Report, ShardStat};
 pub use runner::{run_batch, run_batch_on};
 pub use scenario::{
     ChannelMix, FlowDir, FlowSpec, MobilitySpec, MobilityStep, ScenarioConfig, TransportSpec,
@@ -48,6 +49,7 @@ pub use scenario::{
 };
 #[allow(deprecated)]
 pub use scenario::TrafficKind;
+pub use shard::{plan_shards, run_sharded};
 pub use world::World;
 
 /// Run a scenario to completion and return its report.

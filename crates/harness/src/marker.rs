@@ -10,7 +10,8 @@
 use l4span_aqm::{CoDel, DualPi2, Verdict};
 use l4span_core::profile::ProfileTable;
 use l4span_core::{DlVerdict, HandoverPolicy, L4SpanConfig, L4SpanLayer};
-use l4span_net::{Ecn, PacketBuf};
+use l4span_core::{MarkerDrbState, MarkerFlowState};
+use l4span_net::{Ecn, FiveTuple, PacketBuf};
 use l4span_ran::f1u::DlDataDeliveryStatus;
 use l4span_ran::{DrbId, UeId};
 use l4span_sim::{Duration, FxHashMap, Instant, SimRng};
@@ -228,6 +229,90 @@ impl Marker {
             _ => None,
         }
     }
+
+    /// Lift every piece of state this instance holds for `ue` out, for
+    /// Xn migration to the target cell's marker instance (per-cell CU-UP
+    /// deployments). `drbs` names the UE's bearers; `tuples` the
+    /// five-tuples of its flows as seen in the *downlink* direction —
+    /// the reversed tuple is extracted too, because a CU instance
+    /// observes uplink flows through their downlink-travelling feedback
+    /// and keys that state by the feedback's own tuple.
+    pub fn extract_ue(
+        &mut self,
+        ue: UeId,
+        drbs: &[DrbId],
+        tuples: &[FiveTuple],
+    ) -> MarkerCarry {
+        let mut carry = MarkerCarry {
+            ue,
+            drbs: Vec::new(),
+            flows: Vec::new(),
+            baseline: Vec::new(),
+        };
+        match self {
+            Marker::None => {}
+            Marker::L4Span(l) => {
+                for &d in drbs {
+                    if let Some(st) = l.extract_drb_state(ue, d) {
+                        carry.drbs.push((d, st));
+                    }
+                }
+                for t in tuples {
+                    if let Some(st) = l.extract_flow_state(t) {
+                        carry.flows.push((*t, st));
+                    }
+                    let rev = t.reversed();
+                    if let Some(st) = l.extract_flow_state(&rev) {
+                        carry.flows.push((rev, st));
+                    }
+                }
+            }
+            Marker::DualPi2Cu { drbs: map, .. } | Marker::TcRan { drbs: map, .. } => {
+                for &d in drbs {
+                    if let Some(st) = map.remove(&(ue, d)) {
+                        carry.baseline.push((d, st));
+                    }
+                }
+            }
+        }
+        carry
+    }
+
+    /// Install a UE's state previously lifted with
+    /// [`Marker::extract_ue`]. The carry must come from a marker of the
+    /// same kind (the world instantiates every per-cell marker from one
+    /// [`MarkerKind`], so this holds by construction); mismatched
+    /// payloads are ignored rather than misapplied.
+    pub fn absorb_ue(&mut self, carry: MarkerCarry) {
+        let ue = carry.ue;
+        match self {
+            Marker::None => {}
+            Marker::L4Span(l) => {
+                for (d, st) in carry.drbs {
+                    l.reseed_drb_state(ue, d, st);
+                }
+                for (t, st) in carry.flows {
+                    l.reseed_flow_state(t, st);
+                }
+            }
+            Marker::DualPi2Cu { drbs: map, .. } | Marker::TcRan { drbs: map, .. } => {
+                for (d, st) in carry.baseline {
+                    map.insert((ue, d), st);
+                }
+            }
+        }
+    }
+}
+
+/// A UE's marker state in flight between two per-cell [`Marker`]
+/// instances during handover (the Xn context transfer). Opaque;
+/// produced by [`Marker::extract_ue`], consumed by
+/// [`Marker::absorb_ue`].
+pub struct MarkerCarry {
+    ue: UeId,
+    drbs: Vec<(DrbId, MarkerDrbState)>,
+    flows: Vec<(FiveTuple, MarkerFlowState)>,
+    baseline: Vec<(DrbId, BaselineDrb)>,
 }
 
 fn baseline_drb(

@@ -187,6 +187,38 @@ pub struct Report {
     /// Discrete events processed by the world's run loop (deterministic;
     /// the numerator of the perf gate's events/sec metric).
     pub events: u64,
+    /// Per-shard execution statistics when the run was sharded
+    /// ([`crate::run_sharded`]); empty for classic single-world runs.
+    /// Excluded from the fingerprint like `cycles`: the deterministic
+    /// `events` column aside, these are wall-clock readings, and the
+    /// fingerprint must stay byte-invariant to shard count.
+    pub shards: Vec<ShardStat>,
+}
+
+/// Execution statistics of one shard of a sharded run: the replica's
+/// event count, its wall-clock busy time summed over epochs, the time
+/// spent draining/routing cross-shard mailboxes on its behalf, and how
+/// many envelopes it exchanged. `cycles` carries the shard's own
+/// per-subsystem attribution when `measure_cycles` was on.
+#[derive(Debug, Clone, Default)]
+pub struct ShardStat {
+    /// Shard index.
+    pub shard: usize,
+    /// Number of cells this shard owns.
+    pub cells: usize,
+    /// Events this replica's run loop processed (including its copy of
+    /// the replicated housekeeping ticks). Deterministic.
+    pub events: u64,
+    /// Wall-clock nanoseconds this replica spent inside its epochs.
+    pub busy_ns: u64,
+    /// Wall-clock nanoseconds spent extracting, sorting, and injecting
+    /// cross-shard envelopes for this shard.
+    pub drain_ns: u64,
+    /// Cross-shard envelopes this shard sent (outbox + migrated events).
+    pub mailed: u64,
+    /// Per-subsystem cycle attribution of this replica (empty unless
+    /// `ScenarioConfig::measure_cycles`).
+    pub cycles: Vec<CycleStat>,
 }
 
 impl Report {

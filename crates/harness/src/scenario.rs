@@ -459,6 +459,16 @@ pub struct ScenarioConfig {
     pub marker_ho_policy: HandoverPolicy,
     /// Optional wired bottleneck.
     pub bottleneck: Option<BottleneckSpec>,
+    /// Deploy one CU-UP marker instance **per cell** instead of a single
+    /// central one (and likewise per-cell UE-side uplink markers). This
+    /// is the distributed CU-UP deployment of §5 — marker state follows
+    /// the UE across cells via Xn context transfer at handover — and the
+    /// property that makes a scenario shardable by cell: with per-cell
+    /// instances, no RNG stream or table is shared across cells, so
+    /// per-cell event order alone determines every marking decision.
+    /// Defaults to `false`, which keeps the original single-instance
+    /// topology (and its RNG streams) byte-for-byte.
+    pub cu_per_cell: bool,
     /// Throughput bin width for the report.
     pub thr_bin: Duration,
     /// Record wall-clock processing time of each marker event (the
@@ -497,6 +507,7 @@ impl ScenarioConfig {
             marker: MarkerKind::None,
             marker_ho_policy: HandoverPolicy::default(),
             bottleneck: None,
+            cu_per_cell: false,
             thr_bin: Duration::from_millis(100),
             measure_marker_time: false,
             measure_cycles: false,
@@ -706,6 +717,96 @@ pub fn video_call_bidir(
         cfg.flows.push(ul);
     }
     cfg
+}
+
+/// The metro-scale workload: `n_cells` cells, `ues_per_cell` UEs each
+/// (UE `i` homes on cell `i % n_cells`), running the interactive-apps
+/// traffic mix — every third UE a frame-paced video call, every third a
+/// web/RPC session, every third a greedy bulk download, all downlink
+/// TCP under `cc`. Every fourth UE is a *mover*: it ping-pongs between
+/// its home cell and the next cell over every 400 ms, with per-UE phase
+/// offsets so churn is continuous rather than synchronised.
+///
+/// Built for intra-scenario sharding (`cu_per_cell = true`, one marker
+/// instance per cell), with two deterministic alignment rules that keep
+/// the fingerprint byte-invariant to shard count:
+///
+/// * mobility times sit on slot boundaries but ≡ 2.5 ms (mod 5 ms), so
+///   a handover barrier never coincides with a Sample or UePoll tick;
+/// * flow starts sit at ≡ 137 µs (mod 1 ms), so they never coincide
+///   with a slot boundary or a mobility step.
+pub fn metro_city(
+    n_cells: usize,
+    ues_per_cell: usize,
+    cc: &str,
+    marker: MarkerKind,
+    seed: u64,
+    duration: Duration,
+) -> ScenarioConfig {
+    assert!(n_cells >= 2, "metro needs at least two cells");
+    let mut cfg = ScenarioConfig::new(seed, duration);
+    cfg.marker = marker;
+    cfg.cu_per_cell = true;
+    let template = cfg.cell.clone();
+    for _ in 1..n_cells {
+        cfg.add_cell(template.clone());
+    }
+    let cc = parse_cc(cc);
+    let n_ues = n_cells * ues_per_cell;
+    for i in 0..n_ues {
+        let home = i % n_cells;
+        let snr = 19.0 + 8.0 * (i as f64 * 0.6180339887).fract();
+        let app = match i % 3 {
+            0 => AppProfile::FramedVideo(
+                FramedVideoCfg::new(30.0, 0.5e6, 2.0e6, 8.0e6).with_keyframes(30, 3.0),
+            ),
+            1 => AppProfile::request_response(256 * 1024, Duration::from_millis(200), None),
+            _ => AppProfile::bulk(),
+        };
+        let mut steps = Vec::new();
+        if i % 40 == 0 {
+            // Mover: ping-pong home ↔ next cell on a 2 s period. Phases
+            // are slot-aligned and staggered 62.5 ms apart so no two
+            // movers ever share a handover barrier — each barrier costs
+            // a source-shard queue drain, so churn is deliberately ~a
+            // dozen handovers per simulated second, not per UE.
+            let neighbour = (home + 1) % n_cells;
+            let mut t = Duration::from_micros(152_500 + (i as u64 / 40) * 62_500);
+            let mut cur = home;
+            while t < duration {
+                cur = if cur == home { neighbour } else { home };
+                let toward = if cur == home { snr } else { snr - 3.0 };
+                steps.push(MobilityStep::new(
+                    Instant::ZERO + t,
+                    cur,
+                    ChannelMix::Mobile.profile(i),
+                    toward,
+                ));
+                t += Duration::from_secs(2);
+            }
+        }
+        cfg.ues.push(
+            UeSpec::simple(ChannelMix::Mobile.profile(i), snr)
+                .on_cell(home)
+                .with_mobility(steps),
+        );
+        cfg.flows.push(FlowSpec::new(
+            i,
+            app,
+            TransportSpec::tcp(cc),
+            WanLink::east(),
+            Instant::from_micros((3_000 * i as u64) % 200_000 + 137),
+        ));
+    }
+    cfg
+}
+
+/// The canonical metro world: 50 cells × 20 UEs = 1000 UEs of mixed
+/// interactive traffic with continuous handover churn, sharded per cell
+/// (`cu_per_cell`). The perf-gate scenario for the ≥10M aggregate
+/// events/sec bar.
+pub fn metro_1000ue_50cell(cc: &str, seed: u64, duration: Duration) -> ScenarioConfig {
+    metro_city(50, 20, cc, l4span_default(), seed, duration)
 }
 
 #[cfg(test)]

@@ -1,0 +1,286 @@
+//! Intra-scenario sharding: per-cell shards with deterministic
+//! slot-boundary exchange.
+//!
+//! A shard is a full [`World`] replica pruned down to the events its
+//! cells own ([`World::shard_install`]). Because a per-cell CU
+//! deployment (`cu_per_cell`) keeps *all* marker, RLC, and channel
+//! state cell-local, the only couplings between cells are:
+//!
+//! 1. **Handover** — Xn context transfer plus the UE's whole state
+//!    cluster, executed by this coordinator at the step's barrier
+//!    ([`World::handover_across`]);
+//! 2. **In-flight events of a migrated UE** — queued packets and
+//!    timers extracted in `(time, seq)` order right after the flip
+//!    ([`World::extract_foreign_events`]);
+//! 3. **Post-handover uplink stragglers** — feedback that was on the
+//!    air toward the old cell when the UE left; the old cell still
+//!    processes it (exactly as in one world), and the resulting server
+//!    arrival rides the source shard's outbox.
+//!
+//! Between barriers the replicas are completely independent, so epochs
+//! run in parallel (`L4SPAN_THREADS`, the PR 2 convention). Envelopes
+//! drain in `(slot-boundary time, source shard, sequence)` order, and
+//! barrier-injected events take fresh sequence numbers *before* the
+//! receiving epoch resumes — reproducing the single-world FIFO order,
+//! which is what makes [`Report::fingerprint`] byte-invariant to the
+//! shard count. Mobility steps the coordinator executes are counted
+//! into the merged event total exactly like the `Handover` pops of the
+//! classic loop.
+//!
+//! Anything outside the eligible shape — a central CU marker, a wired
+//! bottleneck (whose router serializes all flows), or a single cell —
+//! runs the classic whole-world path untouched.
+
+use std::collections::BTreeSet;
+
+use l4span_sim::Instant;
+
+use crate::metrics::{Report, ShardStat};
+use crate::runner::default_threads;
+use crate::scenario::{MobilityStep, ScenarioConfig};
+use crate::world::{Event, World};
+
+/// How many shards a scenario actually supports: `want`, capped at the
+/// cell count — or 1 when the scenario is ineligible (central CU
+/// marker, wired bottleneck, or a single cell), in which case
+/// [`run_sharded`] takes the classic whole-world code path.
+pub fn plan_shards(cfg: &ScenarioConfig, want: usize) -> usize {
+    if want <= 1 || !cfg.cu_per_cell || cfg.bottleneck.is_some() || cfg.n_cells() < 2 {
+        return 1;
+    }
+    want.min(cfg.n_cells())
+}
+
+/// Run `cfg` across `want` per-cell shards (cells assigned round-robin)
+/// and return the merged report, with [`Report::shards`] carrying the
+/// per-shard statistics. One shard — requested or forced by
+/// [`plan_shards`] — is the exact classic [`World::run`] path.
+pub fn run_sharded(cfg: ScenarioConfig, want: usize) -> Report {
+    let n = plan_shards(&cfg, want);
+    if n <= 1 {
+        return World::new(cfg).run();
+    }
+    let end = Instant::ZERO + cfg.duration;
+    let n_cells = cfg.n_cells();
+    let of_cell: Vec<usize> = (0..n_cells).map(|c| c % n).collect();
+    // Flush horizon: one cell slot. Straggler feedback toward an old
+    // cell is all in flight at handover time, so it lands within one
+    // air hop (< a slot) of the barrier; two flush barriers per step
+    // collect the resulting mail long before its server-arrival time.
+    let slot = (0..n_cells)
+        .map(|c| cfg.cell_config(c).slot_duration)
+        .max()
+        .expect("at least one cell");
+
+    // The coordinator's mobility schedule: every step the classic loop
+    // would pop (at ≤ end), grouped per barrier instant in UE order —
+    // the order their init-scheduled `Handover` events carry.
+    let mut steps: Vec<(Instant, usize, MobilityStep)> = Vec::new();
+    for (ue, spec) in cfg.ues.iter().enumerate() {
+        for st in &spec.mobility {
+            if st.at <= end {
+                steps.push((st.at, ue, *st));
+            }
+        }
+    }
+    steps.sort_by_key(|&(at, ue, _)| (at, ue));
+    let mut barriers: BTreeSet<Instant> = BTreeSet::new();
+    for &(at, _, _) in &steps {
+        barriers.insert(at);
+        barriers.insert(at + slot);
+        barriers.insert(at + slot + slot);
+    }
+
+    let mut worlds: Vec<World> = (0..n)
+        .map(|s| {
+            let mut w = World::new(cfg.clone());
+            w.shard_install(s, of_cell.clone());
+            w
+        })
+        .collect();
+    let parallel = default_threads() > 1;
+    let mut busy = vec![0u64; n];
+    let mut drain = vec![0u64; n];
+    let mut mailed = vec![0u64; n];
+    let mut coordinator_events = 0u64;
+    #[allow(clippy::vec_box)]
+    let mut moved: Vec<(Instant, Box<Event>)> = Vec::new();
+    #[allow(clippy::vec_box)]
+    let mut envelopes: Vec<(Instant, usize, usize, Box<Event>)> = Vec::new();
+
+    let mut step_idx = 0;
+    for &barrier in &barriers {
+        run_epoch(&mut worlds, barrier, end, parallel, &mut busy);
+        deliver_mail(&mut worlds, barrier, &mut envelopes, &mut mailed, &mut drain);
+        while step_idx < steps.len() && steps[step_idx].0 == barrier {
+            let (at, ue, st) = steps[step_idx];
+            step_idx += 1;
+            // The classic loop pops one `Handover` event per step; its
+            // init-time sequence number makes it pop *before* any
+            // same-instant runtime event — exactly this barrier point.
+            coordinator_events += 1;
+            apply_step(
+                &mut worlds,
+                &of_cell,
+                ue,
+                st,
+                at,
+                &mut moved,
+                &mut mailed,
+                &mut drain,
+            );
+        }
+    }
+    run_epoch(&mut worlds, Instant::MAX, end, parallel, &mut busy);
+    // Transient post-handover mail was all collected by the flush
+    // barriers; whatever a replica's final epoch still produced can
+    // only target events beyond the run end (delivered for the merge
+    // invariant, never popped).
+    deliver_mail(&mut worlds, end, &mut envelopes, &mut mailed, &mut drain);
+
+    let stats: Vec<ShardStat> = worlds
+        .iter()
+        .enumerate()
+        .map(|(s, w)| ShardStat {
+            shard: s,
+            cells: of_cell.iter().filter(|&&o| o == s).count(),
+            events: w.events_processed(),
+            busy_ns: busy[s],
+            drain_ns: drain[s],
+            mailed: mailed[s],
+            cycles: w.cycles_snapshot(),
+        })
+        .collect();
+    let merged = World::merge_sharded(worlds, coordinator_events);
+    let mut report = merged.into_report();
+    report.shards = stats;
+    report
+}
+
+/// Run every replica up to (not including) `until`, in parallel when
+/// the thread budget allows. Per-replica wall time accumulates into
+/// `busy` — under parallel execution each entry is still that shard's
+/// own busy time, which is what the aggregate-rate computation needs.
+fn run_epoch(worlds: &mut [World], until: Instant, end: Instant, parallel: bool, busy: &mut [u64]) {
+    if parallel {
+        std::thread::scope(|sc| {
+            for (w, b) in worlds.iter_mut().zip(busy.iter_mut()) {
+                sc.spawn(move || {
+                    let t0 = std::time::Instant::now();
+                    w.run_until(until, end);
+                    *b += t0.elapsed().as_nanos() as u64;
+                });
+            }
+        });
+    } else {
+        for (w, b) in worlds.iter_mut().zip(busy.iter_mut()) {
+            let t0 = std::time::Instant::now();
+            w.run_until(until, end);
+            *b += t0.elapsed().as_nanos() as u64;
+        }
+    }
+}
+
+/// Drain every replica's outbox and inject the envelopes at their
+/// targets in `(time, source shard, sequence)` order. The order is a
+/// pure function of those three keys — the mailbox contract the
+/// property test pins down.
+#[allow(clippy::vec_box)]
+fn deliver_mail(
+    worlds: &mut [World],
+    barrier: Instant,
+    envelopes: &mut Vec<(Instant, usize, usize, Box<Event>)>,
+    mailed: &mut [u64],
+    drain: &mut [u64],
+) {
+    envelopes.clear();
+    let mut buf = Vec::new();
+    for (s, w) in worlds.iter_mut().enumerate() {
+        let t0 = std::time::Instant::now();
+        w.take_outbox(&mut buf);
+        for (k, (at, bx)) in buf.drain(..).enumerate() {
+            mailed[s] += 1;
+            envelopes.push((at, s, k, bx));
+        }
+        drain[s] += t0.elapsed().as_nanos() as u64;
+    }
+    if envelopes.is_empty() {
+        return;
+    }
+    // Unstable sort: the key is strictly total (no two envelopes share
+    // `(at, s, k)`), and unlike the stable sort it never allocates.
+    envelopes.sort_unstable_by_key(|&(at, s, k, _)| (at, s, k));
+    for (at, s, _, bx) in envelopes.drain(..) {
+        // An envelope in the past would be silently clamped by the
+        // queue — a protocol bug (a flush barrier missed it), so fail
+        // loudly instead.
+        assert!(
+            at >= barrier,
+            "cross-shard envelope for t={at:?} delivered late at barrier {barrier:?}"
+        );
+        let t0 = std::time::Instant::now();
+        let dst = worlds[s].event_owner(&bx);
+        worlds[dst].inject(at, bx);
+        drain[dst] += t0.elapsed().as_nanos() as u64;
+    }
+}
+
+/// Execute one mobility step at its barrier. Same-cell and same-shard
+/// steps take the intra-world path verbatim; a cross-shard handover
+/// runs the Xn transfer across the two replicas, flips the attachment
+/// in every replica, then re-homes the UE's queued events.
+#[allow(clippy::too_many_arguments, clippy::vec_box)]
+fn apply_step(
+    worlds: &mut [World],
+    of_cell: &[usize],
+    ue: usize,
+    st: MobilityStep,
+    now: Instant,
+    moved: &mut Vec<(Instant, Box<Event>)>,
+    mailed: &mut [u64],
+    drain: &mut [u64],
+) {
+    let src_cell = worlds[0].serving_cell(ue);
+    let src_s = of_cell[src_cell];
+    let dst_s = of_cell[st.cell];
+    if src_cell == st.cell || src_s == dst_s {
+        worlds[src_s].apply_mobility_step(ue, st.cell, st.profile, st.snr_db, now);
+        if src_cell != st.cell {
+            for (s, w) in worlds.iter_mut().enumerate() {
+                if s != src_s {
+                    w.set_serving(ue, st.cell);
+                }
+            }
+        }
+        return;
+    }
+    let (src_w, dst_w) = pair_mut(worlds, src_s, dst_s);
+    World::handover_across(src_w, dst_w, ue, st.cell, st.profile, st.snr_db, now);
+    // The flip reaches every replica (ownership is derived from
+    // `serving`) *before* events re-route, so extraction and mail
+    // routing below already see the new owner.
+    for w in worlds.iter_mut() {
+        w.set_serving(ue, st.cell);
+    }
+    let t0 = std::time::Instant::now();
+    moved.clear();
+    worlds[src_s].extract_foreign_events(moved);
+    for (at, bx) in moved.drain(..) {
+        mailed[src_s] += 1;
+        let dst = worlds[src_s].event_owner(&bx);
+        worlds[dst].inject(at, bx);
+    }
+    drain[src_s] += t0.elapsed().as_nanos() as u64;
+}
+
+/// Disjoint mutable borrows of two distinct slice elements.
+fn pair_mut(v: &mut [World], i: usize, j: usize) -> (&mut World, &mut World) {
+    debug_assert_ne!(i, j);
+    if i < j {
+        let (l, r) = v.split_at_mut(j);
+        (&mut l[i], &mut r[0])
+    } else {
+        let (l, r) = v.split_at_mut(i);
+        (&mut r[0], &mut l[j])
+    }
+}

@@ -86,6 +86,9 @@ struct Flow {
     ue_id: UeId,
     drb: DrbId,
     qfi: Qfi,
+    /// The flow's data-direction five-tuple (the `tuple_to_flow` key);
+    /// the Xn marker-state migration lifts per-tuple flow state by it.
+    tuple: FiveTuple,
     wan_one_way: Duration,
     start: Instant,
     stop: Option<Instant>,
@@ -125,7 +128,7 @@ struct Flow {
 /// `BinaryHeap` would memmove packet bytes on every reorder. The boxes
 /// themselves are pooled by the world (`World::pool`), so scheduling is
 /// allocation-free in steady state.
-enum Event {
+pub(crate) enum Event {
     /// Placeholder left in a recycled box; never scheduled.
     Nop,
     /// One TDD slot of cell `cell` elapses (each cell has its own tick).
@@ -195,12 +198,30 @@ pub struct World {
     gnbs: Vec<Gnb>,
     /// UE → serving-cell attachment table.
     serving: Vec<usize>,
+    /// Per-cell sorted attachment lists (the structure-of-arrays index
+    /// by attachment): `cell_ues[c]` holds the UEs `serving` maps to
+    /// `c`, ascending. The per-slot uplink scan walks this list instead
+    /// of filtering all UEs — same iteration order, O(attached) work.
+    cell_ues: Vec<Vec<usize>>,
     ues: Vec<UeStack>,
-    marker: Marker,
-    /// The UE-side marker instance for uplink data queues (one instance
-    /// serves every UE, keyed internally by (ue, drb) — mirroring the
-    /// CU-side layout). Inert in downlink-only scenarios.
-    ul_marker: Marker,
+    /// CU-side marker instances. A classic central CU-UP has exactly
+    /// one, shared by every cell (the pre-shard layout, byte-for-byte).
+    /// With [`ScenarioConfig::cu_per_cell`] each cell runs its own
+    /// instance on its own RNG stream — the deployment shape that makes
+    /// cells shardable, because no marker state spans cells.
+    markers: Vec<Marker>,
+    /// The UE-side marker instances for uplink data queues, laid out
+    /// exactly like `markers` (one shared, or one per cell), keyed
+    /// internally by (ue, drb). Inert in downlink-only scenarios.
+    ul_markers: Vec<Marker>,
+    /// `Some` once [`World::shard_install`] carved this replica down to
+    /// one shard's cells; `None` is the classic whole-world run.
+    shard: Option<ShardView>,
+    /// Cross-shard envelopes produced this epoch (in-flight uplink ACKs
+    /// of flows whose UE migrated away — the only runtime cross-shard
+    /// edge). Drained by the coordinator at slot-boundary barriers.
+    #[allow(clippy::vec_box)]
+    outbox: Vec<(Instant, Box<Event>)>,
     /// Any flow carries uplink data: gates the whole UL data plane so
     /// downlink-only scenarios stay byte-identical.
     has_ul_data: bool,
@@ -265,14 +286,20 @@ pub struct World {
     cell_thr_bins: Vec<Vec<u64>>,
     queue_series: BTreeMap<(u16, u8), Vec<usize>>,
     cell_queue_series: BTreeMap<(u8, u16, u8), Vec<usize>>,
-    handovers: Vec<HandoverRecord>,
+    /// Per-UE handover history. Kept per UE (not as one flat log) so a
+    /// UE's records migrate with it between shard replicas; the report
+    /// flattens them sorted by (time, ue) — the classic push order.
+    ho_log: Vec<Vec<HandoverRecord>>,
     /// Per-UE time of the last payload-bearing app delivery.
     last_delivery: Vec<Option<Instant>>,
-    /// Per-UE index into `handovers` of a record still awaiting its first
-    /// post-switch delivery.
+    /// Per-UE index into `ho_log[ue]` of a record still awaiting its
+    /// first post-switch delivery.
     pending_ho: Vec<Option<usize>>,
     breakdown: Vec<BreakdownAvg>,
-    rate_err_pct: Vec<f64>,
+    /// Estimation-error samples keyed by (sample time, (ue, drb)) so
+    /// per-shard partitions merge back into the classic push order (a
+    /// stable sort on the key; a no-op for single-world runs).
+    rate_err: Vec<(Instant, (u16, u8), f64)>,
     /// (ue, drb, sn) → (flow, ident): joins TxRecords to packets.
     sn_map: FxHashMap<(UeId, DrbId, u64), (usize, u16)>,
     /// (flow, ident) → (queuing ms, scheduling ms) awaiting delivery.
@@ -293,10 +320,24 @@ pub struct World {
     ho_tbs_lost: u64,
     /// Events processed by `run` (perf-gate denominator).
     events: u64,
+    /// Of `events`, how many were the replicated housekeeping ticks
+    /// (`Sample`, `UePoll`). Every shard replica runs them, so the
+    /// merged event count keeps one copy and subtracts the rest —
+    /// making `Report::events` shard-count-invariant.
+    housekeeping: u64,
     /// Per-subsystem cycle accounting (disabled unless
     /// `ScenarioConfig::measure_cycles`; a disabled scope costs one
     /// predictable branch per span).
     cycles: CycleScope,
+}
+
+/// Which shard a world replica plays, plus the static cell → shard map.
+/// UE and flow ownership derive from it through the `serving` table —
+/// which every replica updates at handover barriers, so ownership flips
+/// globally and consistently without any mask maintenance.
+pub(crate) struct ShardView {
+    id: usize,
+    of_cell: Vec<usize>,
 }
 
 impl World {
@@ -316,7 +357,6 @@ impl World {
                 Gnb::new(cfg.cell_config(c).clone(), cfg.scheduler, rng)
             })
             .collect();
-        let marker_rng = root.derive(2);
         let mut ues = Vec::new();
         let mut serving = Vec::new();
         for (i, spec) in cfg.ues.iter().enumerate() {
@@ -352,7 +392,24 @@ impl World {
             ));
             serving.push(home);
         }
-        let marker = Marker::new(&cfg.marker, marker_rng);
+        // Marker deployment shape. The central instance keeps the
+        // pre-existing `derive(2)` stream (byte-identical runs); per-cell
+        // instances give cell 0 that same legacy stream and draw the rest
+        // from a disjoint range, mirroring the gNB convention above.
+        let markers: Vec<Marker> = if cfg.cu_per_cell {
+            (0..n_cells)
+                .map(|c| {
+                    let rng = if c == 0 {
+                        root.derive(2)
+                    } else {
+                        root.derive(20_000 + c as u64)
+                    };
+                    Marker::new(&cfg.marker, rng)
+                })
+                .collect()
+        } else {
+            vec![Marker::new(&cfg.marker, root.derive(2))]
+        };
         let mut flows = Vec::new();
         let mut tuple_to_flow = FxHashMap::default();
         let mut has_ul_data = false;
@@ -501,6 +558,7 @@ impl World {
                 ue_id: UeId(spec.ue as u16),
                 drb: DrbId(spec.drb),
                 qfi: Qfi(spec.drb),
+                tuple,
                 wan_one_way: spec.wan.one_way,
                 start: spec.start,
                 stop: spec.stop,
@@ -546,10 +604,30 @@ impl World {
             .collect();
         let need_ue_poll = !um_ues.is_empty() || !udp_flows.is_empty() || has_um_ul;
         let n_ues = serving.len();
-        // The UE-side uplink marker mirrors the CU one; its RNG stream is
-        // derived (purely) from the root, so constructing it perturbs
-        // nothing in downlink-only scenarios.
-        let ul_marker = Marker::new(&cfg.marker.uplink(), root.derive(4));
+        // The UE-side uplink markers mirror the CU ones (same deployment
+        // shape, disjoint stream range); their RNG streams are derived
+        // (purely) from the root, so constructing them perturbs nothing
+        // in downlink-only scenarios.
+        let ul_markers: Vec<Marker> = if cfg.cu_per_cell {
+            (0..n_cells)
+                .map(|c| {
+                    let rng = if c == 0 {
+                        root.derive(4)
+                    } else {
+                        root.derive(30_000 + c as u64)
+                    };
+                    Marker::new(&cfg.marker.uplink(), rng)
+                })
+                .collect()
+        } else {
+            vec![Marker::new(&cfg.marker.uplink(), root.derive(4))]
+        };
+        // Per-cell attachment lists (UE indices ascend, matching the
+        // classic filtered scan's iteration order).
+        let mut cell_ues: Vec<Vec<usize>> = vec![Vec::new(); n_cells];
+        for (i, &c) in serving.iter().enumerate() {
+            cell_ues[c].push(i);
+        }
         let cycles = if cfg.measure_cycles {
             CycleScope::new(CYCLE_LABELS)
         } else {
@@ -561,9 +639,12 @@ impl World {
             pool: Vec::with_capacity(1024 + 128 * n),
             gnbs,
             serving,
+            cell_ues,
             ues,
-            marker,
-            ul_marker,
+            markers,
+            ul_markers,
+            shard: None,
+            outbox: Vec::new(),
             has_ul_data,
             has_um_ul,
             flows,
@@ -598,11 +679,11 @@ impl World {
             cell_thr_bins: vec![Vec::new(); n_cells],
             queue_series: BTreeMap::new(),
             cell_queue_series: BTreeMap::new(),
-            handovers: Vec::new(),
+            ho_log: vec![Vec::new(); n_ues],
             last_delivery: vec![None; n_ues],
             pending_ho: vec![None; n_ues],
             breakdown: vec![BreakdownAvg::default(); n],
-            rate_err_pct: Vec::new(),
+            rate_err: Vec::new(),
             sn_map: FxHashMap::default(),
             breakdown_pending: FxHashMap::default(),
             gt_egress: BTreeMap::new(),
@@ -610,14 +691,43 @@ impl World {
             marker_time: (Vec::new(), Vec::new(), Vec::new()),
             ho_tbs_lost: 0,
             events: 0,
+            housekeeping: 0,
             cycles,
         };
         for cell in 0..n_cells {
-            w.sched(Instant::ZERO, Event::Slot { cell });
+            // Per-cell CU deployments de-synchronise the cells' slot
+            // grids by 1 µs per cell index (≪ one slot, invisible to
+            // the TDD pattern). Cross-cell event chains — UL feedback,
+            // its server echo, the ACK-clocked downlink — then never
+            // collide on the same nanosecond, so no cross-cell ordering
+            // depends on queue insertion order. That is what lets shard
+            // merge points reproduce the single-world order exactly;
+            // the classic central deployment keeps frame-synchronous
+            // cells, byte-for-byte.
+            let phase = if w.cfg.cu_per_cell {
+                Duration::from_micros(cell as u64)
+            } else {
+                Duration::ZERO
+            };
+            w.sched(Instant::ZERO + phase, Event::Slot { cell });
         }
-        w.sched(Instant::from_millis(10), Event::Sample);
+        // Per-cell CU deployments also nudge the replicated
+        // housekeeping ticks half a microsecond off their grids.
+        // Mobility steps land on round instants that coincide with the
+        // 10 ms sample grid, and a migrated in-flight event at exactly
+        // the barrier instant takes a *fresh* sequence number on
+        // injection — it would pop after a same-instant `Sample` whose
+        // classic sequence number is older, sampling a queue one SDU
+        // early. Off-grid ticks make the order a pure function of time,
+        // identical at every shard count.
+        let hk = if w.cfg.cu_per_cell {
+            Duration::from_nanos(500)
+        } else {
+            Duration::ZERO
+        };
+        w.sched(Instant::from_millis(10) + hk, Event::Sample);
         if need_ue_poll {
-            w.sched(Instant::from_millis(5), Event::UePoll);
+            w.sched(Instant::from_millis(5) + hk, Event::UePoll);
         }
         for f in 0..n {
             let start = w.flows[f].start;
@@ -673,11 +783,94 @@ impl World {
         }
     }
 
+    /// Marker-instance index for `cell`: the shared central instance, or
+    /// the cell's own one under `cu_per_cell`.
+    #[inline]
+    fn mk(&self, cell: usize) -> usize {
+        if self.markers.len() == 1 {
+            0
+        } else {
+            cell
+        }
+    }
+
+    /// Does this replica own `cell`? Classic runs own everything.
+    #[inline]
+    fn owns_cell(&self, cell: usize) -> bool {
+        match &self.shard {
+            None => true,
+            Some(s) => s.of_cell[cell] == s.id,
+        }
+    }
+
+    /// Does this replica own `ue` (= its serving cell)?
+    #[inline]
+    fn owns_ue(&self, ue: usize) -> bool {
+        self.owns_cell(self.serving[ue])
+    }
+
+    /// Does this replica own `flow` (= its UE)?
+    #[inline]
+    fn owns_flow(&self, flow: usize) -> bool {
+        self.owns_ue(self.flows[flow].ue_idx)
+    }
+
+    /// Schedule an `UlAtServer` for `flow`, routing it through the
+    /// cross-shard outbox when the flow's UE belongs to another shard —
+    /// the in-flight uplink ACKs of a just-migrated UE, the only
+    /// runtime cross-shard edge. Classic runs own every flow, so the
+    /// hot path costs one predictable branch.
+    #[inline]
+    fn sched_ul_at_server(&mut self, flow: usize, pkt: PacketBuf, at: Instant) {
+        let ev = Event::UlAtServer { flow, pkt };
+        if self.owns_flow(flow) {
+            self.sched(at, ev);
+        } else {
+            let bx = match self.pool.pop() {
+                Some(mut b) => {
+                    *b = ev;
+                    b
+                }
+                None => Box::new(ev),
+            };
+            self.outbox.push((at, bx));
+        }
+    }
+
+    /// Flip the attachment table and the per-cell attachment lists.
+    /// Also applied to every *other* replica at shard barriers, so
+    /// ownership (derived from `serving`) flips globally in lockstep.
+    pub(crate) fn set_serving(&mut self, ue: usize, cell: usize) {
+        let old = self.serving[ue];
+        if old == cell {
+            return;
+        }
+        if let Ok(pos) = self.cell_ues[old].binary_search(&ue) {
+            self.cell_ues[old].remove(pos);
+        }
+        if let Err(pos) = self.cell_ues[cell].binary_search(&ue) {
+            self.cell_ues[cell].insert(pos, ue);
+        }
+        self.serving[ue] = cell;
+    }
+
     /// Execute to the configured duration and produce the report.
     pub fn run(mut self) -> Report {
         let end = Instant::ZERO + self.cfg.duration;
+        self.run_until(Instant::MAX, end);
+        self.into_report()
+    }
+
+    /// Drive the event loop until the next event would fire at or after
+    /// `until` (a shard epoch barrier) or after `end`. Events exactly at
+    /// `until` stay queued: the coordinator's barrier work (handovers,
+    /// mailbox drain) runs *before* anything at the barrier instant —
+    /// which is the classic pop order, because an init-scheduled
+    /// `Handover` always carries a smaller sequence number than the
+    /// runtime-rescheduled events sharing its instant.
+    pub(crate) fn run_until(&mut self, until: Instant, end: Instant) {
         while let Some(at) = self.queue.next_at() {
-            if at > end {
+            if at > end || at >= until {
                 break;
             }
             let t0 = self.cycles.start();
@@ -689,7 +882,6 @@ impl World {
             self.events += 1;
             self.handle(ev, now);
         }
-        self.into_report()
     }
 
     // ------------------------------------------------------------------
@@ -810,16 +1002,21 @@ impl World {
                 self.on_handover(ue, target_cell, profile, snr_db, now)
             }
             Event::Sample => {
+                self.housekeeping += 1;
                 let t0 = self.cycles.start();
                 self.on_sample(now);
                 self.cycles.stop(t0, CYC_METRICS);
             }
             Event::UePoll => {
+                self.housekeeping += 1;
                 // Only UEs with UM DRBs have reassembly timers to run.
                 let t0 = self.cycles.start();
                 let mut deliveries = std::mem::take(&mut self.scratch_app_deliv);
                 for k in 0..self.um_ues.len() {
                     let i = self.um_ues[k];
+                    if !self.owns_ue(i) {
+                        continue;
+                    }
                     self.ues[i].poll_into(now, &mut deliveries);
                     for d in deliveries.drain(..) {
                         self.sched(
@@ -840,6 +1037,9 @@ impl World {
                 let t0 = self.cycles.start();
                 for k in 0..self.udp_flows.len() {
                     let flow = self.udp_flows[k];
+                    if !self.owns_flow(flow) {
+                        continue;
+                    }
                     let f = &mut self.flows[flow];
                     let ue = f.ue_idx;
                     let dir = f.dir;
@@ -871,13 +1071,16 @@ impl World {
                 if self.has_um_ul {
                     let mut skipped = std::mem::take(&mut self.scratch_ul_skips);
                     for cell in 0..self.gnbs.len() {
+                        if !self.owns_cell(cell) {
+                            continue;
+                        }
                         let core = self.gnbs[cell].config().core_to_cu_delay;
                         skipped.clear();
                         let t0 = self.cycles.start();
                         self.gnbs[cell].poll_ul_rx_into(now, &mut skipped);
                         self.cycles.stop(t0, CYC_UL);
                         for (_ue, _drb, d) in skipped.drain(..) {
-                            self.forward_ul_to_server(d.pkt, core, now);
+                            self.forward_ul_to_server(cell, d.pkt, core, now);
                         }
                     }
                     self.scratch_ul_skips = skipped;
@@ -943,20 +1146,25 @@ impl World {
             tgt_cfg.ul_sr_delay_max,
         );
         self.ues[ue].on_handover(sp, id, sr, now);
+        // Per-cell CU deployments first carry the UE's marker state over
+        // Xn to the target cell's instance; the classic central instance
+        // already holds it. Then the policy runs where the state now is.
+        if self.markers.len() > 1 {
+            self.migrate_marker_state(ue, src, target_cell);
+        }
+        let m = self.mk(target_cell);
         for k in 0..self.cfg.ues[ue].drbs.len() {
             let d = self.cfg.ues[ue].drbs[k].0;
-            self.marker
-                .on_handover(ue_id, DrbId(d), self.cfg.marker_ho_policy);
+            self.markers[m].on_handover(ue_id, DrbId(d), self.cfg.marker_ho_policy);
             // The uplink marker applies the same policy symmetrically:
             // its profile table (SN mirror of the UE-side PDCP, whose
             // numbering is continuous across re-establishment) always
             // survives; MigrateState keeps the grant-rate estimator,
             // ColdStart resets it.
-            self.ul_marker
-                .on_handover(ue_id, DrbId(d), self.cfg.marker_ho_policy);
+            self.ul_markers[m].on_handover(ue_id, DrbId(d), self.cfg.marker_ho_policy);
         }
-        self.serving[ue] = target_cell;
-        self.handovers.push(HandoverRecord {
+        self.set_serving(ue, target_cell);
+        self.ho_log[ue].push(HandoverRecord {
             ue: ue as u16,
             at: now,
             from_cell: src as u8,
@@ -964,7 +1172,29 @@ impl World {
             last_delivery_before: self.last_delivery[ue],
             first_delivery_after: None,
         });
-        self.pending_ho[ue] = Some(self.handovers.len() - 1);
+        self.pending_ho[ue] = Some(self.ho_log[ue].len() - 1);
+    }
+
+    /// Move a UE's marker state (both instances) between per-cell
+    /// markers over Xn: per-DRB marking state plus per-tuple flow state
+    /// for each of the UE's flows.
+    fn migrate_marker_state(&mut self, ue: usize, src: usize, dst: usize) {
+        let ue_id = UeId(ue as u16);
+        let drbs: Vec<DrbId> = self.cfg.ues[ue]
+            .drbs
+            .iter()
+            .map(|&(d, _)| DrbId(d))
+            .collect();
+        let tuples: Vec<FiveTuple> = self
+            .flows
+            .iter()
+            .filter(|f| f.ue_idx == ue)
+            .map(|f| f.tuple)
+            .collect();
+        let carry = self.markers[src].extract_ue(ue_id, &drbs, &tuples);
+        self.markers[dst].absorb_ue(carry);
+        let carry = self.ul_markers[src].extract_ue(ue_id, &drbs, &tuples);
+        self.ul_markers[dst].absorb_ue(carry);
     }
 
     fn on_slot(&mut self, cell: usize, now: Instant) {
@@ -974,10 +1204,11 @@ impl World {
         let c0 = self.cycles.start();
         self.gnbs[cell].on_slot_into(now, &mut out);
         self.cycles.stop(c0, CYC_GNB);
+        let m = self.mk(cell);
         for msg in &out.f1u {
             let c0 = self.cycles.start();
             let t0 = self.clock_start();
-            self.marker.on_feedback(msg, now);
+            self.markers[m].on_feedback(msg, now);
             self.clock_stop(t0, 2);
             self.cycles.stop(c0, CYC_MARKER);
         }
@@ -1050,10 +1281,11 @@ impl World {
                 self.scratch_grants = grants;
             }
             let c0 = self.cycles.start();
-            for i in 0..self.ues.len() {
-                if self.serving[i] != cell {
-                    continue;
-                }
+            // Walk the cell's sorted attachment list: same ascending UE
+            // order as the classic all-UE filtered scan, but O(attached)
+            // — in a 50-cell metro the filter itself was the hot path.
+            for k in 0..self.cell_ues[cell].len() {
+                let i = self.cell_ues[cell][k];
                 // Quiet-UE fast path: a UE with nothing to transmit and
                 // no status/BSR state transition due this slot is skipped
                 // before any pool churn. `ul_slot_pending` is an exact
@@ -1098,9 +1330,11 @@ impl World {
         // per-SDU breakdown is never consumed.
         let dl = self.flows[flow].dir == FlowDir::Downlink;
         let ident = pkt.identification();
+        let cell = self.serving[self.flows[flow].ue_idx];
+        let m = self.mk(cell);
         let c0 = self.cycles.start();
         let t0 = self.clock_start();
-        let verdict = self.marker.on_dl(ue_id, drb, &mut pkt, now);
+        let verdict = self.markers[m].on_dl(ue_id, drb, &mut pkt, now);
         self.clock_stop(t0, 0);
         self.cycles.stop(c0, CYC_MARKER);
         if verdict == DlVerdict::Drop {
@@ -1109,7 +1343,6 @@ impl World {
             }
             return;
         }
-        let cell = self.serving[self.flows[flow].ue_idx];
         let c0 = self.cycles.start();
         match self.gnbs[cell].enqueue_downlink(ue_id, qfi, pkt, now) {
             Some((drb, sn)) => {
@@ -1159,7 +1392,7 @@ impl World {
                 // delivery to the UE, closing any pending gap.
                 self.last_delivery[ue] = Some(now);
                 if let Some(h) = self.pending_ho[ue].take() {
-                    self.handovers[h].first_delivery_after = Some(now);
+                    self.ho_log[ue][h].first_delivery_after = Some(now);
                 }
             }
             if let Some((queuing, sched)) = self.breakdown_pending.remove(&(flow, ident)) {
@@ -1266,6 +1499,7 @@ impl World {
         // toward; if it handed over while they were on the air, that
         // cell's RLC context is gone and they die with it (the forced
         // post-handover status resynchronises the target instead).
+        let m = self.mk(cell);
         if self.serving[ue] == cell {
             for (drb, st) in statuses.drain(..) {
                 let c0 = self.cycles.start();
@@ -1274,7 +1508,7 @@ impl World {
                 if let Some(msg) = f1u {
                     let c0 = self.cycles.start();
                     let t0 = self.clock_start();
-                    self.marker.on_feedback(&msg, now);
+                    self.markers[m].on_feedback(&msg, now);
                     self.clock_stop(t0, 2);
                     self.cycles.stop(c0, CYC_MARKER);
                 }
@@ -1283,12 +1517,14 @@ impl World {
             statuses.clear();
         }
         // Uplink IP packets were decoded by the old cell before the UE
-        // left; they continue to the core (and the CU marker) either way.
+        // left; they continue to the core (and the CU marker) either way
+        // — and when the UE's flows now live on another shard, the
+        // scheduled server arrival rides the cross-shard outbox.
         let core = self.gnbs[cell].config().core_to_cu_delay;
         for mut pkt in pkts.drain(..) {
             let c0 = self.cycles.start();
             let t0 = self.clock_start();
-            self.marker.on_ul(&mut pkt, now);
+            self.markers[m].on_ul(&mut pkt, now);
             self.clock_stop(t0, 1);
             self.cycles.stop(c0, CYC_MARKER);
             let Some(tuple) = pkt.five_tuple() else { continue };
@@ -1296,7 +1532,7 @@ impl World {
                 continue;
             };
             let delay = core + self.flows[flow].wan_one_way;
-            self.sched(now + delay, Event::UlAtServer { flow, pkt });
+            self.sched_ul_at_server(flow, pkt, now + delay);
         }
         // All buffers are empty again: back to the pool.
         self.ul_pool.push((pkts, statuses, bsr));
@@ -1323,19 +1559,20 @@ impl World {
             UlTbOutcome::Decoded(deliveries) => {
                 let core = self.gnbs[cell].config().core_to_cu_delay;
                 for (_drb, d) in deliveries {
-                    self.forward_ul_to_server(d.pkt, core, now);
+                    self.forward_ul_to_server(cell, d.pkt, core, now);
                 }
             }
         }
     }
 
     /// Route one decoded uplink data packet onward to its content
-    /// server, through the CU (where the downlink marker's uplink hook
-    /// sees it, like every packet heading for the core).
-    fn forward_ul_to_server(&mut self, mut pkt: PacketBuf, core: Duration, now: Instant) {
+    /// server, through the CU (where `cell`'s downlink marker's uplink
+    /// hook sees it, like every packet heading for the core).
+    fn forward_ul_to_server(&mut self, cell: usize, mut pkt: PacketBuf, core: Duration, now: Instant) {
+        let m = self.mk(cell);
         let c0 = self.cycles.start();
         let t0 = self.clock_start();
-        self.marker.on_ul(&mut pkt, now);
+        self.markers[m].on_ul(&mut pkt, now);
         self.clock_stop(t0, 1);
         self.cycles.stop(c0, CYC_MARKER);
         let Some(tuple) = pkt.five_tuple() else {
@@ -1346,7 +1583,7 @@ impl World {
             return;
         };
         let delay = core + self.flows[flow].wan_one_way;
-        self.sched(now + delay, Event::UlAtServer { flow, pkt });
+        self.sched_ul_at_server(flow, pkt, now + delay);
     }
 
     /// Feed the uplink marker the UE's freshly advanced transmit and
@@ -1359,10 +1596,11 @@ impl World {
         let c0 = self.cycles.start();
         self.ues[ue].ul_f1u_into(now, &mut f1u);
         self.cycles.stop(c0, CYC_UL);
+        let m = self.mk(self.serving[ue]);
         for msg in &f1u {
             let c0 = self.cycles.start();
             let t0 = self.clock_start();
-            self.ul_marker.on_feedback(msg, now);
+            self.ul_markers[m].on_feedback(msg, now);
             self.clock_stop(t0, 2);
             self.cycles.stop(c0, CYC_MARKER);
         }
@@ -1383,9 +1621,10 @@ impl World {
                 let f = &self.flows[flow];
                 (f.ue_idx, f.ue_id, f.drb)
             };
+            let m = self.mk(self.serving[ue]);
             let c0 = self.cycles.start();
             let t0 = self.clock_start();
-            let verdict = self.ul_marker.on_dl(ue_id, drb, &mut pkt, now);
+            let verdict = self.ul_markers[m].on_dl(ue_id, drb, &mut pkt, now);
             self.clock_stop(t0, 0);
             self.cycles.stop(c0, CYC_MARKER);
             if verdict == DlVerdict::Drop {
@@ -1778,8 +2017,13 @@ impl World {
 
     fn on_sample(&mut self, now: Instant) {
         // RLC queue lengths, read from each UE's serving cell (and broken
-        // out per cell for the per-cell series).
+        // out per cell for the per-cell series). Shard replicas sample
+        // only the UEs they own; the owner moves with the UE, so every
+        // (ue, tick) is sampled exactly once across the fleet.
         for (i, spec) in self.cfg.ues.iter().enumerate() {
+            if !self.owns_ue(i) {
+                continue;
+            }
             let cell = self.serving[i];
             for &(d, _) in &spec.drbs {
                 let len = self.gnbs[cell].rlc_queue_len(UeId(i as u16), DrbId(d));
@@ -1794,6 +2038,9 @@ impl World {
         // manages), sampled on the same tick.
         if self.has_ul_data {
             for i in 0..self.ues.len() {
+                if !self.owns_ue(i) {
+                    continue;
+                }
                 for k in 0..self.ues[i].ul_drbs().len() {
                     let d = self.ues[i].ul_drbs()[k];
                     let len = self.ues[i].ul_queue_len_sdus(d);
@@ -1809,8 +2056,13 @@ impl World {
         // as Eq. 3 anchors its window at the latest feedback — anchoring
         // at the (arbitrary) sample tick instead would under-count by a
         // partial TDD frame and read as a systematic positive bias.
-        if let Some(l4span) = self.marker.as_l4span() {
-            let window = l4span.config().estimation_window;
+        if self.markers[0].as_l4span().is_some() {
+            let window = self.markers[0]
+                .as_l4span()
+                .expect("checked above")
+                .config()
+                .estimation_window;
+            let single = self.markers.len() == 1;
             for ((ue, drb), log) in self.gt_egress.iter_mut() {
                 while let Some(&(t, _)) = log.front() {
                     if now.saturating_since(t) > window * 4 {
@@ -1830,13 +2082,325 @@ impl World {
                     .sum();
                 let gt = bytes as f64 / window.as_secs_f64();
                 if gt > 50_000.0 {
-                    if let Some(est) = l4span.egress_rate(UeId(*ue), DrbId(*drb)) {
-                        self.rate_err_pct.push((est - gt) / gt * 100.0);
+                    // The estimate lives in the instance marking the
+                    // UE's serving cell (the only instance, centrally).
+                    let m = if single { 0 } else { self.serving[*ue as usize] };
+                    if let Some(est) = self.markers[m]
+                        .as_l4span()
+                        .and_then(|l| l.egress_rate(UeId(*ue), DrbId(*drb)))
+                    {
+                        self.rate_err.push((now, (*ue, *drb), (est - gt) / gt * 100.0));
                     }
                 }
             }
         }
         self.sched(now + Duration::from_millis(10), Event::Sample);
+    }
+
+    // ------------------------------------------------------------------
+    // Shard plumbing (crate::shard drives these)
+    // ------------------------------------------------------------------
+
+    /// Install a shard view on this replica: record the cell → shard
+    /// map and prune the freshly-initialised queue down to the events
+    /// this shard owns. Replicated housekeeping ticks (`Sample`,
+    /// `UePoll`) stay in every replica; mobility `Handover` events
+    /// leave all queues — the coordinator executes them at barriers.
+    pub(crate) fn shard_install(&mut self, id: usize, of_cell: Vec<usize>) {
+        self.shard = Some(ShardView { id, of_cell });
+        for (at, mut bx) in self.queue.drain_ordered() {
+            let keep = match &*bx {
+                Event::Sample | Event::UePoll => true,
+                Event::Handover { .. } => false,
+                ev => self.event_owner(ev) == id,
+            };
+            if keep {
+                self.queue.schedule(at, bx);
+            } else {
+                *bx = Event::Nop;
+                self.pool.push(bx);
+            }
+        }
+    }
+
+    /// The shard that owns an event under the current view. Cell-borne
+    /// events follow their cell; everything flow- or UE-scoped follows
+    /// the UE's serving cell.
+    pub(crate) fn event_owner(&self, ev: &Event) -> usize {
+        let s = self.shard.as_ref().expect("sharded world");
+        let of_ue = |ue: usize| s.of_cell[self.serving[ue]];
+        match ev {
+            Event::Slot { cell }
+            | Event::TbAtUe { cell, .. }
+            | Event::UlAtGnb { cell, .. }
+            | Event::UlTbAtGnb { cell, .. } => s.of_cell[*cell],
+            Event::DlAtCu { flow, .. }
+            | Event::UlAtServer { flow, .. }
+            | Event::FlowStart { flow }
+            | Event::FlowStop { flow }
+            | Event::FlowTimer { flow }
+            | Event::AppTick { flow } => of_ue(self.flows[*flow].ue_idx),
+            Event::UlStatusAtUe { ue, .. }
+            | Event::ChannelChange { ue, .. }
+            | Event::Handover { ue, .. } => of_ue(*ue),
+            Event::AppDeliver { pkt, .. } => {
+                let flow = pkt.five_tuple().and_then(|t| {
+                    self.tuple_to_flow
+                        .get(&t)
+                        .or_else(|| self.tuple_to_flow.get(&t.reversed()))
+                        .copied()
+                });
+                match flow {
+                    Some(f) => of_ue(self.flows[f].ue_idx),
+                    None => s.id,
+                }
+            }
+            // Wired-core events only exist in ineligible configurations;
+            // housekeeping is replicated. Neither ever migrates.
+            Event::Nop
+            | Event::DlAtRouter { .. }
+            | Event::RouterPoll
+            | Event::RouterRate { .. }
+            | Event::Sample
+            | Event::UePoll => s.id,
+        }
+    }
+
+    /// After a barrier handover flipped `serving`, pull every queued
+    /// event that now belongs to another shard — the migrated UE's
+    /// in-flight packets, pending timers, and future flow events — out
+    /// of this replica's queue, preserving (time, seq) order.
+    #[allow(clippy::vec_box)]
+    pub(crate) fn extract_foreign_events(&mut self, out: &mut Vec<(Instant, Box<Event>)>) {
+        let id = self.shard.as_ref().expect("sharded world").id;
+        for (at, bx) in self.queue.drain_ordered() {
+            let keep = match &*bx {
+                Event::Sample | Event::UePoll => true,
+                ev => self.event_owner(ev) == id,
+            };
+            if keep {
+                self.queue.schedule(at, bx);
+            } else {
+                out.push((at, bx));
+            }
+        }
+    }
+
+    /// Inject a cross-shard envelope. The fresh sequence number makes
+    /// barrier-injected events win same-instant ties against anything
+    /// the resumed epoch schedules afterwards — the classic order,
+    /// since in the single world they were scheduled earlier.
+    pub(crate) fn inject(&mut self, at: Instant, bx: Box<Event>) {
+        self.queue.schedule(at, bx);
+    }
+
+    /// Move this epoch's cross-shard envelopes out (buffer reuse).
+    #[allow(clippy::vec_box)]
+    pub(crate) fn take_outbox(&mut self, out: &mut Vec<(Instant, Box<Event>)>) {
+        out.append(&mut self.outbox);
+    }
+
+    /// Coordinator entry point for a mobility step whose source and
+    /// target cells live in the same replica (including pure channel
+    /// changes): the intra-world path, verbatim.
+    pub(crate) fn apply_mobility_step(
+        &mut self,
+        ue: usize,
+        target_cell: usize,
+        profile: ChannelProfile,
+        snr_db: f64,
+        now: Instant,
+    ) {
+        self.on_handover(ue, target_cell, profile, snr_db, now);
+    }
+
+    /// Serving cell of `ue` (coordinator routing).
+    pub(crate) fn serving_cell(&self, ue: usize) -> usize {
+        self.serving[ue]
+    }
+
+    /// Events this replica processed (shard statistics).
+    pub(crate) fn events_processed(&self) -> u64 {
+        self.events
+    }
+
+    /// Per-subsystem cycle attribution of this replica.
+    pub(crate) fn cycles_snapshot(&self) -> Vec<l4span_sim::CycleStat> {
+        self.cycles.report()
+    }
+
+    /// Execute a cross-shard Xn handover at an epoch barrier: `src_w`
+    /// owns the UE (and its serving cell), `dst_w` the target cell.
+    /// Mirrors `on_handover` step for step, with the UE's simulation
+    /// state migrating between the replicas. The caller flips `serving`
+    /// in *every* replica afterwards, then extracts foreign events from
+    /// `src_w`.
+    pub(crate) fn handover_across(
+        src_w: &mut World,
+        dst_w: &mut World,
+        ue: usize,
+        target_cell: usize,
+        profile: ChannelProfile,
+        snr_db: f64,
+        now: Instant,
+    ) {
+        let src = src_w.serving[ue];
+        debug_assert_ne!(src, target_cell, "cross-shard step must change cells");
+        let ue_id = UeId(ue as u16);
+        let ch = dst_w.fresh_channel(ue, target_cell, profile, snr_db, now);
+        let ctx = src_w.gnbs[src].detach_ue(ue_id);
+        let dropped = dst_w.gnbs[target_cell].attach_ue_handover(ue_id, ch, ctx, now);
+        // Per-SDU bookkeeping of tail-dropped forwarded SDUs still lives
+        // in the source replica (the flow cluster migrates below).
+        for (drb, sn) in dropped {
+            if let Some((flow, ident)) = src_w.sn_map.remove(&(ue_id, drb, sn)) {
+                src_w.flows[flow].sent_at.remove(&ident);
+            }
+        }
+        let tgt_cfg = dst_w.gnbs[target_cell].config();
+        let (sp, id, sr) = (
+            tgt_cfg.rlc_status_period,
+            tgt_cfg.ue_internal_delay,
+            tgt_cfg.ul_sr_delay_max,
+        );
+        src_w.ues[ue].on_handover(sp, id, sr, now);
+        // Marker state crosses Xn between per-cell instances (shard
+        // eligibility guarantees the per-cell deployment), then the
+        // policy runs on the target instance — as in the intra-world
+        // path.
+        let drbs: Vec<DrbId> = src_w.cfg.ues[ue]
+            .drbs
+            .iter()
+            .map(|&(d, _)| DrbId(d))
+            .collect();
+        let tuples: Vec<FiveTuple> = src_w
+            .flows
+            .iter()
+            .filter(|f| f.ue_idx == ue)
+            .map(|f| f.tuple)
+            .collect();
+        let carry = src_w.markers[src].extract_ue(ue_id, &drbs, &tuples);
+        dst_w.markers[target_cell].absorb_ue(carry);
+        let carry = src_w.ul_markers[src].extract_ue(ue_id, &drbs, &tuples);
+        dst_w.ul_markers[target_cell].absorb_ue(carry);
+        for &d in &drbs {
+            dst_w.markers[target_cell].on_handover(ue_id, d, dst_w.cfg.marker_ho_policy);
+            dst_w.ul_markers[target_cell].on_handover(ue_id, d, dst_w.cfg.marker_ho_policy);
+        }
+        // The UE's whole simulation cluster follows it into the owning
+        // replica; the stale replica state swaps back symmetrically.
+        World::swap_ue_cluster(src_w, dst_w, ue);
+        dst_w.ho_log[ue].push(HandoverRecord {
+            ue: ue as u16,
+            at: now,
+            from_cell: src as u8,
+            to_cell: target_cell as u8,
+            last_delivery_before: dst_w.last_delivery[ue],
+            first_delivery_after: None,
+        });
+        dst_w.pending_ho[ue] = Some(dst_w.ho_log[ue].len() - 1);
+    }
+
+    /// Swap a UE's entire live state cluster — stack, per-UE series and
+    /// logs, its flows, and their per-flow metrics — between two world
+    /// replicas. Symmetric by construction: the live copy always sits
+    /// in the current owner, so ping-pong migrations stay consistent.
+    pub(crate) fn swap_ue_cluster(a: &mut World, b: &mut World, ue: usize) {
+        use std::mem::swap;
+        swap(&mut a.ues[ue], &mut b.ues[ue]);
+        swap(&mut a.last_delivery[ue], &mut b.last_delivery[ue]);
+        swap(&mut a.pending_ho[ue], &mut b.pending_ho[ue]);
+        swap(&mut a.ho_log[ue], &mut b.ho_log[ue]);
+        let ue16 = ue as u16;
+        let ue_id = UeId(ue16);
+        swap_btree_keys(&mut a.queue_series, &mut b.queue_series, |k| k.0 == ue16);
+        swap_btree_keys(&mut a.ul_queue_series, &mut b.ul_queue_series, |k| {
+            k.0 == ue16
+        });
+        swap_btree_keys(&mut a.gt_egress, &mut b.gt_egress, |k| k.0 == ue16);
+        swap_map_keys(&mut a.gt_watermark, &mut b.gt_watermark, |k| k.0 == ue16);
+        swap_map_keys(&mut a.sn_map, &mut b.sn_map, |k| k.0 == ue_id);
+        for f in 0..a.flows.len() {
+            if a.flows[f].ue_idx != ue {
+                continue;
+            }
+            swap(&mut a.flows[f], &mut b.flows[f]);
+            swap(&mut a.owd_ms[f], &mut b.owd_ms[f]);
+            swap(&mut a.owd_at_s[f], &mut b.owd_at_s[f]);
+            swap(&mut a.ul_owd_ms[f], &mut b.ul_owd_ms[f]);
+            swap(&mut a.ul_owd_at_s[f], &mut b.ul_owd_at_s[f]);
+            swap(&mut a.frame_owd_ms[f], &mut b.frame_owd_ms[f]);
+            swap(&mut a.frames_generated[f], &mut b.frames_generated[f]);
+            swap(&mut a.frames_delivered[f], &mut b.frames_delivered[f]);
+            swap(&mut a.frame_late_n[f], &mut b.frame_late_n[f]);
+            swap(&mut a.frame_late_excess_ms[f], &mut b.frame_late_excess_ms[f]);
+            swap(&mut a.request_ms[f], &mut b.request_ms[f]);
+            swap(&mut a.rtt_ms[f], &mut b.rtt_ms[f]);
+            swap(&mut a.rtt_at_s[f], &mut b.rtt_at_s[f]);
+            swap(&mut a.thr_bins[f], &mut b.thr_bins[f]);
+            swap(&mut a.breakdown[f], &mut b.breakdown[f]);
+            swap_map_keys(&mut a.breakdown_pending, &mut b.breakdown_pending, |k| {
+                k.0 == f
+            });
+        }
+    }
+
+    /// Fold every replica's owned state into the primary (shard 0)
+    /// world, so `into_report` runs unchanged on the merged state.
+    /// `coordinator_events` are the barrier-executed mobility steps —
+    /// the `Handover` pops the classic loop would have counted.
+    pub(crate) fn merge_sharded(mut worlds: Vec<World>, coordinator_events: u64) -> World {
+        let mut primary = worlds.remove(0);
+        let n_cells = primary.gnbs.len();
+        assert!(
+            primary.outbox.is_empty(),
+            "shard 0: undelivered cross-shard mail at merge"
+        );
+        for mut w in worlds {
+            let (sid, of_cell) = {
+                let s = w.shard.as_ref().expect("sharded world");
+                (s.id, s.of_cell.clone())
+            };
+            assert!(
+                w.outbox.is_empty(),
+                "shard {sid}: undelivered cross-shard mail at merge"
+            );
+            for (c, &owner) in of_cell.iter().enumerate().take(n_cells) {
+                if owner != sid {
+                    continue;
+                }
+                std::mem::swap(&mut primary.gnbs[c], &mut w.gnbs[c]);
+                std::mem::swap(&mut primary.markers[c], &mut w.markers[c]);
+                std::mem::swap(&mut primary.ul_markers[c], &mut w.ul_markers[c]);
+                std::mem::swap(&mut primary.cell_thr_bins[c], &mut w.cell_thr_bins[c]);
+                let keys: Vec<(u8, u16, u8)> = w
+                    .cell_queue_series
+                    .keys()
+                    .copied()
+                    .filter(|k| k.0 as usize == c)
+                    .collect();
+                for k in keys {
+                    let v = w.cell_queue_series.remove(&k).expect("just listed");
+                    primary.cell_queue_series.insert(k, v);
+                }
+            }
+            for ue in 0..primary.serving.len() {
+                if of_cell[primary.serving[ue]] == sid {
+                    World::swap_ue_cluster(&mut primary, &mut w, ue);
+                }
+            }
+            // One copy of the replicated housekeeping ticks (shard 0's)
+            // stays in the total; everything else each replica counted
+            // is real, disjoint work.
+            primary.events += w.events - w.housekeeping;
+            primary.ho_tbs_lost += w.ho_tbs_lost;
+            primary.rate_err.append(&mut w.rate_err);
+            primary.marker_time.0.append(&mut w.marker_time.0);
+            primary.marker_time.1.append(&mut w.marker_time.1);
+            primary.marker_time.2.append(&mut w.marker_time.2);
+        }
+        primary.events += coordinator_events;
+        primary
     }
 
     // Wall-clock instrumentation for Fig. 21 / Table 1.
@@ -1857,27 +2421,44 @@ impl World {
         }
     }
 
-    fn into_report(self) -> Report {
+    pub(crate) fn into_report(mut self) -> Report {
         let mut total_marks = 0;
         let mut marker_memory = 0;
-        if let Some(l) = self.marker.as_l4span() {
-            let s = l.stats();
-            total_marks = s.dl_marks + s.tentative_marks;
-            marker_memory = l.memory_bytes();
+        for m in &self.markers {
+            if let Some(l) = m.as_l4span() {
+                let s = l.stats();
+                total_marks += s.dl_marks + s.tentative_marks;
+                marker_memory += l.memory_bytes();
+            }
         }
-        // The uplink instance's marks and resident tables join the same
+        // The uplink instances' marks and resident tables join the same
         // accounting (only when the uplink data plane actually ran, so
         // downlink-only reports are unchanged) — and are also reported
         // alone, so tests can tell UE-side marking actually happened.
         let mut ul_marks = 0;
         if self.has_ul_data {
-            if let Some(l) = self.ul_marker.as_l4span() {
-                let s = l.stats();
-                ul_marks = s.dl_marks + s.tentative_marks;
-                total_marks += ul_marks;
-                marker_memory += l.memory_bytes();
+            for m in &self.ul_markers {
+                if let Some(l) = m.as_l4span() {
+                    let s = l.stats();
+                    ul_marks += s.dl_marks + s.tentative_marks;
+                    marker_memory += l.memory_bytes();
+                }
             }
+            total_marks += ul_marks;
         }
+        // Flatten the per-UE handover logs into the classic global push
+        // order: ascending time, ties (distinct UEs stepping on the same
+        // instant) in ascending UE order — exactly how the single event
+        // loop popped them.
+        let mut handovers: Vec<HandoverRecord> =
+            std::mem::take(&mut self.ho_log).into_iter().flatten().collect();
+        handovers.sort_by_key(|h| (h.at, h.ue));
+        // Same for the estimation-error samples: the classic push order
+        // is (tick, (ue, drb)) ascending, so the stable sort is a no-op
+        // for single-world runs and a correct merge for sharded ones.
+        let mut rate_err = std::mem::take(&mut self.rate_err);
+        rate_err.sort_by_key(|&(at, key, _)| (at, key));
+        let rate_err_pct: Vec<f64> = rate_err.into_iter().map(|(_, _, v)| v).collect();
         // Application QoE roll-up. The SCReAM media source lives inside
         // its sender, so its generation counter is read back here;
         // app-driven flows counted on the world as frames were offered.
@@ -1921,9 +2502,9 @@ impl World {
             cell_thr_bins: self.cell_thr_bins,
             queue_series: self.queue_series,
             cell_queue_series: self.cell_queue_series,
-            handovers: self.handovers,
+            handovers,
             breakdown: self.breakdown,
-            rate_err_pct: self.rate_err_pct,
+            rate_err_pct,
             frame_owd_ms: self.frame_owd_ms,
             frames_generated,
             frames_delivered: self.frames_delivered,
@@ -1949,7 +2530,57 @@ impl World {
             marker_time_ns: self.marker_time,
             cycles: self.cycles.report(),
             events: self.events,
+            shards: Vec::new(),
         }
+    }
+}
+
+/// Swap the entries whose key matches `pred` between two BTree maps
+/// (either side may be missing a key; present entries cross over).
+fn swap_btree_keys<K: Ord + Copy, V>(
+    a: &mut BTreeMap<K, V>,
+    b: &mut BTreeMap<K, V>,
+    pred: impl Fn(&K) -> bool,
+) {
+    let ka: Vec<K> = a.keys().copied().filter(|k| pred(k)).collect();
+    let kb: Vec<K> = b.keys().copied().filter(|k| pred(k)).collect();
+    let va: Vec<(K, V)> = ka
+        .into_iter()
+        .map(|k| (k, a.remove(&k).expect("just listed")))
+        .collect();
+    let vb: Vec<(K, V)> = kb
+        .into_iter()
+        .map(|k| (k, b.remove(&k).expect("just listed")))
+        .collect();
+    for (k, v) in va {
+        b.insert(k, v);
+    }
+    for (k, v) in vb {
+        a.insert(k, v);
+    }
+}
+
+/// [`swap_btree_keys`], for hash maps.
+fn swap_map_keys<K: Eq + std::hash::Hash + Copy, V>(
+    a: &mut FxHashMap<K, V>,
+    b: &mut FxHashMap<K, V>,
+    pred: impl Fn(&K) -> bool,
+) {
+    let ka: Vec<K> = a.keys().copied().filter(|k| pred(k)).collect();
+    let kb: Vec<K> = b.keys().copied().filter(|k| pred(k)).collect();
+    let va: Vec<(K, V)> = ka
+        .into_iter()
+        .map(|k| (k, a.remove(&k).expect("just listed")))
+        .collect();
+    let vb: Vec<(K, V)> = kb
+        .into_iter()
+        .map(|k| (k, b.remove(&k).expect("just listed")))
+        .collect();
+    for (k, v) in va {
+        b.insert(k, v);
+    }
+    for (k, v) in vb {
+        a.insert(k, v);
     }
 }
 

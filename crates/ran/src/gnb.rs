@@ -210,6 +210,11 @@ pub struct Gnb {
     segment_pool: Vec<Vec<(DrbId, Segment)>>,
     /// Reusable RLC-delivery scratch for the uplink TB decode path.
     scratch_rx: Vec<RxDelivery>,
+    /// Reusable working sets for the MAC allocators plus the grant
+    /// list they emit, so the scheduling step of the slot tick stays
+    /// allocation-free (PR 8's shard epochs are slot-tick bound).
+    scratch_alloc: mac::AllocScratch,
+    scratch_grants: Vec<(UeId, usize)>,
 }
 
 impl Gnb {
@@ -232,6 +237,8 @@ impl Gnb {
             scratch_harq: Vec::new(),
             segment_pool: Vec::new(),
             scratch_rx: Vec::new(),
+            scratch_alloc: mac::AllocScratch::default(),
+            scratch_grants: Vec::new(),
         }
     }
 
@@ -582,20 +589,28 @@ impl Gnb {
                 avg_throughput: ctx.avg_tput.get_or(0.0),
             });
         }
-        let grants = match self.scheduler {
-            SchedulerKind::RoundRobin => {
-                mac::allocate_round_robin(&self.scratch_cands, rbgs_left, &mut self.rr_cursor)
-            }
-            SchedulerKind::ProportionalFair => {
-                mac::allocate_proportional_fair(&self.scratch_cands, rbgs_left)
-            }
-        };
+        let mut grants = std::mem::take(&mut self.scratch_grants);
+        match self.scheduler {
+            SchedulerKind::RoundRobin => mac::allocate_round_robin_into(
+                &self.scratch_cands,
+                rbgs_left,
+                &mut self.rr_cursor,
+                &mut self.scratch_alloc,
+                &mut grants,
+            ),
+            SchedulerKind::ProportionalFair => mac::allocate_proportional_fair_into(
+                &self.scratch_cands,
+                rbgs_left,
+                &mut self.scratch_alloc,
+                &mut grants,
+            ),
+        }
 
         // --- 3. Build transport blocks from RLC queues ---
         // `scratch_cqis` and `grants` are both sorted by UE id (the map
         // iterates in order and the allocators preserve candidate order).
         self.scratch_served.clear();
-        for (ue, n_rbgs) in grants {
+        for &(ue, n_rbgs) in &grants {
             let cqi = self.scratch_cqis[self
                 .scratch_cqis
                 .binary_search_by_key(&ue, |&(u, _)| u)
@@ -659,6 +674,7 @@ impl Gnb {
                 out.deliveries.push(TbDelivery { tb, deliver_at });
             }
         }
+        self.scratch_grants = grants;
 
         // --- 4. PF throughput averages (every connected UE, every slot) ---
         // Merge-walk: both `ues` and `scratch_served` are UE-id sorted.

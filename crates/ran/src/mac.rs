@@ -40,6 +40,18 @@ pub struct Candidate {
     pub avg_throughput: f64,
 }
 
+/// Reusable buffers for the slot-tick allocators. The 2 kHz per-cell
+/// slot tick calls an allocator every downlink slot; routing its
+/// working sets through here keeps the tick allocation-free at steady
+/// state (the shard epoch hot loop).
+#[derive(Debug, Default)]
+pub struct AllocScratch {
+    remaining: Vec<(usize, isize)>,
+    grants: Vec<usize>,
+    metric: Vec<f64>,
+    order: Vec<usize>,
+}
+
 /// Allocate `n_rbgs` resource-block groups round-robin: one RBG per
 /// backlogged UE per pass, starting after the cursor so the head position
 /// rotates across slots. Returns `(ue, rbg_count)` pairs.
@@ -48,16 +60,37 @@ pub fn allocate_round_robin(
     n_rbgs: usize,
     cursor: &mut usize,
 ) -> Vec<(UeId, usize)> {
-    let mut remaining: Vec<(usize, isize)> = cands
-        .iter()
-        .enumerate()
-        .filter(|(_, c)| c.backlog > 0 && c.bytes_per_rbg > 0)
-        .map(|(i, c)| (i, c.backlog as isize))
-        .collect();
+    let mut out = Vec::new();
+    allocate_round_robin_into(cands, n_rbgs, cursor, &mut AllocScratch::default(), &mut out);
+    out
+}
+
+/// [`allocate_round_robin`] writing into caller-owned buffers (cleared
+/// first) — identical grants, zero allocations once `scratch` and `out`
+/// are at steady-state capacity.
+pub fn allocate_round_robin_into(
+    cands: &[Candidate],
+    n_rbgs: usize,
+    cursor: &mut usize,
+    scratch: &mut AllocScratch,
+    out: &mut Vec<(UeId, usize)>,
+) {
+    out.clear();
+    let remaining = &mut scratch.remaining;
+    remaining.clear();
+    remaining.extend(
+        cands
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.backlog > 0 && c.bytes_per_rbg > 0)
+            .map(|(i, c)| (i, c.backlog as isize)),
+    );
     if remaining.is_empty() {
-        return Vec::new();
+        return;
     }
-    let mut grants = vec![0usize; cands.len()];
+    let grants = &mut scratch.grants;
+    grants.clear();
+    grants.resize(cands.len(), 0);
     let start = *cursor % remaining.len();
     let mut left = n_rbgs;
     let mut idx = start;
@@ -80,12 +113,13 @@ pub fn allocate_round_robin(
         }
     }
     *cursor = cursor.wrapping_add(1);
-    cands
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| grants[*i] > 0)
-        .map(|(i, c)| (c.ue, grants[i]))
-        .collect()
+    out.extend(
+        cands
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| grants[*i] > 0)
+            .map(|(i, c)| (c.ue, grants[i])),
+    );
 }
 
 /// Allocate RBG-by-RBG to the UE with the highest proportional-fair
@@ -100,25 +134,47 @@ pub fn allocate_round_robin(
 /// `O(n_rbgs × n_ues)` comparisons per slot with one small sort — the
 /// dominant cost of the 16-UE slot tick.
 pub fn allocate_proportional_fair(cands: &[Candidate], n_rbgs: usize) -> Vec<(UeId, usize)> {
+    let mut out = Vec::new();
+    allocate_proportional_fair_into(cands, n_rbgs, &mut AllocScratch::default(), &mut out);
+    out
+}
+
+/// [`allocate_proportional_fair`] writing into caller-owned buffers
+/// (cleared first) — identical grants, zero allocations once `scratch`
+/// and `out` are at steady-state capacity.
+pub fn allocate_proportional_fair_into(
+    cands: &[Candidate],
+    n_rbgs: usize,
+    scratch: &mut AllocScratch,
+    out: &mut Vec<(UeId, usize)>,
+) {
     const EPS: f64 = 1e-6;
-    let metric: Vec<f64> = cands
-        .iter()
-        .map(|c| c.bytes_per_rbg as f64 / (c.avg_throughput + EPS))
-        .collect();
-    let mut order: Vec<usize> = (0..cands.len())
-        .filter(|&i| cands[i].backlog > 0 && cands[i].bytes_per_rbg > 0)
-        .collect();
+    out.clear();
+    let metric = &mut scratch.metric;
+    metric.clear();
+    metric.extend(
+        cands
+            .iter()
+            .map(|c| c.bytes_per_rbg as f64 / (c.avg_throughput + EPS)),
+    );
+    let order = &mut scratch.order;
+    order.clear();
+    order.extend((0..cands.len()).filter(|&i| cands[i].backlog > 0 && cands[i].bytes_per_rbg > 0));
     // Descending metric; on ties the smaller UE id wins, matching the
-    // argmax's `then_with` tie-break.
-    order.sort_by(|&i, &j| {
+    // argmax's `then_with` tie-break. Unstable sort: the UE-id
+    // tie-break makes the comparator a total order, and unlike the
+    // stable sort it never allocates.
+    order.sort_unstable_by(|&i, &j| {
         metric[j]
             .partial_cmp(&metric[i])
             .unwrap()
             .then_with(|| cands[i].ue.cmp(&cands[j].ue))
     });
-    let mut grants = vec![0usize; cands.len()];
+    let grants = &mut scratch.grants;
+    grants.clear();
+    grants.resize(cands.len(), 0);
     let mut left = n_rbgs;
-    for i in order {
+    for &i in order.iter() {
         if left == 0 {
             break;
         }
@@ -132,12 +188,13 @@ pub fn allocate_proportional_fair(cands: &[Candidate], n_rbgs: usize) -> Vec<(Ue
     }
     // Emit in candidate (UE-id) order, as the per-RBG loop did — the gNB
     // builds TBs in this order, so it also fixes the RNG draw sequence.
-    cands
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| grants[*i] > 0)
-        .map(|(i, c)| (c.ue, grants[i]))
-        .collect()
+    out.extend(
+        cands
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| grants[*i] > 0)
+            .map(|(i, c)| (c.ue, grants[i])),
+    );
 }
 
 #[cfg(test)]

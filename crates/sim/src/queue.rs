@@ -131,6 +131,20 @@ impl<E> EventQueue<E> {
     pub fn clear(&mut self) {
         self.heap.clear();
     }
+
+    /// Remove every pending event in `(time, sequence)` order without
+    /// advancing the queue clock. Re-scheduling the survivors in the
+    /// returned order assigns fresh, ascending sequence numbers, so the
+    /// relative FIFO order of same-instant events is preserved — this is
+    /// what shard installation relies on when it prunes a replica's
+    /// queue down to the events its cells own.
+    pub fn drain_ordered(&mut self) -> Vec<(Instant, E)> {
+        let mut out = Vec::with_capacity(self.heap.len());
+        while let Some(e) = self.heap.pop() {
+            out.push((e.at, e.event));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -183,6 +197,32 @@ mod tests {
         let (at, ev) = q.pop().unwrap();
         assert_eq!(ev, "clamped");
         assert_eq!(at, Instant::from_millis(10));
+    }
+
+    #[test]
+    fn drain_ordered_yields_time_seq_order_and_keeps_clock() {
+        let mut q = EventQueue::new();
+        let t = Instant::from_millis(4);
+        q.schedule(Instant::from_millis(9), "late");
+        q.schedule(t, "first");
+        q.schedule(t, "second");
+        q.schedule(Instant::from_millis(2), "early");
+        q.pop(); // advance clock to 2ms
+        let drained = q.drain_ordered();
+        assert_eq!(
+            drained.iter().map(|(_, e)| *e).collect::<Vec<_>>(),
+            ["first", "second", "late"],
+            "drain preserves (time, seq) order"
+        );
+        assert!(q.is_empty());
+        assert_eq!(q.now(), Instant::from_millis(2), "clock untouched");
+        // Re-scheduling in drained order keeps same-instant FIFO intact.
+        for (at, e) in drained {
+            q.schedule(at, e);
+        }
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "second");
+        assert_eq!(q.pop().unwrap().1, "late");
     }
 
     #[test]

@@ -219,4 +219,113 @@ fn steady_state_downlink_path_makes_zero_allocations() {
         n, 0,
         "schedule/pop on a pre-sized event heap must not allocate"
     );
+
+    // --- 5. gNB slot tick into reused SlotOutput (PR 8 shard hot loop) --
+    // Each shard's epoch is dominated by per-cell slot ticks. With the
+    // gNB's internal scratch warm, the TB segment buffers recycled, and
+    // the caller's `SlotOutput` reused, a full enqueue → slot → recycle
+    // cycle must not touch the allocator.
+    use l4span::ran::channel::ChannelProfile;
+    use l4span::ran::config::{CellConfig, SchedulerKind};
+    use l4span::ran::ids::Qfi;
+    use l4span::ran::{FadingChannel, Gnb, SlotOutput};
+    let cfg = CellConfig::default();
+    let slot = cfg.slot_duration;
+    let mut gnb = Gnb::new(cfg.clone(), SchedulerKind::RoundRobin, SimRng::new(1));
+    let seeds = SimRng::new(99);
+    for u in 0..4u16 {
+        let ch = FadingChannel::new(
+            ChannelProfile::Static,
+            25.0,
+            cfg.carrier_hz,
+            &mut seeds.derive(u as u64),
+        );
+        gnb.add_ue(UeId(u), ch, &[(DrbId(0), RlcMode::Um)]);
+    }
+    let mut out = SlotOutput::default();
+    // Warm-up: grow RLC rings to their cap (the offered load exceeds
+    // the cell rate, so steady state is a full queue), plus scheduler
+    // scratch and the TB segment pool (buffers only enter the pool via
+    // recycle).
+    for i in 0..2048u64 {
+        for u in 0..4u16 {
+            for _ in 0..2 {
+                gnb.enqueue_downlink(UeId(u), Qfi(1), data_packet(i as u16, 1400), Instant::ZERO + slot * i);
+            }
+        }
+        gnb.on_slot_into(Instant::ZERO + slot * i, &mut out);
+        for d in out.deliveries.drain(..) {
+            gnb.recycle_segments(d.tb.segments);
+        }
+    }
+    let (n, _) = allocs_during(|| {
+        let mut served = 0usize;
+        for i in 2048..2304u64 {
+            let t = Instant::ZERO + slot * i;
+            for u in 0..4u16 {
+                gnb.enqueue_downlink(UeId(u), Qfi(1), data_packet(i as u16, 1400), t);
+            }
+            gnb.on_slot_into(t, &mut out);
+            for d in out.deliveries.drain(..) {
+                served += 1;
+                gnb.recycle_segments(d.tb.segments);
+            }
+        }
+        served
+    });
+    assert_eq!(
+        n, 0,
+        "warm gNB slot tick into a reused SlotOutput must not allocate"
+    );
+
+    // --- 6. Cross-shard mailbox cycle (PR 8) ----------------------------
+    // The coordinator's steady-state envelope cycle: a source shard
+    // pushes pooled boxes into its outbox, the coordinator appends them
+    // into a reused buffer, wraps them as `(at, src, k)` envelopes,
+    // sorts (unstable — the key is strictly total, and unlike the
+    // stable sort it never allocates), and injects into a warm
+    // destination heap that recycles the boxes back to the pool.
+    let mut pool: Vec<Box<u64>> = (0..64).map(Box::new).collect();
+    let mut outbox: Vec<(Instant, Box<u64>)> = Vec::with_capacity(64);
+    let mut buf: Vec<(Instant, Box<u64>)> = Vec::with_capacity(64);
+    let mut envelopes: Vec<(Instant, usize, usize, Box<u64>)> = Vec::with_capacity(64);
+    let mut dst: EventQueue<Box<u64>> = EventQueue::with_capacity(128);
+    // Warm the destination heap.
+    for i in 0..64u64 {
+        dst.schedule(Instant::from_millis(i), pool.pop().expect("pooled"));
+    }
+    while let Some((_, bx)) = dst.pop() {
+        pool.push(bx);
+    }
+    let (n, _) = allocs_during(|| {
+        let mut sum = 0u64;
+        for round in 0..64u64 {
+            let barrier = dst.now() + Duration::from_millis(1);
+            // Source epoch: mail produced with pooled boxes.
+            for k in 0..32u64 {
+                let mut bx = pool.pop().expect("pooled");
+                *bx = round * 100 + k;
+                outbox.push((barrier + Duration::from_micros(k % 7), bx));
+            }
+            // Coordinator: take, wrap, sort, inject.
+            buf.append(&mut outbox);
+            for (k, (at, bx)) in buf.drain(..).enumerate() {
+                envelopes.push((at, 0, k, bx));
+            }
+            envelopes.sort_unstable_by_key(|&(at, s, k, _)| (at, s, k));
+            for (at, _, _, bx) in envelopes.drain(..) {
+                dst.schedule(at, bx);
+            }
+            // Destination epoch: drain, recycle the boxes.
+            while let Some((_, bx)) = dst.pop() {
+                sum += *bx;
+                pool.push(bx);
+            }
+        }
+        sum
+    });
+    assert_eq!(
+        n, 0,
+        "steady-state cross-shard mailbox cycle must not allocate"
+    );
 }

@@ -514,3 +514,57 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// Cross-shard mailbox contract (PR 8): the coordinator's delivery
+    /// order is a pure function of `(time, source shard, extraction
+    /// sequence)`. Each shard's extraction sequence is deterministic —
+    /// `EventQueue::drain_ordered` yields `(time, seq)` order with
+    /// same-instant FIFO — and sorting the pooled envelopes by that
+    /// triple recovers a single total order no matter how the
+    /// per-shard outboxes were interleaved when collected.
+    #[test]
+    fn mailbox_drain_order_is_pure(
+        outboxes in proptest::collection::vec(
+            proptest::collection::vec(0u64..5_000, 0..24), 1..5),
+        swaps in proptest::collection::vec((0usize..96, 0usize..96), 0..96),
+    ) {
+        let mut envelopes = Vec::new();
+        for (s, times) in outboxes.iter().enumerate() {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(Instant::ZERO + Duration::from_nanos(t), i);
+            }
+            let drained = q.drain_ordered();
+            // Non-decreasing time; same-instant envelopes keep their
+            // scheduling (FIFO) order.
+            for w in drained.windows(2) {
+                prop_assert!(w[0].0 <= w[1].0, "drain is time-ordered");
+                if w[0].0 == w[1].0 {
+                    prop_assert!(w[0].1 < w[1].1, "same-instant FIFO");
+                }
+            }
+            for (k, (at, id)) in drained.into_iter().enumerate() {
+                envelopes.push((at, s, k, id));
+            }
+        }
+        // Any collection interleaving sorts to the same delivery order.
+        let mut a = envelopes.clone();
+        let mut b = envelopes;
+        for &(i, j) in &swaps {
+            if i < b.len() && j < b.len() {
+                b.swap(i, j);
+            }
+        }
+        a.sort_by_key(|&(at, s, k, _)| (at, s, k));
+        b.sort_by_key(|&(at, s, k, _)| (at, s, k));
+        prop_assert_eq!(&a, &b);
+        // The key is strictly totally ordered: no two envelopes tie.
+        for w in a.windows(2) {
+            prop_assert!(
+                (w[0].0, w[0].1, w[0].2) < (w[1].0, w[1].1, w[1].2),
+                "delivery key is unique"
+            );
+        }
+    }
+}

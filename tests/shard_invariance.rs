@@ -1,0 +1,151 @@
+//! Shard-count invariance matrix.
+//!
+//! The sharding contract (PR 8): for an eligible scenario — per-cell CU
+//! marker, no wired bottleneck, ≥ 2 cells — `run_sharded` must produce
+//! a [`Report::fingerprint`] **byte-identical** to the classic
+//! single-world run at *any* shard count, because shards exchange their
+//! only cross-cell edges (Xn handovers, migrated in-flight events,
+//! post-handover uplink stragglers) through deterministic slot-boundary
+//! mailboxes. One shard short-circuits to the exact classic code path,
+//! so equality against `shards = 1` is equality against `World::run`.
+
+use l4span::core::HandoverPolicy;
+use l4span::harness::{plan_shards, run_sharded, scenario, ScenarioConfig};
+use l4span::sim::Duration;
+
+fn digest(cfg: ScenarioConfig, shards: usize) -> String {
+    run_sharded(cfg, shards).fingerprint_digest()
+}
+
+/// The canonical 2-cell handover scenario with the per-cell CU
+/// deployment that makes it shardable.
+fn handover_percell(cc: &str, secs: u64) -> ScenarioConfig {
+    let mut cfg = scenario::handover_cell(
+        4,
+        cc,
+        Duration::from_secs(1),
+        HandoverPolicy::MigrateState,
+        scenario::l4span_default(),
+        7,
+        Duration::from_secs(secs),
+    );
+    cfg.cu_per_cell = true;
+    cfg
+}
+
+/// A small metro (8 cells × 3 UEs, one mover) that still exercises
+/// every cross-shard mechanism: per-cell markers, cross-shard Xn
+/// handover, in-flight event migration, and straggler mail.
+fn metro_small(cc: &str) -> ScenarioConfig {
+    scenario::metro_city(
+        8,
+        3,
+        cc,
+        scenario::l4span_default(),
+        11,
+        Duration::from_millis(2_600),
+    )
+}
+
+#[test]
+fn handover_2cell_invariant_across_shard_counts() {
+    for cc in ["prague", "cubic", "bbr2"] {
+        let base = digest(handover_percell(cc, 2), 1);
+        for shards in [2, 4] {
+            // 4 shards on 2 cells plans down to 2 — still must match.
+            assert_eq!(
+                digest(handover_percell(cc, 2), shards),
+                base,
+                "handover_2cell cc={cc} shards={shards}"
+            );
+        }
+    }
+}
+
+#[test]
+fn metro_invariant_across_shard_counts() {
+    for cc in ["prague", "cubic", "bbr2"] {
+        let base = digest(metro_small(cc), 1);
+        for shards in [2, 4] {
+            assert_eq!(
+                digest(metro_small(cc), shards),
+                base,
+                "metro cc={cc} shards={shards}"
+            );
+        }
+    }
+}
+
+#[test]
+fn metro_canonical_short_invariant() {
+    // The full 1000-UE / 50-cell canonical world, short sim: covers the
+    // first four staggered handovers and the whole flow-start ramp.
+    let cfg =
+        || scenario::metro_1000ue_50cell("prague", 11, Duration::from_millis(400));
+    assert_eq!(digest(cfg(), 4), digest(cfg(), 1), "metro_1000ue_50cell");
+}
+
+#[test]
+fn parallel_epochs_match_sequential() {
+    // Epochs are independent between barriers, so the thread count must
+    // not leak into results. `L4SPAN_THREADS` only toggles execution
+    // strategy; digests are compared across the toggle.
+    std::env::set_var("L4SPAN_THREADS", "1");
+    let seq = digest(handover_percell("cubic", 2), 2);
+    std::env::set_var("L4SPAN_THREADS", "4");
+    let par = digest(handover_percell("cubic", 2), 2);
+    std::env::remove_var("L4SPAN_THREADS");
+    assert_eq!(par, seq, "parallel vs sequential epochs");
+}
+
+#[test]
+fn ineligible_scenarios_plan_to_one_shard() {
+    let metro = metro_small("cubic");
+    assert_eq!(plan_shards(&metro, 4), 4);
+    assert_eq!(plan_shards(&metro, 64), 8, "capped at the cell count");
+    assert_eq!(plan_shards(&metro, 1), 1);
+
+    let mut central = metro_small("cubic");
+    central.cu_per_cell = false;
+    assert_eq!(plan_shards(&central, 4), 1, "central CU marker");
+
+    let single_cell = scenario::congested_cell(
+        2,
+        "cubic",
+        scenario::ChannelMix::Static,
+        16_384,
+        l4span::cc::WanLink::east(),
+        scenario::l4span_default(),
+        7,
+        Duration::from_secs(1),
+    );
+    assert_eq!(plan_shards(&single_cell, 4), 1, "one cell");
+}
+
+#[test]
+fn single_shard_is_the_classic_code_path() {
+    // A central-marker scenario is ineligible: `run_sharded` at any
+    // requested count must return exactly what `harness::run` returns.
+    let cfg = || {
+        scenario::handover_cell(
+            2,
+            "cubic",
+            Duration::from_secs(1),
+            HandoverPolicy::MigrateState,
+            scenario::l4span_default(),
+            7,
+            Duration::from_secs(1),
+        )
+    };
+    let classic = l4span::harness::run(cfg()).fingerprint_digest();
+    assert_eq!(digest(cfg(), 4), classic, "ineligible → classic path");
+    // And an eligible scenario explicitly asked to run on one shard
+    // also takes it (`run_sharded(_, 1)` calls `World::run` directly).
+    let classic_percell = l4span::harness::run(handover_percell("cubic", 1)).fingerprint_digest();
+    assert_eq!(
+        digest(handover_percell("cubic", 1), 1),
+        classic_percell,
+        "one shard → classic path"
+    );
+}
+
