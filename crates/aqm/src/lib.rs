@@ -10,6 +10,14 @@
 //!   AQM, and a transmission clock: the "L4S+ router" and wired
 //!   middleboxes of Fig. 1/Fig. 2.
 //!
+//! A fourth decider supports the impairment subsystem rather than the
+//! paper's own evaluation:
+//!
+//! * [`red`] — RED-style classic ECN marking on a single shared FIFO,
+//!   the RFC 3168 hop that never learned about L4S. It treats `ECT(1)`
+//!   exactly like `ECT(0)`, which is the coexistence hazard the
+//!   impairment scenarios probe.
+//!
 //! All deciders share the [`Verdict`] vocabulary so the harness can bolt
 //! them onto the CU for the DualPi2-in-RAN and TC-RAN ablations.
 
@@ -18,10 +26,12 @@
 
 pub mod codel;
 pub mod dualpi2;
+pub mod red;
 pub mod router;
 
 pub use codel::CoDel;
 pub use dualpi2::DualPi2;
+pub use red::Red;
 pub use router::{Router, RouterAqm};
 
 /// What an AQM wants done with one packet at dequeue time.

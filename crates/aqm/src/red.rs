@@ -1,0 +1,165 @@
+//! RED-style classic ECN AQM: the RFC 3168 single-queue hop.
+//!
+//! This is the impairment subsystem's model of a legacy internet router
+//! that deployed RFC 3168 ECN with a RED-lineage marking law and never
+//! learned about L4S: one shared FIFO, one marking probability, and no
+//! distinction between `ECT(0)` and `ECT(1)`. That last property is the
+//! coexistence hazard Briscoe's scaling-requirements paper names — a
+//! scalable (Prague) flow treats these classic marks as shallow-queue
+//! L4S signals, responds `1/p` instead of `1/√p`, and starves any
+//! classic flow sharing the queue unless it detects the situation and
+//! falls back.
+//!
+//! The marking law is classic gentle-RED on the EWMA of dequeue sojourn
+//! time: below `min_th` nothing happens, between `min_th` and `max_th`
+//! the mark probability ramps linearly to `max_p`, above `max_th` every
+//! ECT packet is marked (and Not-ECT dropped, which the [`Router`]
+//! enforces by converting `Mark` to `Drop` for non-ECT traffic).
+//!
+//! [`Router`]: crate::Router
+
+use l4span_sim::{Duration, SimRng};
+
+use crate::Verdict;
+
+/// RED-on-sojourn state for the RFC 3168 classic-ECN hop.
+///
+/// The default thresholds model a *deep legacy buffer* (20 ms / 100 ms),
+/// not a modern sub-10 ms AQM: a router that deployed RED when queue
+/// targets were sized for loss-based flows. That depth is also what
+/// makes the hop's marks distinguishable at a Prague sender — every
+/// mark coincides with classic-scale (≫ L4S-target) queueing delay.
+#[derive(Debug, Clone)]
+pub struct Red {
+    /// Sojourn EWMA below this never marks (default 20 ms).
+    pub min_th: Duration,
+    /// Sojourn EWMA at or above this marks at `max_p` (default 100 ms).
+    pub max_th: Duration,
+    /// Marking probability at `max_th` (default 0.1; gentle-RED ramps
+    /// from there to 1.0 at `2 * max_th`).
+    pub max_p: f64,
+    /// EWMA gain (default 1/16).
+    pub weight: f64,
+    avg: f64,
+}
+
+impl Default for Red {
+    fn default() -> Red {
+        Red {
+            min_th: Duration::from_millis(20),
+            max_th: Duration::from_millis(100),
+            max_p: 0.1,
+            weight: 1.0 / 16.0,
+            avg: 0.0,
+        }
+    }
+}
+
+impl Red {
+    /// Custom thresholds.
+    pub fn with_params(min_th: Duration, max_th: Duration, max_p: f64) -> Red {
+        Red {
+            min_th,
+            max_th,
+            max_p,
+            ..Red::default()
+        }
+    }
+
+    /// Current sojourn EWMA (diagnostics).
+    pub fn avg_sojourn(&self) -> Duration {
+        Duration::from_secs_f64(self.avg.max(0.0))
+    }
+
+    /// Decay the EWMA across a link-idle period, as if `m` zero-sojourn
+    /// packets had been dequeued (classic RED's idle handling: without
+    /// it a burst's elevated average keeps punishing traffic long after
+    /// the queue has drained).
+    pub fn decay_idle(&mut self, m: f64) {
+        if m > 0.0 {
+            self.avg *= (1.0 - self.weight).powf(m);
+        }
+    }
+
+    /// Decide the fate of the packet at the queue head given its sojourn
+    /// time. Call once per dequeued packet. The caller converts `Mark`
+    /// to `Drop` for Not-ECT packets (RFC 3168 §6.1.1).
+    pub fn decide(&mut self, sojourn: Duration, rng: &mut SimRng) -> Verdict {
+        self.avg += self.weight * (sojourn.as_secs_f64() - self.avg);
+        let min = self.min_th.as_secs_f64();
+        let max = self.max_th.as_secs_f64();
+        let p = if self.avg < min {
+            0.0
+        } else if self.avg < max {
+            self.max_p * (self.avg - min) / (max - min)
+        } else {
+            // Gentle-RED: ramp from max_p at max_th to 1.0 at 2*max_th.
+            (self.max_p + (1.0 - self.max_p) * (self.avg - max) / max).min(1.0)
+        };
+        if p > 0.0 && rng.chance(p) {
+            Verdict::Mark
+        } else {
+            Verdict::Pass
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_queue_never_marks() {
+        let mut red = Red::default();
+        let mut rng = SimRng::new(7);
+        for _ in 0..1000 {
+            assert_eq!(
+                red.decide(Duration::from_millis(1), &mut rng),
+                Verdict::Pass
+            );
+        }
+    }
+
+    #[test]
+    fn standing_queue_marks_with_ramping_probability() {
+        let mut red = Red::default();
+        let mut rng = SimRng::new(7);
+        let mut marks = 0u32;
+        // 60 ms standing sojourn: EWMA converges between min and max.
+        for _ in 0..1000 {
+            if red.decide(Duration::from_millis(60), &mut rng) == Verdict::Mark {
+                marks += 1;
+            }
+        }
+        // p ≈ 0.1 * 40/80 = 0.05 once converged.
+        assert!((20..200).contains(&marks), "ramp region marks: {marks}");
+    }
+
+    #[test]
+    fn idle_decay_forgets_a_burst() {
+        let mut red = Red::default();
+        let mut rng = SimRng::new(7);
+        for _ in 0..200 {
+            red.decide(Duration::from_millis(500), &mut rng);
+        }
+        assert!(red.avg_sojourn() > red.max_th);
+        // A long idle period (many typical service times) must pull the
+        // average back under min_th so fresh traffic starts clean.
+        red.decay_idle(200.0);
+        assert!(red.avg_sojourn() < red.min_th, "{:?}", red.avg_sojourn());
+    }
+
+    #[test]
+    fn saturated_queue_marks_everything() {
+        let mut red = Red::default();
+        let mut rng = SimRng::new(7);
+        // Drive the EWMA far past 2*max_th.
+        for _ in 0..200 {
+            red.decide(Duration::from_millis(500), &mut rng);
+        }
+        let marks = (0..100)
+            .filter(|_| red.decide(Duration::from_millis(500), &mut rng) == Verdict::Mark)
+            .count();
+        assert_eq!(marks, 100, "gentle-RED saturates at p=1");
+    }
+}

@@ -9,6 +9,7 @@ use l4span_sim::{Duration, Instant, SimRng};
 
 use crate::codel::CoDel;
 use crate::dualpi2::DualPi2;
+use crate::red::Red;
 use crate::Verdict;
 
 /// The AQM a [`Router`] runs.
@@ -20,6 +21,11 @@ pub enum RouterAqm {
     DualPi2(DualPi2),
     /// CoDel / ECN-CoDel single queue.
     CoDel(CoDel),
+    /// RFC 3168 classic-ECN single queue: RED-style marking on one
+    /// shared FIFO that treats `ECT(1)` exactly like `ECT(0)` and drops
+    /// instead of marking for Not-ECT. The impairment subsystem's legacy
+    /// hop where L4S and classic flows collide.
+    ClassicEcn(Red),
 }
 
 #[derive(Debug)]
@@ -42,6 +48,8 @@ pub struct Router {
     c_bytes: usize,
     /// The packet currently on the wire and when it finishes.
     in_service: Option<(PacketBuf, Instant)>,
+    /// When the wire last fell silent (RED idle-decay anchor).
+    last_service_end: Instant,
     rng: SimRng,
     /// Cumulative drops (tail + AQM).
     pub drops: u64,
@@ -61,6 +69,7 @@ impl Router {
             l_bytes: 0,
             c_bytes: 0,
             in_service: None,
+            last_service_end: Instant::ZERO,
             rng,
             drops: 0,
             marks: 0,
@@ -127,7 +136,8 @@ impl Router {
             // Finish the wire.
             if let Some((_, done)) = &self.in_service {
                 if *done <= now {
-                    let (pkt, _) = self.in_service.take().expect("checked");
+                    let (pkt, done) = self.in_service.take().expect("checked");
+                    self.last_service_end = done;
                     out.push(pkt);
                 } else {
                     break;
@@ -185,6 +195,23 @@ impl Router {
                         v
                     }
                 }
+                RouterAqm::ClassicEcn(red) => {
+                    // Classic RED idle handling: if the wire sat silent
+                    // before this packet arrived, decay the EWMA as if
+                    // the gap's worth of typical packets had flowed with
+                    // zero sojourn, so a long-drained burst isn't still
+                    // punishing fresh traffic.
+                    let idle = q.enqueued_at.saturating_since(self.last_service_end);
+                    let typical = 1500.0 * 8.0 / self.rate_bps;
+                    red.decay_idle(idle.as_secs_f64() / typical);
+                    let v = red.decide(sojourn, &mut self.rng);
+                    // RFC 3168 §6.1.1: mark ECT packets, drop the rest.
+                    if v == Verdict::Mark && !q.pkt.ecn().is_ect() {
+                        Verdict::Drop
+                    } else {
+                        v
+                    }
+                }
             };
             match verdict {
                 Verdict::Drop => {
@@ -193,7 +220,8 @@ impl Router {
                 }
                 Verdict::Mark => {
                     self.marks += 1;
-                    q.pkt.set_ecn(Ecn::Ce);
+                    let ce = q.pkt.ecn().remark_to(Ecn::Ce);
+                    q.pkt.set_ecn(ce);
                 }
                 Verdict::Pass => {}
             }
@@ -326,6 +354,62 @@ mod tests {
         let marked = out.iter().filter(|p| p.ecn() == Ecn::Ce).count();
         assert!(marked > 0, "ECN-CoDel must mark a standing queue");
         assert_eq!(r.drops, 0, "and never drop ECT packets");
+    }
+
+    #[test]
+    fn classic_ecn_hop_marks_ect1_like_ect0_and_drops_not_ect() {
+        // A standing queue at the RFC 3168 hop must CE-mark ECT(1)
+        // exactly as it would ECT(0) — the hop predates L4S — and can
+        // only signal Not-ECT traffic by dropping.
+        for (ecn, expect_marks) in [(Ecn::Ect1, true), (Ecn::Ect0, true), (Ecn::NotEct, false)] {
+            let mut r = Router::new(
+                2e6,
+                1 << 20,
+                RouterAqm::ClassicEcn(Red::default()),
+                SimRng::new(1),
+            );
+            let mut out = Vec::new();
+            for step in 0..400u64 {
+                let now = Instant::from_millis(step);
+                r.enqueue(pkt(ecn, 1460), now);
+                out.extend(r.poll(now));
+            }
+            let marked = out.iter().filter(|p| p.ecn() == Ecn::Ce).count();
+            if expect_marks {
+                assert!(marked > 0, "{ecn:?}: standing queue must mark");
+                assert_eq!(r.drops, 0, "{ecn:?}: ECT is marked, not dropped");
+            } else {
+                assert_eq!(marked, 0, "Not-ECT can never be CE-marked");
+                assert!(r.drops > 0, "Not-ECT standing queue must drop");
+            }
+        }
+    }
+
+    #[test]
+    fn classic_ecn_hop_shares_one_fifo() {
+        // Unlike DualPi2 there is no L-queue: ECT(1) arrivals queue
+        // strictly behind earlier classic arrivals.
+        let mut r = Router::new(
+            1.2e7,
+            1 << 20,
+            RouterAqm::ClassicEcn(Red::default()),
+            SimRng::new(1),
+        );
+        for _ in 0..5 {
+            r.enqueue(pkt(Ecn::Ect0, 1460), Instant::ZERO);
+        }
+        for _ in 0..5 {
+            r.enqueue(pkt(Ecn::Ect1, 1460), Instant::ZERO);
+        }
+        let out = drain(&mut r, Instant::from_millis(20));
+        let first_l4s = out
+            .iter()
+            .position(|p| p.ecn() == Ecn::Ect1)
+            .expect("l4s packets depart");
+        assert!(
+            first_l4s >= 5,
+            "FIFO order: all 5 classic packets depart first (got {first_l4s})"
+        );
     }
 
     #[test]

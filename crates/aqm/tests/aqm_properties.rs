@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use l4span_aqm::{CoDel, DualPi2, Router, RouterAqm, Verdict};
+use l4span_aqm::{CoDel, DualPi2, Red, Router, RouterAqm, Verdict};
 use l4span_net::{Ecn, PacketBuf, TcpHeader};
 use l4span_sim::{Duration, Instant, SimRng};
 
@@ -17,13 +17,14 @@ proptest! {
     fn router_conserves_packets(
         seed in any::<u64>(),
         arrivals in proptest::collection::vec((0u64..100_000, 0usize..3), 1..200),
-        aqm_pick in 0usize..3,
+        aqm_pick in 0usize..4,
         rate in 1e6f64..1e8,
         limit in 3000usize..1_000_000,
     ) {
         let aqm = match aqm_pick {
             0 => RouterAqm::Droptail,
             1 => RouterAqm::DualPi2(DualPi2::default()),
+            2 => RouterAqm::ClassicEcn(Red::default()),
             _ => RouterAqm::CoDel(CoDel::new(true)),
         };
         let mut r = Router::new(rate, limit, aqm, SimRng::new(seed));

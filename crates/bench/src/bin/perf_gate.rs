@@ -1,5 +1,5 @@
 //! Simulator performance gate: runs the canonical scenarios, reports
-//! events/sec and wall-ms per simulated second, writes `BENCH_PR8.json`
+//! events/sec and wall-ms per simulated second, writes `BENCH_PR9.json`
 //! at the repo root, and (with `--check`) fails when events/sec on any
 //! scenario regresses more than 10 % below the **best prior baseline** —
 //! the maximum of the committed constants and every *earlier-PR*
@@ -39,7 +39,7 @@ use l4span_bench::gate::{
 use l4span_harness::{run_sharded, ScenarioConfig};
 
 /// The PR this gate's artifact belongs to.
-const PR: u32 = 8;
+const PR: u32 = 9;
 
 /// Allowed events/sec regression vs the best prior baseline before
 /// `--check` fails (fraction). Tightened from 30 % (PR 2–5) to 10 %:
@@ -112,6 +112,10 @@ struct Row {
     events_per_sec: f64,
     wall_ms_per_sim_s: f64,
     shard_rates: Option<ShardRates>,
+    /// Why a requested multi-shard run fell back to the classic path
+    /// (`Report::shard_reject`) — printed so a scenario silently losing
+    /// its parallel speedup is visible in the gate table.
+    shard_reject: Option<&'static str>,
 }
 
 impl Row {
@@ -155,6 +159,7 @@ fn measure(name: &'static str, cfg: ScenarioConfig, shards: usize) -> Row {
         events_per_sec: report.events as f64 / wall_s,
         wall_ms_per_sim_s: wall_s * 1e3 / sim_secs,
         shard_rates,
+        shard_reject: report.shard_reject,
     }
 }
 
@@ -326,6 +331,9 @@ fn main() {
                 sr.per_core_events_per_sec / 1e6,
                 sr.busy_max_s,
             );
+        }
+        if let Some(why) = r.shard_reject {
+            println!("  └ sharding rejected ({why}) — classic whole-world path");
         }
         if check {
             match check_scenario(&best, r.name, r.gate_rate(), MAX_REGRESSION) {

@@ -10,10 +10,10 @@
 use l4span_cc::WanLink;
 use l4span_core::HandoverPolicy;
 use l4span_harness::scenario::{
-    congested_cell, handover_cell, interactive_apps_mixed, l4span_default, metro_1000ue_50cell,
-    video_call_bidir, ChannelMix,
+    congested_cell, handover_cell, impaired_path_cell, interactive_apps_mixed, l4span_default,
+    metro_1000ue_50cell, video_call_bidir, ChannelMix,
 };
-use l4span_harness::ScenarioConfig;
+use l4span_harness::{ImpairmentSpec, ScenarioConfig};
 use l4span_sim::Duration;
 
 /// Simulated seconds per canonical scenario (long enough to reach
@@ -125,6 +125,27 @@ pub fn canonical_scenarios(secs: u64) -> Vec<Canonical> {
             name: "metro_1000ue_50cell",
             cfg: metro_1000ue_50cell("prague", 11, Duration::from_secs(METRO_SECS)),
             shards: METRO_SHARDS,
+        },
+        // New in PR 9: the impaired Internet path — a 25% ECT-bleaching
+        // middlebox feeding a 30 Mbit RFC 3168 single-queue hop (below
+        // the cell's capacity, so the hop is the bottleneck and its RED
+        // law actually runs), with fallback-armed Prague senders. Tracks
+        // the impairment pipeline and classic-queue hot paths: RED
+        // marking, pipeline RNG, the fallback detector on every ACK.
+        // Shards are *requested* so the row also exercises — and prints
+        // — the planner's rejection: an impairment pipeline serializes
+        // all flows, so the run lands on the classic whole-world path.
+        Canonical {
+            name: "impaired_path_prague_16ue",
+            cfg: impaired_path_cell(
+                16,
+                "prague-fallback",
+                ImpairmentSpec::bleaching(0.25).then_classic_hop(30e6),
+                l4span_default(),
+                7,
+                dur,
+            ),
+            shards: 4,
         },
     ]
 }
@@ -383,18 +404,26 @@ mod tests {
                 "interactive_apps_mixed",
                 "video_call_bidir",
                 "metro_1000ue_50cell",
+                "impaired_path_prague_16ue",
             ]
         );
-        // Only the metro world runs sharded; every pre-PR8 scenario
-        // stays on the classic path so its row is comparable with the
-        // earlier BENCH_PR*.json artifacts.
+        // Only the metro world actually runs sharded. The impaired path
+        // *requests* shards but its pipeline serializes all flows, so
+        // the planner must reject it down to the classic whole-world
+        // path — with the reason surfaced for the gate table.
         for c in &set {
-            let want = if c.name == "metro_1000ue_50cell" {
-                METRO_SHARDS
-            } else {
-                1
+            let want = match c.name {
+                "metro_1000ue_50cell" => METRO_SHARDS,
+                "impaired_path_prague_16ue" => 4,
+                _ => 1,
             };
             assert_eq!(c.shards, want, "{}", c.name);
         }
+        let impaired = &set[7];
+        assert_eq!(
+            l4span_harness::plan_shards_reason(&impaired.cfg, impaired.shards),
+            (1, Some("impairment pipeline")),
+            "the planner rejects the impaired path with its reason"
+        );
     }
 }

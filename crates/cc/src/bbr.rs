@@ -235,6 +235,7 @@ mod tests {
             now: Instant::from_millis(now_ms),
             newly_acked: bytes,
             ce_bytes: 0,
+            ect_bytes: None,
             ece: false,
             rtt: Some(Duration::from_millis(rtt_ms)),
             srtt: Duration::from_millis(rtt_ms),

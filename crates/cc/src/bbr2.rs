@@ -130,6 +130,7 @@ mod tests {
             now: Instant::from_millis(now_ms),
             newly_acked: bytes,
             ce_bytes: ce,
+            ect_bytes: None,
             ece: false,
             rtt: Some(Duration::from_millis(40)),
             srtt: Duration::from_millis(40),

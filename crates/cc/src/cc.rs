@@ -36,6 +36,14 @@ pub struct AckSample {
     pub newly_acked: usize,
     /// Of those, bytes reported CE-marked (AccECN; 0 under classic ECN).
     pub ce_bytes: usize,
+    /// Bytes reported arriving with *any* ECN-capable codepoint (the sum
+    /// of the AccECN CE + ECT(0) + ECT(1) counter deltas), when AccECN
+    /// feedback provides it; `None` under classic ECN / no ECN. On an
+    /// ECN-faithful path this tracks `newly_acked`; a persistent
+    /// shortfall is the sender-visible signature of mid-path ECT
+    /// bleaching (the arrival codepoint was erased, so no per-codepoint
+    /// counter advanced).
+    pub ect_bytes: Option<usize>,
     /// Classic ECN-Echo flag state (false under AccECN).
     pub ece: bool,
     /// RTT sample from the newest acked segment, if clean (not a retx).
@@ -48,6 +56,42 @@ pub struct AckSample {
     pub delivery_rate: Option<f64>,
     /// True if the sender was application-limited over this sample.
     pub app_limited: bool,
+}
+
+/// Why a Prague sender abandoned scalable dynamics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// Sustained CE co-occurring with classic-scale queueing delay: the
+    /// marks come from an RFC 3168 single-queue AQM, not an L4S one.
+    ClassicEcn,
+    /// Sustained AccECN arrival-codepoint shortfall: a middlebox is
+    /// bleaching the flow's ECT marking, so CE feedback can no longer be
+    /// trusted to exist.
+    Bleached,
+}
+
+impl FallbackReason {
+    /// Stable label for reports and fingerprints.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FallbackReason::ClassicEcn => "classic-ecn",
+            FallbackReason::Bleached => "bleached",
+        }
+    }
+}
+
+/// A typed congestion-control state transition, drained out-of-band via
+/// [`CongestionControl::take_events`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CcEvent {
+    /// The sender permanently switched from scalable (L4S) response to
+    /// Reno-friendly dynamics per the L4S operational guidance.
+    ClassicFallback {
+        /// When the transition happened.
+        at: Instant,
+        /// What triggered it.
+        reason: FallbackReason,
+    },
 }
 
 /// A pluggable congestion controller. All window values are in bytes.
@@ -70,6 +114,11 @@ pub trait CongestionControl: Send {
     fn ecn_mode(&self) -> EcnMode;
     /// Human-readable name for logs and figures.
     fn name(&self) -> &'static str;
+    /// Drain typed state-transition events recorded since the last call
+    /// (harvested into the run report). Default: none.
+    fn take_events(&mut self) -> Vec<CcEvent> {
+        Vec::new()
+    }
 }
 
 #[cfg(test)]

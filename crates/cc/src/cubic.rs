@@ -120,6 +120,7 @@ mod tests {
             now: Instant::from_millis(now_ms),
             newly_acked: bytes,
             ce_bytes: 0,
+            ect_bytes: None,
             ece: false,
             rtt: Some(Duration::from_millis(40)),
             srtt: Duration::from_millis(40),

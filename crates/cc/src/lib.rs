@@ -36,7 +36,7 @@ pub mod tcp;
 pub mod udp_prague;
 pub mod wan;
 
-pub use cc::{AckSample, CongestionControl, EcnMode};
+pub use cc::{AckSample, CcEvent, CongestionControl, EcnMode, FallbackReason};
 pub use registry::{CcEntry, CcKind, UnknownCc, REGISTRY};
 pub use tcp::{TcpReceiver, TcpSender};
 pub use wan::WanLink;

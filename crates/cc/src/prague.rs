@@ -9,11 +9,95 @@
 
 use l4span_sim::{Duration, Instant};
 
-use crate::cc::{AckSample, CongestionControl, EcnMode};
+use crate::cc::{AckSample, CcEvent, CongestionControl, EcnMode, FallbackReason};
 use crate::reno::INITIAL_WINDOW_SEGS;
 
 /// EWMA gain for α (DCTCP's g = 1/16).
 const ALPHA_GAIN: f64 = 1.0 / 16.0;
+
+/// Classic-AQM pattern: CE co-occurring with queueing delay above this
+/// (classic AQMs target tens of ms of standing queue; an L4S step
+/// target sits around 1 ms).
+const CLASSIC_DELAY: Duration = Duration::from_millis(15);
+
+/// Consecutive suspicious RTT rounds before the sender falls back.
+const FALLBACK_ROUNDS: u32 = 3;
+
+/// Classic-fallback detector state (present only on fallback-enabled
+/// Prague senders, so vanilla Prague's byte-exact behaviour is
+/// untouched).
+#[derive(Debug, Default)]
+struct FallbackDetector {
+    /// Lowest RTT sample seen (the queueing-delay baseline).
+    min_rtt: Option<Duration>,
+    /// Bytes this round reported arriving with any ECN codepoint
+    /// (`None` until AccECN evidence arrives this round).
+    round_ect: Option<usize>,
+    /// This round saw CE while srtt sat a classic queue above min RTT.
+    round_classic: bool,
+    /// Consecutive rounds matching the classic-AQM pattern.
+    classic_rounds: u32,
+    /// Consecutive rounds with a majority arrival-codepoint shortfall.
+    bleach_rounds: u32,
+    /// Set once: the recorded transition, until drained.
+    event: Option<CcEvent>,
+    /// The sender is in Reno-friendly mode for good.
+    fallen: bool,
+}
+
+impl FallbackDetector {
+    /// Per-ACK evidence gathering.
+    fn on_ack(&mut self, ack: &AckSample) {
+        if let Some(rtt) = ack.rtt {
+            self.min_rtt = Some(self.min_rtt.map_or(rtt, |m| m.min(rtt)));
+        }
+        if let Some(e) = ack.ect_bytes {
+            *self.round_ect.get_or_insert(0) += e;
+        }
+        if ack.ce_bytes > 0 {
+            let queued = self
+                .min_rtt
+                .map_or(Duration::ZERO, |m| ack.srtt.saturating_sub(m));
+            if queued > CLASSIC_DELAY {
+                self.round_classic = true;
+            }
+        }
+    }
+
+    /// Per-round verdict; returns the reason once the evidence is
+    /// sustained.
+    fn end_round(&mut self, round_acked: usize) -> Option<FallbackReason> {
+        if self.fallen {
+            return None;
+        }
+        if self.round_classic {
+            self.classic_rounds += 1;
+        } else {
+            self.classic_rounds = 0;
+        }
+        self.round_classic = false;
+        // Bleach: a majority of this round's acked bytes arrived with no
+        // ECN codepoint at all. Requires AccECN evidence this round (a
+        // round of pure stale ACKs proves nothing).
+        match self.round_ect.take() {
+            Some(ect) if round_acked > 0 && ect < round_acked / 2 => self.bleach_rounds += 1,
+            Some(_) => self.bleach_rounds = 0,
+            None => {}
+        }
+        if self.classic_rounds >= FALLBACK_ROUNDS {
+            Some(FallbackReason::ClassicEcn)
+        } else if self.bleach_rounds >= FALLBACK_ROUNDS {
+            Some(FallbackReason::Bleached)
+        } else {
+            None
+        }
+    }
+
+    fn fall_back(&mut self, at: Instant, reason: FallbackReason) {
+        self.fallen = true;
+        self.event = Some(CcEvent::ClassicFallback { at, reason });
+    }
+}
 
 /// TCP Prague congestion control.
 #[derive(Debug)]
@@ -31,6 +115,9 @@ pub struct Prague {
     /// Whether a multiplicative decrease already ran this round.
     reduced_this_round: bool,
     acked_credit: f64,
+    /// Classic-fallback detector (`None` = vanilla Prague; `Some` adds
+    /// the L4S-ops-guidance detection and Reno-friendly fallback).
+    fallback: Option<FallbackDetector>,
 }
 
 impl Prague {
@@ -46,12 +133,32 @@ impl Prague {
             round_end: Instant::ZERO,
             reduced_this_round: false,
             acked_credit: 0.0,
+            fallback: None,
+        }
+    }
+
+    /// Prague with classic-ECN fallback armed: on three consecutive
+    /// rounds of classic-style CE (CE plus classic-scale queueing delay)
+    /// or bleached AccECN feedback, the sender permanently switches to
+    /// Reno-friendly response — 50% multiplicative decrease on CE, once
+    /// per RTT — per the L4S operational guidance, and records the
+    /// transition as a [`CcEvent`].
+    pub fn with_fallback(mss: usize) -> Prague {
+        Prague {
+            fallback: Some(FallbackDetector::default()),
+            ..Prague::new(mss)
         }
     }
 
     /// Current α (exposed for tests and the Fig. 4 walkthrough example).
     pub fn alpha(&self) -> f64 {
         self.alpha
+    }
+
+    /// Whether a fallback-enabled sender has switched to Reno-friendly
+    /// dynamics (always `false` on vanilla Prague).
+    pub fn fallen_back(&self) -> bool {
+        self.fallback.as_ref().is_some_and(|f| f.fallen)
     }
 
     fn end_round(&mut self, now: Instant, srtt: Duration) {
@@ -72,7 +179,18 @@ impl Prague {
 impl CongestionControl for Prague {
     fn on_ack(&mut self, ack: &AckSample) {
         if ack.now >= self.round_end {
+            // Judge the completed round's evidence before its counters
+            // reset (vanilla Prague carries no detector — nothing here
+            // perturbs its byte-exact behaviour).
+            if let Some(fb) = &mut self.fallback {
+                if let Some(reason) = fb.end_round(self.round_acked) {
+                    fb.fall_back(ack.now, reason);
+                }
+            }
             self.end_round(ack.now, ack.srtt);
+        }
+        if let Some(fb) = &mut self.fallback {
+            fb.on_ack(ack);
         }
         self.round_acked += ack.newly_acked;
         self.round_ce += ack.ce_bytes;
@@ -82,6 +200,14 @@ impl CongestionControl for Prague {
             self.ssthresh = self.ssthresh.min(self.cwnd);
             if !self.reduced_this_round {
                 self.reduced_this_round = true;
+                if self.fallback.as_ref().is_some_and(|f| f.fallen) {
+                    // Reno-friendly mode: the marks come from a classic
+                    // AQM, so answer with the classic 50% decrease (once
+                    // per RTT) instead of the scalable α/2 nudge.
+                    self.cwnd = (self.cwnd / 2.0).max(2.0 * self.mss as f64);
+                    self.ssthresh = self.cwnd;
+                    return;
+                }
                 // React to the freshest congestion information: fold the
                 // current round's fraction in before reducing (DCTCP
                 // implementations update α on the CE edge).
@@ -125,7 +251,19 @@ impl CongestionControl for Prague {
     }
 
     fn name(&self) -> &'static str {
-        "prague"
+        if self.fallback.is_some() {
+            "prague-fallback"
+        } else {
+            "prague"
+        }
+    }
+
+    fn take_events(&mut self) -> Vec<CcEvent> {
+        self.fallback
+            .as_mut()
+            .and_then(|f| f.event.take())
+            .into_iter()
+            .collect()
     }
 }
 
@@ -134,10 +272,12 @@ mod tests {
     use super::*;
 
     fn ack(now_ms: u64, bytes: usize, ce: usize) -> AckSample {
+        // Faithful path: every acked byte arrived with its codepoint.
         AckSample {
             now: Instant::from_millis(now_ms),
             newly_acked: bytes,
             ce_bytes: ce,
+            ect_bytes: Some(bytes),
             ece: false,
             rtt: Some(Duration::from_millis(40)),
             srtt: Duration::from_millis(40),
@@ -219,5 +359,104 @@ mod tests {
     #[test]
     fn uses_l4s_identifier() {
         assert_eq!(Prague::new(1000).ecn_mode(), EcnMode::L4s);
+    }
+
+    /// An ACK whose srtt carries a classic-scale standing queue on top
+    /// of the 40 ms baseline, with CE marks.
+    fn classic_ce_ack(now_ms: u64, bytes: usize, ce: usize) -> AckSample {
+        AckSample {
+            srtt: Duration::from_millis(80),
+            ..ack(now_ms, bytes, ce)
+        }
+    }
+
+    #[test]
+    fn classic_ce_pattern_triggers_fallback_and_reno_response() {
+        let mut p = Prague::with_fallback(1000);
+        let mut t = 0;
+        // Establish the min-RTT baseline with clean rounds.
+        for _ in 0..10 {
+            p.on_ack(&ack(t, 20_000, 0));
+            t += 45;
+        }
+        assert!(!p.fallen_back());
+        // CE with ~40 ms of queueing delay, round after round: exactly
+        // what an RFC 3168 single-queue AQM looks like.
+        for _ in 0..6 {
+            p.on_ack(&classic_ce_ack(t, 10_000, 2_000));
+            t += 85;
+        }
+        assert!(p.fallen_back(), "sustained classic CE must trip fallback");
+        let evs = p.take_events();
+        assert_eq!(evs.len(), 1);
+        assert!(matches!(
+            evs[0],
+            CcEvent::ClassicFallback {
+                reason: FallbackReason::ClassicEcn,
+                ..
+            }
+        ));
+        assert!(p.take_events().is_empty(), "event drains once");
+        // Post-fallback the CE response is a classic halving.
+        for _ in 0..5 {
+            p.on_ack(&ack(t, 20_000, 0));
+            t += 45;
+        }
+        let w = p.cwnd() as f64;
+        p.on_ack(&classic_ce_ack(t, 10_000, 2_000));
+        let cut = 1.0 - p.cwnd() as f64 / w;
+        assert!(
+            (0.45..=0.55).contains(&cut),
+            "Reno-friendly 50% MD, got cut {cut}"
+        );
+    }
+
+    #[test]
+    fn bleached_feedback_triggers_fallback() {
+        let mut p = Prague::with_fallback(1000);
+        let mut t = 0;
+        for _ in 0..5 {
+            p.on_ack(&ack(t, 20_000, 0));
+            t += 45;
+        }
+        // Bleached path: acked bytes arrive, AccECN counters stand still.
+        for _ in 0..6 {
+            p.on_ack(&AckSample {
+                ect_bytes: Some(0),
+                ..ack(t, 20_000, 0)
+            });
+            t += 45;
+        }
+        assert!(p.fallen_back(), "majority codepoint shortfall must trip");
+        let evs = p.take_events();
+        assert!(matches!(
+            evs[0],
+            CcEvent::ClassicFallback {
+                reason: FallbackReason::Bleached,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn faithful_path_never_falls_back_and_matches_vanilla() {
+        let mut v = Prague::new(1000);
+        let mut f = Prague::with_fallback(1000);
+        let mut t = 0;
+        // Mixed clean/CE rounds on a faithful low-latency path: the two
+        // senders must stay in lockstep (fallback never engages on L4S
+        // marks at L4S-scale delay).
+        for i in 0..200 {
+            let ce = if i % 7 == 0 { 2_000 } else { 0 };
+            let a = ack(t, 15_000, ce);
+            v.on_ack(&a);
+            f.on_ack(&a);
+            t += 45;
+        }
+        assert!(!f.fallen_back());
+        assert_eq!(v.cwnd(), f.cwnd(), "identical trajectory");
+        assert!(f.take_events().is_empty());
+        assert_eq!(f.name(), "prague-fallback");
+        assert_eq!(v.name(), "prague");
     }
 }

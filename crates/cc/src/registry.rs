@@ -28,6 +28,10 @@ pub enum CcKind {
     Cubic,
     /// TCP Prague (DCTCP-style scalable response, ECT(1), AccECN).
     Prague,
+    /// TCP Prague with classic-ECN / bleaching fallback armed: detects
+    /// RFC 3168 single-queue marking or mid-path ECT bleaching and
+    /// permanently switches to Reno-friendly dynamics.
+    PragueFallback,
     /// BBRv1 (model-based, ECN-oblivious).
     Bbr,
     /// BBRv2 (adds the DCTCP/L4S-like CE response, ECT(1)).
@@ -66,6 +70,12 @@ pub const REGISTRY: &[CcEntry] = &[
         name: "prague",
         aliases: &[],
         factory: |mss| Box::new(crate::prague::Prague::new(mss)),
+    },
+    CcEntry {
+        kind: CcKind::PragueFallback,
+        name: "prague-fallback",
+        aliases: &["prague_fallback"],
+        factory: |mss| Box::new(crate::prague::Prague::with_fallback(mss)),
     },
     CcEntry {
         kind: CcKind::Bbr,

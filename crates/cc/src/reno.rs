@@ -85,6 +85,7 @@ mod tests {
             now: Instant::ZERO,
             newly_acked: bytes,
             ce_bytes: 0,
+            ect_bytes: None,
             ece: false,
             rtt: Some(Duration::from_millis(40)),
             srtt: Duration::from_millis(40),

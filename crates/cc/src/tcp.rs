@@ -30,7 +30,7 @@ use l4span_net::{
 };
 use l4span_sim::{Duration, Instant};
 
-use crate::cc::{AckSample, CongestionControl, EcnMode};
+use crate::cc::{AckSample, CcEvent, CongestionControl, EcnMode};
 
 /// Default payload bytes per segment.
 pub const DEFAULT_MSS: usize = 1400;
@@ -226,6 +226,12 @@ impl TcpSender {
     /// The congestion controller (for diagnostics).
     pub fn cc(&self) -> &dyn CongestionControl {
         &*self.cc
+    }
+
+    /// Drain the controller's typed state-transition events (harvested
+    /// into the run report).
+    pub fn take_cc_events(&mut self) -> Vec<CcEvent> {
+        self.cc.take_events()
     }
 
     /// Smoothed RTT, if measured.
@@ -485,6 +491,7 @@ impl TcpSender {
 
         // --- ECN feedback ---
         let mut ce_bytes = 0usize;
+        let mut ect_bytes = None;
         match self.cc.ecn_mode() {
             EcnMode::L4s => {
                 if let Some(acc) = hdr.accecn {
@@ -499,6 +506,16 @@ impl TcpSender {
                     // this ACK covers.
                     if delta < (1 << 23) {
                         ce_bytes = delta as usize;
+                        // The per-codepoint counters advance together, so
+                        // the CE freshness test covers all three; their
+                        // summed delta is the "bytes that arrived with
+                        // any ECN codepoint" signal bleach detection
+                        // compares against newly-acked bytes.
+                        let d0 = acc.ect0_bytes.wrapping_sub(self.acc_last.ect0_bytes)
+                            & 0x00FF_FFFF;
+                        let d1 = acc.ect1_bytes.wrapping_sub(self.acc_last.ect1_bytes)
+                            & 0x00FF_FFFF;
+                        ect_bytes = Some((delta + d0 + d1) as usize);
                         self.acc_last = acc;
                     }
                 }
@@ -537,6 +554,7 @@ impl TcpSender {
                 now,
                 newly_acked: newly_acked as usize,
                 ce_bytes,
+                ect_bytes,
                 ece: hdr.flags.contains(TcpFlags::ECE),
                 rtt: rtt_sample,
                 srtt,

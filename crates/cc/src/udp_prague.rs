@@ -3,6 +3,7 @@
 //! packet/CE counts in the UDP payload; the sender runs the DCTCP-style
 //! `α` update on a paced rate instead of a window.
 
+use crate::cc::{CcEvent, FallbackReason};
 use l4span_net::{Ecn, PacketBuf};
 use l4span_sim::{Duration, Instant};
 
@@ -12,6 +13,12 @@ const ALPHA_GAIN: f64 = 1.0 / 16.0;
 const FEEDBACK_INTERVAL: Duration = Duration::from_millis(25);
 /// Payload bytes per datagram.
 const MTU_PAYLOAD: usize = 1200;
+/// Queueing delay above the path floor that reads as a classic (RFC 3168)
+/// single-queue AQM rather than an L4S one.
+const CLASSIC_DELAY: Duration = Duration::from_millis(15);
+/// Consecutive feedback epochs of classic/bleached evidence before the
+/// sender abandons scalable dynamics.
+const FALLBACK_EPOCHS: u32 = 3;
 
 /// Cumulative feedback counters (carried in the UDP payload uplink).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -20,6 +27,10 @@ pub struct PragueFeedback {
     pub packets: u64,
     /// Datagrams received CE-marked.
     pub ce_packets: u64,
+    /// Datagrams that arrived Not-ECT. The sender marks everything
+    /// ECT(1), so any such arrival is direct evidence of mid-path ECT
+    /// bleaching.
+    pub not_ect_packets: u64,
 }
 
 /// UDP Prague sender: rate-paced ECT(1) datagrams.
@@ -46,6 +57,65 @@ pub struct UdpPragueSender {
     probe_log: std::collections::VecDeque<(u64, Instant)>,
     /// Smoothed RTT from feedback arrival.
     srtt: Option<Duration>,
+    /// Classic-path detector, engaged via
+    /// [`UdpPragueSender::enable_fallback`].
+    fallback: Option<UdpFallbackDetector>,
+}
+
+/// Classic-ECN / bleaching detector for the UDP sender, mirroring the
+/// TCP Prague one but keyed on feedback epochs instead of ACK rounds.
+#[derive(Debug, Default)]
+struct UdpFallbackDetector {
+    min_srtt: Option<Duration>,
+    classic_epochs: u32,
+    bleach_epochs: u32,
+    event: Option<CcEvent>,
+    fallen: bool,
+}
+
+impl UdpFallbackDetector {
+    /// Score one feedback epoch; returns the reason once the evidence
+    /// has persisted for [`FALLBACK_EPOCHS`].
+    fn on_epoch(
+        &mut self,
+        pkts: u64,
+        ce: u64,
+        not_ect: u64,
+        srtt: Option<Duration>,
+    ) -> Option<FallbackReason> {
+        if self.fallen {
+            return None;
+        }
+        if let Some(s) = srtt {
+            let m = self.min_srtt.get_or_insert(s);
+            if s < *m {
+                *m = s;
+            }
+            let classic_delay = ce > 0 && s.saturating_sub(*m) > CLASSIC_DELAY;
+            if classic_delay {
+                self.classic_epochs += 1;
+            } else {
+                self.classic_epochs = 0;
+            }
+        }
+        if not_ect > pkts / 2 {
+            self.bleach_epochs += 1;
+        } else {
+            self.bleach_epochs = 0;
+        }
+        if self.classic_epochs >= FALLBACK_EPOCHS {
+            Some(FallbackReason::ClassicEcn)
+        } else if self.bleach_epochs >= FALLBACK_EPOCHS {
+            Some(FallbackReason::Bleached)
+        } else {
+            None
+        }
+    }
+
+    fn fall_back(&mut self, at: Instant, reason: FallbackReason) {
+        self.fallen = true;
+        self.event = Some(CcEvent::ClassicFallback { at, reason });
+    }
 }
 
 impl UdpPragueSender {
@@ -76,6 +146,27 @@ impl UdpPragueSender {
             n_sent: 0,
             probe_log: std::collections::VecDeque::new(),
             srtt: None,
+            fallback: None,
+        }
+    }
+
+    /// Arm the classic-ECN / bleaching detector. Off by default so the
+    /// vanilla sender's trajectory is untouched.
+    pub fn enable_fallback(&mut self) {
+        self.fallback = Some(UdpFallbackDetector::default());
+    }
+
+    /// True once the detector has permanently switched this sender to
+    /// Reno-friendly (rate-halving) dynamics.
+    pub fn fallen_back(&self) -> bool {
+        self.fallback.as_ref().is_some_and(|f| f.fallen)
+    }
+
+    /// Drain the typed fallback event, if one fired since the last call.
+    pub fn take_events(&mut self) -> Vec<CcEvent> {
+        match self.fallback.as_mut().and_then(|f| f.event.take()) {
+            Some(ev) => vec![ev],
+            None => Vec::new(),
         }
     }
 
@@ -161,14 +252,26 @@ impl UdpPragueSender {
         }
         let pkts = fb.packets.saturating_sub(self.last_fb.packets);
         let ce = fb.ce_packets.saturating_sub(self.last_fb.ce_packets);
+        let not_ect = fb.not_ect_packets.saturating_sub(self.last_fb.not_ect_packets);
         self.last_fb = *fb;
         if pkts == 0 {
             return;
         }
+        if let Some(det) = &mut self.fallback {
+            if let Some(reason) = det.on_epoch(pkts, ce, not_ect, self.srtt) {
+                det.fall_back(now, reason);
+            }
+        }
         let frac = ce as f64 / pkts as f64;
         self.alpha += ALPHA_GAIN * (frac - self.alpha);
         if ce > 0 && now.saturating_since(self.last_reduction) > self.rtt_gate {
-            self.rate *= 1.0 - self.alpha / 2.0;
+            // Fallen back: classic rate-halving instead of the scalable
+            // α-proportional cut.
+            if self.fallback.as_ref().is_some_and(|f| f.fallen) {
+                self.rate *= 0.5;
+            } else {
+                self.rate *= 1.0 - self.alpha / 2.0;
+            }
             self.last_reduction = now;
         } else if ce == 0 {
             // Additive increase: one MTU per feedback interval.
@@ -248,6 +351,10 @@ impl UdpPragueReceiver {
         self.received_bytes += pkt.payload_len() as u64;
         if pkt.ecn() == Ecn::Ce {
             self.state.ce_packets += 1;
+        } else if pkt.ecn() == Ecn::NotEct {
+            // The sender only emits ECT(1): a Not-ECT arrival means a
+            // middlebox bleached the codepoint in transit.
+            self.state.not_ect_packets += 1;
         }
         self.dirty = true;
         if now.saturating_since(self.last_fb_at) < FEEDBACK_INTERVAL {
@@ -316,5 +423,89 @@ mod tests {
         // A long gap would owe thousands of packets; the burst cap holds.
         let pkts = s.poll(Instant::from_secs(5));
         assert!(pkts.len() <= 64);
+    }
+
+    #[test]
+    fn receiver_counts_bleached_arrivals() {
+        let mut r = UdpPragueReceiver::new(2, 1, 7001, 7000);
+        let bleached = PacketBuf::udp(1, 2, Ecn::NotEct, 0, 7000, 7001, 1200);
+        let (_, fb) = r.on_packet(&bleached, Instant::from_millis(30)).unwrap();
+        assert_eq!(fb.not_ect_packets, 1);
+        assert_eq!(fb.ce_packets, 0);
+    }
+
+    #[test]
+    fn bleached_majority_trips_udp_fallback() {
+        let mut s = UdpPragueSender::new(1, 2, 7000, 7001, 1e4, 1e6, 1e8);
+        s.enable_fallback();
+        let mut fb = PragueFeedback::default();
+        let mut t = Instant::ZERO;
+        for _ in 0..5 {
+            fb.packets += 25;
+            fb.not_ect_packets += 25;
+            s.on_feedback(&fb, t);
+            t += Duration::from_millis(25);
+        }
+        assert!(s.fallen_back());
+        let evs = s.take_events();
+        assert_eq!(evs.len(), 1);
+        assert!(matches!(
+            evs[0],
+            CcEvent::ClassicFallback {
+                reason: FallbackReason::Bleached,
+                ..
+            }
+        ));
+        assert!(s.take_events().is_empty(), "event drains once");
+    }
+
+    #[test]
+    fn classic_delay_ce_trips_udp_fallback_and_halves_rate() {
+        let mut s = UdpPragueSender::new(1, 2, 7000, 7001, 1e4, 1e6, 1e8);
+        s.enable_fallback();
+        // Seed the srtt floor, then inflate it past the classic
+        // threshold: the detector needs both CE and standing delay.
+        s.srtt = Some(Duration::from_millis(20));
+        let mut fb = PragueFeedback::default();
+        let mut t = Instant::ZERO;
+        fb.packets += 25;
+        s.on_feedback(&fb, t);
+        s.srtt = Some(Duration::from_millis(60));
+        for _ in 0..4 {
+            t += Duration::from_millis(50);
+            fb.packets += 25;
+            fb.ce_packets += 3;
+            s.on_feedback(&fb, t);
+        }
+        assert!(s.fallen_back());
+        assert!(matches!(
+            s.take_events()[0],
+            CcEvent::ClassicFallback {
+                reason: FallbackReason::ClassicEcn,
+                ..
+            }
+        ));
+        // Post-fallback CE epochs halve the rate outright.
+        let before = s.rate();
+        t += Duration::from_millis(50);
+        fb.packets += 25;
+        fb.ce_packets += 3;
+        s.on_feedback(&fb, t);
+        assert!((s.rate() / before - 0.5).abs() < 1e-9, "classic halving");
+    }
+
+    #[test]
+    fn vanilla_udp_sender_never_falls_back() {
+        let mut s = UdpPragueSender::new(1, 2, 7000, 7001, 1e4, 1e6, 1e8);
+        let mut fb = PragueFeedback::default();
+        let mut t = Instant::ZERO;
+        for _ in 0..20 {
+            fb.packets += 25;
+            fb.not_ect_packets += 25;
+            s.on_feedback(&fb, t);
+            t += Duration::from_millis(25);
+        }
+        assert!(!s.fallen_back());
+        assert!(s.take_events().is_empty());
     }
 }

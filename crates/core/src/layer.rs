@@ -279,7 +279,8 @@ impl L4SpanLayer {
             }
             (_, true) => {
                 flow.marks += 1;
-                pkt.set_ecn(Ecn::Ce);
+                let ce = pkt.ecn().remark_to(Ecn::Ce);
+                pkt.set_ecn(ce);
                 self.stats.dl_marks += 1;
             }
             (FlowClass::L4s, false) if short_circuit => {

@@ -19,6 +19,9 @@
 //!   nothing;
 //! * [`metrics`] — one-way delay, RTT, throughput time series, RLC queue
 //!   CDFs, delay breakdowns, estimation-error samples;
+//! * [`impairment`] — mid-path internet impairments between server
+//!   egress and the core: ECT bleaching, codepoint remarking, ECT drop,
+//!   and an RFC 3168 classic-ECN single-queue hop;
 //! * [`wired`] — the wired-only topology of Fig. 2(a);
 //! * [`dci`] — synthetic DCI/MCS traces and the channel stable-period
 //!   CDF of Fig. 18;
@@ -31,6 +34,7 @@
 
 pub mod app;
 pub mod dci;
+pub mod impairment;
 pub mod marker;
 pub mod metrics;
 pub mod runner;
@@ -40,8 +44,9 @@ pub mod wired;
 pub mod world;
 
 pub use app::{AppProfile, Application};
+pub use impairment::{ImpairmentCounters, ImpairmentSpec, StageSpec};
 pub use marker::MarkerKind;
-pub use metrics::{HandoverRecord, Report, ShardStat};
+pub use metrics::{FallbackRecord, HandoverRecord, Report, ShardStat};
 pub use runner::{run_batch, run_batch_on};
 pub use scenario::{
     ChannelMix, FlowDir, FlowSpec, MobilitySpec, MobilityStep, ScenarioConfig, TransportSpec,
@@ -49,7 +54,7 @@ pub use scenario::{
 };
 #[allow(deprecated)]
 pub use scenario::TrafficKind;
-pub use shard::{plan_shards, run_sharded};
+pub use shard::{plan_shards, plan_shards_reason, run_sharded};
 pub use world::World;
 
 /// Run a scenario to completion and return its report.

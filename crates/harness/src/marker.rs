@@ -134,7 +134,8 @@ impl Marker {
                 d.dualpi2.update(sojourn, now);
                 match d.dualpi2.decide(pkt.ecn(), sojourn, rng) {
                     Verdict::Mark => {
-                        pkt.set_ecn(Ecn::Ce);
+                        let ce = pkt.ecn().remark_to(Ecn::Ce);
+                        pkt.set_ecn(ce);
                         DlVerdict::Forward
                     }
                     Verdict::Drop => DlVerdict::Drop,
@@ -159,7 +160,8 @@ impl Marker {
                 // L4Span's rate-adaptive marking).
                 if *ecn && pkt.ecn().is_ect() {
                     if verdict != Verdict::Pass || d.codel.dropping() {
-                        pkt.set_ecn(Ecn::Ce);
+                        let ce = pkt.ecn().remark_to(Ecn::Ce);
+                        pkt.set_ecn(ce);
                     }
                     return DlVerdict::Forward;
                 }

@@ -4,6 +4,21 @@ use std::collections::BTreeMap;
 
 use l4span_sim::{stats::BoxStats, CycleStat, Duration, Instant};
 
+use crate::impairment::ImpairmentCounters;
+
+/// One congestion-control classic-fallback transition: a Prague sender
+/// detected a hostile path (classic-AQM CE pattern or bleached feedback)
+/// and switched to Reno-friendly dynamics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FallbackRecord {
+    /// Flow index in the scenario's flow list.
+    pub flow: u16,
+    /// When the transition happened, milliseconds into the run.
+    pub at_ms: f64,
+    /// Why (`"classic-ecn"` or `"bleached"`).
+    pub reason: &'static str,
+}
+
 /// Per-packet delay breakdown (Fig. 10's stacked bars), in milliseconds.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct Breakdown {
@@ -193,6 +208,20 @@ pub struct Report {
     /// `events` column aside, these are wall-clock readings, and the
     /// fingerprint must stay byte-invariant to shard count.
     pub shards: Vec<ShardStat>,
+    /// Why [`crate::plan_shards`] refused to shard this run (wired
+    /// bottleneck, impairment pipeline, …); `None` when sharding was
+    /// never requested or was granted. Excluded from the fingerprint
+    /// like `shards`: it describes execution planning, not simulation.
+    pub shard_reject: Option<&'static str>,
+    /// Cumulative impairment-pipeline counters, present exactly when the
+    /// scenario configured an [`crate::ImpairmentSpec`]. Joins the
+    /// fingerprint only in that case, so impairment-free runs stay
+    /// byte-identical to the pre-impairment corpus.
+    pub impairment: Option<ImpairmentCounters>,
+    /// Prague classic-fallback transitions, in flow order. Empty unless
+    /// a fallback-enabled sender actually fell back; joins the
+    /// fingerprint only when non-empty (same reasoning as `impairment`).
+    pub fallbacks: Vec<FallbackRecord>,
 }
 
 /// Execution statistics of one shard of a sharded run: the replica's
@@ -487,6 +516,23 @@ impl Report {
             self.marker_memory,
             self.events
         );
+        // Impairment-era fields are appended *conditionally* so every
+        // impairment-free run fingerprints byte-identically to the
+        // pre-impairment corpus (both gates are deterministic: the
+        // counters exist iff the config asked for a pipeline, and
+        // fallback transitions are seeded-simulation outcomes).
+        if let Some(imp) = &self.impairment {
+            let _ = write!(
+                s,
+                ";imp=bleached:{},remarked:{},ect_dropped:{},qmarks:{},qdrops:{}",
+                imp.bleached, imp.remarked, imp.ect_dropped, imp.queue_marks, imp.queue_drops
+            );
+        }
+        if !self.fallbacks.is_empty() {
+            for f in &self.fallbacks {
+                let _ = write!(s, ";fb={},{:?},{}", f.flow, f.at_ms, f.reason);
+            }
+        }
         s
     }
 

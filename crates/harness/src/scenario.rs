@@ -8,6 +8,7 @@ use l4span_ran::ChannelProfile;
 use l4span_sim::{Duration, Instant};
 
 use crate::app::{AppProfile, FramedVideoCfg};
+use crate::impairment::ImpairmentSpec;
 use crate::marker::MarkerKind;
 
 /// How UEs' channel profiles are assigned.
@@ -459,6 +460,11 @@ pub struct ScenarioConfig {
     pub marker_ho_policy: HandoverPolicy,
     /// Optional wired bottleneck.
     pub bottleneck: Option<BottleneckSpec>,
+    /// Optional mid-path impairment pipeline between server egress and
+    /// the core (ECT bleaching / remarking / drop, RFC 3168 classic
+    /// hop). `None` keeps the path ECN-faithful and byte-identical to
+    /// the pre-impairment world.
+    pub impairment: Option<ImpairmentSpec>,
     /// Deploy one CU-UP marker instance **per cell** instead of a single
     /// central one (and likewise per-cell UE-side uplink markers). This
     /// is the distributed CU-UP deployment of §5 — marker state follows
@@ -507,6 +513,7 @@ impl ScenarioConfig {
             marker: MarkerKind::None,
             marker_ho_policy: HandoverPolicy::default(),
             bottleneck: None,
+            impairment: None,
             cu_per_cell: false,
             thr_bin: Duration::from_millis(100),
             measure_marker_time: false,
@@ -568,6 +575,34 @@ pub fn congested_cell(
             Instant::from_millis(3 * i as u64 % 200),
         ));
     }
+    cfg
+}
+
+/// The deployment-question workload: [`congested_cell`] behind an
+/// impaired Internet path. The pipeline sits between server egress and
+/// the core, so every downlink data packet crosses it before the RAN;
+/// pass e.g. `ImpairmentSpec::bleaching(0.25).then_classic_hop(2e8)`
+/// to model an ECT-bleaching middlebox feeding an RFC 3168 single-queue
+/// hop.
+pub fn impaired_path_cell(
+    n_ues: usize,
+    cc: &str,
+    impairment: ImpairmentSpec,
+    marker: MarkerKind,
+    seed: u64,
+    duration: Duration,
+) -> ScenarioConfig {
+    let mut cfg = congested_cell(
+        n_ues,
+        cc,
+        ChannelMix::Mobile,
+        16_384,
+        WanLink::east(),
+        marker,
+        seed,
+        duration,
+    );
+    cfg.impairment = Some(impairment);
     cfg
 }
 

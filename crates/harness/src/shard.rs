@@ -42,13 +42,34 @@ use crate::world::{Event, World};
 
 /// How many shards a scenario actually supports: `want`, capped at the
 /// cell count — or 1 when the scenario is ineligible (central CU
-/// marker, wired bottleneck, or a single cell), in which case
-/// [`run_sharded`] takes the classic whole-world code path.
+/// marker, wired bottleneck, impairment pipeline, or a single cell), in
+/// which case [`run_sharded`] takes the classic whole-world code path.
 pub fn plan_shards(cfg: &ScenarioConfig, want: usize) -> usize {
-    if want <= 1 || !cfg.cu_per_cell || cfg.bottleneck.is_some() || cfg.n_cells() < 2 {
-        return 1;
+    plan_shards_reason(cfg, want).0
+}
+
+/// [`plan_shards`] plus *why* a scenario was forced to one shard: the
+/// shape property that makes cells non-independent, surfaced in
+/// [`Report::shard_reject`] and the perf-gate table so a scenario
+/// silently falling off the parallel path is visible. `None` when the
+/// plan honored the request (including the trivial `want <= 1`).
+pub fn plan_shards_reason(cfg: &ScenarioConfig, want: usize) -> (usize, Option<&'static str>) {
+    if want <= 1 {
+        return (1, None);
     }
-    want.min(cfg.n_cells())
+    if cfg.impairment.is_some() {
+        return (1, Some("impairment pipeline"));
+    }
+    if !cfg.cu_per_cell {
+        return (1, Some("central CU marker"));
+    }
+    if cfg.bottleneck.is_some() {
+        return (1, Some("wired bottleneck"));
+    }
+    if cfg.n_cells() < 2 {
+        return (1, Some("single cell"));
+    }
+    (want.min(cfg.n_cells()), None)
 }
 
 /// Run `cfg` across `want` per-cell shards (cells assigned round-robin)
@@ -56,9 +77,11 @@ pub fn plan_shards(cfg: &ScenarioConfig, want: usize) -> usize {
 /// per-shard statistics. One shard — requested or forced by
 /// [`plan_shards`] — is the exact classic [`World::run`] path.
 pub fn run_sharded(cfg: ScenarioConfig, want: usize) -> Report {
-    let n = plan_shards(&cfg, want);
+    let (n, reject) = plan_shards_reason(&cfg, want);
     if n <= 1 {
-        return World::new(cfg).run();
+        let mut report = World::new(cfg).run();
+        report.shard_reject = reject;
+        return report;
     }
     let end = Instant::ZERO + cfg.duration;
     let n_cells = cfg.n_cells();

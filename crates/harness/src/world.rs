@@ -10,7 +10,7 @@ use std::collections::{BTreeMap, VecDeque};
 use l4span_aqm::{DualPi2, Router, RouterAqm};
 use l4span_cc::scream::{FrameMark, ScreamFeedback, ScreamReceiver, ScreamSender};
 use l4span_cc::udp_prague::{PragueFeedback, UdpPragueReceiver, UdpPragueSender};
-use l4span_cc::{TcpReceiver, TcpSender};
+use l4span_cc::{CcEvent, TcpReceiver, TcpSender};
 use l4span_cc::tcp::TcpConfig;
 use l4span_core::DlVerdict;
 use l4span_net::{FiveTuple, PacketBuf, Protocol};
@@ -23,8 +23,9 @@ use l4span_ran::{DlDataDeliveryStatus, DrbId, Gnb, SlotOutput, UeId, UeStack, Ul
 use l4span_sim::{CycleScope, Duration, EventQueue, FxHashMap, Instant, SimRng};
 
 use crate::app::{AppProfile, AppUnit, Application, UnitKind};
+use crate::impairment::{Impairment, StageOutcome};
 use crate::marker::Marker;
-use crate::metrics::{Breakdown, BreakdownAvg, HandoverRecord, Report};
+use crate::metrics::{Breakdown, BreakdownAvg, FallbackRecord, HandoverRecord, Report};
 use crate::scenario::{BottleneckSpec, FlowDir, ScenarioConfig, TransportSpec};
 
 /// Subsystem labels of the world's [`CycleScope`] (the `fig_breakdown`
@@ -136,6 +137,11 @@ pub(crate) enum Event {
     DlAtRouter { pkt: PacketBuf },
     RouterPoll,
     RouterRate { bps: f64 },
+    /// A downlink packet reaches impairment-pipeline stage `stage`
+    /// (stage 0 = arrival at the hostile middle, after the WAN hop).
+    DlAtImpair { stage: u8, pkt: PacketBuf },
+    /// Poll the queue at impairment stage `stage` for departures.
+    ImpairPoll { stage: u8 },
     DlAtCu { flow: usize, pkt: PacketBuf },
     /// A transport block from `cell` decodes at the UE; dropped mid-air
     /// if the UE handed over while it was in flight.
@@ -232,6 +238,10 @@ pub struct World {
     tuple_to_flow: FxHashMap<FiveTuple, usize>,
     router: Option<Router>,
     router_poll_at: Instant,
+    /// Mid-path impairment pipeline (bleach/remark/drop stages and the
+    /// RFC 3168 classic hop), applied ahead of the bottleneck router.
+    /// `None` keeps the wired path byte-identical to the faithful one.
+    impair: Option<Impairment>,
     /// UEs with at least one UM DRB (the only ones whose RLC receivers
     /// need the reassembly-timeout poll).
     um_ues: Vec<usize>,
@@ -584,6 +594,21 @@ impl World {
             };
             Router::new(b.rate_bps, 4 << 20, aqm, root.derive(3))
         });
+        // Impairment stages draw dedicated streams: derive(5) for stage
+        // 0, then a 40_000+ block — disjoint from every stream above, so
+        // configuring impairments perturbs nothing else.
+        let impair = cfg.impairment.as_ref().map(|spec| {
+            let rngs = (0..spec.stages.len())
+                .map(|k| {
+                    if k == 0 {
+                        root.derive(5)
+                    } else {
+                        root.derive(40_000 + k as u64)
+                    }
+                })
+                .collect();
+            Impairment::new(spec, rngs)
+        });
 
         let n = flows.len();
         // UEs that actually need the periodic poll (UM reassembly skips)
@@ -651,6 +676,7 @@ impl World {
             tuple_to_flow,
             router,
             router_poll_at: Instant::MAX,
+            impair,
             um_ues,
             udp_flows,
             slot_out: SlotOutput::default(),
@@ -910,6 +936,16 @@ impl World {
                 if let Some(r) = &mut self.router {
                     r.set_rate(bps);
                 }
+            }
+            Event::DlAtImpair { stage, pkt } => {
+                let t0 = self.cycles.start();
+                self.impair_advance(stage as usize, pkt, now);
+                self.cycles.stop(t0, CYC_WIRED);
+            }
+            Event::ImpairPoll { stage } => {
+                let t0 = self.cycles.start();
+                self.impair_poll(stage as usize, now);
+                self.cycles.stop(t0, CYC_WIRED);
             }
             Event::DlAtCu { flow, pkt } => self.on_dl_at_cu(flow, pkt, now),
             Event::TbAtUe { cell, ue, tb } => {
@@ -1955,12 +1991,79 @@ impl World {
             self.flows[flow].sent_at.insert(ident, now);
         }
         let wan = self.flows[flow].wan_one_way;
-        if self.router.is_some() {
+        if self.impair.is_some() {
+            self.sched(now + wan, Event::DlAtImpair { stage: 0, pkt });
+        } else if self.router.is_some() {
             self.sched(now + wan, Event::DlAtRouter { pkt });
         } else {
             let cell = self.serving[self.flows[flow].ue_idx];
             let delay = wan + self.gnbs[cell].config().core_to_cu_delay;
             self.sched(now + delay, Event::DlAtCu { flow, pkt });
+        }
+    }
+
+    /// Push `pkt` through impairment stages starting at `from`. Stateless
+    /// stages apply in place; a queue stage absorbs the packet (it
+    /// re-emerges via [`World::impair_poll`] at stage `from + 1`). A
+    /// packet that clears the whole pipeline continues to the bottleneck
+    /// router, or straight to the CU when none is configured.
+    fn impair_advance(&mut self, from: usize, pkt: PacketBuf, now: Instant) {
+        let Some(imp) = &mut self.impair else { return };
+        let mut pkt = pkt;
+        let mut i = from;
+        while i < imp.n_stages() {
+            match imp.apply(i, pkt, now) {
+                StageOutcome::Continue(p) => {
+                    pkt = p;
+                    i += 1;
+                }
+                StageOutcome::Dropped => return,
+                StageOutcome::Queued => {
+                    self.impair_poll(i, now);
+                    return;
+                }
+            }
+        }
+        self.impair_exit(pkt, now);
+    }
+
+    /// Poll the queue at impairment stage `i`; departures continue at
+    /// stage `i + 1`.
+    fn impair_poll(&mut self, i: usize, now: Instant) {
+        let Some(imp) = &mut self.impair else { return };
+        let (departed, next) = imp.poll_queue(i, now);
+        for pkt in departed {
+            self.impair_advance(i + 1, pkt, now);
+        }
+        if let Some(d) = next {
+            self.sched(d, Event::ImpairPoll { stage: i as u8 });
+        }
+    }
+
+    /// A packet cleared the impairment pipeline: hand it to the rest of
+    /// the wired path (bottleneck router, or the CU hop directly). The
+    /// flow is recovered from the five-tuple exactly as the router's
+    /// drain does.
+    fn impair_exit(&mut self, pkt: PacketBuf, now: Instant) {
+        if self.router.is_some() {
+            if let Some(r) = &mut self.router {
+                r.enqueue(pkt, now);
+            }
+            self.drain_router(now);
+            return;
+        }
+        let Some(tuple) = pkt.five_tuple() else { return };
+        let flow = match self.tuple_to_flow.get(&tuple) {
+            Some(&f) => Some(f),
+            None => match self.tuple_to_flow.get(&tuple.reversed()) {
+                Some(&f) if self.flows[f].dir == FlowDir::Uplink => Some(f),
+                _ => None,
+            },
+        };
+        if let Some(flow) = flow {
+            let cell = self.serving[self.flows[flow].ue_idx];
+            let core = self.gnbs[cell].config().core_to_cu_delay;
+            self.sched(now + core, Event::DlAtCu { flow, pkt });
         }
     }
 
@@ -2161,6 +2264,8 @@ impl World {
             | Event::DlAtRouter { .. }
             | Event::RouterPoll
             | Event::RouterRate { .. }
+            | Event::DlAtImpair { .. }
+            | Event::ImpairPoll { .. }
             | Event::Sample
             | Event::UePoll => s.id,
         }
@@ -2478,6 +2583,25 @@ impl World {
             let interval_ms = fl.framed.map_or(0.0, |(i, _)| i.as_millis_f64());
             stall_ms[f] = self.frame_late_excess_ms[f] + undelivered as f64 * interval_ms;
         }
+        // Typed congestion-control transitions → fallback records, in
+        // flow order (the per-flow event queues are each drained once,
+        // so the order is deterministic).
+        let mut fallbacks = Vec::new();
+        for (f, fl) in self.flows.iter_mut().enumerate() {
+            let evs = match &mut fl.endpoint {
+                Endpoint::Tcp { sender, .. } => sender.take_cc_events(),
+                Endpoint::UdpPrague { sender, .. } => sender.take_events(),
+                _ => Vec::new(),
+            };
+            for ev in evs {
+                let CcEvent::ClassicFallback { at, reason } = ev;
+                fallbacks.push(FallbackRecord {
+                    flow: f as u16,
+                    at_ms: at.as_micros() as f64 / 1000.0,
+                    reason: reason.as_str(),
+                });
+            }
+        }
         // Table-1 accounting sums over every cell in the topology.
         let mut g = l4span_ran::gnb::GnbStats::default();
         for gnb in &self.gnbs {
@@ -2531,6 +2655,9 @@ impl World {
             cycles: self.cycles.report(),
             events: self.events,
             shards: Vec::new(),
+            shard_reject: None,
+            impairment: self.impair.as_ref().map(|i| i.counters),
+            fallbacks,
         }
     }
 }

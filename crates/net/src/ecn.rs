@@ -66,6 +66,50 @@ impl Ecn {
     pub fn is_ce(self) -> bool {
         self == Ecn::Ce
     }
+
+    /// True when rewriting `from` to `to` follows the legal codepoint
+    /// lattice:
+    ///
+    /// * any → `Not-ECT` (bleaching erases capability, never forges it),
+    /// * `ECT(x)` → `CE` (a congestion mark),
+    /// * `ECT(1)` ↔ `ECT(0)` (middlebox mangling between ECT codepoints),
+    /// * the identity transition.
+    ///
+    /// Illegal: `Not-ECT` → anything else (forging ECN capability the
+    /// transport never declared) and `CE` → `ECT(x)` (erasing a
+    /// congestion signal already applied upstream).
+    #[inline]
+    pub fn transition_legal(from: Ecn, to: Ecn) -> bool {
+        match (from, to) {
+            (_, Ecn::NotEct) => true,
+            (f, t) if f == t => true,
+            (Ecn::Ect0 | Ecn::Ect1, Ecn::Ce) => true,
+            (Ecn::Ect0, Ecn::Ect1) | (Ecn::Ect1, Ecn::Ect0) => true,
+            _ => false,
+        }
+    }
+
+    /// Bleach the codepoint: the middlebox behaviour measured in the wild
+    /// where any ECT/CE marking is rewritten to `Not-ECT`. Always legal.
+    #[inline]
+    #[must_use = "bleach returns the new codepoint; it does not mutate"]
+    pub fn bleach(self) -> Ecn {
+        Ecn::NotEct
+    }
+
+    /// Rewrite to `target`, debug-asserting the transition follows the
+    /// legal codepoint lattice (see [`Ecn::transition_legal`]). Use this
+    /// instead of writing codepoints ad hoc so illegal rewrites (forging
+    /// ECT from `Not-ECT`, erasing a CE mark) are caught in debug builds.
+    #[inline]
+    #[must_use = "remark_to returns the new codepoint; it does not mutate"]
+    pub fn remark_to(self, target: Ecn) -> Ecn {
+        debug_assert!(
+            Ecn::transition_legal(self, target),
+            "illegal ECN transition {self:?} -> {target:?}"
+        );
+        target
+    }
 }
 
 /// Flow class as L4Span sees it: derived from the ECN field of the first
@@ -114,6 +158,39 @@ mod tests {
         assert_eq!(FlowClass::from_ecn(Ecn::Ect0), FlowClass::Classic);
         assert_eq!(FlowClass::from_ecn(Ecn::NotEct), FlowClass::NonEcn);
         assert_eq!(FlowClass::from_ecn(Ecn::Ce), FlowClass::Classic);
+    }
+
+    #[test]
+    fn transition_lattice() {
+        use Ecn::*;
+        // Bleaching is legal from every codepoint.
+        for e in [NotEct, Ect1, Ect0, Ce] {
+            assert!(Ecn::transition_legal(e, NotEct));
+            assert_eq!(e.bleach(), NotEct);
+            // Identity is legal.
+            assert!(Ecn::transition_legal(e, e));
+            assert_eq!(e.remark_to(e), e);
+        }
+        // Marking ECT to CE and mangling between ECT codepoints is legal.
+        assert!(Ecn::transition_legal(Ect1, Ce));
+        assert!(Ecn::transition_legal(Ect0, Ce));
+        assert!(Ecn::transition_legal(Ect1, Ect0));
+        assert!(Ecn::transition_legal(Ect0, Ect1));
+        assert_eq!(Ect1.remark_to(Ce), Ce);
+        assert_eq!(Ect1.remark_to(Ect0), Ect0);
+        // Forging capability or erasing a mark is not.
+        assert!(!Ecn::transition_legal(NotEct, Ect1));
+        assert!(!Ecn::transition_legal(NotEct, Ect0));
+        assert!(!Ecn::transition_legal(NotEct, Ce));
+        assert!(!Ecn::transition_legal(Ce, Ect1));
+        assert!(!Ecn::transition_legal(Ce, Ect0));
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal ECN transition")]
+    #[cfg(debug_assertions)]
+    fn remark_rejects_forged_capability() {
+        let _ = Ecn::NotEct.remark_to(Ecn::Ect1);
     }
 
     #[test]

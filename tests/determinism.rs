@@ -109,6 +109,30 @@ fn assert_handover_deterministic(cc: &str) {
     assert_matrix(|seed| ho_config(cc, seed), &format!("handover/{cc}"));
 }
 
+/// The impairment pipeline (PR 9) rides dedicated derived RNG streams,
+/// so its counters — and the fallback records they trigger — must be as
+/// worker-invariant as everything else in the fingerprint.
+fn impaired_config(cc: &str, seed: u64) -> scenario::ScenarioConfig {
+    scenario::impaired_path_cell(
+        2,
+        cc,
+        l4span::harness::ImpairmentSpec::bleaching(0.25).then_classic_hop(30e6),
+        scenario::l4span_default(),
+        seed,
+        Duration::from_secs(1),
+    )
+}
+
+#[test]
+fn impaired_prague_fallback_is_deterministic() {
+    assert_matrix(|seed| impaired_config("prague-fallback", seed), "impaired/prague-fallback");
+}
+
+#[test]
+fn impaired_cubic_is_deterministic() {
+    assert_matrix(|seed| impaired_config("cubic", seed), "impaired/cubic");
+}
+
 #[test]
 fn reno_is_deterministic() {
     assert_deterministic("reno");

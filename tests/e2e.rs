@@ -5,10 +5,10 @@ use l4span::cc::WanLink;
 use l4span::core::{HandoverPolicy, L4SpanConfig};
 use l4span::harness::app::AppProfile;
 use l4span::harness::scenario::{
-    congested_cell, handover_cell, l4span_default, ChannelMix, FlowSpec, ScenarioConfig,
-    TransportSpec, UeSpec,
+    congested_cell, handover_cell, impaired_path_cell, l4span_default, ChannelMix, FlowSpec,
+    ScenarioConfig, TransportSpec, UeSpec,
 };
-use l4span::harness::{self, MarkerKind};
+use l4span::harness::{self, ImpairmentSpec, MarkerKind};
 use l4span::ran::config::RlcMode;
 use l4span::ran::ChannelProfile;
 use l4span::sim::{Duration, Instant};
@@ -278,6 +278,103 @@ fn l4s_and_classic_coexist_on_separate_drbs_of_one_ue() {
         "prague {} vs cubic {}",
         r.owd_stats(0).median,
         r.owd_stats(1).median
+    );
+}
+
+/// A path that bleaches every ECT mark erases the sender's AccECN
+/// feedback: fallback-enabled Prague must notice (reason "bleached")
+/// and keep delivering, while vanilla Prague records nothing.
+#[test]
+fn prague_falls_back_on_a_fully_bleached_path() {
+    let run = |cc: &str| {
+        harness::run(impaired_path_cell(
+            1,
+            cc,
+            ImpairmentSpec::bleaching(1.0),
+            l4span_default(),
+            21,
+            Duration::from_secs(4),
+        ))
+    };
+    let r = run("prague-fallback");
+    assert!(
+        !r.fallbacks.is_empty(),
+        "bleached feedback must trip the detector"
+    );
+    assert_eq!(r.fallbacks[0].reason, "bleached");
+    assert_eq!(r.fallbacks[0].flow, 0);
+    let c = r.impairment.expect("pipeline counters in the report");
+    assert!(c.bleached > 0, "the stage actually bleached packets");
+    assert!(
+        r.goodput_total_mbps(0) > 1.0,
+        "the fallen-back flow still delivers: {}",
+        r.goodput_total_mbps(0)
+    );
+    let v = run("prague");
+    assert!(v.fallbacks.is_empty(), "vanilla prague records no fallback");
+}
+
+/// Prague (flow 0) and CUBIC (flow 1) sharing one RFC 3168 classic
+/// single-queue hop — the Briscoe coexistence hazard.
+fn classic_hop_coexist(prague: &str, secs: u64) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::new(1, Duration::from_secs(secs));
+    cfg.marker = l4span_default();
+    // Below the ~38 Mbit/s the cell carries at this SNR, so the hop —
+    // and its classic marking — is the bottleneck.
+    cfg.impairment = Some(ImpairmentSpec::classic_hop(20e6));
+    for (i, cc) in [prague, "cubic"].into_iter().enumerate() {
+        cfg.ues.push(UeSpec::simple(ChannelProfile::Static, 26.0));
+        cfg.flows.push(FlowSpec::new(
+            i,
+            AppProfile::bulk(),
+            TransportSpec::tcp_named(cc).expect("known cc"),
+            WanLink::east(),
+            Instant::from_millis(10 * i as u64),
+        ));
+    }
+    cfg
+}
+
+/// The tentpole's coexistence story end-to-end: the classic queue marks
+/// ECT(1) like ECT(0), vanilla Prague reads those deep-queue marks as
+/// L4S signals and starves CUBIC; fallback-enabled Prague detects the
+/// classic pattern (CE paired with classic-scale queueing delay),
+/// switches to Reno-friendly dynamics, and gives CUBIC its share back.
+#[test]
+fn prague_fallback_stops_starving_cubic_in_the_shared_classic_queue() {
+    let secs = 10;
+    let vanilla = harness::run(classic_hop_coexist("prague", secs));
+    let fb = harness::run(classic_hop_coexist("prague-fallback", secs));
+
+    assert!(vanilla.fallbacks.is_empty(), "vanilla prague cannot fall back");
+    assert_eq!(fb.fallbacks.len(), 1, "exactly one fallback: {:?}", fb.fallbacks);
+    assert_eq!(fb.fallbacks[0].reason, "classic-ecn");
+    assert_eq!(fb.fallbacks[0].flow, 0);
+    assert!(
+        fb.fallbacks[0].at_ms < (secs * 1000 - 2000) as f64,
+        "fallback must fire with run left to repair: {:?}",
+        fb.fallbacks[0]
+    );
+    // Vanilla starves cubic outright; the whole-run share improves.
+    let v_ratio = vanilla.goodput_total_mbps(0) / vanilla.goodput_total_mbps(1).max(0.01);
+    assert!(v_ratio > 2.0, "vanilla prague dominates: ratio {v_ratio:.2}");
+    assert!(
+        fb.goodput_total_mbps(1) > vanilla.goodput_total_mbps(1),
+        "cubic's share improves under fallback: {:.2} vs {:.2}",
+        fb.goodput_total_mbps(1),
+        vanilla.goodput_total_mbps(1)
+    );
+    // After the fallback fires, the throughput ratio in the same window
+    // must be decisively fairer than vanilla's.
+    let from = Instant::from_millis(fb.fallbacks[0].at_ms as u64 + 500);
+    let to = Instant::from_secs(secs);
+    let tail = |r: &harness::Report| {
+        r.goodput_mbps(0, from, to) / r.goodput_mbps(1, from, to).max(0.01)
+    };
+    let (v_tail, fb_tail) = (tail(&vanilla), tail(&fb));
+    assert!(
+        fb_tail < v_tail / 2.0,
+        "post-fallback ratio {fb_tail:.2} vs vanilla {v_tail:.2} in the same window"
     );
 }
 

@@ -515,6 +515,164 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------
+// Impairment pipeline conservation (PR 9): whatever stages a path is
+// built from, every packet offered to the pipeline is either delivered
+// out the far end, counted as dropped by exactly one stage, or still in
+// a queue stage — never duplicated, never silently lost — and any
+// codepoint rewrite the pipeline performed composes to a legal ECN
+// lattice transition.
+// ---------------------------------------------------------------------
+
+use l4span::harness::impairment::{Impairment, ImpairmentSpec, StageOutcome, StageSpec};
+
+fn arb_stage() -> impl Strategy<Value = StageSpec> {
+    // Probabilities as permille so the strategy stays on integer ranges.
+    prop_oneof![
+        (0u32..=1000).prop_map(|p| StageSpec::Bleach { prob: p as f64 / 1000.0 }),
+        ((0u32..=1000), 0usize..6).prop_map(|(p, k)| {
+            // Every legal non-identity transition a middlebox could do.
+            let (from, to) = [
+                (Ecn::Ect1, Ecn::Ect0),
+                (Ecn::Ect0, Ecn::Ect1),
+                (Ecn::Ect1, Ecn::Ce),
+                (Ecn::Ect0, Ecn::Ce),
+                (Ecn::Ce, Ecn::NotEct),
+                (Ecn::Ect1, Ecn::NotEct),
+            ][k];
+            StageSpec::Remark { from, to, prob: p as f64 / 1000.0 }
+        }),
+        (0u32..=1000).prop_map(|p| StageSpec::EctDrop { prob: p as f64 / 1000.0 }),
+        (1e6f64..1e8).prop_map(|rate_bps| StageSpec::ClassicQueue { rate_bps }),
+    ]
+}
+
+/// Push `pkt` through stages `start..`; packets that clear the last
+/// stage land in `delivered`.
+fn impair_feed(
+    imp: &mut Impairment,
+    start: usize,
+    pkt: PacketBuf,
+    now: Instant,
+    delivered: &mut Vec<PacketBuf>,
+) {
+    let mut cur = pkt;
+    for i in start..imp.n_stages() {
+        match imp.apply(i, cur, now) {
+            StageOutcome::Continue(p) => cur = p,
+            StageOutcome::Dropped | StageOutcome::Queued => return,
+        }
+    }
+    delivered.push(cur);
+}
+
+/// Poll every queue stage at `now`, feeding departures onward (a
+/// departure may enter a later queue) and collecting follow-up poll
+/// times into `agenda` — the world's `impair_poll` loop, inlined.
+fn impair_poll_all(
+    imp: &mut Impairment,
+    now: Instant,
+    delivered: &mut Vec<PacketBuf>,
+    agenda: &mut Vec<Instant>,
+) {
+    for i in 0..imp.n_stages() {
+        let (out, next) = imp.poll_queue(i, now);
+        for p in out {
+            impair_feed(imp, i + 1, p, now, delivered);
+        }
+        if let Some(d) = next {
+            agenda.push(d);
+        }
+    }
+}
+
+proptest! {
+    /// Impairment conservation: offered == delivered + counted drops,
+    /// delivery order preserves send order per codepoint stream, no
+    /// duplication, and every net codepoint change is lattice-legal.
+    #[test]
+    fn impairment_pipeline_conserves_packets(
+        stages in proptest::collection::vec(arb_stage(), 1..5),
+        arrivals in proptest::collection::vec((0u64..200_000, 0usize..4), 1..150),
+        seed in any::<u64>(),
+    ) {
+        let spec = ImpairmentSpec { stages };
+        prop_assert!(spec.validate().is_ok(), "generated stages are legal");
+        let root = l4span::sim::SimRng::new(seed);
+        let rngs = (0..spec.stages.len())
+            .map(|k| root.derive(40_000 + k as u64))
+            .collect();
+        let mut imp = Impairment::new(&spec, rngs);
+
+        let mut t_sorted = arrivals;
+        t_sorted.sort();
+        let hdr = TcpHeader::default();
+        let mut delivered: Vec<PacketBuf> = Vec::new();
+        let mut agenda: Vec<Instant> = Vec::new();
+        let mut sent_ecn: Vec<Ecn> = Vec::new();
+        let mut last = Instant::ZERO;
+        for (k, (t_us, ecn_k)) in t_sorted.into_iter().enumerate() {
+            let now = Instant::from_micros(t_us);
+            // Serve any queue departures due before this arrival.
+            while let Some(&t) = agenda.iter().filter(|&&t| t <= now).min() {
+                agenda.retain(|&x| x != t);
+                impair_poll_all(&mut imp, t, &mut delivered, &mut agenda);
+            }
+            last = now;
+            let ecn = [Ecn::NotEct, Ecn::Ect0, Ecn::Ect1, Ecn::Ce][ecn_k];
+            // seq tags the packet so delivery can be matched to its send.
+            let hdr = TcpHeader { seq: k as u32, ..hdr };
+            sent_ecn.push(ecn);
+            impair_feed(
+                &mut imp,
+                0,
+                PacketBuf::tcp(1, 2, ecn, 0, &hdr, 1000),
+                now,
+                &mut delivered,
+            );
+            impair_poll_all(&mut imp, now, &mut delivered, &mut agenda);
+        }
+        // Drain every queue stage to empty (agenda-driven; bounded).
+        for round in 0..100_000usize {
+            let Some(&t) = agenda.iter().min() else { break };
+            agenda.retain(|&x| x != t);
+            last = last.max(t);
+            impair_poll_all(&mut imp, t, &mut delivered, &mut agenda);
+            prop_assert!(round < 99_999, "queue drain livelock");
+        }
+        // Generous settle poll: nothing further may emerge.
+        let n0 = delivered.len();
+        impair_poll_all(
+            &mut imp,
+            last + Duration::from_secs(60),
+            &mut delivered,
+            &mut agenda,
+        );
+        prop_assert_eq!(delivered.len(), n0, "drain left packets queued");
+
+        prop_assert_eq!(
+            delivered.len() as u64 + imp.counters.total_dropped(),
+            sent_ecn.len() as u64,
+            "conservation: {} delivered, {:?}",
+            delivered.len(),
+            imp.counters
+        );
+        // No duplication, and each packet's net rewrite is lattice-legal.
+        let mut seen = std::collections::HashSet::new();
+        for p in &delivered {
+            let tcp = p.tcp_header().expect("tcp survives");
+            prop_assert!(seen.insert(tcp.seq), "duplicate delivery of {}", tcp.seq);
+            let sent = sent_ecn[tcp.seq as usize];
+            prop_assert!(
+                sent == p.ecn() || Ecn::transition_legal(sent, p.ecn()),
+                "illegal net transition {:?} -> {:?}",
+                sent,
+                p.ecn()
+            );
+        }
+    }
+}
+
 proptest! {
     /// Cross-shard mailbox contract (PR 8): the coordinator's delivery
     /// order is a pure function of `(time, source shard, extraction

@@ -123,6 +123,38 @@ fn ineligible_scenarios_plan_to_one_shard() {
 }
 
 #[test]
+fn impairment_forces_the_classic_path_with_a_reason() {
+    // An impairment pipeline serializes every flow through one shared
+    // mid-path element, so the scenario can never shard: `run_sharded`
+    // at any count must match the classic run byte-for-byte and the
+    // report must say why sharding was rejected.
+    let cfg = || {
+        scenario::impaired_path_cell(
+            2,
+            "prague-fallback",
+            l4span::harness::ImpairmentSpec::bleaching(0.25).then_classic_hop(30e6),
+            scenario::l4span_default(),
+            7,
+            Duration::from_secs(1),
+        )
+    };
+    let (n, why) = l4span::harness::plan_shards_reason(&cfg(), 4);
+    assert_eq!((n, why), (1, Some("impairment pipeline")));
+    let classic = l4span::harness::run(cfg());
+    let sharded = run_sharded(cfg(), 4);
+    assert_eq!(
+        sharded.fingerprint_digest(),
+        classic.fingerprint_digest(),
+        "impairment → classic path at any shard count"
+    );
+    assert_eq!(sharded.shard_reject, Some("impairment pipeline"));
+    assert!(
+        classic.impairment.is_some(),
+        "pipeline counters present in the report"
+    );
+}
+
+#[test]
 fn single_shard_is_the_classic_code_path() {
     // A central-marker scenario is ineligible: `run_sharded` at any
     // requested count must return exactly what `harness::run` returns.
