@@ -1,0 +1,138 @@
+//! The media-transport question — when the sender *repairs* losses
+//! (sliding-window FEC + NACK/ARQ under NADA) instead of deferring to
+//! an in-order bytestream, does the RAN-side marker still help, and
+//! what does striping the flow across two cells buy?
+//!
+//! One grid: {fec-media, nada, prague, cubic} × marker {off, L4Span}
+//! × {single, bonded} on the two-cell XR topology
+//! ([`xr_bonding_cell`]). Every variant carries the same 1.2–20
+//! Mbit/s @ 60 fps uplink envelope; the TCP-family rows use the
+//! framed-video app over an ordered bytestream, the fec-media rows
+//! the loss-resilient datagram endpoint. Bonded rows add a secondary
+//! radio per device on the *other* cell and stripe by bytes.
+//!
+//! Columns: per-device goodput, pooled uplink OWD p50/p90, the FEC
+//! ledger (residual loss after repair, repair traffic share), and the
+//! bond's leg split + shared-bottleneck verdicts.
+//!
+//! `cargo run --release -p l4span-bench --bin fig_bonding`
+
+use l4span_bench::{banner, run_grid, Args};
+use l4span_harness::scenario::{l4span_default, xr_bonding_cell};
+use l4span_harness::{MarkerKind, Report};
+use l4span_sim::Duration;
+
+/// Mean per-device goodput across the grid's flows, Mbit/s.
+fn per_device_goodput(r: &Report, n: usize) -> f64 {
+    (0..n).map(|f| r.goodput_total_mbps(f)).sum::<f64>() / n as f64
+}
+
+/// FEC-ledger summary: residual loss after repair and the repair
+/// share of offered source traffic. `-` for bytestream transports.
+fn fec_summary(r: &Report) -> String {
+    if r.fec.is_empty() {
+        return format!("{:>9} {:>9}", "-", "-");
+    }
+    let (mut offered, mut abandoned, mut repairs) = (0u64, 0u64, 0u64);
+    for f in &r.fec {
+        offered += f.offered;
+        abandoned += f.abandoned;
+        repairs += f.repairs;
+    }
+    format!(
+        "{:>8.3}% {:>8.1}%",
+        100.0 * abandoned as f64 / offered.max(1) as f64,
+        100.0 * repairs as f64 / offered.max(1) as f64,
+    )
+}
+
+/// Bond summary: secondary-leg byte share and how many devices'
+/// shared-bottleneck detectors ended the run coupled. `-` single-leg.
+fn bond_summary(r: &Report) -> String {
+    if r.bonds.is_empty() {
+        return format!("{:>8} {:>9}", "-", "-");
+    }
+    let (mut p0, mut p1, mut coupled) = (0u64, 0u64, 0usize);
+    for b in &r.bonds {
+        p0 += b.leg_pkts[0];
+        p1 += b.leg_pkts[1];
+        coupled += usize::from(b.coupled);
+    }
+    format!(
+        "{:>7.1}% {:>6}/{:<2}",
+        100.0 * p1 as f64 / (p0 + p1).max(1) as f64,
+        coupled,
+        r.bonds.len()
+    )
+}
+
+fn main() {
+    let args = Args::parse();
+    let secs = args.secs_or(10);
+    let n = if args.full { 8 } else { 4 };
+    banner(
+        "fig_bonding",
+        "Loss-resilient media + dual-cell bonding: cc x marker x legs",
+        &args,
+    );
+
+    let mut cells = Vec::new();
+    for cc in ["fec-media", "nada", "prague", "cubic"] {
+        for (mname, marker) in [("off", MarkerKind::None), ("l4span", l4span_default())] {
+            for (lname, bonded) in [("single", false), ("bonded", true)] {
+                cells.push((
+                    (cc, mname, lname),
+                    xr_bonding_cell(
+                        n,
+                        cc,
+                        marker.clone(),
+                        bonded,
+                        args.seed,
+                        Duration::from_secs(secs),
+                    ),
+                ));
+            }
+        }
+    }
+    let results = run_grid(cells);
+
+    println!(
+        "\n{:<10} {:<8} {:<8} {:>12} {:>10} {:>10} {:>9} {:>9} {:>8} {:>9}",
+        "cc",
+        "marker",
+        "legs",
+        "gput(Mbps)",
+        "owd p50",
+        "owd p90",
+        "residual",
+        "repairs",
+        "leg2",
+        "coupled"
+    );
+    for ((cc, mname, lname), r) in &results {
+        let flows: Vec<usize> = (0..n).collect();
+        let owd = r.ul_owd_stats_pooled(&flows);
+        println!(
+            "{:<10} {:<8} {:<8} {:>12.2} {:>10.1} {:>10.1} {} {}",
+            cc,
+            mname,
+            lname,
+            per_device_goodput(r, n),
+            owd.median,
+            owd.p90,
+            fec_summary(r),
+            bond_summary(r),
+        );
+    }
+    println!(
+        "\nPaper shape: the marker's early ECN collapses the OWD tail for\n\
+         every transport — the repair-based sender benefits just like the\n\
+         bytestream ones, so the RAN-side marker still wins when loss is\n\
+         handled end-to-end. Single-leg fec-media absorbs the cell's losses\n\
+         as repair traffic and holds residual loss under 1%. Byte-balanced\n\
+         bonding halves what each cell carries but inherits the weaker\n\
+         secondary leg's loss (leg2 share < 50% because lost packets never\n\
+         reach the server); the SBD detector keeps the legs decoupled —\n\
+         different cells — so per-leg NACK deadlines stay independent."
+    );
+}

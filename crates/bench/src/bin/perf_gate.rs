@@ -1,10 +1,13 @@
 //! Simulator performance gate: runs the canonical scenarios, reports
-//! events/sec and wall-ms per simulated second, writes `BENCH_PR9.json`
+//! events/sec and wall-ms per simulated second, writes `BENCH_PR10.json`
 //! at the repo root, and (with `--check`) fails when events/sec on any
 //! scenario regresses more than 10 % below the **best prior baseline** —
-//! the maximum of the committed constants and every *earlier-PR*
-//! `BENCH_PR*.json` tracked at the repo root, so a regression can never
-//! hide behind a single stale artifact. Scenarios with no prior
+//! the maximum of the committed constants and the *second-highest*
+//! earlier-PR `BENCH_PR*.json` value tracked at the repo root, so a
+//! regression can never hide behind a single stale artifact and one
+//! lucky recording window can never ratchet the bar above what a
+//! clean run reproduces (PR 10 fix; see `gate::fold_best`). Scenarios
+//! with no prior
 //! baseline (their first appearance) are explicitly skipped, not
 //! silently passed at 0. `--check` never rewrites the artifact: the
 //! recording run and the gate run are separate concerns.
@@ -39,7 +42,7 @@ use l4span_bench::gate::{
 use l4span_harness::{run_sharded, ScenarioConfig};
 
 /// The PR this gate's artifact belongs to.
-const PR: u32 = 9;
+const PR: u32 = 10;
 
 /// Allowed events/sec regression vs the best prior baseline before
 /// `--check` fails (fraction). Tightened from 30 % (PR 2–5) to 10 %:
@@ -50,8 +53,9 @@ const MAX_REGRESSION: f64 = 0.10;
 /// reference machine (single-core container; a clean run — the box is
 /// shared, so these sit slightly below the best observed so the 10 %
 /// `--check` band absorbs scheduler noise rather than real
-/// regressions). `--check` compares against the max of these and every
-/// `BENCH_PR*.json` at the repo root.
+/// regressions). `--check` compares against the max of these and the
+/// second-highest per-scenario value across the `BENCH_PR*.json`
+/// artifacts at the repo root (see `gate::fold_best`).
 const BASELINES: &[(&str, f64)] = &[
     ("congested_cubic_16ue", 1_850_000.0),
     ("prague_l4span_16ue", 1_900_000.0),
@@ -67,6 +71,11 @@ const BASELINES: &[(&str, f64)] = &[
     // *aggregate* events/sec across 8 shards (see module docs), so the
     // baseline sits in a different regime than the wall-based rows.
     ("metro_1000ue_50cell", 18_000_000.0),
+    // New in PR 10: the bonded XR world (8 devices × 2 legs of
+    // FEC/ARQ media under NADA across two cells). The gate requests 2
+    // shards and the planner must refuse — bonded legs couple the
+    // cells — so this row gates on the classic wall-based rate.
+    ("bonded_xr_8ue", 950_000.0),
 ];
 
 /// Absolute floor on the metro world's aggregate rate — the PR 8

@@ -94,6 +94,63 @@ pub enum CcEvent {
     },
 }
 
+/// A running minimum over a sliding time window (the BBR min-RTT
+/// idiom): a monotonic deque of `(seen_at, value)` candidates where
+/// each new sample evicts every older candidate it dominates, and the
+/// front expires once it falls out of the window. Unlike a lifetime
+/// minimum, the floor *forgets* — after a handover to a longer-RTT
+/// cell the old cell's floor ages out within one window instead of
+/// poisoning `srtt - min` queue estimates forever.
+#[derive(Debug, Clone)]
+pub struct WindowedMin {
+    window: Duration,
+    samples: std::collections::VecDeque<(Instant, Duration)>,
+}
+
+impl WindowedMin {
+    /// An empty tracker with the given expiry window.
+    pub fn new(window: Duration) -> WindowedMin {
+        WindowedMin {
+            window,
+            samples: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Ingest one sample observed at `now` and return the current
+    /// windowed minimum (never `None`: the fresh sample itself is an
+    /// in-window candidate).
+    pub fn update(&mut self, now: Instant, value: Duration) -> Duration {
+        while self.samples.back().is_some_and(|&(_, v)| v >= value) {
+            self.samples.pop_back();
+        }
+        self.samples.push_back((now, value));
+        self.expire(now);
+        self.samples.front().map(|&(_, v)| v).unwrap_or(value)
+    }
+
+    /// The current windowed minimum, expiring stale candidates first.
+    pub fn get(&mut self, now: Instant) -> Option<Duration> {
+        self.expire(now);
+        self.samples.front().map(|&(_, v)| v)
+    }
+
+    fn expire(&mut self, now: Instant) {
+        while self
+            .samples
+            .front()
+            .is_some_and(|&(at, _)| now.saturating_since(at) > self.window)
+        {
+            // Never drop the last candidate: an idle period longer than
+            // the window would otherwise leave the tracker empty, and
+            // the most recent observation is still the best guess.
+            if self.samples.len() == 1 {
+                break;
+            }
+            self.samples.pop_front();
+        }
+    }
+}
+
 /// A pluggable congestion controller. All window values are in bytes.
 /// `Send` is a supertrait so whole worlds (which box controllers per
 /// flow) can move between — and be driven by — worker threads.
@@ -124,6 +181,39 @@ pub trait CongestionControl: Send {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn windowed_min_tracks_and_forgets() {
+        let mut m = WindowedMin::new(Duration::from_secs(10));
+        let t0 = Instant::ZERO;
+        assert_eq!(m.update(t0, Duration::from_millis(20)), Duration::from_millis(20));
+        // A lower sample becomes the floor immediately.
+        assert_eq!(
+            m.update(t0 + Duration::from_secs(1), Duration::from_millis(15)),
+            Duration::from_millis(15)
+        );
+        // Higher samples don't displace an in-window floor.
+        assert_eq!(
+            m.update(t0 + Duration::from_secs(5), Duration::from_millis(60)),
+            Duration::from_millis(15)
+        );
+        // ... but once the floor ages past the window, it is forgotten.
+        assert_eq!(
+            m.update(t0 + Duration::from_secs(12), Duration::from_millis(60)),
+            Duration::from_millis(60)
+        );
+    }
+
+    #[test]
+    fn windowed_min_keeps_last_candidate_through_idle() {
+        let mut m = WindowedMin::new(Duration::from_secs(10));
+        m.update(Instant::ZERO, Duration::from_millis(30));
+        // 30 s idle: the stale sample is still the best available guess.
+        assert_eq!(
+            m.get(Instant::ZERO + Duration::from_secs(30)),
+            Some(Duration::from_millis(30))
+        );
+    }
 
     #[test]
     fn ecn_mode_codepoints() {

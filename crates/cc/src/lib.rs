@@ -13,6 +13,11 @@
 //! * [`scream`] — SCReAM-style interactive video rate control over
 //!   RTP/UDP (RFC 8298 flavour, L4S-aware);
 //! * [`udp_prague`] — UDP Prague for interactive applications;
+//! * [`nada`] — NADA (RFC 8698), the IETF rmcat interactive-media
+//!   controller (aggregate delay + mark signal, PI update);
+//! * [`fec`] — the sliding-window FEC/ARQ media endpoint: systematic
+//!   repair packets over the last W sources, NACK-driven ARQ with
+//!   frame-deadline abandonment, NADA-rated, bonding-aware;
 //! * [`tcp`] — the sender/receiver machinery: handshake, loss recovery,
 //!   classic-ECN echo (ECE/CWR) and AccECN byte counters;
 //! * [`wan`] — fixed-delay WAN path segments.
@@ -28,6 +33,8 @@ pub mod bbr;
 pub mod bbr2;
 pub mod cc;
 pub mod cubic;
+pub mod fec;
+pub mod nada;
 pub mod prague;
 pub mod registry;
 pub mod reno;
@@ -36,7 +43,9 @@ pub mod tcp;
 pub mod udp_prague;
 pub mod wan;
 
-pub use cc::{AckSample, CcEvent, CongestionControl, EcnMode, FallbackReason};
+pub use cc::{AckSample, CcEvent, CongestionControl, EcnMode, FallbackReason, WindowedMin};
+pub use fec::{FecFeedback, FecLegStats, FecMediaReceiver, FecMediaSender};
+pub use nada::{NadaCc, NadaCore};
 pub use registry::{CcEntry, CcKind, UnknownCc, REGISTRY};
 pub use tcp::{TcpReceiver, TcpSender};
 pub use wan::WanLink;

@@ -9,7 +9,7 @@
 
 use l4span_sim::{Duration, Instant};
 
-use crate::cc::{AckSample, CcEvent, CongestionControl, EcnMode, FallbackReason};
+use crate::cc::{AckSample, CcEvent, CongestionControl, EcnMode, FallbackReason, WindowedMin};
 use crate::reno::INITIAL_WINDOW_SEGS;
 
 /// EWMA gain for α (DCTCP's g = 1/16).
@@ -23,13 +23,19 @@ const CLASSIC_DELAY: Duration = Duration::from_millis(15);
 /// Consecutive suspicious RTT rounds before the sender falls back.
 const FALLBACK_ROUNDS: u32 = 3;
 
+/// How far back the detector remembers its RTT floor. A lifetime
+/// minimum poisons the `srtt - min` queue estimate after a handover to
+/// a longer-RTT cell (the old floor makes the clean new path read as
+/// standing queue); the BBR-style windowed min forgets it instead.
+const MIN_RTT_WINDOW: Duration = Duration::from_secs(10);
+
 /// Classic-fallback detector state (present only on fallback-enabled
 /// Prague senders, so vanilla Prague's byte-exact behaviour is
 /// untouched).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct FallbackDetector {
-    /// Lowest RTT sample seen (the queueing-delay baseline).
-    min_rtt: Option<Duration>,
+    /// Windowed-lowest RTT sample (the queueing-delay baseline).
+    min_rtt: WindowedMin,
     /// Bytes this round reported arriving with any ECN codepoint
     /// (`None` until AccECN evidence arrives this round).
     round_ect: Option<usize>,
@@ -45,11 +51,25 @@ struct FallbackDetector {
     fallen: bool,
 }
 
+impl Default for FallbackDetector {
+    fn default() -> FallbackDetector {
+        FallbackDetector {
+            min_rtt: WindowedMin::new(MIN_RTT_WINDOW),
+            round_ect: None,
+            round_classic: false,
+            classic_rounds: 0,
+            bleach_rounds: 0,
+            event: None,
+            fallen: false,
+        }
+    }
+}
+
 impl FallbackDetector {
     /// Per-ACK evidence gathering.
     fn on_ack(&mut self, ack: &AckSample) {
         if let Some(rtt) = ack.rtt {
-            self.min_rtt = Some(self.min_rtt.map_or(rtt, |m| m.min(rtt)));
+            self.min_rtt.update(ack.now, rtt);
         }
         if let Some(e) = ack.ect_bytes {
             *self.round_ect.get_or_insert(0) += e;
@@ -57,6 +77,7 @@ impl FallbackDetector {
         if ack.ce_bytes > 0 {
             let queued = self
                 .min_rtt
+                .get(ack.now)
                 .map_or(Duration::ZERO, |m| ack.srtt.saturating_sub(m));
             if queued > CLASSIC_DELAY {
                 self.round_classic = true;
@@ -409,6 +430,45 @@ mod tests {
             (0.45..=0.55).contains(&cut),
             "Reno-friendly 50% MD, got cut {cut}"
         );
+    }
+
+    #[test]
+    fn handover_to_longer_rtt_cell_does_not_trip_fallback() {
+        // Regression: with a *lifetime* min-RTT baseline, a handover
+        // from a 40 ms cell to an 80 ms cell left the old floor in
+        // place, so CE marks on the clean new path read as 40 ms of
+        // standing queue and tripped classic fallback. The windowed
+        // min must forget the old cell within ~10 s.
+        let mut p = Prague::with_fallback(1000);
+        let mut t = 0;
+        // A second on the 40 ms cell establishes the old floor.
+        for _ in 0..20 {
+            p.on_ack(&ack(t, 20_000, 0));
+            t += 45;
+        }
+        // Handover: clean (unmarked) rounds at the new 80 ms floor
+        // until the old floor ages out of the window.
+        while t < 12_000 {
+            p.on_ack(&AckSample {
+                rtt: Some(Duration::from_millis(80)),
+                ..classic_ce_ack(t, 20_000, 0)
+            });
+            t += 85;
+        }
+        // L4S marking at the new cell's own floor: srtt == min, queue
+        // reads zero, fallback must not engage.
+        for _ in 0..10 {
+            p.on_ack(&AckSample {
+                rtt: Some(Duration::from_millis(80)),
+                ..classic_ce_ack(t, 10_000, 2_000)
+            });
+            t += 85;
+        }
+        assert!(
+            !p.fallen_back(),
+            "clean L4S path after handover must not read as classic"
+        );
+        assert!(p.take_events().is_empty());
     }
 
     #[test]

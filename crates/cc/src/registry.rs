@@ -36,6 +36,14 @@ pub enum CcKind {
     Bbr,
     /// BBRv2 (adds the DCTCP/L4S-like CE response, ECT(1)).
     Bbr2,
+    /// NADA (RFC 8698): the IETF rmcat interactive-media controller —
+    /// aggregate delay + mark signal, gradual PI update, accelerated
+    /// ramp-up; rate-paced, ECT(1).
+    Nada,
+    /// The NADA dynamics with a slice of the rate reserved for
+    /// sliding-window FEC repair packets: the controller backing the
+    /// loss-*repairing* media endpoint (`TransportSpec::FecMedia`).
+    FecMedia,
 }
 
 /// One registry row: a kind, its canonical name, accepted aliases, and
@@ -88,6 +96,18 @@ pub const REGISTRY: &[CcEntry] = &[
         name: "bbr2",
         aliases: &["bbrv2"],
         factory: |mss| Box::new(crate::bbr2::Bbr2::new(mss)),
+    },
+    CcEntry {
+        kind: CcKind::Nada,
+        name: "nada",
+        aliases: &[],
+        factory: |mss| Box::new(crate::nada::NadaCc::new(mss)),
+    },
+    CcEntry {
+        kind: CcKind::FecMedia,
+        name: "fec-media",
+        aliases: &["fec_media"],
+        factory: |mss| Box::new(crate::nada::NadaCc::new_fec_media(mss)),
     },
 ];
 
@@ -174,6 +194,8 @@ mod tests {
     #[test]
     fn aliases_resolve() {
         assert_eq!("bbrv2".parse::<CcKind>().unwrap(), CcKind::Bbr2);
+        assert_eq!("fec_media".parse::<CcKind>().unwrap(), CcKind::FecMedia);
+        assert_eq!("nada".parse::<CcKind>().unwrap(), CcKind::Nada);
     }
 
     #[test]

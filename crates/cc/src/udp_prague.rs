@@ -3,7 +3,7 @@
 //! packet/CE counts in the UDP payload; the sender runs the DCTCP-style
 //! `α` update on a paced rate instead of a window.
 
-use crate::cc::{CcEvent, FallbackReason};
+use crate::cc::{CcEvent, FallbackReason, WindowedMin};
 use l4span_net::{Ecn, PacketBuf};
 use l4span_sim::{Duration, Instant};
 
@@ -62,15 +62,35 @@ pub struct UdpPragueSender {
     fallback: Option<UdpFallbackDetector>,
 }
 
+/// How far back the fallback detectors remember their RTT floor. A
+/// *lifetime* minimum poisons the `srtt - min` queue estimate after a
+/// handover to a longer-RTT cell: the old cell's floor makes the new
+/// cell's clean path read as standing queue and can trip classic
+/// fallback on a perfectly good L4S path. A windowed minimum (the BBR
+/// min-RTT idiom) forgets the old floor within [`MIN_RTT_WINDOW`].
+const MIN_RTT_WINDOW: Duration = Duration::from_secs(10);
+
 /// Classic-ECN / bleaching detector for the UDP sender, mirroring the
 /// TCP Prague one but keyed on feedback epochs instead of ACK rounds.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct UdpFallbackDetector {
-    min_srtt: Option<Duration>,
+    min_srtt: WindowedMin,
     classic_epochs: u32,
     bleach_epochs: u32,
     event: Option<CcEvent>,
     fallen: bool,
+}
+
+impl Default for UdpFallbackDetector {
+    fn default() -> UdpFallbackDetector {
+        UdpFallbackDetector {
+            min_srtt: WindowedMin::new(MIN_RTT_WINDOW),
+            classic_epochs: 0,
+            bleach_epochs: 0,
+            event: None,
+            fallen: false,
+        }
+    }
 }
 
 impl UdpFallbackDetector {
@@ -82,16 +102,14 @@ impl UdpFallbackDetector {
         ce: u64,
         not_ect: u64,
         srtt: Option<Duration>,
+        now: Instant,
     ) -> Option<FallbackReason> {
         if self.fallen {
             return None;
         }
         if let Some(s) = srtt {
-            let m = self.min_srtt.get_or_insert(s);
-            if s < *m {
-                *m = s;
-            }
-            let classic_delay = ce > 0 && s.saturating_sub(*m) > CLASSIC_DELAY;
+            let m = self.min_srtt.update(now, s);
+            let classic_delay = ce > 0 && s.saturating_sub(m) > CLASSIC_DELAY;
             if classic_delay {
                 self.classic_epochs += 1;
             } else {
@@ -258,7 +276,7 @@ impl UdpPragueSender {
             return;
         }
         if let Some(det) = &mut self.fallback {
-            if let Some(reason) = det.on_epoch(pkts, ce, not_ect, self.srtt) {
+            if let Some(reason) = det.on_epoch(pkts, ce, not_ect, self.srtt, now) {
                 det.fall_back(now, reason);
             }
         }
@@ -492,6 +510,45 @@ mod tests {
         fb.ce_packets += 3;
         s.on_feedback(&fb, t);
         assert!((s.rate() / before - 0.5).abs() < 1e-9, "classic halving");
+    }
+
+    #[test]
+    fn handover_to_longer_rtt_cell_does_not_trip_fallback() {
+        // Regression: the detector used a *lifetime* min_srtt, so after
+        // a handover 20 ms → 60 ms the clean new path read as 40 ms of
+        // standing queue and CE marks on it tripped classic fallback.
+        let mut s = UdpPragueSender::new(1, 2, 7000, 7001, 1e4, 1e6, 1e8);
+        s.enable_fallback();
+        let mut fb = PragueFeedback::default();
+        let mut t = Instant::ZERO;
+        // A second on the short-RTT cell establishes the 20 ms floor.
+        s.srtt = Some(Duration::from_millis(20));
+        for _ in 0..40 {
+            fb.packets += 25;
+            s.on_feedback(&fb, t);
+            t += Duration::from_millis(25);
+        }
+        // Handover: the serving cell's path floor is now 60 ms. Clean
+        // (unmarked) epochs ride out the windowed-min expiry.
+        s.srtt = Some(Duration::from_millis(60));
+        while t < Instant::from_secs(12) {
+            fb.packets += 25;
+            s.on_feedback(&fb, t);
+            t += Duration::from_millis(25);
+        }
+        // L4S marking on the new cell at its own floor: srtt sits at
+        // 60 ms, the windowed min has forgotten 20 ms, queue reads 0.
+        for _ in 0..10 {
+            fb.packets += 25;
+            fb.ce_packets += 3;
+            s.on_feedback(&fb, t);
+            t += Duration::from_millis(25);
+        }
+        assert!(
+            !s.fallen_back(),
+            "clean L4S path after handover must not read as classic"
+        );
+        assert!(s.take_events().is_empty());
     }
 
     #[test]

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod app;
+pub mod bond;
 pub mod dci;
 pub mod impairment;
 pub mod marker;
@@ -44,9 +45,10 @@ pub mod wired;
 pub mod world;
 
 pub use app::{AppProfile, Application};
+pub use bond::{BondJoin, BondTx, SbdDetector};
 pub use impairment::{ImpairmentCounters, ImpairmentSpec, StageSpec};
 pub use marker::MarkerKind;
-pub use metrics::{FallbackRecord, HandoverRecord, Report, ShardStat};
+pub use metrics::{BondStat, FallbackRecord, FecStat, HandoverRecord, Report, ShardStat};
 pub use runner::{run_batch, run_batch_on};
 pub use scenario::{
     ChannelMix, FlowDir, FlowSpec, MobilitySpec, MobilityStep, ScenarioConfig, TransportSpec,

@@ -222,6 +222,57 @@ pub struct Report {
     /// a fallback-enabled sender actually fell back; joins the
     /// fingerprint only when non-empty (same reasoning as `impairment`).
     pub fallbacks: Vec<FallbackRecord>,
+    /// Per-flow FEC/ARQ media-endpoint ledgers, in flow order. Empty
+    /// unless the scenario ran `TransportSpec::FecMedia` flows; joins
+    /// the fingerprint only when non-empty (same reasoning as
+    /// `impairment`).
+    pub fec: Vec<FecStat>,
+    /// Per-bonded-flow leg and coupling summaries, in flow order. Empty
+    /// unless the scenario bonded flows ([`crate::scenario::FlowSpec::bond`]);
+    /// joins the fingerprint only when non-empty.
+    pub bonds: Vec<BondStat>,
+}
+
+/// End-of-run ledger of one FEC/ARQ media flow: what the codec offered
+/// and how every source packet was ultimately resolved at the receiver
+/// (conservation: `delivered + repaired + abandoned == offered` once the
+/// run is closed out).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FecStat {
+    /// Flow index.
+    pub flow: u16,
+    /// Source packets the sender's codec offered.
+    pub offered: u64,
+    /// Source packets that arrived on their own.
+    pub delivered: u64,
+    /// Losses recovered by a repair packet or an ARQ retransmission.
+    pub repaired: u64,
+    /// Losses past the playout deadline (skipped, unrecoverable).
+    pub abandoned: u64,
+    /// Duplicate source arrivals (ARQ raced the original).
+    pub duplicates: u64,
+    /// ARQ retransmissions the sender emitted.
+    pub retx: u64,
+    /// Sliding-window repair packets the sender emitted.
+    pub repairs: u64,
+    /// Repair packets that arrived with nothing to repair.
+    pub repairs_unused: u64,
+}
+
+/// End-of-run summary of one bonded (dual-connectivity) flow.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BondStat {
+    /// Flow index.
+    pub flow: u16,
+    /// Data packets that reached the server per leg (0 = primary UE).
+    pub leg_pkts: [u64; 2],
+    /// Shared-bottleneck verdict at end of run.
+    pub coupled: bool,
+    /// Verdict transitions over the run (either direction).
+    pub coupled_flips: u64,
+    /// Join-buffer gap releases (timeout or occupancy cap); always zero
+    /// for FEC media flows, whose receiver is its own join point.
+    pub join_flushed: u64,
 }
 
 /// Execution statistics of one shard of a sharded run: the replica's
@@ -532,6 +583,31 @@ impl Report {
             for f in &self.fallbacks {
                 let _ = write!(s, ";fb={},{:?},{}", f.flow, f.at_ms, f.reason);
             }
+        }
+        // Bonding-era fields follow the same conditional rule: they are
+        // non-empty exactly when the scenario ran FecMedia or bonded
+        // flows, so every pre-bonding run keeps its corpus fingerprint.
+        for f in &self.fec {
+            let _ = write!(
+                s,
+                ";fec={},{},{},{},{},{},{},{},{}",
+                f.flow,
+                f.offered,
+                f.delivered,
+                f.repaired,
+                f.abandoned,
+                f.duplicates,
+                f.retx,
+                f.repairs,
+                f.repairs_unused
+            );
+        }
+        for b in &self.bonds {
+            let _ = write!(
+                s,
+                ";bond={},{:?},{},{},{}",
+                b.flow, b.leg_pkts, b.coupled, b.coupled_flips, b.join_flushed
+            );
         }
         s
     }

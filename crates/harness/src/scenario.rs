@@ -142,6 +142,24 @@ pub enum TransportSpec {
         /// Maximum rate in bytes/s.
         max_rate: f64,
     },
+    /// The loss-resilient FEC/ARQ media endpoint under NADA (RFC 8698)
+    /// rate control: a frame-paced UDP sender interleaving sliding-
+    /// window repair packets with deadline-bounded NACK retransmission.
+    /// Generates its own frames (the codec is the application), so it
+    /// carries an [`AppProfile::Bulk`] placeholder; uplink-direction
+    /// only. On a bonded flow ([`FlowSpec::bond`]) the sender stripes
+    /// frames across both legs by their NADA rates and couples the two
+    /// controllers when shared-bottleneck detection fires.
+    FecMedia {
+        /// Minimum media rate in bytes/s.
+        min_rate: f64,
+        /// Starting media rate in bytes/s.
+        start_rate: f64,
+        /// Maximum media rate in bytes/s.
+        max_rate: f64,
+        /// Frames per second.
+        fps: f64,
+    },
 }
 
 impl TransportSpec {
@@ -166,6 +184,17 @@ impl TransportSpec {
             min_rate,
             start_rate,
             max_rate,
+        }
+    }
+
+    /// The FEC/ARQ media endpoint with the given byte/s rate bounds and
+    /// frame cadence.
+    pub fn fec_media(min_rate: f64, start_rate: f64, max_rate: f64, fps: f64) -> TransportSpec {
+        TransportSpec::FecMedia {
+            min_rate,
+            start_rate,
+            max_rate,
+            fps,
         }
     }
 }
@@ -303,6 +332,15 @@ pub struct FlowSpec {
     pub stop: Option<Instant>,
     /// Which direction the data travels (default: downlink).
     pub dir: FlowDir,
+    /// Bonded (dual-connectivity) secondary leg: the index of a second
+    /// UE — on a **different** cell — whose uplink grants also carry
+    /// this flow's packets. `None` = the ordinary single-leg flow.
+    /// Bonded flows must be uplink-direction, and neither UE may have a
+    /// mobility trajectory (the bond pins both attachments). The server
+    /// side joins/reorders the legs and runs RFC 8382-style shared-
+    /// bottleneck detection over their one-way delays — see
+    /// [`crate::bond`].
+    pub bond: Option<usize>,
 }
 
 impl FlowSpec {
@@ -323,6 +361,7 @@ impl FlowSpec {
             start,
             stop: None,
             dir: FlowDir::Downlink,
+            bond: None,
         }
     }
 
@@ -357,6 +396,13 @@ impl FlowSpec {
         self
     }
 
+    /// Bond this (uplink) flow across a second UE's grants — see
+    /// [`FlowSpec::bond`].
+    pub fn bonded(mut self, secondary_ue: usize) -> FlowSpec {
+        self.bond = Some(secondary_ue);
+        self
+    }
+
     /// **Deprecated** shim: build a flow from the old [`TrafficKind`]
     /// enum. Lowers onto the new API; asserted byte-identical to the
     /// equivalent `(AppProfile, TransportSpec)` construction.
@@ -383,6 +429,7 @@ impl FlowSpec {
             start,
             stop,
             dir: FlowDir::Downlink,
+            bond: None,
         }
     }
 }
@@ -836,6 +883,92 @@ pub fn metro_city(
     cfg
 }
 
+/// The XR-upload bonding workload: two cells and `n_devices` head-
+/// mounted devices, each running one **uplink** media flow. With
+/// `bonded = false` device `i` is a single UE homed on cell `i % 2`;
+/// with `bonded = true` each device owns two radios — a primary UE on
+/// cell `i % 2` and a secondary on the *other* cell — and its flow is
+/// striped across both legs dual-connectivity style ([`FlowSpec::bond`]
+/// names the secondary).
+///
+/// The transport follows the controller name: `"fec-media"` gets the
+/// native [`TransportSpec::FecMedia`] endpoint (60 fps, 1.2–20 Mbit/s
+/// encoder bounds, sliding-window FEC + NACK repair); any TCP-family
+/// name (`"nada"`, `"prague"`, `"cubic"`, …) gets a 60 fps
+/// [`AppProfile::FramedVideo`] over [`TransportSpec::Tcp`] with the
+/// same encoder bounds, so the `fig_bonding` sweep compares controllers
+/// on identical offered load.
+///
+/// `cu_per_cell` is on (one marker instance per cell) and nobody moves:
+/// a bond pins both attachments, and keeping the single-leg variant on
+/// the same topology keeps the comparison clean.
+pub fn xr_bonding_cell(
+    n_devices: usize,
+    cc: &str,
+    marker: MarkerKind,
+    bonded: bool,
+    seed: u64,
+    duration: Duration,
+) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::new(seed, duration);
+    cfg.marker = marker;
+    cfg.cu_per_cell = true;
+    let second = cfg.cell.clone();
+    cfg.add_cell(second);
+    // 1.2–20 Mbit/s @ 60 fps: the XR split-rendering upload envelope.
+    let (min_bps, start_bps, max_bps, fps) = (1.2e6, 4.0e6, 20.0e6, 60.0);
+    let (app, transport) = if cc == "fec-media" {
+        (
+            AppProfile::bulk(),
+            TransportSpec::fec_media(min_bps / 8.0, start_bps / 8.0, max_bps / 8.0, fps),
+        )
+    } else {
+        (
+            AppProfile::FramedVideo(FramedVideoCfg::new(fps, min_bps, start_bps, max_bps)),
+            TransportSpec::tcp(parse_cc(cc)),
+        )
+    };
+    for i in 0..n_devices {
+        let home = i % 2;
+        let snr = 19.0 + 8.0 * (i as f64 * 0.6180339887).fract();
+        cfg.ues.push(UeSpec::simple(ChannelMix::Mobile.profile(i), snr).on_cell(home));
+        let mut flow = FlowSpec::uplink(
+            i,
+            app.clone(),
+            transport.clone(),
+            WanLink::east(),
+            // Same start alignment as the metro world: ≡137 µs (mod
+            // 1 ms), never on a slot boundary.
+            Instant::from_micros((3_000 * i as u64) % 200_000 + 137),
+        );
+        if bonded {
+            flow = flow.bonded(n_devices + i);
+        }
+        cfg.flows.push(flow);
+    }
+    if bonded {
+        // Secondary radios, each on the other cell from its device's
+        // primary, with a slightly worse channel (the secondary leg is
+        // the opportunistic one).
+        for i in 0..n_devices {
+            let away = 1 - i % 2;
+            let snr = 16.0 + 8.0 * (i as f64 * 0.6180339887).fract();
+            cfg.ues
+                .push(UeSpec::simple(ChannelMix::Mobile.profile(i + 1), snr).on_cell(away));
+        }
+    }
+    cfg
+}
+
+/// The canonical bonding scenario: 8 XR devices, each bonded across
+/// the two cells, running the FEC/ARQ media endpoint under NADA with
+/// the L4Span marker per cell. The perf-gate row for the bonded
+/// uplink data path; bonded flows serialize the world (the two legs
+/// couple the cells), so the shard planner must reject sharding it.
+pub fn bonded_xr_8ue(seed: u64, duration: Duration) -> ScenarioConfig {
+    xr_bonding_cell(8, "fec-media", l4span_default(), true, seed, duration)
+}
+
 /// The canonical metro world: 50 cells × 20 UEs = 1000 UEs of mixed
 /// interactive traffic with continuous handover churn, sharded per cell
 /// (`cu_per_cell`). The perf-gate scenario for the ≥10M aggregate
@@ -987,6 +1120,42 @@ mod tests {
             assert_eq!(pair[1].ue, i);
             assert_eq!(pair[0].start, pair[1].start, "legs start together");
             assert!(matches!(pair[1].app, AppProfile::FramedVideo(_)));
+        }
+    }
+
+    #[test]
+    fn xr_bonding_builder_shapes() {
+        let single = xr_bonding_cell(
+            8,
+            "prague",
+            l4span_default(),
+            false,
+            7,
+            Duration::from_secs(2),
+        );
+        assert_eq!(single.n_cells(), 2);
+        assert_eq!(single.ues.len(), 8);
+        assert_eq!(single.flows.len(), 8);
+        assert!(single.flows.iter().all(|f| f.bond.is_none()));
+        assert!(single
+            .flows
+            .iter()
+            .all(|f| f.dir == FlowDir::Uplink && matches!(f.app, AppProfile::FramedVideo(_))));
+
+        let bonded = bonded_xr_8ue(7, Duration::from_secs(2));
+        assert_eq!(bonded.n_cells(), 2);
+        assert_eq!(bonded.ues.len(), 16, "8 primaries + 8 secondaries");
+        assert_eq!(bonded.flows.len(), 8, "one flow per device, not per leg");
+        assert!(bonded.cu_per_cell);
+        for (i, f) in bonded.flows.iter().enumerate() {
+            assert_eq!(f.ue, i);
+            assert_eq!(f.bond, Some(8 + i), "secondary is the i-th extra UE");
+            assert_eq!(f.dir, FlowDir::Uplink);
+            assert!(matches!(f.transport, TransportSpec::FecMedia { .. }));
+            // The two legs home on different cells and neither moves.
+            let (p, s) = (&bonded.ues[f.ue], &bonded.ues[f.bond.unwrap()]);
+            assert_ne!(p.initial_cell, s.initial_cell);
+            assert!(p.mobility.is_empty() && s.mobility.is_empty());
         }
     }
 

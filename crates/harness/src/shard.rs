@@ -60,6 +60,12 @@ pub fn plan_shards_reason(cfg: &ScenarioConfig, want: usize) -> (usize, Option<&
     if cfg.impairment.is_some() {
         return (1, Some("impairment pipeline"));
     }
+    if cfg.flows.iter().any(|f| f.bond.is_some()) {
+        // A bonded flow spans two cells by construction (the legs feed
+        // one sender/receiver pair), so its cells can never simulate
+        // independently.
+        return (1, Some("bonded flow"));
+    }
     if !cfg.cu_per_cell {
         return (1, Some("central CU marker"));
     }

@@ -10,7 +10,7 @@ use std::collections::{BTreeMap, VecDeque};
 use l4span_aqm::{DualPi2, Router, RouterAqm};
 use l4span_cc::scream::{FrameMark, ScreamFeedback, ScreamReceiver, ScreamSender};
 use l4span_cc::udp_prague::{PragueFeedback, UdpPragueReceiver, UdpPragueSender};
-use l4span_cc::{CcEvent, TcpReceiver, TcpSender};
+use l4span_cc::{CcEvent, FecFeedback, FecMediaReceiver, FecMediaSender, TcpReceiver, TcpSender};
 use l4span_cc::tcp::TcpConfig;
 use l4span_core::DlVerdict;
 use l4span_net::{FiveTuple, PacketBuf, Protocol};
@@ -23,9 +23,12 @@ use l4span_ran::{DlDataDeliveryStatus, DrbId, Gnb, SlotOutput, UeId, UeStack, Ul
 use l4span_sim::{CycleScope, Duration, EventQueue, FxHashMap, Instant, SimRng};
 
 use crate::app::{AppProfile, AppUnit, Application, UnitKind};
+use crate::bond::{BondJoin, BondTx, SbdDetector};
 use crate::impairment::{Impairment, StageOutcome};
 use crate::marker::Marker;
-use crate::metrics::{Breakdown, BreakdownAvg, FallbackRecord, HandoverRecord, Report};
+use crate::metrics::{
+    BondStat, Breakdown, BreakdownAvg, FallbackRecord, FecStat, HandoverRecord, Report,
+};
 use crate::scenario::{BottleneckSpec, FlowDir, ScenarioConfig, TransportSpec};
 
 /// Subsystem labels of the world's [`CycleScope`] (the `fig_breakdown`
@@ -65,6 +68,7 @@ fn server_ip(f: usize) -> u32 {
 enum FbData {
     Scream(ScreamFeedback),
     Prague(PragueFeedback),
+    Fec(Box<FecFeedback>),
 }
 
 enum Endpoint {
@@ -80,6 +84,29 @@ enum Endpoint {
         sender: UdpPragueSender,
         receiver: UdpPragueReceiver,
     },
+    FecMedia {
+        sender: Box<FecMediaSender>,
+        receiver: Box<FecMediaReceiver>,
+    },
+}
+
+/// Runtime state of a bonded (dual-connectivity) uplink flow: the
+/// secondary leg's UE, the byte-balancing leg picker, the server-side
+/// reorder/join buffer (TCP legs only — the FEC media receiver is its
+/// own join point), and the RFC 8382-style shared-bottleneck detector
+/// fed by per-leg one-way delays.
+struct BondState {
+    /// Secondary UE (leg 1); the flow's own `ue_idx` is leg 0.
+    ue2_idx: usize,
+    ue2_id: UeId,
+    tx: BondTx,
+    join: Option<BondJoin>,
+    sbd: SbdDetector,
+    /// Data-direction ident → leg it was striped onto (consumed at the
+    /// server to attribute OWD samples and route join bookkeeping).
+    leg_of: FxHashMap<u16, u8>,
+    /// Data packets that reached the server, per leg.
+    leg_pkts: [u64; 2],
 }
 
 struct Flow {
@@ -121,6 +148,8 @@ struct Flow {
     frame_pending: FxHashMap<u16, Instant>,
     /// Frame cadence + deadline for QoE accounting (framed apps only).
     framed: Option<(Duration, Duration)>,
+    /// Dual-connectivity state ([`crate::scenario::FlowSpec::bond`]).
+    bond: Option<Box<BondState>>,
 }
 
 /// One scheduled occurrence. The queue stores events *boxed* so heap
@@ -248,6 +277,9 @@ pub struct World {
     /// Flows with UDP endpoints (the only ones whose receivers need the
     /// prohibit-interval feedback flush).
     udp_flows: Vec<usize>,
+    /// Bonded flows (the only ones whose server-side join buffers need
+    /// the gap-timeout flush).
+    bond_flows: Vec<usize>,
     /// Reused per-slot gNB output buffers.
     slot_out: SlotOutput,
     /// Recycled uplink-batch buffers: `UlAtGnb` payloads come from and
@@ -259,6 +291,10 @@ pub struct World {
     mark_scratch: Vec<FrameMark>,
     /// Reused buffer for sender-released packets (poll/ACK hot paths).
     scratch_pkts: Vec<PacketBuf>,
+    /// Reused buffer for FEC-media sender releases (leg-tagged).
+    scratch_leg_pkts: Vec<(u8, PacketBuf)>,
+    /// Reused buffer for join-buffer releases at the server.
+    scratch_join: Vec<PacketBuf>,
     /// Reused buffer for UE app deliveries (the per-TB hot path).
     scratch_app_deliv: Vec<l4span_ran::ue::AppDelivery>,
     /// Reused per-UL-slot grant buffer: (ue, granted bytes, cqi).
@@ -531,10 +567,44 @@ impl World {
                         None,
                     )
                 }
+                (AppProfile::Bulk { bytes: None }, TransportSpec::FecMedia {
+                    min_rate,
+                    start_rate,
+                    max_rate,
+                    fps,
+                }) => {
+                    assert_eq!(
+                        spec.dir,
+                        FlowDir::Uplink,
+                        "flow {f}: FecMedia transport is uplink-only"
+                    );
+                    let sport = 5008u16;
+                    let dport = 44_000 + f as u16;
+                    let tuple = FiveTuple {
+                        src_ip: src,
+                        dst_ip: dst,
+                        src_port: sport,
+                        dst_port: dport,
+                        protocol: Protocol::Udp,
+                    };
+                    let n_legs = 1 + usize::from(spec.bond.is_some());
+                    (
+                        Endpoint::FecMedia {
+                            sender: Box::new(FecMediaSender::new(
+                                src, dst, sport, dport, *min_rate, *start_rate, *max_rate,
+                                *fps, n_legs,
+                            )),
+                            receiver: Box::new(FecMediaReceiver::new(dst, src, dport, sport)),
+                        },
+                        tuple,
+                        None,
+                        None,
+                    )
+                }
                 (app, transport) => panic!(
                     "flow {f}: unsupported application/transport combination \
                      ({app:?} over {transport:?}); SCReAM requires a FramedVideo \
-                     application and UDP Prague a greedy Bulk one"
+                     application, UDP Prague and FEC media a greedy Bulk one"
                 ),
             };
             if spec.dir == FlowDir::Uplink {
@@ -562,6 +632,61 @@ impl World {
                 );
                 gnbs[home].ensure_ul_drb(ue_id, DrbId(spec.drb), mode);
             }
+            // Bonded (dual-connectivity) leg: stand up the same uplink
+            // bearer on the secondary UE, which must sit on a different
+            // cell and — like the primary — must not move (the bond pins
+            // both attachments for the run).
+            let bond = if let Some(ue2) = spec.bond {
+                assert_eq!(spec.dir, FlowDir::Uplink, "flow {f}: bonding is uplink-only");
+                assert!(
+                    matches!(endpoint, Endpoint::Tcp { .. } | Endpoint::FecMedia { .. }),
+                    "flow {f}: bonding supports TCP and FEC-media endpoints only"
+                );
+                assert!(
+                    ue2 < cfg.ues.len() && ue2 != spec.ue,
+                    "flow {f}: bond UE {ue2} out of range or equal to the primary"
+                );
+                assert!(
+                    cfg.ues[spec.ue].mobility.is_empty() && cfg.ues[ue2].mobility.is_empty(),
+                    "flow {f}: bonded UEs must not have mobility trajectories"
+                );
+                let home2 = cfg.ues[ue2].initial_cell;
+                assert_ne!(
+                    cfg.ues[spec.ue].initial_cell, home2,
+                    "flow {f}: bonded legs must attach to different cells"
+                );
+                let ue2_id = UeId(ue2 as u16);
+                let mode2 = cfg.ues[ue2]
+                    .drbs
+                    .iter()
+                    .find(|&&(d, _)| d == spec.drb)
+                    .map(|&(_, m)| m)
+                    .unwrap_or_else(|| {
+                        panic!("bonded flow {f}: DRB {} not in UE {ue2} spec", spec.drb)
+                    });
+                has_um_ul |= mode2 == RlcMode::Um;
+                let cell_cfg2 = cfg.cell_config(home2);
+                ues[ue2].configure_ul_drb(
+                    DrbId(spec.drb),
+                    mode2,
+                    cell_cfg2.rlc_queue_sdus,
+                    cell_cfg2.segment_overhead,
+                );
+                gnbs[home2].ensure_ul_drb(ue2_id, DrbId(spec.drb), mode2);
+                Some(Box::new(BondState {
+                    ue2_idx: ue2,
+                    ue2_id,
+                    tx: BondTx::new(),
+                    // TCP legs need a server-side reorder/join buffer;
+                    // the FEC media receiver sequences for itself.
+                    join: matches!(endpoint, Endpoint::Tcp { .. }).then(BondJoin::new),
+                    sbd: SbdDetector::new(),
+                    leg_of: FxHashMap::default(),
+                    leg_pkts: [0; 2],
+                }))
+            } else {
+                None
+            };
             tuple_to_flow.insert(tuple, f);
             flows.push(Flow {
                 ue_idx: spec.ue,
@@ -584,6 +709,7 @@ impl World {
                 pending_units: VecDeque::new(),
                 frame_pending: FxHashMap::default(),
                 framed,
+                bond,
             });
         }
         let router = cfg.bottleneck.as_ref().map(|b: &BottleneckSpec| {
@@ -627,7 +753,14 @@ impl World {
             .filter(|(_, f)| !matches!(f.endpoint, Endpoint::Tcp { .. }))
             .map(|(i, _)| i)
             .collect();
-        let need_ue_poll = !um_ues.is_empty() || !udp_flows.is_empty() || has_um_ul;
+        let bond_flows: Vec<usize> = flows
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.bond.is_some())
+            .map(|(i, _)| i)
+            .collect();
+        let need_ue_poll =
+            !um_ues.is_empty() || !udp_flows.is_empty() || has_um_ul || !bond_flows.is_empty();
         let n_ues = serving.len();
         // The UE-side uplink markers mirror the CU ones (same deployment
         // shape, disjoint stream range); their RNG streams are derived
@@ -679,10 +812,13 @@ impl World {
             impair,
             um_ues,
             udp_flows,
+            bond_flows,
             slot_out: SlotOutput::default(),
             ul_pool: Vec::new(),
             mark_scratch: Vec::new(),
             scratch_pkts: Vec::new(),
+            scratch_leg_pkts: Vec::new(),
+            scratch_join: Vec::new(),
             scratch_app_deliv: Vec::new(),
             scratch_grants: Vec::new(),
             scratch_ul_f1u: Vec::new(),
@@ -1000,6 +1136,7 @@ impl World {
                     Endpoint::Tcp { sender, .. } => sender.stop(),
                     Endpoint::Scream { sender, .. } => sender.stop(),
                     Endpoint::UdpPrague { sender, .. } => sender.stop(),
+                    Endpoint::FecMedia { sender, .. } => sender.stop(),
                 }
             }
             Event::FlowTimer { flow } => {
@@ -1008,6 +1145,7 @@ impl World {
                     return;
                 }
                 let mut outs = std::mem::take(&mut self.scratch_pkts);
+                let mut leg_outs = std::mem::take(&mut self.scratch_leg_pkts);
                 let t0 = self.cycles.start();
                 match &mut self.flows[flow].endpoint {
                     Endpoint::Tcp { sender, .. } => sender.poll_into(now, &mut outs),
@@ -1016,6 +1154,7 @@ impl World {
                         sender.take_frame_marks_into(&mut self.mark_scratch);
                     }
                     Endpoint::UdpPrague { sender, .. } => sender.poll_into(now, &mut outs),
+                    Endpoint::FecMedia { sender, .. } => sender.poll_into(now, &mut leg_outs),
                 }
                 self.cycles.stop(t0, CYC_TRANSPORT);
                 self.register_frame_marks(flow);
@@ -1023,7 +1162,12 @@ impl World {
                     FlowDir::Downlink => self.route_dl(flow, &mut outs, now),
                     FlowDir::Uplink => self.send_ul_data(flow, &mut outs, now),
                 }
+                // FEC media pre-stripes itself: each release names its leg.
+                for (leg, pkt) in leg_outs.drain(..) {
+                    self.send_ul_data_leg(flow, leg, pkt, now);
+                }
                 self.scratch_pkts = outs;
+                self.scratch_leg_pkts = leg_outs;
                 self.reschedule_timer(flow, now);
             }
             Event::AppTick { flow } => self.on_app_tick(flow, now),
@@ -1086,6 +1230,9 @@ impl World {
                         Endpoint::UdpPrague { receiver, .. } => receiver
                             .poll(now)
                             .map(|(p, fb)| (p, FbData::Prague(fb))),
+                        Endpoint::FecMedia { receiver, .. } => {
+                            receiver.poll(now).map(|(p, fb)| (p, FbData::Fec(Box::new(fb))))
+                        }
                         Endpoint::Tcp { .. } => None,
                     };
                     if let Some((fb_pkt, fb)) = pending {
@@ -1121,6 +1268,25 @@ impl World {
                     }
                     self.scratch_ul_skips = skipped;
                 }
+                // Bonded TCP flows: release join-buffered packets whose
+                // gap has waited past the reorder timeout, so a lost
+                // packet on one leg cannot stall the other indefinitely.
+                let mut joined = std::mem::take(&mut self.scratch_join);
+                for k in 0..self.bond_flows.len() {
+                    let flow = self.bond_flows[k];
+                    if !self.owns_flow(flow) {
+                        continue;
+                    }
+                    if let Some(b) = &mut self.flows[flow].bond {
+                        if let Some(join) = &mut b.join {
+                            join.poll(now, &mut joined);
+                        }
+                    }
+                    for pkt in joined.drain(..) {
+                        self.deliver_ul_at_server(flow, pkt, 0, now);
+                    }
+                }
+                self.scratch_join = joined;
                 self.sched(now + Duration::from_millis(5), Event::UePoll);
             }
         }
@@ -1470,6 +1636,9 @@ impl World {
                     self.ues[ue].enqueue_uplink(fb_pkt, now);
                 }
             }
+            // Uplink-only endpoint: the early return above already
+            // routed its (downlink-riding) feedback to the UE sender.
+            Endpoint::FecMedia { .. } => unreachable!("FecMedia flows are uplink-only"),
         }
         self.cycles.stop(c0, CYC_TRANSPORT);
         let c0 = self.cycles.start();
@@ -1651,26 +1820,46 @@ impl World {
     /// Queue sender-released packets onto the uplink bearer. Drains
     /// `pkts` so callers can reuse the buffer.
     fn send_ul_data(&mut self, flow: usize, pkts: &mut Vec<PacketBuf>, now: Instant) {
-        for mut pkt in pkts.drain(..) {
-            let ident = pkt.identification();
-            let (ue, ue_id, drb) = {
-                let f = &self.flows[flow];
-                (f.ue_idx, f.ue_id, f.drb)
+        for pkt in pkts.drain(..) {
+            // Bonded flows stripe across legs by byte balance; the FEC
+            // media sender never comes through here (it pre-stripes).
+            let leg = match &mut self.flows[flow].bond {
+                Some(b) => b.tx.pick(pkt.wire_len()),
+                None => 0,
             };
-            let m = self.mk(self.serving[ue]);
-            let c0 = self.cycles.start();
-            let t0 = self.clock_start();
-            let verdict = self.ul_markers[m].on_dl(ue_id, drb, &mut pkt, now);
-            self.clock_stop(t0, 0);
-            self.cycles.stop(c0, CYC_MARKER);
-            if verdict == DlVerdict::Drop {
-                continue;
+            self.send_ul_data_leg(flow, leg, pkt, now);
+        }
+    }
+
+    /// Queue one sender-released packet onto `leg`'s uplink bearer: the
+    /// leg's UE-side marker sees it at queue ingress, then PDCP numbers
+    /// it and RLC queues it for grant-driven transmission on that leg's
+    /// serving cell.
+    fn send_ul_data_leg(&mut self, flow: usize, leg: u8, mut pkt: PacketBuf, now: Instant) {
+        let ident = pkt.identification();
+        let (ue, ue_id, drb) = {
+            let f = &self.flows[flow];
+            match (&f.bond, leg) {
+                (Some(b), 1) => (b.ue2_idx, b.ue2_id, f.drb),
+                _ => (f.ue_idx, f.ue_id, f.drb),
             }
-            let c0 = self.cycles.start();
-            let queued = self.ues[ue].enqueue_uplink_data(drb, pkt, now).is_some();
-            self.cycles.stop(c0, CYC_UE);
-            if queued {
-                self.flows[flow].sent_at.insert(ident, now);
+        };
+        let m = self.mk(self.serving[ue]);
+        let c0 = self.cycles.start();
+        let t0 = self.clock_start();
+        let verdict = self.ul_markers[m].on_dl(ue_id, drb, &mut pkt, now);
+        self.clock_stop(t0, 0);
+        self.cycles.stop(c0, CYC_MARKER);
+        if verdict == DlVerdict::Drop {
+            return;
+        }
+        let c0 = self.cycles.start();
+        let queued = self.ues[ue].enqueue_uplink_data(drb, pkt, now).is_some();
+        self.cycles.stop(c0, CYC_UE);
+        if queued {
+            self.flows[flow].sent_at.insert(ident, now);
+            if let Some(b) = &mut self.flows[flow].bond {
+                b.leg_of.insert(ident, leg);
             }
         }
     }
@@ -1700,6 +1889,7 @@ impl World {
         outs: &mut Vec<PacketBuf>,
     ) {
         let ident = pkt.identification();
+        let mut leg_outs = std::mem::take(&mut self.scratch_leg_pkts);
         let f = &mut self.flows[flow];
         let fb = f.fb_pending.remove(&ident);
         let mut rate_estimate = None;
@@ -1735,8 +1925,24 @@ impl World {
                 }
                 sender.poll_into(now, outs);
             }
+            Endpoint::FecMedia { sender, .. } => {
+                if let Some(FbData::Fec(fb)) = fb {
+                    sender.on_feedback(&fb, now);
+                    if let Some(srtt) = sender.leg_srtt(0) {
+                        self.rtt_ms[flow].push(srtt.as_millis_f64());
+                        self.rtt_at_s[flow].push(now.as_secs_f64());
+                    }
+                }
+                sender.poll_into(now, &mut leg_outs);
+            }
         }
         self.cycles.stop(c0, CYC_TRANSPORT);
+        // FEC media releases are leg-tagged and uplink-only: queue them
+        // straight onto their bearers (`outs` stays empty for them).
+        for (leg, p) in leg_outs.drain(..) {
+            self.send_ul_data_leg(flow, leg, p, now);
+        }
+        self.scratch_leg_pkts = leg_outs;
         self.register_frame_marks(flow);
         // Rate-adaptation hook: let a driving application (e.g. a video
         // encoder over TCP) track what its transport can sustain.
@@ -1757,15 +1963,60 @@ impl World {
         let ident = pkt.identification();
         let payload = pkt.payload_len();
         let ue = self.flows[flow].ue_idx;
+        // Attribute the arrival to its bonded leg (0 for unbonded) and
+        // feed the per-leg OWD to the shared-bottleneck detector.
+        let leg = match &mut self.flows[flow].bond {
+            Some(b) => {
+                let leg = b.leg_of.remove(&ident).unwrap_or(0);
+                b.leg_pkts[leg as usize] += 1;
+                leg
+            }
+            None => 0,
+        };
         if let Some(sent) = self.flows[flow].sent_at.remove(&ident) {
             if payload > 0 {
-                let owd = now.saturating_since(sent).as_millis_f64();
-                self.ul_owd_ms[flow].push(owd);
+                let owd = now.saturating_since(sent);
+                self.ul_owd_ms[flow].push(owd.as_millis_f64());
                 self.ul_owd_at_s[flow].push(now.as_secs_f64());
                 self.record_thr_bins(flow, ue, payload, now);
+                if let Some(b) = &mut self.flows[flow].bond {
+                    b.sbd.observe(leg, owd, now);
+                }
             }
         }
+        // Bonded TCP legs interleave arbitrarily on the air: restore
+        // transmission order through the join buffer before the receiver
+        // sees the bytes. FEC media sequences for itself; unbonded flows
+        // pass straight through.
+        let joins = self.flows[flow]
+            .bond
+            .as_ref()
+            .is_some_and(|b| b.join.is_some());
+        if joins {
+            let mut joined = std::mem::take(&mut self.scratch_join);
+            if let Some(b) = &mut self.flows[flow].bond {
+                if let Some(join) = &mut b.join {
+                    join.on_packet(ident, pkt, now, &mut joined);
+                }
+            }
+            for p in joined.drain(..) {
+                self.deliver_ul_at_server(flow, p, leg, now);
+            }
+            self.scratch_join = joined;
+        } else {
+            self.deliver_ul_at_server(flow, pkt, leg, now);
+        }
+    }
+
+    /// Hand one uplink data packet (post-join for bonded TCP flows) to
+    /// the server-side receiver and route its ACK/feedback back down
+    /// toward the primary UE.
+    fn deliver_ul_at_server(&mut self, flow: usize, pkt: PacketBuf, leg: u8, now: Instant) {
+        let ident = pkt.identification();
         let mut tcp_watermark = None;
+        // The harness-side detector owns the shared-bottleneck verdict;
+        // the FEC media receiver echoes it to the sender in feedback.
+        let coupled = self.flows[flow].bond.as_ref().map(|b| b.sbd.coupled());
         match &mut self.flows[flow].endpoint {
             Endpoint::Tcp { receiver, .. } => {
                 let ack = receiver.on_packet(&pkt, now);
@@ -1785,6 +2036,16 @@ impl World {
                 if let Some((fb_pkt, fb)) = receiver.on_packet(&pkt, now) {
                     let fid = fb_pkt.identification();
                     self.flows[flow].fb_pending.insert(fid, FbData::Prague(fb));
+                    self.route_dl_pkt(flow, fb_pkt, now);
+                }
+            }
+            Endpoint::FecMedia { receiver, .. } => {
+                if let Some(c) = coupled {
+                    receiver.set_coupled(c);
+                }
+                if let Some((fb_pkt, fb)) = receiver.on_packet(&pkt, leg, now) {
+                    let fid = fb_pkt.identification();
+                    self.flows[flow].fb_pending.insert(fid, FbData::Fec(Box::new(fb)));
                     self.route_dl_pkt(flow, fb_pkt, now);
                 }
             }
@@ -1817,7 +2078,7 @@ impl World {
                     FlowDir::Uplink => self.route_dl_pkt(flow, syn, now),
                 }
             }
-            Endpoint::Scream { .. } | Endpoint::UdpPrague { .. } => {
+            Endpoint::Scream { .. } | Endpoint::UdpPrague { .. } | Endpoint::FecMedia { .. } => {
                 self.sched(now, Event::FlowTimer { flow });
                 self.flows[flow].timer_at = now;
             }
@@ -2103,6 +2364,7 @@ impl World {
             Endpoint::Tcp { sender, .. } => sender.next_activity(),
             Endpoint::Scream { sender, .. } => Some(sender.next_activity()),
             Endpoint::UdpPrague { sender, .. } => Some(sender.next_activity()),
+            Endpoint::FecMedia { sender, .. } => Some(sender.next_activity()),
         };
         self.cycles.stop(c0, CYC_TRANSPORT);
         if let Some(at) = na {
@@ -2602,6 +2864,41 @@ impl World {
                 });
             }
         }
+        // FEC/ARQ ledgers: close each media stream at run end so the
+        // delivered + repaired + abandoned partition covers everything
+        // the sender offered, then snapshot both codecs. Bond summaries
+        // ride along in the same pass. Both vectors stay empty for every
+        // pre-existing scenario, keeping their fingerprints unchanged.
+        let end = Instant::ZERO + self.cfg.duration;
+        let mut fec = Vec::new();
+        let mut bonds = Vec::new();
+        for (f, fl) in self.flows.iter_mut().enumerate() {
+            if let Endpoint::FecMedia { sender, receiver } = &mut fl.endpoint {
+                let offered = sender.codec().offered;
+                receiver.close(offered, end);
+                let rc = receiver.codec();
+                fec.push(FecStat {
+                    flow: f as u16,
+                    offered,
+                    delivered: rc.delivered,
+                    repaired: rc.repaired,
+                    abandoned: rc.abandoned,
+                    duplicates: rc.duplicates,
+                    retx: sender.codec().retx,
+                    repairs: sender.codec().repairs,
+                    repairs_unused: rc.repairs_unused,
+                });
+            }
+            if let Some(b) = &fl.bond {
+                bonds.push(BondStat {
+                    flow: f as u16,
+                    leg_pkts: b.leg_pkts,
+                    coupled: b.sbd.coupled(),
+                    coupled_flips: b.sbd.flips,
+                    join_flushed: b.join.as_ref().map_or(0, |j| j.flushed),
+                });
+            }
+        }
         // Table-1 accounting sums over every cell in the topology.
         let mut g = l4span_ran::gnb::GnbStats::default();
         for gnb in &self.gnbs {
@@ -2658,6 +2955,8 @@ impl World {
             shard_reject: None,
             impairment: self.impair.as_ref().map(|i| i.counters),
             fallbacks,
+            fec,
+            bonds,
         }
     }
 }

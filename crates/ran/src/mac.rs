@@ -112,6 +112,12 @@ pub fn allocate_round_robin_into(
             idx += 1;
         }
     }
+    // Audit note: an all-skip slot — every candidate UE's BSR/queue
+    // empty — takes the `remaining.is_empty()` early return above and
+    // never reaches this rotation, so idle slots cannot steal a UE's
+    // turn (pinned by `rr_all_empty_slot_does_not_advance_cursor`).
+    // A slot whose capacity HARQ consumed (`n_rbgs == 0` with backlog)
+    // *does* rotate: that UE's turn was spent on its retransmission.
     *cursor = cursor.wrapping_add(1);
     out.extend(
         cands
@@ -257,6 +263,51 @@ mod tests {
         let cands = vec![cand(0, 0, 100, 0.0)];
         let mut cursor = 0;
         assert!(allocate_round_robin(&cands, 10, &mut cursor).is_empty());
+    }
+
+    #[test]
+    fn rr_all_empty_slot_does_not_advance_cursor() {
+        // Audit pin: a slot where every candidate UE has an empty
+        // BSR/queue (or no candidates at all) exits before the cursor
+        // rotation, so grant order is identical with and without
+        // interleaved all-idle slots.
+        let cands = vec![
+            cand(0, 1000, 100, 0.0),
+            cand(1, 1000, 100, 0.0),
+            cand(2, 1000, 100, 0.0),
+        ];
+        let idle = vec![cand(0, 0, 100, 0.0), cand(1, 0, 100, 0.0)];
+
+        let mut plain = 0usize;
+        let a1 = allocate_round_robin(&cands, 1, &mut plain);
+        let a2 = allocate_round_robin(&cands, 1, &mut plain);
+
+        let mut interleaved = 0usize;
+        let b1 = allocate_round_robin(&cands, 1, &mut interleaved);
+        // No-op slots: no backlog anywhere, then no candidates at all.
+        assert!(allocate_round_robin(&idle, 1, &mut interleaved).is_empty());
+        assert!(allocate_round_robin(&[], 1, &mut interleaved).is_empty());
+        let b2 = allocate_round_robin(&cands, 1, &mut interleaved);
+
+        assert_eq!(a1, b1);
+        assert_eq!(a2, b2, "idle slots must not steal a UE's turn");
+        assert_eq!(plain, interleaved);
+    }
+
+    #[test]
+    fn pf_scratch_survives_all_empty_slot() {
+        // PF has no cursor; an all-empty slot must simply clear the
+        // output and leave the scratch reusable for the next slot.
+        let mut scratch = AllocScratch::default();
+        let mut out = vec![(UeId(9), 9)]; // stale content must be cleared
+        allocate_proportional_fair_into(&[], 4, &mut scratch, &mut out);
+        assert!(out.is_empty());
+        let idle = vec![cand(0, 0, 100, 1.0)];
+        allocate_proportional_fair_into(&idle, 4, &mut scratch, &mut out);
+        assert!(out.is_empty());
+        let busy = vec![cand(1, 500, 100, 1.0)];
+        allocate_proportional_fair_into(&busy, 4, &mut scratch, &mut out);
+        assert_eq!(out, vec![(UeId(1), 4)]);
     }
 
     #[test]

@@ -233,7 +233,10 @@ impl RlcTx {
     /// Append an SDU with no admission check (re-establishment path;
     /// the SDU already passed admission when it first entered).
     fn push_sdu(&mut self, sn: Sn, pkt: PacketBuf, t_ingress: Instant, now: Instant) {
-        let size = pkt.wire_len() as u32;
+        // All offset arithmetic below is u32; a >4 GiB SDU would
+        // silently wrap `as u32` into a tiny size, so reject it loudly
+        // (no IP packet is remotely that large).
+        let size = u32::try_from(pkt.wire_len()).expect("SDU exceeds the u32 offset space");
         let head = self.queue.is_empty() && self.retx.is_empty();
         self.queued_bytes += size as usize;
         self.queue.push_back(SduTx {
@@ -347,6 +350,8 @@ impl RlcTx {
             // 1. Retransmissions first.
             if let Some(r) = self.retx.front_mut() {
                 let want = (r.to - r.from) as usize;
+                // Lossless narrowing: bounded by `want`, itself a u32
+                // range length.
                 let take = want.min(avail) as u32;
                 let sdu = self
                     .unacked
@@ -384,6 +389,8 @@ impl RlcTx {
                 s.t_first_tx = Some(now);
             }
             let remaining = (s.size - s.txed) as usize;
+            // Lossless narrowing: bounded by `remaining`, itself a u32
+            // difference.
             let take = remaining.min(avail) as u32;
             let last = s.txed + take == s.size;
             let seg = Segment {
@@ -502,11 +509,21 @@ impl RlcTx {
             let Some(sdu) = self.unacked.get(&n.sn) else {
                 continue; // already acknowledged or never transmitted
             };
-            let from = n.from.min(sdu.size);
-            let to = n.to.min(sdu.size);
-            if from >= to {
-                continue;
-            }
+            // A zero-size SDU's only segment is the empty
+            // payload-carrying one, NACKed as the empty range (0, 0)
+            // (what `RxEntry::missing` emits when the payload segment
+            // was lost); clamping would read it as nothing-to-resend
+            // and stall that SN forever.
+            let (from, to) = if sdu.size == 0 {
+                (0, 0)
+            } else {
+                let from = n.from.min(sdu.size);
+                let to = n.to.min(sdu.size);
+                if from >= to {
+                    continue;
+                }
+                (from, to)
+            };
             let seg = RetxSeg { sn: n.sn, from, to };
             if !self.retx.contains(&seg) {
                 self.retx.push_back(seg);
@@ -1257,5 +1274,121 @@ mod tests {
         };
         assert_eq!(e.missing(), vec![(999, 1000)]);
         assert!(!e.complete());
+    }
+
+    #[test]
+    fn zero_size_entry_gap_and_completion() {
+        // A zero-size SDU whose (empty, payload-carrying) segment was
+        // lost reports the empty (0, 0) gap …
+        let e = RxEntry {
+            ranges: vec![],
+            size: 0,
+            payload: None,
+            t_first: Instant::ZERO,
+            t_ingress: Instant::ZERO,
+        };
+        assert_eq!(e.missing(), vec![(0, 0)]);
+        assert!(!e.complete());
+        // … and is complete once that segment arrives.
+        let e = RxEntry {
+            ranges: vec![(0, 0)],
+            size: 0,
+            payload: Some(pkt(0)),
+            t_first: Instant::ZERO,
+            t_ingress: Instant::ZERO,
+        };
+        assert!(e.missing().is_empty());
+        assert!(e.complete());
+    }
+
+    #[test]
+    fn zero_size_nack_retransmits_instead_of_stalling() {
+        // Regression: `on_status` clamped the (0, 0) NACK of a
+        // zero-size SDU to an empty range and discarded it, so the SN
+        // never retransmitted and in-order delivery stalled forever.
+        let mut t = tx(RlcMode::Am);
+        t.unacked.insert(
+            7,
+            UnackedSdu {
+                pkt: pkt(0),
+                size: 0,
+                t_ingress: Instant::ZERO,
+            },
+        );
+        let status = RlcStatus {
+            ack_sn: 7,
+            nacks: vec![Nack {
+                sn: 7,
+                from: 0,
+                to: 0,
+            }],
+        };
+        t.on_status(&status, Instant::from_millis(1));
+        assert_eq!(
+            t.retx.front(),
+            Some(&RetxSeg {
+                sn: 7,
+                from: 0,
+                to: 0
+            }),
+            "the empty payload segment must be queued for retx"
+        );
+        // The retransmission carries the payload and terminates (no
+        // infinite zero-byte loop).
+        let r = t.pull(1000, Instant::from_millis(2));
+        assert_eq!(r.segments.len(), 1);
+        assert_eq!(r.segments[0].sn, 7);
+        assert_eq!(r.segments[0].len, 0);
+        assert!(r.segments[0].payload.is_some());
+        assert!(t.retx.is_empty());
+        // A non-empty SDU's clamped-empty NACK is still discarded.
+        t.unacked.insert(
+            8,
+            UnackedSdu {
+                pkt: pkt(100),
+                size: 140,
+                t_ingress: Instant::ZERO,
+            },
+        );
+        let status = RlcStatus {
+            ack_sn: 8,
+            nacks: vec![Nack {
+                sn: 8,
+                from: 5,
+                to: 5,
+            }],
+        };
+        t.on_status(&status, Instant::from_millis(3));
+        assert!(t.retx.is_empty(), "empty range on a sized SDU is a no-op");
+    }
+
+    #[test]
+    fn max_wire_size_sdu_keeps_exact_offsets() {
+        // Cast audit: `PacketBuf` caps `wire_len()` at `u16::MAX`, so
+        // the `u32` segment-offset space can never truncate a real SDU
+        // (`push_sdu` still guards with `try_from` as defense in depth).
+        // Pin the extreme: a maximum-wire-size SDU segments and
+        // reassembles with byte-exact offsets.
+        let len = u16::MAX as usize - 60; // 60 = IPv4 + max TCP header
+        let mut t = tx(RlcMode::Am);
+        t.enqueue(0, pkt(len), Instant::ZERO);
+        let size = pkt(len).wire_len();
+        let mut rx = RlcRx::new(RlcMode::Am, Duration::from_millis(5));
+        let mut got = 0u32;
+        let mut delivered = Vec::new();
+        let mut guard = 0;
+        while got < size as u32 {
+            let r = t.pull(4000, Instant::from_millis(1));
+            assert!(!r.segments.is_empty(), "sender stalled mid-SDU");
+            for seg in r.segments {
+                got = got.max(seg.offset + seg.len);
+                delivered.extend(rx.on_segment(seg, Instant::from_millis(2)));
+            }
+            guard += 1;
+            assert!(guard < 100);
+        }
+        assert_eq!(got, size as u32, "offsets must cover the SDU exactly");
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].pkt.wire_len(), size);
     }
 }

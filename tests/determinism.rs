@@ -243,3 +243,73 @@ fn handover_cold_start_policy_is_deterministic_and_distinct() {
     let m = harness::run(ho_config("prague", 7)).fingerprint();
     assert_ne!(c, m, "policies must alter the run");
 }
+
+/// Bonded dual-connectivity flows (PR 10): leg striping, the server-side
+/// reorder/join, the shared-bottleneck detector, and the FEC/ARQ ledgers
+/// all join the fingerprint — and must reproduce byte-for-byte on any
+/// worker count.
+fn bonded_config(cc: &str, seed: u64) -> scenario::ScenarioConfig {
+    scenario::xr_bonding_cell(
+        4,
+        cc,
+        scenario::l4span_default(),
+        true,
+        seed,
+        Duration::from_secs(1),
+    )
+}
+
+#[test]
+fn bonded_fec_media_is_deterministic() {
+    assert_matrix(|seed| bonded_config("fec-media", seed), "bonded/fec-media");
+}
+
+#[test]
+fn bonded_cubic_is_deterministic() {
+    assert_matrix(|seed| bonded_config("cubic", seed), "bonded/cubic");
+}
+
+#[test]
+fn bonded_xr_8ue_is_deterministic() {
+    // The perf-gate canonical itself (8 devices × 2 legs): the exact
+    // world whose fingerprint the acceptance bar pins must be
+    // worker-invariant, not just a smaller cousin. Seed variation is
+    // covered by the matrix's third run; `bonded_xr_8ue` fixes every
+    // other knob by design.
+    assert_matrix(
+        |seed| scenario::bonded_xr_8ue(seed, Duration::from_secs(1)),
+        "bonded/xr_8ue",
+    );
+}
+
+#[test]
+fn nada_single_leg_is_deterministic() {
+    // NADA over TCP (the RFC 8698 controller without the FEC endpoint)
+    // and the unbonded FEC-media path each get their own row.
+    assert_matrix(
+        |seed| {
+            scenario::xr_bonding_cell(
+                4,
+                "nada",
+                scenario::l4span_default(),
+                false,
+                seed,
+                Duration::from_secs(1),
+            )
+        },
+        "nada/single",
+    );
+    assert_matrix(
+        |seed| {
+            scenario::xr_bonding_cell(
+                2,
+                "fec-media",
+                scenario::l4span_default(),
+                false,
+                seed,
+                Duration::from_secs(1),
+            )
+        },
+        "fec-media/single",
+    );
+}

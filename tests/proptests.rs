@@ -726,3 +726,62 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// FEC/ARQ ledger conservation (PR 10): whatever the loss pattern —
+    /// source losses, repair losses, duplicate arrivals, lost
+    /// retransmissions — closing the stream partitions every offered
+    /// sequence into exactly one of delivered / repaired / abandoned.
+    #[test]
+    fn fec_ledger_is_conserved_under_arbitrary_loss(
+        lost in proptest::collection::vec(any::<bool>(), 1..200),
+        repair_lost in any::<u64>(),
+        dup_every in 1u64..7,
+    ) {
+        use l4span::cc::fec::{FecReceiverCore, FecSenderCore, NackVerdict};
+        let deadline = Duration::from_millis(100);
+        let mut s = FecSenderCore::new(deadline);
+        let mut r = FecReceiverCore::new(deadline);
+        let mut t = Instant::ZERO;
+        let mut nacks = Vec::new();
+        let mut repairs_sent = 0u64;
+        for &l in &lost {
+            let seq = s.source(t);
+            if !l {
+                r.on_source(seq, t);
+                if seq.is_multiple_of(dup_every) {
+                    // The network duplicated the packet.
+                    r.on_source(seq, t);
+                }
+            }
+            if let Some((base, end)) = s.repair_due() {
+                repairs_sent += 1;
+                if (repair_lost >> (repairs_sent % 64)) & 1 == 0 {
+                    r.on_repair(base, end, t);
+                }
+            }
+            t += Duration::from_millis(2);
+            nacks.clear();
+            r.poll_nacks(t, &mut nacks);
+            for &seq in &nacks {
+                // A third of the granted retransmissions get lost too.
+                if s.on_nack(seq, t) == NackVerdict::Retx && seq % 3 != 0 {
+                    r.on_source(seq, t);
+                }
+            }
+        }
+        let offered = s.offered;
+        prop_assert_eq!(offered, lost.len() as u64);
+        r.close(offered, t + Duration::from_secs(2));
+        prop_assert_eq!(
+            r.delivered + r.repaired + r.abandoned,
+            offered,
+            "partition must be exact: {} + {} + {} != {} (dups {})",
+            r.delivered, r.repaired, r.abandoned, offered, r.duplicates
+        );
+        if lost.iter().all(|&l| !l) {
+            prop_assert_eq!(r.abandoned, 0, "nothing to abandon without loss");
+            prop_assert_eq!(r.delivered, offered);
+        }
+    }
+}

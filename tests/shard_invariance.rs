@@ -181,3 +181,24 @@ fn single_shard_is_the_classic_code_path() {
     );
 }
 
+
+#[test]
+fn bonded_flows_plan_to_one_shard_and_stay_invariant() {
+    // A bonded flow spans two cells by construction, so the planner
+    // must refuse to shard it — and any requested shard count must
+    // still produce the classic single-world bytes.
+    use l4span::harness::plan_shards_reason;
+    let cfg = || scenario::bonded_xr_8ue(7, Duration::from_secs(1));
+    assert_eq!(plan_shards_reason(&cfg(), 2), (1, Some("bonded flow")));
+    assert_eq!(plan_shards(&cfg(), 4), 1);
+    let base = digest(cfg(), 1);
+    for shards in [2, 4] {
+        assert_eq!(
+            digest(cfg(), shards),
+            base,
+            "bonded_xr_8ue shards={shards}"
+        );
+    }
+    let r = run_sharded(cfg(), 4);
+    assert_eq!(r.shard_reject, Some("bonded flow"));
+}
